@@ -1,0 +1,302 @@
+//! The [`Accelerator`] trait and shared execution machinery.
+//!
+//! Every simulated design — Eyeriss, BitFusion, DRQ, and Drift (in
+//! `drift-core`) — executes [`GemmWorkload`]s and produces an
+//! [`ExecReport`] with cycles and the Fig. 8 energy breakdown. The
+//! memory-side behaviour (DRAM streaming, buffer accesses, double
+//! buffering) is identical across designs and lives in
+//! [`MemorySubsystem`] so comparisons isolate the compute architecture.
+
+use crate::dram::{DramConfig, DramSim};
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::gemm::GemmWorkload;
+use crate::memory::BufferSet;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// The result of executing one workload on one accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Workload name.
+    pub workload: String,
+    /// Accelerator name.
+    pub accelerator: String,
+    /// End-to-end cycles for the layer (compute and DRAM overlap under
+    /// double buffering; the slower side dominates).
+    pub cycles: u64,
+    /// Compute-side cycles.
+    pub compute_cycles: u64,
+    /// DRAM-side cycles.
+    pub dram_cycles: u64,
+    /// Cycles lost to dataflow stalls (zero for stall-free designs).
+    pub stall_cycles: u64,
+    /// Unit-busy cycles (for utilization and core energy).
+    pub busy_unit_cycles: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl ExecReport {
+    /// Compute-array utilization: busy unit-cycles over available
+    /// unit-cycles.
+    pub fn utilization(&self, units: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.busy_unit_cycles as f64 / (self.cycles as f64 * units as f64)
+    }
+}
+
+/// Aggregates reports across a model's layers.
+pub fn total_report(name: &str, accelerator: &str, layers: &[ExecReport]) -> ExecReport {
+    ExecReport {
+        workload: name.to_string(),
+        accelerator: accelerator.to_string(),
+        cycles: layers.iter().map(|r| r.cycles).sum(),
+        compute_cycles: layers.iter().map(|r| r.compute_cycles).sum(),
+        dram_cycles: layers.iter().map(|r| r.dram_cycles).sum(),
+        stall_cycles: layers.iter().map(|r| r.stall_cycles).sum(),
+        busy_unit_cycles: layers.iter().map(|r| r.busy_unit_cycles).sum(),
+        energy: layers.iter().map(|r| r.energy).sum(),
+    }
+}
+
+/// A simulated DNN accelerator.
+pub trait Accelerator {
+    /// A short, stable name for reports.
+    fn name(&self) -> &str;
+
+    /// Number of compute units (PEs or BitGroups) in the engine.
+    fn units(&self) -> usize;
+
+    /// Executes a workload, returning its report.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`crate::AccelError`] for workloads they
+    /// cannot map (e.g. unsupported precisions).
+    fn execute(&mut self, workload: &GemmWorkload) -> Result<ExecReport>;
+}
+
+/// Per-layer DRAM/buffer traffic report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// DRAM-side cycles for this layer's traffic.
+    pub dram_cycles: u64,
+    /// DRAM dynamic energy for this layer, pJ.
+    pub dram_pj: f64,
+    /// Buffer dynamic energy for this layer, pJ.
+    pub buffer_pj: f64,
+}
+
+/// The memory subsystem shared by all designs: DRAM + three on-chip
+/// buffers.
+#[derive(Debug, Clone)]
+pub struct MemorySubsystem {
+    /// The DRAM simulator.
+    pub dram: DramSim,
+    /// The buffer hierarchy.
+    pub buffers: BufferSet,
+}
+
+impl MemorySubsystem {
+    /// Creates the default subsystem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DRAM configuration errors.
+    pub fn new() -> Result<Self> {
+        Ok(MemorySubsystem {
+            dram: DramSim::new(DramConfig::default())?,
+            buffers: BufferSet::drift_default(),
+        })
+    }
+
+    /// Simulates one layer's data movement:
+    ///
+    /// * weights stream in from DRAM exactly once (the weight-stationary
+    ///   schedule processes them in tiles when they exceed the weight
+    ///   buffer — tiling never re-reads a weight from DRAM);
+    /// * activations stream in once when they fit in the global buffer;
+    ///   otherwise they must be re-fetched once per weight tile;
+    /// * the array reads activations `act_reread` times from the global
+    ///   buffer (once per column-pass group) and weights once;
+    /// * outputs are written to the global buffer and drained to DRAM.
+    pub fn layer_traffic(
+        &mut self,
+        act_bytes: u64,
+        weight_bytes: u64,
+        output_bytes: u64,
+        index_bytes: u64,
+        act_reread: u64,
+    ) -> TrafficReport {
+        let buffer_pj_before = self.buffers.energy_pj();
+        let dram_pj_before = self.dram.stats().energy_pj;
+
+        let weight_tiles = self.buffers.weight.refetch_factor(weight_bytes);
+        let act_dram_rounds = if act_bytes <= self.buffers.global.capacity_bytes() {
+            1
+        } else {
+            weight_tiles
+        };
+        let mut dram_cycles = 0u64;
+
+        // DRAM → on-chip fills.
+        let act_addr = self.dram.allocate(act_bytes);
+        for _ in 0..act_dram_rounds {
+            dram_cycles += self.dram.stream(act_addr, act_bytes, false);
+            self.buffers.global.write(act_bytes);
+        }
+
+        let weight_addr = self.dram.allocate(weight_bytes);
+        dram_cycles += self.dram.stream(weight_addr, weight_bytes, false);
+        self.buffers.weight.write(weight_bytes);
+
+        let index_addr = self.dram.allocate(index_bytes.max(1));
+        dram_cycles += self.dram.stream(index_addr, index_bytes, false);
+        self.buffers.index.write(index_bytes);
+
+        // On-chip → array feeds.
+        self.buffers.global.read(act_bytes * act_reread.max(act_dram_rounds));
+        self.buffers.weight.read(weight_bytes);
+        self.buffers.index.read(index_bytes);
+
+        // Array → on-chip → DRAM drain.
+        self.buffers.global.write(output_bytes);
+        self.buffers.global.read(output_bytes);
+        let out_addr = self.dram.allocate(output_bytes);
+        dram_cycles += self.dram.stream(out_addr, output_bytes, true);
+
+        TrafficReport {
+            dram_cycles,
+            dram_pj: self.dram.stats().energy_pj - dram_pj_before,
+            buffer_pj: self.buffers.energy_pj() - buffer_pj_before,
+        }
+    }
+
+    /// The standard traffic of a quantized workload: byte counts from the
+    /// workload's precision maps.
+    pub fn workload_traffic(&mut self, w: &GemmWorkload, act_reread: u64) -> TrafficReport {
+        self.layer_traffic(
+            w.act_bytes(),
+            w.weight_bytes(),
+            w.output_bytes(),
+            w.index_bytes(),
+            act_reread,
+        )
+    }
+}
+
+/// Combines compute and traffic into a final report, adding static
+/// energy from the model. Compute and DRAM overlap (double buffering):
+/// the layer takes the maximum of the two sides.
+#[allow(clippy::too_many_arguments)]
+pub fn finish_report(
+    accelerator: &str,
+    workload: &GemmWorkload,
+    compute_cycles: u64,
+    stall_cycles: u64,
+    busy_unit_cycles: u64,
+    core_pj: f64,
+    traffic: TrafficReport,
+    units: usize,
+    static_pj_per_unit_cycle: f64,
+) -> ExecReport {
+    let cycles = compute_cycles.max(traffic.dram_cycles);
+    let energy = EnergyBreakdown {
+        static_pj: static_pj_per_unit_cycle * units as f64 * cycles as f64,
+        dram_pj: traffic.dram_pj,
+        buffer_pj: traffic.buffer_pj,
+        core_pj,
+    };
+    ExecReport {
+        workload: workload.name().to_string(),
+        accelerator: accelerator.to_string(),
+        cycles,
+        compute_cycles,
+        dram_cycles: traffic.dram_cycles,
+        stall_cycles,
+        busy_unit_cycles,
+        energy,
+    }
+}
+
+/// Convenience: the default energy model.
+pub fn default_energy_model() -> EnergyModel {
+    EnergyModel::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::GemmShape;
+
+    #[test]
+    fn traffic_accounts_energy_and_cycles() {
+        let mut mem = MemorySubsystem::new().unwrap();
+        let shape = GemmShape::new(64, 128, 64).unwrap();
+        let w = GemmWorkload::uniform("t", shape, false);
+        let t = mem.workload_traffic(&w, 1);
+        assert!(t.dram_cycles > 0);
+        assert!(t.dram_pj > 0.0);
+        assert!(t.buffer_pj > 0.0);
+    }
+
+    #[test]
+    fn low_precision_moves_fewer_bytes() {
+        let shape = GemmShape::new(64, 128, 64).unwrap();
+        let mut mem_hi = MemorySubsystem::new().unwrap();
+        let hi = mem_hi.workload_traffic(&GemmWorkload::uniform("h", shape, false), 1);
+        let mut mem_lo = MemorySubsystem::new().unwrap();
+        let lo = mem_lo.workload_traffic(&GemmWorkload::uniform("l", shape, true), 1);
+        assert!(lo.dram_pj < hi.dram_pj);
+        assert!(lo.dram_cycles <= hi.dram_cycles);
+    }
+
+    #[test]
+    fn reread_factor_scales_buffer_energy() {
+        let shape = GemmShape::new(64, 128, 64).unwrap();
+        let w = GemmWorkload::uniform("t", shape, false);
+        let mut mem1 = MemorySubsystem::new().unwrap();
+        let t1 = mem1.workload_traffic(&w, 1);
+        let mut mem4 = MemorySubsystem::new().unwrap();
+        let t4 = mem4.workload_traffic(&w, 4);
+        assert!(t4.buffer_pj > t1.buffer_pj);
+        // DRAM traffic is unchanged by on-chip rereads.
+        assert!((t4.dram_pj - t1.dram_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_report_overlaps_compute_and_dram() {
+        let shape = GemmShape::new(8, 8, 8).unwrap();
+        let w = GemmWorkload::uniform("t", shape, false);
+        let traffic = TrafficReport { dram_cycles: 100, dram_pj: 1.0, buffer_pj: 1.0 };
+        let r = finish_report("x", &w, 40, 0, 10, 5.0, traffic, 10, 0.1);
+        assert_eq!(r.cycles, 100); // DRAM-bound
+        let r2 = finish_report("x", &w, 400, 0, 10, 5.0, traffic, 10, 0.1);
+        assert_eq!(r2.cycles, 400); // compute-bound
+        assert!((r2.energy.static_pj - 0.1 * 10.0 * 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_report_sums_layers() {
+        let shape = GemmShape::new(8, 8, 8).unwrap();
+        let w = GemmWorkload::uniform("t", shape, false);
+        let traffic = TrafficReport { dram_cycles: 10, dram_pj: 1.0, buffer_pj: 2.0 };
+        let r = finish_report("x", &w, 40, 3, 10, 5.0, traffic, 10, 0.1);
+        let total = total_report("model", "x", &[r.clone(), r]);
+        assert_eq!(total.cycles, 80);
+        assert_eq!(total.stall_cycles, 6);
+        assert!((total.energy.core_pj - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let shape = GemmShape::new(8, 8, 8).unwrap();
+        let w = GemmWorkload::uniform("t", shape, false);
+        let traffic = TrafficReport { dram_cycles: 0, dram_pj: 0.0, buffer_pj: 0.0 };
+        let r = finish_report("x", &w, 100, 0, 500, 0.0, traffic, 10, 0.0);
+        let u = r.utilization(10);
+        assert!(u > 0.0 && u <= 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! A coarse area model (40 nm class), substantiating the paper's
+//! "no additional computational or area overheads" claim with numbers.
+//!
+//! The paper synthesises its RTL with Synopsys DC on a 40 nm TSMC
+//! library; offline we tabulate per-component area constants from
+//! published 40/45 nm accelerator breakdowns (BitFusion reports
+//! BitBrick-array and buffer areas; SRAM macros scale ~linearly in
+//! capacity at fixed port count). Only *relative* areas matter for the
+//! claim under test: the controller that runs the Drift algorithm — a
+//! comparator pair, a small LUT, and the index buffer — is a rounding
+//! error next to 792 BitGroups and half a megabyte of SRAM.
+
+use crate::memory::BufferSet;
+use crate::systolic::ArrayGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Area constants, in mm² (40 nm class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// One BitGroup (16 BitBricks + accumulate + link mux), mm².
+    pub bitgroup_mm2: f64,
+    /// SRAM density, mm² per KiB (6T, single port).
+    pub sram_mm2_per_kib: f64,
+    /// The precision selector (two comparators + control), mm².
+    pub selector_mm2: f64,
+    /// The scheduler (the Eq. 8 sweep engine), mm².
+    pub scheduler_mm2: f64,
+    /// The per-BG bidirectional-link overhead Drift adds over
+    /// BitFusion's fixed links, as a fraction of BitGroup area.
+    pub link_overhead_fraction: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            bitgroup_mm2: 0.0024,
+            sram_mm2_per_kib: 0.0045,
+            selector_mm2: 0.0020,
+            scheduler_mm2: 0.0035,
+            link_overhead_fraction: 0.03,
+        }
+    }
+}
+
+/// A per-component area report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaReport {
+    /// Compute fabric, mm².
+    pub fabric_mm2: f64,
+    /// Drift's extra bidirectional links, mm².
+    pub links_mm2: f64,
+    /// Global + weight buffers, mm².
+    pub buffers_mm2: f64,
+    /// Index buffer, mm².
+    pub index_mm2: f64,
+    /// Controller (selector + scheduler), mm².
+    pub controller_mm2: f64,
+}
+
+impl AreaReport {
+    /// Total die area, mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.fabric_mm2
+            + self.links_mm2
+            + self.buffers_mm2
+            + self.index_mm2
+            + self.controller_mm2
+    }
+
+    /// The share of the total attributable to supporting the dynamic
+    /// precision algorithm (links + index buffer + controller) — the
+    /// quantity behind the paper's "no additional area overheads".
+    pub fn dynamic_precision_overhead(&self) -> f64 {
+        (self.links_mm2 + self.index_mm2 + self.controller_mm2) / self.total_mm2()
+    }
+}
+
+/// Computes the area of a Drift-class chip.
+pub fn drift_area(model: &AreaModel, fabric: ArrayGeometry, buffers: &BufferSet) -> AreaReport {
+    let fabric_mm2 = fabric.units() as f64 * model.bitgroup_mm2;
+    AreaReport {
+        fabric_mm2,
+        links_mm2: fabric_mm2 * model.link_overhead_fraction,
+        buffers_mm2: (buffers.global.capacity_bytes() + buffers.weight.capacity_bytes())
+            as f64
+            / 1024.0
+            * model.sram_mm2_per_kib,
+        index_mm2: buffers.index.capacity_bytes() as f64 / 1024.0 * model.sram_mm2_per_kib,
+        controller_mm2: model.selector_mm2 + model.scheduler_mm2,
+    }
+}
+
+/// Computes the area of a BitFusion-class chip (same fabric and data
+/// buffers, no dynamic-precision support).
+pub fn bitfusion_area(model: &AreaModel, fabric: ArrayGeometry, buffers: &BufferSet) -> AreaReport {
+    AreaReport {
+        fabric_mm2: fabric.units() as f64 * model.bitgroup_mm2,
+        links_mm2: 0.0,
+        buffers_mm2: (buffers.global.capacity_bytes() + buffers.weight.capacity_bytes())
+            as f64
+            / 1024.0
+            * model.sram_mm2_per_kib,
+        index_mm2: 0.0,
+        controller_mm2: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitfusion::paper_geometry;
+
+    #[test]
+    fn totals_are_positive_and_decompose() {
+        let model = AreaModel::default();
+        let report = drift_area(&model, paper_geometry(), &BufferSet::drift_default());
+        assert!(report.total_mm2() > 0.0);
+        let sum = report.fabric_mm2
+            + report.links_mm2
+            + report.buffers_mm2
+            + report.index_mm2
+            + report.controller_mm2;
+        assert!((report.total_mm2() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dynamic_precision_overhead_is_small() {
+        // The claim under test: the algorithm's hardware support costs
+        // a few percent of the die, not tens.
+        let model = AreaModel::default();
+        let report = drift_area(&model, paper_geometry(), &BufferSet::drift_default());
+        let overhead = report.dynamic_precision_overhead();
+        assert!(
+            overhead < 0.08,
+            "dynamic-precision support at {:.1}% of the die",
+            overhead * 100.0
+        );
+        assert!(overhead > 0.0);
+    }
+
+    #[test]
+    fn drift_slightly_larger_than_bitfusion() {
+        let model = AreaModel::default();
+        let buffers = BufferSet::drift_default();
+        let drift = drift_area(&model, paper_geometry(), &buffers);
+        let bitfusion = bitfusion_area(&model, paper_geometry(), &buffers);
+        assert!(drift.total_mm2() > bitfusion.total_mm2());
+        let ratio = drift.total_mm2() / bitfusion.total_mm2();
+        assert!(ratio < 1.10, "area ratio {ratio} too large");
+    }
+
+    #[test]
+    fn fabric_dominates() {
+        let model = AreaModel::default();
+        let report = drift_area(&model, paper_geometry(), &BufferSet::drift_default());
+        assert!(report.fabric_mm2 > report.buffers_mm2 * 0.3);
+        assert!(report.fabric_mm2 > report.controller_mm2 * 50.0);
+    }
+}

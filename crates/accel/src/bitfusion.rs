@@ -1,0 +1,232 @@
+//! The BitFusion baseline: a precision-flexible systolic array whose
+//! BitBricks are *spatially fused* into PEs before runtime.
+//!
+//! Paper Section 2.3: BitFusion supports many static precisions — fuse 4
+//! BitBricks for a 4-bit PE, 16 for an 8-bit PE — but the fusion is
+//! fixed before execution. Under *dynamic* precision, data wider than
+//! the fused width must iterate temporally inside a PE, stalling the
+//! systolic wavefront behind it (Figure 2). This model exposes both
+//! behaviours:
+//!
+//! * fused at the workload's high precision, it executes everything
+//!   stall-free but gains nothing from low-precision sub-tensors;
+//! * fused at the low precision, every high-precision element costs
+//!   `⌈pa/fa⌉·⌈pw/fw⌉` injection slots, and the stream simulator counts
+//!   the stalls.
+
+use crate::accelerator::{finish_report, Accelerator, ExecReport, MemorySubsystem};
+use crate::energy::EnergyModel;
+use crate::gemm::GemmWorkload;
+use crate::systolic::{fused_occupancy, pass_count, simulate_stream, ArrayGeometry};
+use crate::Result;
+use drift_quant::precision::Precision;
+
+/// The BitFusion accelerator model.
+///
+/// The paper's evaluation gives every BitGroup-class design 792 units; we
+/// arrange them as 24×33.
+#[derive(Debug)]
+pub struct BitFusion {
+    geometry: ArrayGeometry,
+    fused_act: Precision,
+    fused_weight: Precision,
+    energy: EnergyModel,
+    memory: MemorySubsystem,
+}
+
+/// The paper's unit budget for BitGroup-class accelerators.
+pub const PAPER_UNITS: usize = 792;
+
+/// The paper's array arrangement of those units.
+pub fn paper_geometry() -> ArrayGeometry {
+    ArrayGeometry::new(24, 33).expect("static geometry is valid")
+}
+
+impl BitFusion {
+    /// BitFusion fused for static INT8 execution — the configuration the
+    /// paper uses to run INT8 models in Figs. 7–8.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-subsystem construction errors.
+    pub fn int8() -> Result<Self> {
+        BitFusion::fused(Precision::INT8, Precision::INT8)
+    }
+
+    /// BitFusion fused for static INT4 execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-subsystem construction errors.
+    pub fn int4() -> Result<Self> {
+        BitFusion::fused(Precision::INT4, Precision::INT4)
+    }
+
+    /// BitFusion fused at an arbitrary (activation, weight) precision.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-subsystem construction errors.
+    pub fn fused(act: Precision, weight: Precision) -> Result<Self> {
+        Ok(BitFusion {
+            geometry: paper_geometry(),
+            fused_act: act,
+            fused_weight: weight,
+            energy: EnergyModel::default(),
+            memory: MemorySubsystem::new()?,
+        })
+    }
+
+    /// The fused (activation, weight) precision.
+    pub fn fusion(&self) -> (Precision, Precision) {
+        (self.fused_act, self.fused_weight)
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+}
+
+impl Accelerator for BitFusion {
+    fn name(&self) -> &str {
+        "bitfusion"
+    }
+
+    fn units(&self) -> usize {
+        self.geometry.units()
+    }
+
+    fn execute(&mut self, workload: &GemmWorkload) -> Result<ExecReport> {
+        let shape = workload.shape();
+
+        // Spatial fusion cannot exploit per-column weight variation:
+        // the schedule is sized for the widest weight present.
+        let pw_eff = (0..shape.n)
+            .map(|j| workload.weight_precision(j))
+            .max()
+            .expect("N > 0");
+
+        // Per-element injection occupancy against the fused widths.
+        let occupancies: Vec<u32> = (0..shape.m)
+            .map(|i| {
+                fused_occupancy(
+                    workload.act_precision(i),
+                    pw_eff,
+                    self.fused_act,
+                    self.fused_weight,
+                )
+            })
+            .collect();
+
+        let passes = pass_count(shape, self.fused_act, pw_eff.max(self.fused_weight), self.geometry);
+        let report = simulate_stream(&occupancies, self.geometry, passes);
+
+        // Activations re-read once per column-pass group.
+        let n_pass = (u64::from(pw_eff.max(self.fused_weight).bits()) * shape.n as u64)
+            .div_ceil(16 * self.geometry.cols as u64);
+        let traffic = self.memory.workload_traffic(workload, n_pass.max(1));
+
+        let core_pj = report.busy_bg_cycles as f64 * self.energy.e_bg_cycle_pj;
+        Ok(finish_report(
+            "bitfusion",
+            workload,
+            report.total_cycles,
+            report.stall_cycles,
+            report.busy_bg_cycles,
+            core_pj,
+            traffic,
+            self.geometry.units(),
+            self.energy.static_pj_per_unit_cycle,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::GemmShape;
+    use crate::systolic::analytical_cycles;
+
+    #[test]
+    fn int8_uniform_matches_eq7() {
+        let shape = GemmShape::new(196, 768, 768).unwrap();
+        let mut bf = BitFusion::int8().unwrap();
+        let r = bf
+            .execute(&GemmWorkload::uniform("u", shape, false))
+            .unwrap();
+        assert_eq!(
+            r.compute_cycles,
+            analytical_cycles(shape, Precision::INT8, Precision::INT8, paper_geometry())
+        );
+        assert_eq!(r.stall_cycles, 0);
+    }
+
+    #[test]
+    fn int4_static_is_about_4x_faster_than_int8() {
+        let shape = GemmShape::new(512, 1024, 1024).unwrap();
+        let mut bf8 = BitFusion::int8().unwrap();
+        let c8 = bf8
+            .execute(&GemmWorkload::uniform("u8", shape, false))
+            .unwrap()
+            .compute_cycles;
+        let mut bf4 = BitFusion::int4().unwrap();
+        let c4 = bf4
+            .execute(&GemmWorkload::uniform("u4", shape, true))
+            .unwrap()
+            .compute_cycles;
+        let ratio = c8 as f64 / c4 as f64;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dynamic_stream_on_low_fusion_stalls() {
+        // Figure 2: a 4-bit-fused array fed a mixed 4/8-bit stream.
+        let shape = GemmShape::new(256, 512, 512).unwrap();
+        let act_high: Vec<bool> = (0..256).map(|i| i % 4 == 0).collect(); // 25% high
+        let w = GemmWorkload::new("dyn", shape, act_high, vec![false; 512]).unwrap();
+        let mut bf = BitFusion::int4().unwrap();
+        let r = bf.execute(&w).unwrap();
+        assert!(r.stall_cycles > 0);
+        // Stalls per pass = number of high elements (each costs one
+        // extra slot at occupancy 2).
+        let passes = pass_count(shape, Precision::INT4, Precision::INT4, paper_geometry());
+        assert_eq!(r.stall_cycles, 64 * passes);
+    }
+
+    #[test]
+    fn high_fusion_never_stalls_but_never_gains() {
+        let shape = GemmShape::new(128, 256, 256).unwrap();
+        let act_high: Vec<bool> = (0..128).map(|i| i % 2 == 0).collect();
+        let w = GemmWorkload::new("dyn", shape, act_high, vec![false; 256]).unwrap();
+        let mut bf = BitFusion::int8().unwrap();
+        let r = bf.execute(&w).unwrap();
+        assert_eq!(r.stall_cycles, 0);
+        // Same cycles as an all-high workload: no benefit from 4-bit rows.
+        let mut bf2 = BitFusion::int8().unwrap();
+        let all_high = GemmWorkload::uniform("hi", shape, false);
+        let r2 = bf2.execute(&all_high).unwrap();
+        assert_eq!(r.compute_cycles, r2.compute_cycles);
+    }
+
+    #[test]
+    fn mixed_weights_size_schedule_for_widest() {
+        let shape = GemmShape::new(64, 128, 128).unwrap();
+        let mut weight_high = vec![false; 128];
+        weight_high[0] = true; // a single 8-bit column forces 8-bit weight passes
+        let w = GemmWorkload::new("w", shape, vec![false; 64], weight_high).unwrap();
+        let mut bf = BitFusion::int4().unwrap();
+        let r = bf.execute(&w).unwrap();
+        let all_low = GemmWorkload::uniform("l", shape, true);
+        let mut bf2 = BitFusion::int4().unwrap();
+        let r2 = bf2.execute(&all_low).unwrap();
+        assert!(r.compute_cycles > r2.compute_cycles);
+    }
+
+    #[test]
+    fn units_match_paper() {
+        let bf = BitFusion::int8().unwrap();
+        assert_eq!(bf.units(), PAPER_UNITS);
+        assert_eq!(bf.fusion(), (Precision::INT8, Precision::INT8));
+    }
+}

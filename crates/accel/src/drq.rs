@@ -1,0 +1,257 @@
+//! The DRQ accelerator baseline: a variable-speed systolic array.
+//!
+//! DRQ (Song et al., ISCA 2020) executes dynamically quantized models on
+//! a single systolic array whose streaming rate adapts to the precision
+//! of the data currently entering: 4-bit regions stream at full rate,
+//! 8-bit regions at half rate (each element occupies two injection
+//! slots). Two costs follow, and paper Section 5.3 attributes DRQ's gap
+//! to Drift to them:
+//!
+//! 1. **Occupancy stalls** — every high-precision element stalls the
+//!    wavefront for an extra slot, so the execute phase takes
+//!    `M·(1 + f_h) + R + C - 2` instead of `M + R + C - 2`.
+//! 2. **Speed-switch bubbles** — each transition between rates partially
+//!    drains the pipeline. When high-precision sub-tensors are
+//!    *interleaved* with low ones (as token-granular dynamics produce),
+//!    the bubbles accumulate; this is why DRQ gains almost nothing on
+//!    ViT-B (1.07× over BitFusion) despite a sizeable 4-bit fraction.
+//!
+//! DRQ keeps weights at a static 8 bits (only activations are dynamic in
+//! its design), which this model enforces regardless of the workload's
+//! weight flags.
+
+use crate::accelerator::{finish_report, Accelerator, ExecReport, MemorySubsystem};
+use crate::bitfusion::paper_geometry;
+use crate::energy::EnergyModel;
+use crate::gemm::GemmWorkload;
+use crate::systolic::{simulate_stream, ArrayGeometry, BG_ACT_BIT_LANES, BG_WEIGHT_BIT_LANES};
+use crate::{AccelError, Result};
+use drift_quant::precision::Precision;
+
+/// The DRQ variable-speed accelerator model.
+#[derive(Debug)]
+pub struct DrqAccelerator {
+    geometry: ArrayGeometry,
+    /// Pipeline bubble per speed transition, in cycles.
+    switch_bubble: u64,
+    energy: EnergyModel,
+    memory: MemorySubsystem,
+}
+
+impl DrqAccelerator {
+    /// The paper-comparison configuration: 792 units (24×33) with a
+    /// 2-cycle speed-switch bubble (calibrated so DRQ lands at the
+    /// paper's ~1.07× over BitFusion on ViT-B, where precisions are
+    /// token-interleaved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-subsystem construction errors.
+    pub fn paper_config() -> Result<Self> {
+        DrqAccelerator::new(paper_geometry(), 2)
+    }
+
+    /// Creates a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] for a degenerate geometry.
+    pub fn new(geometry: ArrayGeometry, switch_bubble: u64) -> Result<Self> {
+        if geometry.units() == 0 {
+            return Err(AccelError::InvalidConfig {
+                name: "geometry",
+                detail: "empty array".to_string(),
+            });
+        }
+        Ok(DrqAccelerator {
+            geometry,
+            switch_bubble,
+            energy: EnergyModel::default(),
+            memory: MemorySubsystem::new()?,
+        })
+    }
+
+    /// The speed-switch bubble in cycles.
+    pub fn switch_bubble(&self) -> u64 {
+        self.switch_bubble
+    }
+
+    /// Counts rate transitions in a precision stream.
+    fn transitions(act_high: &[bool]) -> u64 {
+        act_high.windows(2).filter(|w| w[0] != w[1]).count() as u64
+    }
+}
+
+impl Accelerator for DrqAccelerator {
+    fn name(&self) -> &str {
+        "drq"
+    }
+
+    fn units(&self) -> usize {
+        self.geometry.units()
+    }
+
+    fn execute(&mut self, workload: &GemmWorkload) -> Result<ExecReport> {
+        let shape = workload.shape();
+        let (act_hp, act_lp) = workload.act_precisions();
+        let weight_prec = Precision::INT8; // DRQ weights are statically 8-bit.
+
+        // The array's base rate serves the low activation precision;
+        // high-precision elements occupy proportionally more slots.
+        let occupancies: Vec<u32> = workload
+            .act_high()
+            .iter()
+            .map(|&h| {
+                if h {
+                    u32::from(act_hp.bits()).div_ceil(u32::from(act_lp.bits()))
+                } else {
+                    1
+                }
+            })
+            .collect();
+
+        // Pass factors: K side at the low activation rate, N side at the
+        // static 8-bit weight width.
+        let k_passes = (u64::from(act_lp.bits()) * shape.k as u64)
+            .div_ceil(BG_ACT_BIT_LANES * self.geometry.rows as u64);
+        let n_passes = (u64::from(weight_prec.bits()) * shape.n as u64)
+            .div_ceil(BG_WEIGHT_BIT_LANES * self.geometry.cols as u64);
+        let passes = k_passes * n_passes;
+
+        let mut report = simulate_stream(&occupancies, self.geometry, passes);
+
+        // Speed-switch bubbles, incurred on every pass.
+        let bubbles = Self::transitions(workload.act_high()) * self.switch_bubble * passes;
+        report.total_cycles += bubbles;
+        report.execute_cycles += bubbles;
+        report.stall_cycles += bubbles;
+
+        // Traffic: dynamic activations, static 8-bit weights, index for
+        // the region precisions.
+        let weight_bytes = shape.k as u64 * shape.n as u64; // 8-bit
+        let traffic = self.memory.layer_traffic(
+            workload.act_bytes(),
+            weight_bytes,
+            workload.output_bytes(),
+            workload.index_bytes(),
+            n_passes.max(1),
+        );
+
+        let core_pj = report.busy_bg_cycles as f64 * self.energy.e_bg_cycle_pj;
+        Ok(finish_report(
+            "drq",
+            workload,
+            report.total_cycles,
+            report.stall_cycles,
+            report.busy_bg_cycles,
+            core_pj,
+            traffic,
+            self.geometry.units(),
+            self.energy.static_pj_per_unit_cycle,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitfusion::BitFusion;
+    use crate::gemm::GemmShape;
+
+    fn workload_with_high_fraction(
+        m: usize,
+        frac: f64,
+        interleaved: bool,
+    ) -> GemmWorkload {
+        let shape = GemmShape::new(m, 512, 512).unwrap();
+        let high_count = (m as f64 * frac) as usize;
+        let act_high: Vec<bool> = if interleaved {
+            // Spread the high rows uniformly through the stream.
+            (0..m)
+                .map(|i| high_count > 0 && (i * high_count) % m < high_count)
+                .collect()
+        } else {
+            (0..m).map(|i| i < high_count).collect()
+        };
+        GemmWorkload::new("w", shape, act_high, vec![false; 512]).unwrap()
+    }
+
+    #[test]
+    fn transitions_counted() {
+        assert_eq!(DrqAccelerator::transitions(&[true, true, false, true]), 2);
+        assert_eq!(DrqAccelerator::transitions(&[false; 8]), 0);
+        assert_eq!(DrqAccelerator::transitions(&[]), 0);
+    }
+
+    #[test]
+    fn all_low_beats_bitfusion_int8_by_about_2x() {
+        let w = workload_with_high_fraction(1024, 0.0, false);
+        let mut drq = DrqAccelerator::paper_config().unwrap();
+        let c_drq = drq.execute(&w).unwrap().compute_cycles;
+        let mut bf = BitFusion::int8().unwrap();
+        let hi = GemmWorkload::uniform("hi", w.shape(), false);
+        let c_bf = bf.execute(&hi).unwrap().compute_cycles;
+        let ratio = c_bf as f64 / c_drq as f64;
+        assert!(ratio > 1.7 && ratio < 2.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn high_fraction_erodes_speedup() {
+        let mut drq = DrqAccelerator::paper_config().unwrap();
+        let lo = drq
+            .execute(&workload_with_high_fraction(1024, 0.1, true))
+            .unwrap()
+            .compute_cycles;
+        let hi = drq
+            .execute(&workload_with_high_fraction(1024, 0.5, true))
+            .unwrap()
+            .compute_cycles;
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn interleaving_costs_more_than_blocked() {
+        let mut drq = DrqAccelerator::paper_config().unwrap();
+        let blocked = drq
+            .execute(&workload_with_high_fraction(1024, 0.3, false))
+            .unwrap();
+        let interleaved = drq
+            .execute(&workload_with_high_fraction(1024, 0.3, true))
+            .unwrap();
+        assert!(
+            interleaved.compute_cycles > blocked.compute_cycles,
+            "interleaved {} !> blocked {}",
+            interleaved.compute_cycles,
+            blocked.compute_cycles
+        );
+        assert!(interleaved.stall_cycles > blocked.stall_cycles);
+    }
+
+    #[test]
+    fn weights_are_static_8bit_in_traffic() {
+        // Even if the workload claims 4-bit weights, DRQ moves 8-bit
+        // weights.
+        let w = workload_with_high_fraction(256, 0.0, false);
+        let mut drq = DrqAccelerator::paper_config().unwrap();
+        let r = drq.execute(&w).unwrap();
+        // DRQ's DRAM energy strictly exceeds a hypothetical 4-bit-weight
+        // design's (compare against BitFusion INT4 traffic on the same
+        // workload, whose weights are half the bytes).
+        let mut bf4 = BitFusion::int4().unwrap();
+        let r4 = bf4.execute(&w).unwrap();
+        assert!(r.energy.dram_pj > r4.energy.dram_pj);
+    }
+
+    #[test]
+    fn zero_bubble_config_only_pays_occupancy() {
+        let geo = paper_geometry();
+        let mut drq = DrqAccelerator::new(geo, 0).unwrap();
+        let w = workload_with_high_fraction(512, 0.25, true);
+        let r = drq.execute(&w).unwrap();
+        // Stalls = extra occupancy slots only: 128 high rows x 1 extra
+        // slot per pass.
+        let k_passes = (4u64 * 512).div_ceil(4 * geo.rows as u64);
+        let n_passes = (8u64 * 512).div_ceil(16 * geo.cols as u64);
+        assert_eq!(r.stall_cycles, 128 * k_passes * n_passes);
+    }
+}

@@ -1,0 +1,137 @@
+//! The energy model and the static/DRAM/buffer/core breakdown of paper
+//! Fig. 8.
+//!
+//! Constants are inspired by published 40/45 nm accelerator numbers
+//! (Eyeriss and BitFusion report per-op and per-access energies at
+//! comparable nodes). Only *relative* magnitudes matter for reproducing
+//! Fig. 8, which normalises everything to Eyeriss; the table below is
+//! tabulated in one place so a user can re-calibrate against their own
+//! PDK.
+//!
+//! | quantity | constant | value |
+//! | --- | --- | --- |
+//! | BitGroup active cycle (16 BitBrick MACs + accumulate) | `e_bg_cycle_pj` | 1.0 pJ |
+//! | FP32 MAC (Eyeriss PE) | `e_fp32_mac_pj` | 3.8 pJ |
+//! | SRAM access | see [`crate::memory`] | ~2 pJ/B |
+//! | DRAM access | see [`crate::dram`] | ~15 pJ/B |
+//! | static power, BitGroup-class unit | `static_pj_per_unit_cycle` | 0.75 pJ/cycle |
+//! | static power, Eyeriss FP32 PE | `static_pj_per_fp32_pe_cycle` | 1.6 pJ/cycle |
+
+use serde::{Deserialize, Serialize};
+
+/// Energy constants shared by all simulated accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Dynamic energy of one BitGroup doing useful work for one cycle
+    /// (16 BitBrick 1×4-bit products plus the accumulate network), pJ.
+    pub e_bg_cycle_pj: f64,
+    /// Dynamic energy of one FP32 multiply-accumulate, pJ.
+    pub e_fp32_mac_pj: f64,
+    /// Leakage per BitGroup-class unit per cycle, pJ.
+    pub static_pj_per_unit_cycle: f64,
+    /// Leakage per Eyeriss-class FP32 PE per cycle, pJ.
+    pub static_pj_per_fp32_pe_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            e_bg_cycle_pj: 1.0,
+            e_fp32_mac_pj: 3.8,
+            static_pj_per_unit_cycle: 0.75,
+            static_pj_per_fp32_pe_cycle: 1.6,
+        }
+    }
+}
+
+/// The four-way energy breakdown the paper reports in Fig. 8.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Leakage over the whole execution, pJ.
+    pub static_pj: f64,
+    /// DRAM dynamic energy, pJ.
+    pub dram_pj: f64,
+    /// On-chip buffer dynamic energy, pJ.
+    pub buffer_pj: f64,
+    /// Compute-core dynamic energy, pJ.
+    pub core_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.static_pj + self.dram_pj + self.buffer_pj + self.core_pj
+    }
+
+    /// Each component as a fraction of the total (zeros when total is
+    /// zero), in (static, dram, buffer, core) order.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_pj();
+        if t == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.static_pj / t,
+            self.dram_pj / t,
+            self.buffer_pj / t,
+            self.core_pj / t,
+        ]
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            static_pj: self.static_pj + other.static_pj,
+            dram_pj: self.dram_pj + other.dram_pj,
+            buffer_pj: self.buffer_pj + other.buffer_pj,
+            core_pj: self.core_pj + other.core_pj,
+        }
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> Self {
+        iter.fold(EnergyBreakdown::default(), |acc, e| acc.add(&e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_fractions() {
+        let e = EnergyBreakdown { static_pj: 40.0, dram_pj: 30.0, buffer_pj: 10.0, core_pj: 20.0 };
+        assert_eq!(e.total_pj(), 100.0);
+        let f = e.fractions();
+        assert!((f[0] - 0.4).abs() < 1e-12);
+        assert!((f[1] - 0.3).abs() < 1e-12);
+        assert!((f[2] - 0.1).abs() < 1e-12);
+        assert!((f[3] - 0.2).abs() < 1e-12);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_total_has_zero_fractions() {
+        assert_eq!(EnergyBreakdown::default().fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn add_and_sum() {
+        let a = EnergyBreakdown { static_pj: 1.0, dram_pj: 2.0, buffer_pj: 3.0, core_pj: 4.0 };
+        let b = a.add(&a);
+        assert_eq!(b.total_pj(), 20.0);
+        let s: EnergyBreakdown = vec![a, a, a].into_iter().sum();
+        assert_eq!(s.total_pj(), 30.0);
+    }
+
+    #[test]
+    fn default_model_is_ordered_sensibly() {
+        let m = EnergyModel::default();
+        // An FP32 MAC costs much more than a BitGroup cycle, and leakage
+        // per unit is below dynamic per-cycle energy.
+        assert!(m.e_fp32_mac_pj > m.e_bg_cycle_pj);
+        assert!(m.static_pj_per_unit_cycle < m.e_bg_cycle_pj);
+        assert!(m.static_pj_per_fp32_pe_cycle < m.e_fp32_mac_pj);
+    }
+}

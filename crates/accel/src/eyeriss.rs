@@ -1,0 +1,164 @@
+//! The Eyeriss baseline: an FP32 spatial accelerator with 224 PEs.
+//!
+//! The paper uses Eyeriss (Chen et al., ISCA 2016) as the uncompressed
+//! FP32 reference whose latency and energy normalise Figs. 7–8, with the
+//! configuration from the DRQ paper: 14×16 = 224 PEs. We model its
+//! row-stationary dataflow analytically — one FP32 MAC per PE per cycle
+//! at a fixed mapping utilization — because the comparison only needs
+//! its throughput and energy class, not its exact mapping search.
+
+use crate::accelerator::{finish_report, Accelerator, ExecReport, MemorySubsystem};
+use crate::energy::EnergyModel;
+use crate::gemm::GemmWorkload;
+use crate::{AccelError, Result};
+
+/// Bytes per FP32 value.
+const FP32_BYTES: u64 = 4;
+
+/// The Eyeriss FP32 accelerator model.
+#[derive(Debug)]
+pub struct Eyeriss {
+    pes: usize,
+    utilization: f64,
+    energy: EnergyModel,
+    memory: MemorySubsystem,
+}
+
+impl Eyeriss {
+    /// Creates the paper's configuration: 14×16 = 224 PEs at 95%
+    /// mapping utilization (row-stationary mappings keep convolutional
+    /// layers near full occupancy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-subsystem construction errors.
+    pub fn paper_config() -> Result<Self> {
+        Eyeriss::new(224, 0.95)
+    }
+
+    /// Creates a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] unless `pes > 0` and
+    /// `0 < utilization <= 1`.
+    pub fn new(pes: usize, utilization: f64) -> Result<Self> {
+        if pes == 0 {
+            return Err(AccelError::InvalidConfig {
+                name: "pes",
+                detail: "must be positive".to_string(),
+            });
+        }
+        if !(utilization > 0.0 && utilization <= 1.0) {
+            return Err(AccelError::InvalidConfig {
+                name: "utilization",
+                detail: format!("must be in (0, 1], got {utilization}"),
+            });
+        }
+        Ok(Eyeriss {
+            pes,
+            utilization,
+            energy: EnergyModel::default(),
+            memory: MemorySubsystem::new()?,
+        })
+    }
+}
+
+impl Accelerator for Eyeriss {
+    fn name(&self) -> &str {
+        "eyeriss"
+    }
+
+    fn units(&self) -> usize {
+        self.pes
+    }
+
+    fn execute(&mut self, workload: &GemmWorkload) -> Result<ExecReport> {
+        let shape = workload.shape();
+        let macs = shape.macs();
+        // One FP32 MAC per PE per cycle at the mapping utilization.
+        let compute_cycles =
+            (macs as f64 / (self.pes as f64 * self.utilization)).ceil() as u64;
+        let busy_unit_cycles = macs; // each MAC busies one PE for one cycle
+
+        // FP32 traffic ignores the precision maps: everything is 4 bytes.
+        let act_bytes = shape.m as u64 * shape.k as u64 * FP32_BYTES;
+        let weight_bytes = shape.k as u64 * shape.n as u64 * FP32_BYTES;
+        let output_bytes = shape.m as u64 * shape.n as u64 * FP32_BYTES;
+        let traffic = self.memory.layer_traffic(act_bytes, weight_bytes, output_bytes, 0, 1);
+
+        let core_pj = macs as f64 * self.energy.e_fp32_mac_pj;
+        Ok(finish_report(
+            "eyeriss",
+            workload,
+            compute_cycles,
+            0,
+            busy_unit_cycles,
+            core_pj,
+            traffic,
+            self.pes,
+            self.energy.static_pj_per_fp32_pe_cycle,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::GemmShape;
+
+    #[test]
+    fn config_validation() {
+        assert!(Eyeriss::new(0, 0.9).is_err());
+        assert!(Eyeriss::new(224, 0.0).is_err());
+        assert!(Eyeriss::new(224, 1.5).is_err());
+        assert!(Eyeriss::paper_config().is_ok());
+    }
+
+    #[test]
+    fn compute_cycles_scale_with_macs() {
+        let mut e = Eyeriss::paper_config().unwrap();
+        let small = e
+            .execute(&GemmWorkload::uniform(
+                "s",
+                GemmShape::new(64, 64, 64).unwrap(),
+                false,
+            ))
+            .unwrap();
+        let large = e
+            .execute(&GemmWorkload::uniform(
+                "l",
+                GemmShape::new(128, 64, 64).unwrap(),
+                false,
+            ))
+            .unwrap();
+        assert!(large.compute_cycles >= 2 * small.compute_cycles - 1);
+    }
+
+    #[test]
+    fn fp32_traffic_ignores_precision_flags() {
+        let shape = GemmShape::new(32, 64, 32).unwrap();
+        let mut e1 = Eyeriss::paper_config().unwrap();
+        let hi = e1.execute(&GemmWorkload::uniform("h", shape, false)).unwrap();
+        let mut e2 = Eyeriss::paper_config().unwrap();
+        let lo = e2.execute(&GemmWorkload::uniform("l", shape, true)).unwrap();
+        assert!((hi.energy.dram_pj - lo.energy.dram_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_has_all_energy_components() {
+        let mut e = Eyeriss::paper_config().unwrap();
+        let r = e
+            .execute(&GemmWorkload::uniform(
+                "r",
+                GemmShape::new(196, 256, 256).unwrap(),
+                false,
+            ))
+            .unwrap();
+        assert!(r.energy.static_pj > 0.0);
+        assert!(r.energy.dram_pj > 0.0);
+        assert!(r.energy.buffer_pj > 0.0);
+        assert!(r.energy.core_pj > 0.0);
+        assert!(r.utilization(224) <= 1.0);
+    }
+}

@@ -1,0 +1,479 @@
+//! GEMM shapes and mixed-precision workloads.
+//!
+//! Every accelerator in this reproduction consumes the same unit of work:
+//! a GEMM `(M, K, N)` — activations `M×K` times weights `K×N` — annotated
+//! with per-row activation precisions and per-column weight precisions.
+//! In the weight-stationary dataflow of paper Eq. 7, `M` is the streamed
+//! dimension (one activation row / token / im2col patch per injection),
+//! `K` maps onto array rows, and `N` onto array columns.
+//!
+//! Dynamic precision quantization decides, per activation sub-tensor
+//! (= per GEMM row) and per weight sub-tensor (= per GEMM column group),
+//! whether the data is 8-bit or 4-bit; a [`GemmWorkload`] carries those
+//! decisions so that simulators can reproduce both the computation
+//! savings and the dataflow hazards.
+
+use crate::{AccelError, Result};
+use drift_quant::precision::{Precision, PrecisionPair};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three dimensions of a GEMM: `M×K` activations times `K×N` weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Streamed dimension (rows of the activation matrix: tokens,
+    /// patches, im2col windows).
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Output dimension (weight columns / output channels).
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] if any dimension is zero.
+    pub fn new(m: usize, k: usize, n: usize) -> Result<Self> {
+        if m == 0 || k == 0 || n == 0 {
+            return Err(AccelError::InvalidConfig {
+                name: "gemm shape",
+                detail: format!("dimensions must be positive, got ({m}, {k}, {n})"),
+            });
+        }
+        Ok(GemmShape { m, k, n })
+    }
+
+    /// Number of multiply-accumulate operations, `M·K·N`.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// A sub-GEMM sharing `K` with `rows` streamed rows and `cols`
+    /// output columns. Returns `None` when either count is zero (an
+    /// empty tile).
+    pub fn tile(&self, rows: usize, cols: usize) -> Option<GemmShape> {
+        if rows == 0 || cols == 0 {
+            None
+        } else {
+            Some(GemmShape { m: rows, k: self.k, n: cols })
+        }
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// A GEMM annotated with dynamic precision decisions.
+///
+/// `act_high[i]` is true when streamed row `i` computes at the high
+/// precision; `weight_high[j]` likewise for weight column `j`.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_accel::gemm::{GemmShape, GemmWorkload};
+///
+/// # fn main() -> Result<(), drift_accel::AccelError> {
+/// let shape = GemmShape::new(4, 64, 8)?;
+/// let w = GemmWorkload::new(
+///     "toy",
+///     shape,
+///     vec![true, false, false, false],
+///     vec![false; 8],
+/// )?;
+/// assert!((w.act_high_fraction() - 0.25).abs() < 1e-12);
+/// assert_eq!(w.weight_high_fraction(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GemmWorkload {
+    name: String,
+    shape: GemmShape,
+    act_high: Vec<bool>,
+    weight_high: Vec<bool>,
+    act_precisions: (Precision, Precision),
+    weight_precisions: (Precision, Precision),
+}
+
+impl GemmWorkload {
+    /// Creates a workload from explicit precision maps, with the paper's
+    /// default precisions (high = INT8, low = INT4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::WorkloadMismatch`] unless
+    /// `act_high.len() == m` and `weight_high.len() == n`.
+    pub fn new(
+        name: impl Into<String>,
+        shape: GemmShape,
+        act_high: Vec<bool>,
+        weight_high: Vec<bool>,
+    ) -> Result<Self> {
+        if act_high.len() != shape.m {
+            return Err(AccelError::WorkloadMismatch {
+                detail: format!(
+                    "act_high has {} entries for M = {}",
+                    act_high.len(),
+                    shape.m
+                ),
+            });
+        }
+        if weight_high.len() != shape.n {
+            return Err(AccelError::WorkloadMismatch {
+                detail: format!(
+                    "weight_high has {} entries for N = {}",
+                    weight_high.len(),
+                    shape.n
+                ),
+            });
+        }
+        Ok(GemmWorkload {
+            name: name.into(),
+            shape,
+            act_high,
+            weight_high,
+            act_precisions: (Precision::INT8, Precision::INT4),
+            weight_precisions: (Precision::INT8, Precision::INT4),
+        })
+    }
+
+    /// A workload where every row and column is high precision
+    /// (`high = true`) or every one low (`high = false`): the static
+    /// quantization baselines.
+    pub fn uniform(name: impl Into<String>, shape: GemmShape, low: bool) -> Self {
+        GemmWorkload {
+            name: name.into(),
+            shape,
+            act_high: vec![!low; shape.m],
+            weight_high: vec![!low; shape.n],
+            act_precisions: (Precision::INT8, Precision::INT4),
+            weight_precisions: (Precision::INT8, Precision::INT4),
+        }
+    }
+
+    /// Overrides the high/low precisions (for 3/5-bit ablations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] if a "high" precision is not
+    /// strictly wider than its "low" counterpart.
+    pub fn with_precisions(
+        mut self,
+        act: (Precision, Precision),
+        weight: (Precision, Precision),
+    ) -> Result<Self> {
+        if act.0.bits() <= act.1.bits() || weight.0.bits() <= weight.1.bits() {
+            return Err(AccelError::InvalidConfig {
+                name: "precisions",
+                detail: "high precision must be wider than low".to_string(),
+            });
+        }
+        self.act_precisions = act;
+        self.weight_precisions = weight;
+        Ok(self)
+    }
+
+    /// Workload name (layer identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The GEMM shape.
+    pub fn shape(&self) -> GemmShape {
+        self.shape
+    }
+
+    /// Per-row activation precision flags (`true` = high).
+    pub fn act_high(&self) -> &[bool] {
+        &self.act_high
+    }
+
+    /// Per-column weight precision flags (`true` = high).
+    pub fn weight_high(&self) -> &[bool] {
+        &self.weight_high
+    }
+
+    /// The (high, low) activation precisions.
+    pub fn act_precisions(&self) -> (Precision, Precision) {
+        self.act_precisions
+    }
+
+    /// The (high, low) weight precisions.
+    pub fn weight_precisions(&self) -> (Precision, Precision) {
+        self.weight_precisions
+    }
+
+    /// The precision of streamed row `i`.
+    pub fn act_precision(&self, i: usize) -> Precision {
+        if self.act_high[i] {
+            self.act_precisions.0
+        } else {
+            self.act_precisions.1
+        }
+    }
+
+    /// The precision of weight column `j`.
+    pub fn weight_precision(&self, j: usize) -> Precision {
+        if self.weight_high[j] {
+            self.weight_precisions.0
+        } else {
+            self.weight_precisions.1
+        }
+    }
+
+    /// Fraction of streamed rows at high precision.
+    pub fn act_high_fraction(&self) -> f64 {
+        self.act_high.iter().filter(|&&h| h).count() as f64 / self.shape.m as f64
+    }
+
+    /// Fraction of weight columns at high precision.
+    pub fn weight_high_fraction(&self) -> f64 {
+        self.weight_high.iter().filter(|&&h| h).count() as f64 / self.shape.n as f64
+    }
+
+    /// Fraction of MACs whose *activation operand* is low precision —
+    /// the "percentage of 4-bit data computation" the paper reports in
+    /// Fig. 6 and Table 1.
+    pub fn low_compute_fraction(&self) -> f64 {
+        1.0 - self.act_high_fraction()
+    }
+
+    /// Splits the workload into the four precision-pair tiles of paper
+    /// Section 4.2: `(hh, hl, lh, ll)` row/column counts. Tiles may be
+    /// empty.
+    pub fn quadrants(&self) -> [PrecisionQuadrant; 4] {
+        let m_h = self.act_high.iter().filter(|&&h| h).count();
+        let m_l = self.shape.m - m_h;
+        let n_h = self.weight_high.iter().filter(|&&h| h).count();
+        let n_l = self.shape.n - n_h;
+        let (ah, al) = self.act_precisions;
+        let (wh, wl) = self.weight_precisions;
+        [
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(ah, wh),
+                rows: m_h,
+                cols: n_h,
+                k: self.shape.k,
+            },
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(ah, wl),
+                rows: m_h,
+                cols: n_l,
+                k: self.shape.k,
+            },
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(al, wh),
+                rows: m_l,
+                cols: n_h,
+                k: self.shape.k,
+            },
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(al, wl),
+                rows: m_l,
+                cols: n_l,
+                k: self.shape.k,
+            },
+        ]
+    }
+
+    /// Bytes of activation data streamed once (per-row precisions
+    /// applied).
+    pub fn act_bytes(&self) -> u64 {
+        self.act_high
+            .iter()
+            .map(|&h| {
+                let bits = if h {
+                    self.act_precisions.0.bits()
+                } else {
+                    self.act_precisions.1.bits()
+                };
+                (self.shape.k as u64 * u64::from(bits)).div_ceil(8)
+            })
+            .sum()
+    }
+
+    /// Bytes of weight data loaded once (per-column precisions applied).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_high
+            .iter()
+            .map(|&h| {
+                let bits = if h {
+                    self.weight_precisions.0.bits()
+                } else {
+                    self.weight_precisions.1.bits()
+                };
+                (self.shape.k as u64 * u64::from(bits)).div_ceil(8)
+            })
+            .sum()
+    }
+
+    /// Bytes of output data written once (outputs stay at the high
+    /// precision before the next layer's requantization).
+    pub fn output_bytes(&self) -> u64 {
+        self.shape.m as u64 * self.shape.n as u64
+            * u64::from(self.act_precisions.0.bits()).div_ceil(8)
+    }
+
+    /// Bytes of the precision index (1 bit per activation row and weight
+    /// column, rounded up), the paper's index-buffer payload.
+    pub fn index_bytes(&self) -> u64 {
+        (self.shape.m as u64).div_ceil(8) + (self.shape.n as u64).div_ceil(8)
+    }
+}
+
+/// One of the four precision-pair tiles a mixed-precision GEMM splits
+/// into (paper Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrecisionQuadrant {
+    /// The (activation, weight) precision pair.
+    pub pair: PrecisionPair,
+    /// Streamed rows in this tile.
+    pub rows: usize,
+    /// Output columns in this tile.
+    pub cols: usize,
+    /// Shared reduction dimension.
+    pub k: usize,
+}
+
+impl PrecisionQuadrant {
+    /// Whether this tile has no work.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// The tile as a [`GemmShape`], or `None` when empty.
+    pub fn shape(&self) -> Option<GemmShape> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(GemmShape { m: self.rows, k: self.k, n: self.cols })
+        }
+    }
+
+    /// MACs in this tile.
+    pub fn macs(&self) -> u64 {
+        self.rows as u64 * self.k as u64 * self.cols as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        assert!(GemmShape::new(0, 1, 1).is_err());
+        assert!(GemmShape::new(1, 0, 1).is_err());
+        assert!(GemmShape::new(1, 1, 0).is_err());
+        let s = GemmShape::new(2, 3, 4).unwrap();
+        assert_eq!(s.macs(), 24);
+        assert_eq!(s.to_string(), "2x3x4");
+    }
+
+    #[test]
+    fn tile_of_shape() {
+        let s = GemmShape::new(8, 16, 8).unwrap();
+        let t = s.tile(4, 2).unwrap();
+        assert_eq!((t.m, t.k, t.n), (4, 16, 2));
+        assert!(s.tile(0, 2).is_none());
+    }
+
+    #[test]
+    fn workload_validates_lengths() {
+        let s = GemmShape::new(4, 8, 4).unwrap();
+        assert!(GemmWorkload::new("x", s, vec![true; 3], vec![true; 4]).is_err());
+        assert!(GemmWorkload::new("x", s, vec![true; 4], vec![true; 5]).is_err());
+        assert!(GemmWorkload::new("x", s, vec![true; 4], vec![true; 4]).is_ok());
+    }
+
+    #[test]
+    fn uniform_fractions() {
+        let s = GemmShape::new(4, 8, 4).unwrap();
+        let hi = GemmWorkload::uniform("hi", s, false);
+        assert_eq!(hi.act_high_fraction(), 1.0);
+        assert_eq!(hi.low_compute_fraction(), 0.0);
+        let lo = GemmWorkload::uniform("lo", s, true);
+        assert_eq!(lo.weight_high_fraction(), 0.0);
+        assert_eq!(lo.low_compute_fraction(), 1.0);
+    }
+
+    #[test]
+    fn quadrants_partition_the_gemm() {
+        let s = GemmShape::new(10, 32, 8).unwrap();
+        let w = GemmWorkload::new(
+            "q",
+            s,
+            (0..10).map(|i| i < 3).collect(),
+            (0..8).map(|j| j < 2).collect(),
+        )
+        .unwrap();
+        let quads = w.quadrants();
+        assert_eq!(quads[0].rows, 3);
+        assert_eq!(quads[0].cols, 2);
+        assert_eq!(quads[3].rows, 7);
+        assert_eq!(quads[3].cols, 6);
+        let total: u64 = quads.iter().map(PrecisionQuadrant::macs).sum();
+        assert_eq!(total, s.macs());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let s = GemmShape::new(2, 16, 2).unwrap();
+        let w = GemmWorkload::new("b", s, vec![true, false], vec![true, false]).unwrap();
+        // One 8-bit row (16 B) + one 4-bit row (8 B).
+        assert_eq!(w.act_bytes(), 24);
+        assert_eq!(w.weight_bytes(), 24);
+        // Outputs: 2x2 at 1 byte.
+        assert_eq!(w.output_bytes(), 4);
+        assert_eq!(w.index_bytes(), 2);
+    }
+
+    #[test]
+    fn per_row_and_column_precisions() {
+        let s = GemmShape::new(2, 4, 2).unwrap();
+        let w = GemmWorkload::new("p", s, vec![true, false], vec![false, true]).unwrap();
+        assert_eq!(w.act_precision(0), Precision::INT8);
+        assert_eq!(w.act_precision(1), Precision::INT4);
+        assert_eq!(w.weight_precision(0), Precision::INT4);
+        assert_eq!(w.weight_precision(1), Precision::INT8);
+    }
+
+    #[test]
+    fn custom_precisions_validated() {
+        let s = GemmShape::new(2, 4, 2).unwrap();
+        let w = GemmWorkload::uniform("c", s, true);
+        assert!(w
+            .clone()
+            .with_precisions(
+                (Precision::INT5, Precision::INT3),
+                (Precision::INT8, Precision::INT4)
+            )
+            .is_ok());
+        assert!(w
+            .with_precisions(
+                (Precision::INT4, Precision::INT4),
+                (Precision::INT8, Precision::INT4)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn empty_quadrant_shape_is_none() {
+        let q = PrecisionQuadrant {
+            pair: PrecisionPair::LL,
+            rows: 0,
+            cols: 5,
+            k: 3,
+        };
+        assert!(q.is_empty());
+        assert!(q.shape().is_none());
+        assert_eq!(q.macs(), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cycle-level accelerator simulation substrate for the Drift
+//! reproduction.
+//!
+//! The Drift paper evaluates its accelerator against three baselines on a
+//! cycle-accurate simulator (its Section 5.1). This crate provides that
+//! simulation substrate, built from scratch:
+//!
+//! * [`gemm`] — GEMM shapes and mixed-precision workloads
+//!   ([`gemm::GemmWorkload`]): the unit of work every accelerator
+//!   executes.
+//! * [`systolic`] — the weight-stationary systolic-array timing model:
+//!   the analytical latency of paper Eq. 7 and a cycle-level stream
+//!   simulator that models the dataflow stalls of Section 2.3.
+//! * [`dram`] — a banked row-buffer DRAM simulator (stand-in for
+//!   DRAMsim3) for access latency and energy.
+//! * [`memory`] — on-chip SRAM buffer models (global / weight / index).
+//! * [`energy`] — the 40 nm-inspired energy model and the
+//!   static/DRAM/buffer/core breakdown of paper Fig. 8.
+//! * [`area`] — a coarse 40 nm area model substantiating the "no
+//!   additional area overheads" claim.
+//! * [`accelerator`] — the [`accelerator::Accelerator`] trait and shared
+//!   execution reporting.
+//! * [`eyeriss`] — the Eyeriss FP32 baseline (14×16 PEs).
+//! * [`bitfusion`] — the BitFusion precision-flexible baseline (static
+//!   fusion; stalls under dynamic precision).
+//! * [`drq`] — the DRQ variable-speed systolic-array baseline.
+//! * [`trace`] — a serialisable per-layer execution timeline.
+//!
+//! The Drift accelerator itself (BitGroup fabric, dataflow splitting,
+//! online scheduling) lives in `drift-core`, built on this substrate.
+//!
+//! # Example
+//!
+//! Execute a GEMM on BitFusion configured for static INT8:
+//!
+//! ```rust
+//! use drift_accel::accelerator::Accelerator;
+//! use drift_accel::bitfusion::BitFusion;
+//! use drift_accel::gemm::{GemmShape, GemmWorkload};
+//!
+//! # fn main() -> Result<(), drift_accel::AccelError> {
+//! let shape = GemmShape::new(256, 768, 768)?;
+//! let workload = GemmWorkload::uniform("attn-qkv", shape, false);
+//! let mut bitfusion = BitFusion::int8()?;
+//! let report = bitfusion.execute(&workload)?;
+//! assert!(report.cycles > 0);
+//! assert!(report.energy.total_pj() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod area;
+pub mod bitfusion;
+pub mod dram;
+pub mod drq;
+pub mod energy;
+pub mod eyeriss;
+pub mod gemm;
+pub mod memory;
+pub mod systolic;
+pub mod trace;
+
+pub use accelerator::{Accelerator, ExecReport};
+pub use energy::EnergyBreakdown;
+pub use gemm::{GemmShape, GemmWorkload};
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AccelError {
+    /// A GEMM dimension, array extent, or hardware parameter was zero or
+    /// otherwise out of range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A workload's precision map does not match its GEMM shape.
+    WorkloadMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::InvalidConfig { name, detail } => {
+                write!(f, "invalid configuration {name}: {detail}")
+            }
+            AccelError::WorkloadMismatch { detail } => {
+                write!(f, "workload mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = AccelError> = std::result::Result<T, E>;

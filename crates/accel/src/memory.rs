@@ -1,0 +1,205 @@
+//! On-chip SRAM buffer models.
+//!
+//! Drift's memory hierarchy (paper Section 4.1) has three buffers: a
+//! *global buffer* for activations and outputs, a *weight buffer*, and an
+//! *index buffer* tracking the precision of data at specific positions
+//! (the reference the dispatcher uses to steer sub-tensors to the right
+//! systolic array). The baselines use the same global/weight split.
+//!
+//! The model tracks access counts and energy; capacity determines how
+//! many times a layer's working set must be refetched from DRAM.
+
+use crate::{AccelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One SRAM buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SramBuffer {
+    name: String,
+    capacity_bytes: u64,
+    read_pj_per_byte: f64,
+    write_pj_per_byte: f64,
+    read_bytes: u64,
+    write_bytes: u64,
+}
+
+impl SramBuffer {
+    /// Creates a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] if the capacity is zero or
+    /// an energy constant is negative.
+    pub fn new(
+        name: impl Into<String>,
+        capacity_bytes: u64,
+        read_pj_per_byte: f64,
+        write_pj_per_byte: f64,
+    ) -> Result<Self> {
+        if capacity_bytes == 0 {
+            return Err(AccelError::InvalidConfig {
+                name: "sram capacity",
+                detail: "must be positive".to_string(),
+            });
+        }
+        if read_pj_per_byte < 0.0 || write_pj_per_byte < 0.0 {
+            return Err(AccelError::InvalidConfig {
+                name: "sram energy",
+                detail: "energy constants must be non-negative".to_string(),
+            });
+        }
+        Ok(SramBuffer {
+            name: name.into(),
+            capacity_bytes,
+            read_pj_per_byte,
+            write_pj_per_byte,
+            read_bytes: 0,
+            write_bytes: 0,
+        })
+    }
+
+    /// Buffer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Records a read of `bytes`.
+    pub fn read(&mut self, bytes: u64) {
+        self.read_bytes += bytes;
+    }
+
+    /// Records a write of `bytes`.
+    pub fn write(&mut self, bytes: u64) {
+        self.write_bytes += bytes;
+    }
+
+    /// Bytes read so far.
+    pub fn read_bytes(&self) -> u64 {
+        self.read_bytes
+    }
+
+    /// Bytes written so far.
+    pub fn write_bytes(&self) -> u64 {
+        self.write_bytes
+    }
+
+    /// Total access energy in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.read_bytes as f64 * self.read_pj_per_byte
+            + self.write_bytes as f64 * self.write_pj_per_byte
+    }
+
+    /// How many DRAM fetch rounds a working set of `bytes` needs given
+    /// this buffer's capacity (1 when it fits).
+    pub fn refetch_factor(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.capacity_bytes).max(1)
+    }
+
+    /// Clears the access counters.
+    pub fn reset(&mut self) {
+        self.read_bytes = 0;
+        self.write_bytes = 0;
+    }
+}
+
+/// The three-buffer hierarchy of Drift's Section 4.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferSet {
+    /// Global (activation/output) buffer.
+    pub global: SramBuffer,
+    /// Weight buffer.
+    pub weight: SramBuffer,
+    /// Precision index buffer.
+    pub index: SramBuffer,
+}
+
+impl BufferSet {
+    /// The default configuration used by all 792-unit accelerators in
+    /// the evaluation: 128 KiB global, 256 KiB weight, 8 KiB index, with
+    /// 40 nm-class access energies (~2 pJ/byte).
+    pub fn drift_default() -> Self {
+        BufferSet {
+            global: SramBuffer::new("global", 128 << 10, 2.2, 2.6)
+                .expect("constants are valid"),
+            weight: SramBuffer::new("weight", 256 << 10, 2.0, 2.4)
+                .expect("constants are valid"),
+            index: SramBuffer::new("index", 8 << 10, 0.6, 0.8)
+                .expect("constants are valid"),
+        }
+    }
+
+    /// Total access energy across the three buffers, in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.global.energy_pj() + self.weight.energy_pj() + self.index.energy_pj()
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.global.reset();
+        self.weight.reset();
+        self.index.reset();
+    }
+}
+
+impl Default for BufferSet {
+    fn default() -> Self {
+        BufferSet::drift_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(SramBuffer::new("b", 0, 1.0, 1.0).is_err());
+        assert!(SramBuffer::new("b", 10, -1.0, 1.0).is_err());
+        assert!(SramBuffer::new("b", 10, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let mut b = SramBuffer::new("t", 1024, 2.0, 3.0).unwrap();
+        b.read(10);
+        b.write(5);
+        assert_eq!(b.read_bytes(), 10);
+        assert_eq!(b.write_bytes(), 5);
+        assert!((b.energy_pj() - 35.0).abs() < 1e-12);
+        b.reset();
+        assert_eq!(b.energy_pj(), 0.0);
+    }
+
+    #[test]
+    fn refetch_factor() {
+        let b = SramBuffer::new("t", 1000, 1.0, 1.0).unwrap();
+        assert_eq!(b.refetch_factor(0), 1);
+        assert_eq!(b.refetch_factor(1000), 1);
+        assert_eq!(b.refetch_factor(1001), 2);
+        assert_eq!(b.refetch_factor(5000), 5);
+    }
+
+    #[test]
+    fn buffer_set_totals() {
+        let mut set = BufferSet::drift_default();
+        set.global.read(100);
+        set.weight.write(100);
+        set.index.read(100);
+        assert!(set.energy_pj() > 0.0);
+        set.reset();
+        assert_eq!(set.energy_pj(), 0.0);
+    }
+
+    #[test]
+    fn default_matches_drift_default() {
+        let d = BufferSet::default();
+        assert_eq!(d.global.capacity_bytes(), 128 << 10);
+        assert_eq!(d.weight.capacity_bytes(), 256 << 10);
+        assert_eq!(d.index.capacity_bytes(), 8 << 10);
+    }
+}

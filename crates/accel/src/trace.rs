@@ -1,0 +1,134 @@
+//! Execution tracing: a serialisable per-layer event timeline.
+//!
+//! The figure binaries print aggregates; downstream users debugging a
+//! mapping want the per-layer story — which side (compute or DRAM)
+//! bound each layer, how the stalls distribute, where energy went. A
+//! [`TraceRecorder`] collects [`ExecReport`]s into an ordered timeline
+//! that serialises to JSON for external tooling.
+
+use crate::accelerator::ExecReport;
+use serde::{Deserialize, Serialize};
+
+/// One timeline entry: a layer execution with its running clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Position in the execution order.
+    pub index: usize,
+    /// Cycle at which the layer started (sum of prior layer cycles).
+    pub start_cycle: u64,
+    /// The layer's report.
+    pub report: ExecReport,
+    /// What bound the layer.
+    pub bound_by: BoundBy,
+}
+
+/// The binding resource of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundBy {
+    /// The compute array was the bottleneck.
+    Compute,
+    /// DRAM traffic was the bottleneck.
+    Dram,
+}
+
+/// Collects layer reports into a timeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    clock: u64,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Appends a layer report, advancing the clock.
+    pub fn record(&mut self, report: ExecReport) {
+        let bound_by = if report.dram_cycles > report.compute_cycles {
+            BoundBy::Dram
+        } else {
+            BoundBy::Compute
+        };
+        let event = TraceEvent {
+            index: self.events.len(),
+            start_cycle: self.clock,
+            report,
+            bound_by,
+        };
+        self.clock += event.report.cycles;
+        self.events.push(event);
+    }
+
+    /// The ordered timeline.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Total cycles across the timeline.
+    pub fn total_cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Count of DRAM-bound layers.
+    pub fn dram_bound_layers(&self) -> usize {
+        self.events.iter().filter(|e| e.bound_by == BoundBy::Dram).count()
+    }
+
+    /// Serialises the timeline to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialisation error string (cannot occur for
+    /// well-formed reports; the `Result` guards against future field
+    /// types).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(&self.events).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::{finish_report, TrafficReport};
+    use crate::gemm::{GemmShape, GemmWorkload};
+
+    fn report(compute: u64, dram: u64) -> ExecReport {
+        let shape = GemmShape::new(4, 4, 4).unwrap();
+        let w = GemmWorkload::uniform("t", shape, false);
+        let traffic = TrafficReport { dram_cycles: dram, dram_pj: 1.0, buffer_pj: 1.0 };
+        finish_report("x", &w, compute, 0, 1, 1.0, traffic, 4, 0.1)
+    }
+
+    #[test]
+    fn clock_accumulates_and_bounds_classify() {
+        let mut t = TraceRecorder::new();
+        t.record(report(100, 10)); // compute-bound, 100 cycles
+        t.record(report(10, 250)); // dram-bound, 250 cycles
+        assert_eq!(t.total_cycles(), 350);
+        assert_eq!(t.events()[0].start_cycle, 0);
+        assert_eq!(t.events()[1].start_cycle, 100);
+        assert_eq!(t.events()[0].bound_by, BoundBy::Compute);
+        assert_eq!(t.events()[1].bound_by, BoundBy::Dram);
+        assert_eq!(t.dram_bound_layers(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut t = TraceRecorder::new();
+        t.record(report(50, 20));
+        let json = t.to_json().unwrap();
+        assert!(json.contains("start_cycle"));
+        let parsed: Vec<TraceEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, t.events());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = TraceRecorder::new();
+        assert_eq!(t.total_cycles(), 0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.dram_bound_layers(), 0);
+    }
+}

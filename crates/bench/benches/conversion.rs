@@ -1,0 +1,30 @@
+//! Criterion: precision-conversion kernel throughput (the hp→lp
+//! re-encode of Eq. 2 applied to sub-tensor code streams).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drift_quant::convert::ConversionChoice;
+use drift_quant::linear::quantize_slice;
+use drift_quant::precision::Precision;
+
+fn bench_conversion(c: &mut Criterion) {
+    let data: Vec<f32> = (0..4096).map(|i| ((i * 37) % 255) as f32 / 127.0 - 1.0).collect();
+    let (codes, _) = quantize_slice(&data, Precision::INT8).expect("quantization runs");
+
+    let mut group = c.benchmark_group("conversion");
+    group.throughput(Throughput::Elements(codes.len() as u64));
+    for choice in ConversionChoice::enumerate(Precision::INT8, Precision::INT4) {
+        group.bench_with_input(
+            BenchmarkId::new("apply_4096", format!("hc{}lc{}", choice.hc(), choice.lc())),
+            &choice,
+            |b, ch| b.iter(|| ch.apply_slice(&codes)),
+        );
+    }
+    group.finish();
+
+    c.bench_function("quantize/int8_4096", |b| {
+        b.iter(|| quantize_slice(&data, Precision::INT8))
+    });
+}
+
+criterion_group!(benches, bench_conversion);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: the mini-DRAM simulator (sequential streams and
+//! scattered access patterns).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use drift_accel::dram::{DramConfig, DramSim};
+
+fn bench_dram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram");
+    group.throughput(Throughput::Bytes(1 << 20));
+    group.bench_function("stream_1mib", |b| {
+        b.iter_batched(
+            || DramSim::new(DramConfig::default()).expect("valid config"),
+            |mut dram| dram.stream(0, 1 << 20, false),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    c.bench_function("dram/scattered_256_rows", |b| {
+        let cfg = DramConfig::default();
+        let stride = cfg.row_bytes * cfg.channels as u64 * cfg.banks_per_channel as u64;
+        b.iter_batched(
+            || DramSim::new(cfg).expect("valid config"),
+            |mut dram| {
+                let mut total = 0u64;
+                for i in 0..256 {
+                    total += dram.stream(i * stride, 64, false);
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: the balanced online scheduler (Eq. 8). The controller
+//! solves this between layers, so it must be cheap relative to a
+//! layer's execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drift_accel::gemm::{GemmShape, GemmWorkload};
+use drift_core::arch::paper_fabric;
+use drift_core::schedule::{balanced_schedule, equal_schedule};
+
+fn quadrants(fa: f64, fw: f64) -> [drift_accel::gemm::PrecisionQuadrant; 4] {
+    let shape = GemmShape::new(512, 768, 768).expect("valid shape");
+    let ah = (shape.m as f64 * fa) as usize;
+    let wh = (shape.n as f64 * fw) as usize;
+    GemmWorkload::new(
+        "bench",
+        shape,
+        (0..shape.m).map(|i| i < ah).collect(),
+        (0..shape.n).map(|j| j < wh).collect(),
+    )
+    .expect("lengths match")
+    .quadrants()
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let fabric = paper_fabric();
+    let mut group = c.benchmark_group("scheduler");
+    for (fa, fw) in [(0.5, 0.5), (0.15, 0.15), (0.9, 0.1)] {
+        let quads = quadrants(fa, fw);
+        group.bench_with_input(
+            BenchmarkId::new("balanced", format!("a{fa}w{fw}")),
+            &quads,
+            |b, q| b.iter(|| balanced_schedule(fabric, q).expect("feasible")),
+        );
+    }
+    let quads = quadrants(0.5, 0.5);
+    group.bench_function("equal_static", |b| {
+        b.iter(|| equal_schedule(fabric, &quads).expect("feasible"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

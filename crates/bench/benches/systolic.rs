@@ -1,0 +1,27 @@
+//! Criterion: systolic-array timing model throughput — the analytical
+//! model of Eq. 7 and the stream simulator for stall modelling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drift_accel::gemm::GemmShape;
+use drift_accel::systolic::{
+    analytical_cycles, pass_count, simulate_stream, ArrayGeometry,
+};
+use drift_quant::precision::Precision;
+
+fn bench_systolic(c: &mut Criterion) {
+    let geo = ArrayGeometry::new(24, 33).expect("valid geometry");
+    let shape = GemmShape::new(3136, 576, 64).expect("valid shape");
+
+    c.bench_function("systolic/analytical_eq7", |b| {
+        b.iter(|| analytical_cycles(shape, Precision::INT8, Precision::INT8, geo))
+    });
+
+    let occupancies: Vec<u32> = (0..3136).map(|i| if i % 7 == 0 { 2 } else { 1 }).collect();
+    let passes = pass_count(shape, Precision::INT4, Precision::INT8, geo);
+    c.bench_function("systolic/stream_3136_elements", |b| {
+        b.iter(|| simulate_stream(&occupancies, geo, passes))
+    });
+}
+
+criterion_group!(benches, bench_systolic);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation A1: the balanced online scheduler vs a static equal split
+//! vs the perfect-balance oracle bound.
+//!
+//! The paper attributes part of Drift's gain to "balanced online
+//! scheduling that achieves load balance among different systolic
+//! arrays" (Section 5.3); this ablation quantifies it across precision
+//! mixes and models.
+//!
+//! ```text
+//! cargo run --release -p drift-bench --bin ablate_scheduler
+//! ```
+
+use drift_accel::accelerator::Accelerator;
+use drift_bench::{dynamic_workloads, fmt_x, geomean, render_table, scale_report};
+use drift_core::accelerator::{DriftAccelerator, SchedulerKind};
+use drift_core::arch::paper_fabric;
+use drift_core::schedule::oracle_lower_bound;
+use drift_nn::zoo::hardware_eval_models;
+
+fn main() {
+    println!("== Ablation A1: scheduling strategy ==\n");
+    let mut rows = Vec::new();
+    let mut gains = Vec::new();
+    for desc in hardware_eval_models() {
+        let workloads = dynamic_workloads(&desc, 42).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", desc.name);
+            std::process::exit(1);
+        });
+        let mut balanced =
+            DriftAccelerator::new(paper_fabric(), SchedulerKind::Balanced).expect("valid");
+        let mut equal =
+            DriftAccelerator::new(paper_fabric(), SchedulerKind::EqualStatic).expect("valid");
+        let mut c_balanced = 0u64;
+        let mut c_equal = 0u64;
+        let mut lb = 0.0f64;
+        for (op, w) in &workloads {
+            let rb = balanced.execute(w).expect("workload maps");
+            let re = equal.execute(w).expect("workload maps");
+            c_balanced += scale_report(&rb, op.repeat).compute_cycles;
+            c_equal += scale_report(&re, op.repeat).compute_cycles;
+            lb += oracle_lower_bound(paper_fabric(), &w.quadrants()) * op.repeat as f64;
+        }
+        let gain = c_equal as f64 / c_balanced as f64;
+        gains.push(gain);
+        rows.push(vec![
+            desc.name.clone(),
+            format!("{c_equal}"),
+            format!("{c_balanced}"),
+            fmt_x(gain),
+            format!("{:.2}", c_balanced as f64 / lb),
+        ]);
+    }
+    rows.push(vec![
+        "geomean".to_string(),
+        String::new(),
+        String::new(),
+        fmt_x(geomean(&gains)),
+        String::new(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &["model", "equal-split cycles", "balanced cycles", "gain", "vs oracle"],
+            &rows
+        )
+    );
+    println!("balanced online scheduling (Eq. 8) vs a fixed 2x2 partition; the");
+    println!("last column is the balanced makespan over the perfect-balance bound.");
+}

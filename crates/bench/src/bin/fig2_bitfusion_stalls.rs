@@ -1,0 +1,70 @@
+//! Figure 2: existing precision-flexible accelerators cannot support
+//! DNN inference with dynamic precision quantization.
+//!
+//! BitFusion fuses BitBricks into PEs *before* runtime. When a
+//! dynamically quantized stream arrives, every element wider than the
+//! fused width iterates temporally inside its PE and the systolic
+//! wavefront behind it stalls. This binary sweeps the high-precision
+//! fraction of the stream and reports the stall blow-up, plus the two
+//! ways BitFusion can escape (both losing the benefit of 4-bit data).
+//!
+//! ```text
+//! cargo run --release -p drift-bench --bin fig2_bitfusion_stalls
+//! ```
+
+use drift_accel::accelerator::Accelerator;
+use drift_accel::bitfusion::BitFusion;
+use drift_accel::gemm::{GemmShape, GemmWorkload};
+use drift_bench::{fmt_pct, render_table};
+use drift_core::accelerator::DriftAccelerator;
+
+fn main() {
+    let shape = GemmShape::new(512, 768, 768).expect("static shape is valid");
+    println!("== Figure 2: dynamic precision on a statically fused array ==");
+    println!("GEMM {shape}, 4-bit weights, activation high-fraction swept\n");
+
+    let mut rows = Vec::new();
+    for pct in [0usize, 5, 10, 20, 30, 50] {
+        let high = shape.m * pct / 100;
+        // Interleave the high rows through the stream, as token-granular
+        // dynamics produce.
+        let act_high: Vec<bool> = (0..shape.m)
+            .map(|i| high > 0 && i % (shape.m / high.max(1)).max(1) == 0)
+            .collect();
+        let w = GemmWorkload::new(format!("mix{pct}"), shape, act_high, vec![false; shape.n])
+            .expect("lengths match");
+
+        let mut fused4 = BitFusion::int4().expect("config is valid");
+        let r4 = fused4.execute(&w).expect("workload maps");
+        let mut fused8 = BitFusion::int8().expect("config is valid");
+        let r8 = fused8.execute(&w).expect("workload maps");
+        let mut drift = DriftAccelerator::paper_config().expect("config is valid");
+        let rd = drift.execute(&w).expect("workload maps");
+
+        rows.push(vec![
+            format!("{pct}%"),
+            format!("{}", r4.compute_cycles),
+            format!("{}", r4.stall_cycles),
+            fmt_pct(r4.stall_cycles as f64 / r4.compute_cycles as f64),
+            format!("{}", r8.compute_cycles),
+            format!("{}", rd.compute_cycles),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "high frac",
+                "fused-4b cycles",
+                "stall cycles",
+                "stall share",
+                "fused-8b cycles",
+                "drift cycles"
+            ],
+            &rows
+        )
+    );
+    println!("fused-4b: stalls grow with every 8-bit element (Fig. 2's hazard);");
+    println!("fused-8b: stall-free but gains nothing from the 4-bit majority;");
+    println!("drift: splits the fabric per precision pair — fast and stall-free.");
+}

@@ -1,0 +1,79 @@
+//! Figure 7: normalized latency of Eyeriss / BitFusion / DRQ / Drift
+//! across the five DNN models.
+//!
+//! Paper reference points: Drift averages 9.57× over Eyeriss, 2.85×
+//! over BitFusion, and 1.64× over DRQ; on ViT-B, DRQ manages only
+//! ~1.07× over BitFusion because its variable-speed array stalls on
+//! interleaved precisions.
+//!
+//! ```text
+//! cargo run --release -p drift-bench --bin fig7_latency
+//! ```
+
+use drift_bench::{compare_model, fmt_pct, fmt_x, geomean, render_table};
+use drift_nn::zoo::hardware_eval_models;
+
+fn main() {
+    println!("== Figure 7: latency, normalized to Eyeriss (higher is faster) ==\n");
+    let mut rows = Vec::new();
+    let mut speed_bf = Vec::new();
+    let mut speed_drq = Vec::new();
+    let mut speed_drift = Vec::new();
+    let mut drift_over_bf = Vec::new();
+    let mut drift_over_drq = Vec::new();
+    for desc in hardware_eval_models() {
+        let cmp = match compare_model(&desc, 42) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}: {e}", desc.name);
+                std::process::exit(1);
+            }
+        };
+        let [bf, drq, drift] = cmp.speedups();
+        rows.push(vec![
+            cmp.model.clone(),
+            "1.00x".to_string(),
+            fmt_x(bf),
+            fmt_x(drq),
+            fmt_x(drift),
+            fmt_x(drift / bf),
+            fmt_x(drift / drq),
+            fmt_pct(cmp.low_fraction),
+        ]);
+        speed_bf.push(bf);
+        speed_drq.push(drq);
+        speed_drift.push(drift);
+        drift_over_bf.push(drift / bf);
+        drift_over_drq.push(drift / drq);
+    }
+    rows.push(vec![
+        "geomean".to_string(),
+        "1.00x".to_string(),
+        fmt_x(geomean(&speed_bf)),
+        fmt_x(geomean(&speed_drq)),
+        fmt_x(geomean(&speed_drift)),
+        fmt_x(geomean(&drift_over_bf)),
+        fmt_x(geomean(&drift_over_drq)),
+        String::new(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "eyeriss",
+                "bitfusion",
+                "drq",
+                "drift",
+                "drift/bf",
+                "drift/drq",
+                "4-bit"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "paper: drift 9.57x vs eyeriss, 2.85x vs bitfusion, 1.64x vs drq (averages);"
+    );
+    println!("       drq only ~1.07x over bitfusion on ViT-B.");
+}

@@ -1,0 +1,94 @@
+//! Figure 8: normalized energy and breakdown (static / DRAM / buffer /
+//! core) across architectures.
+//!
+//! Paper reference points: Drift averages 8.11× energy reduction over
+//! Eyeriss, 3.12× over BitFusion, 1.54× over DRQ; static energy is
+//! 41.2% of Drift's total versus 51.9% of DRQ's (DRQ idles through its
+//! stalls).
+//!
+//! ```text
+//! cargo run --release -p drift-bench --bin fig8_energy
+//! ```
+
+use drift_bench::{compare_model, fmt_pct, fmt_x, geomean, render_table};
+use drift_accel::accelerator::ExecReport;
+use drift_nn::zoo::hardware_eval_models;
+
+fn breakdown_cells(r: &ExecReport) -> String {
+    let [s, d, b, c] = r.energy.fractions();
+    format!(
+        "{}/{}/{}/{}",
+        fmt_pct(s),
+        fmt_pct(d),
+        fmt_pct(b),
+        fmt_pct(c)
+    )
+}
+
+fn main() {
+    println!("== Figure 8: energy, normalized to Eyeriss (higher is better) ==\n");
+    let mut rows = Vec::new();
+    let mut red_bf = Vec::new();
+    let mut red_drq = Vec::new();
+    let mut red_drift = Vec::new();
+    let mut drift_static = Vec::new();
+    let mut drq_static = Vec::new();
+    for desc in hardware_eval_models() {
+        let cmp = match compare_model(&desc, 42) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}: {e}", desc.name);
+                std::process::exit(1);
+            }
+        };
+        let [bf, drq, drift] = cmp.energy_reductions();
+        rows.push(vec![
+            cmp.model.clone(),
+            fmt_x(bf),
+            fmt_x(drq),
+            fmt_x(drift),
+            fmt_x(drift / bf),
+            fmt_x(drift / drq),
+            breakdown_cells(&cmp.drq),
+            breakdown_cells(&cmp.drift),
+        ]);
+        red_bf.push(bf);
+        red_drq.push(drq);
+        red_drift.push(drift);
+        drift_static.push(cmp.drift.energy.fractions()[0]);
+        drq_static.push(cmp.drq.energy.fractions()[0]);
+    }
+    rows.push(vec![
+        "geomean".to_string(),
+        fmt_x(geomean(&red_bf)),
+        fmt_x(geomean(&red_drq)),
+        fmt_x(geomean(&red_drift)),
+        fmt_x(geomean(&red_drift) / geomean(&red_bf)),
+        fmt_x(geomean(&red_drift) / geomean(&red_drq)),
+        String::new(),
+        String::new(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "model",
+                "bitfusion",
+                "drq",
+                "drift",
+                "drift/bf",
+                "drift/drq",
+                "drq s/d/b/c",
+                "drift s/d/b/c"
+            ],
+            &rows
+        )
+    );
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "static share: drift {} vs drq {}   (paper: 41.2% vs 51.9%)",
+        fmt_pct(avg(&drift_static)),
+        fmt_pct(avg(&drq_static))
+    );
+    println!("paper: drift 8.11x vs eyeriss, 3.12x vs bitfusion, 1.54x vs drq (averages).");
+}

@@ -1,0 +1,225 @@
+//! The CLI subcommands.
+
+use crate::{opt_parse, opt_str};
+use drift_accel::accelerator::Accelerator;
+use drift_accel::area::{bitfusion_area, drift_area, AreaModel};
+use drift_accel::bitfusion::{paper_geometry, BitFusion};
+use drift_accel::drq::DrqAccelerator;
+use drift_accel::eyeriss::Eyeriss;
+use drift_accel::gemm::{GemmShape, GemmWorkload};
+use drift_accel::memory::BufferSet;
+use drift_core::accelerator::DriftAccelerator;
+use drift_core::schedule::{balanced_schedule, oracle_lower_bound};
+use drift_core::selector::DriftPolicy;
+use drift_nn::datagen::TokenProfile;
+use drift_nn::lower::{lower, model_low_fraction, model_workloads};
+use drift_nn::zoo::{self, ModelDesc, ModelFamily};
+use drift_quant::policy::run_policy;
+use drift_quant::Precision;
+use drift_tensor::subtensor::SubTensorScheme;
+use std::collections::HashMap;
+
+type Opts = HashMap<String, String>;
+
+/// `drift models`
+pub fn models() -> Result<(), String> {
+    println!("{:<11} {:<6} {:>6} {:>9} {:>9}", "model", "family", "gemms", "GMACs", "seq");
+    for desc in zoo::hardware_eval_models().into_iter().chain(zoo::llm_models()) {
+        let ops = lower(&desc).map_err(|e| e.to_string())?;
+        let macs: u64 = ops.iter().map(|o| o.shape.macs() * o.repeat).sum();
+        let family = match desc.family {
+            ModelFamily::Cnn => "cnn",
+            ModelFamily::Vit => "vit",
+            ModelFamily::Bert => "bert",
+            ModelFamily::Llm => "llm",
+        };
+        println!(
+            "{:<11} {:<6} {:>6} {:>9.2} {:>9}",
+            desc.name,
+            family,
+            ops.len(),
+            macs as f64 / 1e9,
+            desc.seq
+        );
+    }
+    Ok(())
+}
+
+/// `drift select`
+pub fn select(opts: &Opts) -> Result<(), String> {
+    let tokens: usize = opt_parse(opts, "tokens", 64)?;
+    let hidden: usize = opt_parse(opts, "hidden", 256)?;
+    let delta: f64 = opt_parse(opts, "delta", 0.3)?;
+    let seed: u64 = opt_parse(opts, "seed", 7)?;
+    let profile = match opt_str(opts, "profile", "bert") {
+        "cnn" => TokenProfile::cnn(),
+        "vit" => TokenProfile::vit(),
+        "bert" => TokenProfile::bert(),
+        "llm" => TokenProfile::llm(),
+        other => return Err(format!("unknown profile '{other}'")),
+    };
+    let data = profile
+        .generate(tokens, hidden, seed)
+        .map_err(|e| e.to_string())?;
+    let policy = DriftPolicy::new(delta).map_err(|e| e.to_string())?;
+    let run = run_policy(&data, &SubTensorScheme::token(hidden), Precision::INT8, &policy)
+        .map_err(|e| e.to_string())?;
+
+    println!(
+        "selector on [{tokens} x {hidden}] ({} profile), δ = {delta}:",
+        opt_str(opts, "profile", "bert")
+    );
+    println!(
+        "  {} of {} tokens converted to INT4 ({:.1}% of elements)",
+        run.low_subtensors(),
+        run.decisions.len(),
+        run.low_fraction() * 100.0
+    );
+    // Conversion-choice histogram.
+    let mut by_hc = [0usize; 5];
+    for d in &run.decisions {
+        if let drift_quant::policy::Decision::Convert(c) = d.decision {
+            by_hc[c.hc() as usize] += 1;
+        }
+    }
+    for (hc, count) in by_hc.iter().enumerate() {
+        if *count > 0 {
+            println!("  (hc={hc}, lc={}): {count} tokens", 4 - hc);
+        }
+    }
+    Ok(())
+}
+
+/// `drift schedule`
+pub fn schedule(opts: &Opts) -> Result<(), String> {
+    let m: usize = opt_parse(opts, "m", 512)?;
+    let k: usize = opt_parse(opts, "k", 768)?;
+    let n: usize = opt_parse(opts, "n", 768)?;
+    let fa: f64 = opt_parse(opts, "fa", 0.2)?;
+    let fw: f64 = opt_parse(opts, "fw", 0.1)?;
+    let shape = GemmShape::new(m, k, n).map_err(|e| e.to_string())?;
+    let ah = (m as f64 * fa.clamp(0.0, 1.0)) as usize;
+    let wh = (n as f64 * fw.clamp(0.0, 1.0)) as usize;
+    let w = GemmWorkload::new(
+        "cli",
+        shape,
+        (0..m).map(|i| i < ah).collect(),
+        (0..n).map(|j| j < wh).collect(),
+    )
+    .map_err(|e| e.to_string())?;
+    let quads = w.quadrants();
+    let s = balanced_schedule(paper_geometry(), &quads).map_err(|e| e.to_string())?;
+    println!("GEMM {shape}, act-high {fa:.2}, weight-high {fw:.2}:");
+    let labels = ["hh", "hl", "lh", "ll"];
+    for (i, geo) in s.partition.geometries().iter().enumerate() {
+        match geo {
+            Some(g) => println!(
+                "  {}: {:>2} x {:>2} BGs, {:>9} cycles",
+                labels[i], g.rows, g.cols, s.latencies[i]
+            ),
+            None => println!("  {}: (empty)", labels[i]),
+        }
+    }
+    println!(
+        "  makespan {} cycles ({:.2}x the perfect-balance bound)",
+        s.makespan,
+        s.makespan as f64 / oracle_lower_bound(paper_geometry(), &quads)
+    );
+    Ok(())
+}
+
+/// `drift simulate`
+pub fn simulate(opts: &Opts) -> Result<(), String> {
+    let model_name = opt_str(opts, "model", "BERT");
+    let accel_name = opt_str(opts, "accel", "drift");
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let desc: ModelDesc = zoo::hardware_eval_models()
+        .into_iter()
+        .chain(zoo::llm_models())
+        .find(|d| d.name.eq_ignore_ascii_case(model_name))
+        .ok_or_else(|| format!("unknown model '{model_name}' (try `drift models`)"))?;
+    let delta: f64 = opt_parse(opts, "delta", default_delta(desc.family))?;
+    let policy = DriftPolicy::new(delta).map_err(|e| e.to_string())?;
+    let workloads = model_workloads(&desc, &policy, seed).map_err(|e| e.to_string())?;
+    println!(
+        "{} on {}: δ = {delta}, 4-bit share {:.1}%",
+        accel_name,
+        desc.name,
+        model_low_fraction(&workloads) * 100.0
+    );
+
+    let mut total = 0u64;
+    let mut trace = drift_accel::trace::TraceRecorder::new();
+    let execute = |w: &GemmWorkload, uniform: &GemmWorkload| -> Result<drift_accel::accelerator::ExecReport, String> {
+        let report = match accel_name {
+            "drift" => DriftAccelerator::paper_config()
+                .map_err(|e| e.to_string())?
+                .execute(w),
+            "bitfusion" => BitFusion::int8().map_err(|e| e.to_string())?.execute(uniform),
+            "drq" => DrqAccelerator::paper_config()
+                .map_err(|e| e.to_string())?
+                .execute(w),
+            "eyeriss" => Eyeriss::paper_config()
+                .map_err(|e| e.to_string())?
+                .execute(uniform),
+            other => return Err(format!("unknown accelerator '{other}'")),
+        }
+        .map_err(|e| e.to_string())?;
+        Ok(report)
+    };
+    println!("{:<24} {:>16} {:>6} {:>12}", "layer", "shape", "rep", "cycles");
+    for (op, w) in &workloads {
+        let uniform = GemmWorkload::uniform(op.name.clone(), op.shape, false);
+        let report = execute(w, &uniform)?;
+        println!(
+            "{:<24} {:>16} {:>6} {:>12}",
+            op.name,
+            op.shape.to_string(),
+            op.repeat,
+            report.cycles * op.repeat
+        );
+        total += report.cycles * op.repeat;
+        trace.record(report);
+    }
+    println!("{:<24} {:>16} {:>6} {:>12}", "total", "", "", total);
+    if let Some(path) = opts.get("trace") {
+        std::fs::write(path, trace.to_json()?)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "trace: {} layers ({} DRAM-bound) written to {path}",
+            trace.events().len(),
+            trace.dram_bound_layers()
+        );
+    }
+    Ok(())
+}
+
+/// `drift area`
+pub fn area() -> Result<(), String> {
+    let model = AreaModel::default();
+    let buffers = BufferSet::drift_default();
+    let drift = drift_area(&model, paper_geometry(), &buffers);
+    let bitfusion = bitfusion_area(&model, paper_geometry(), &buffers);
+    println!("40 nm-class area model (mm²):");
+    println!("  fabric (792 BGs):      {:>7.3}", drift.fabric_mm2);
+    println!("  bidirectional links:   {:>7.3}", drift.links_mm2);
+    println!("  global+weight buffers: {:>7.3}", drift.buffers_mm2);
+    println!("  index buffer:          {:>7.3}", drift.index_mm2);
+    println!("  controller:            {:>7.3}", drift.controller_mm2);
+    println!("  drift total:           {:>7.3}", drift.total_mm2());
+    println!("  bitfusion-class total: {:>7.3}", bitfusion.total_mm2());
+    println!(
+        "dynamic-precision support = {:.1}% of the die",
+        drift.dynamic_precision_overhead() * 100.0
+    );
+    Ok(())
+}
+
+fn default_delta(family: ModelFamily) -> f64 {
+    match family {
+        ModelFamily::Cnn => 0.055,
+        ModelFamily::Vit => 0.045,
+        ModelFamily::Bert => 0.027,
+        ModelFamily::Llm => 0.006,
+    }
+}

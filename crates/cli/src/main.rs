@@ -1,0 +1,104 @@
+//! `drift` — the command-line interface to the Drift reproduction.
+//!
+//! ```text
+//! drift models                          list the model zoo
+//! drift select  [--profile bert] [--tokens 64] [--hidden 256] [--delta 0.3] [--seed 7]
+//! drift schedule [--m 512] [--k 768] [--n 768] [--fa 0.2] [--fw 0.1]
+//! drift simulate [--model BERT] [--accel drift] [--delta 0.027] [--seed 42]
+//! drift area
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to stay within
+//! the workspace's dependency budget.
+
+mod commands;
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "models" => commands::models(),
+        "select" => commands::select(&opts),
+        "schedule" => commands::schedule(&opts),
+        "simulate" => commands::simulate(&opts),
+        "area" => commands::area(),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "drift — dynamic precision quantization & accelerator simulation\n\
+     \n\
+     commands:\n\
+     \x20 models                         list the model zoo with GEMM counts and MACs\n\
+     \x20 select   [--profile cnn|vit|bert|llm] [--tokens N] [--hidden K]\n\
+     \x20          [--delta D] [--seed S]      run the Drift selector on synthetic data\n\
+     \x20 schedule [--m M] [--k K] [--n N] [--fa F] [--fw F]\n\
+     \x20                                 balance the fabric for a precision mix (Eq. 8)\n\
+     \x20 simulate [--model NAME] [--accel drift|bitfusion|drq|eyeriss]\n\
+     \x20          [--delta D] [--seed S] per-layer cycles for a zoo model\n\
+     \x20 area                           the 40 nm area breakdown"
+        .to_string()
+}
+
+/// Parses `--key value` pairs.
+fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --option, got '{key}'"));
+        };
+        let Some(value) = iter.next() else {
+            return Err(format!("--{name} needs a value"));
+        };
+        opts.insert(name.to_string(), value.clone());
+    }
+    Ok(opts)
+}
+
+pub(crate) fn opt_parse<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{raw}'")),
+    }
+}
+
+pub(crate) fn opt_str<'a>(
+    opts: &'a HashMap<String, String>,
+    key: &str,
+    default: &'a str,
+) -> &'a str {
+    opts.get(key).map(String::as_str).unwrap_or(default)
+}

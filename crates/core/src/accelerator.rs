@@ -1,0 +1,340 @@
+//! The Drift accelerator: fabric + scheduler + memory subsystem behind
+//! the common [`Accelerator`] trait.
+//!
+//! Per layer, execution proceeds as the paper describes:
+//!
+//! 1. the precision selector has already annotated the workload (its
+//!    decisions arrive as the [`GemmWorkload`] precision maps, tracked
+//!    by the index buffer);
+//! 2. the scheduler solves Eq. 8, partitioning the fabric into four
+//!    single-precision systolic arrays sized to the (hh, hl, lh, ll)
+//!    work mix;
+//! 3. each array streams its tile stall-free (occupancy 1 by
+//!    construction); the layer's compute time is the slowest array plus
+//!    one reconfiguration;
+//! 4. the shared memory subsystem accounts DRAM/buffer traffic with
+//!    per-sub-tensor byte widths.
+
+use crate::arch::controller::PrecisionController;
+use crate::arch::dispatch::DispatchPlan;
+use crate::arch::paper_fabric;
+use drift_quant::convert::ConversionChoice;
+use drift_quant::policy::Decision;
+use drift_quant::precision::Precision;
+use crate::schedule::{balanced_schedule, equal_schedule, Schedule};
+use drift_accel::accelerator::{finish_report, Accelerator, ExecReport, MemorySubsystem};
+use drift_accel::energy::EnergyModel;
+use drift_accel::gemm::GemmWorkload;
+use drift_accel::systolic::{pass_count, simulate_stream, ArrayGeometry, BG_WEIGHT_BIT_LANES};
+use drift_accel::{AccelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The low-precision decision the dispatcher records for converted
+/// rows: the dispatcher only needs the precision flag, so the
+/// range-preserving split stands in for the selector's exact choice.
+fn decision_for(hp: Precision, lp: Precision) -> Decision {
+    match ConversionChoice::new(hp, lp, 0, hp.bits().saturating_sub(lp.bits())) {
+        Ok(choice) => Decision::Convert(choice),
+        Err(_) => Decision::Keep,
+    }
+}
+
+/// Scheduling strategy for the fabric partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's balanced online scheduler (Eq. 8).
+    Balanced,
+    /// A static equal 2×2 split (ablation A1).
+    EqualStatic,
+}
+
+/// The Drift accelerator model.
+#[derive(Debug)]
+pub struct DriftAccelerator {
+    fabric: ArrayGeometry,
+    scheduler: SchedulerKind,
+    controller: PrecisionController,
+    energy: EnergyModel,
+    memory: MemorySubsystem,
+    last_schedule: Option<Schedule>,
+}
+
+impl DriftAccelerator {
+    /// The paper configuration: a 24×33 fabric (792 BitGroups) with the
+    /// balanced scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-subsystem construction errors.
+    pub fn paper_config() -> Result<Self> {
+        DriftAccelerator::new(paper_fabric(), SchedulerKind::Balanced)
+    }
+
+    /// Creates a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] for an empty fabric.
+    pub fn new(fabric: ArrayGeometry, scheduler: SchedulerKind) -> Result<Self> {
+        if fabric.units() == 0 {
+            return Err(AccelError::InvalidConfig {
+                name: "fabric",
+                detail: "empty fabric".to_string(),
+            });
+        }
+        Ok(DriftAccelerator {
+            fabric,
+            scheduler,
+            controller: PrecisionController::drift_default(),
+            energy: EnergyModel::default(),
+            memory: MemorySubsystem::new()?,
+            last_schedule: None,
+        })
+    }
+
+    /// The schedule chosen for the most recently executed layer
+    /// (exposed for the Fig. 5 reproduction and the scheduler ablation).
+    pub fn last_schedule(&self) -> Option<&Schedule> {
+        self.last_schedule.as_ref()
+    }
+
+    /// The controller (precision selector + index buffer) model.
+    pub fn controller(&self) -> &PrecisionController {
+        &self.controller
+    }
+
+    /// The fabric geometry.
+    pub fn fabric(&self) -> ArrayGeometry {
+        self.fabric
+    }
+}
+
+impl Accelerator for DriftAccelerator {
+    fn name(&self) -> &str {
+        "drift"
+    }
+
+    fn units(&self) -> usize {
+        self.fabric.units()
+    }
+
+    fn execute(&mut self, workload: &GemmWorkload) -> Result<ExecReport> {
+        // Per layer, the precision selector's decisions land in the
+        // index buffer and the dispatcher builds the four per-quadrant
+        // streams from it (Section 4.1). If the layer exceeds the index
+        // buffer, hardware would process it in index-buffer-sized
+        // chunks; the model falls back to direct (workload-map)
+        // dispatch in that case.
+        self.controller.reset();
+        let fits = workload.shape().m as u64 * crate::arch::controller::INDEX_ENTRY_BITS
+            <= self.controller.capacity_bits();
+        let plan = if fits {
+            let (hp, lp) = workload.act_precisions();
+            for (i, &high) in workload.act_high().iter().enumerate() {
+                let decision = if high {
+                    Decision::Keep
+                } else {
+                    decision_for(hp, lp)
+                };
+                self.controller
+                    .record(i, decision)
+                    .map_err(|e| AccelError::InvalidConfig {
+                        name: "index buffer",
+                        detail: e.to_string(),
+                    })?;
+            }
+            DispatchPlan::build(workload, Some(&self.controller))
+        } else {
+            DispatchPlan::build(workload, None)
+        }
+        .map_err(|e| AccelError::InvalidConfig { name: "dispatch", detail: e.to_string() })?;
+        debug_assert!(plan.is_consistent(workload.shape().m, workload.shape().n));
+
+        let quadrants = workload.quadrants();
+        debug_assert_eq!(
+            plan.tile_extents(),
+            [
+                (quadrants[0].rows, quadrants[0].cols),
+                (quadrants[1].rows, quadrants[1].cols),
+                (quadrants[2].rows, quadrants[2].cols),
+                (quadrants[3].rows, quadrants[3].cols),
+            ]
+        );
+        let schedule = match self.scheduler {
+            SchedulerKind::Balanced => balanced_schedule(self.fabric, &quadrants),
+            SchedulerKind::EqualStatic => equal_schedule(self.fabric, &quadrants),
+        }
+        .map_err(|e| AccelError::InvalidConfig {
+            name: "schedule",
+            detail: e.to_string(),
+        })?;
+
+        // Stream each quadrant on its own array: occupancy 1 everywhere
+        // (a split array serves exactly one precision pair), so the
+        // stream simulator reports zero stalls.
+        let geos = schedule.partition.geometries();
+        let mut busy_bg_cycles = 0u64;
+        let mut compute_cycles = 0u64;
+        let mut act_reread_weighted = 0u64;
+        let mut act_bytes_total = 0u64;
+        for (q, geo) in quadrants.iter().zip(geos) {
+            let (Some(shape), Some(geo)) = (q.shape(), geo) else {
+                continue;
+            };
+            let passes = pass_count(shape, q.pair.activation, q.pair.weight, geo);
+            let report = simulate_stream(&vec![1u32; shape.m], geo, passes);
+            debug_assert_eq!(report.stall_cycles, 0);
+            busy_bg_cycles += report.busy_bg_cycles;
+            compute_cycles = compute_cycles.max(report.total_cycles);
+
+            // This quadrant's activations are re-read once per column
+            // pass group.
+            let n_passes = (u64::from(q.pair.weight.bits()) * shape.n as u64)
+                .div_ceil(BG_WEIGHT_BIT_LANES * geo.cols as u64);
+            let q_act_bytes = shape.m as u64
+                * (shape.k as u64 * u64::from(q.pair.activation.bits())).div_ceil(8);
+            act_reread_weighted += q_act_bytes * n_passes;
+            act_bytes_total += q_act_bytes;
+        }
+        // Reconfiguring the BG link directions costs one pipeline depth
+        // — but only when the partition actually changes. Consecutive
+        // layers with similar precision mixes keep the fabric as-is
+        // (reconfiguration elision).
+        let reconfigures = self
+            .last_schedule
+            .map_or(true, |prev| prev.partition != schedule.partition);
+        if reconfigures {
+            compute_cycles += schedule.partition.reconfig_cycles();
+        }
+
+        let act_reread = if act_bytes_total == 0 {
+            1
+        } else {
+            act_reread_weighted.div_ceil(act_bytes_total).max(1)
+        };
+        let traffic = self.memory.workload_traffic(workload, act_reread);
+
+        let core_pj = busy_bg_cycles as f64 * self.energy.e_bg_cycle_pj;
+        self.last_schedule = Some(schedule);
+        Ok(finish_report(
+            "drift",
+            workload,
+            compute_cycles,
+            0,
+            busy_bg_cycles,
+            core_pj,
+            traffic,
+            self.fabric.units(),
+            self.energy.static_pj_per_unit_cycle,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drift_accel::bitfusion::BitFusion;
+    use drift_accel::drq::DrqAccelerator;
+    use drift_accel::gemm::GemmShape;
+
+    fn mixed_workload(m: usize, n: usize, fa: f64, fw: f64) -> GemmWorkload {
+        let shape = GemmShape::new(m, 768, n).unwrap();
+        let ah = (m as f64 * fa) as usize;
+        let wh = (n as f64 * fw) as usize;
+        GemmWorkload::new(
+            "mixed",
+            shape,
+            (0..m).map(|i| i < ah).collect(),
+            (0..n).map(|j| j < wh).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn drift_never_stalls() {
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        let w = mixed_workload(512, 512, 0.25, 0.25);
+        let r = drift.execute(&w).unwrap();
+        assert_eq!(r.stall_cycles, 0);
+        assert!(drift.last_schedule().is_some());
+    }
+
+    #[test]
+    fn drift_beats_bitfusion_int8_on_mostly_low_workloads() {
+        let w = mixed_workload(1024, 1024, 0.15, 0.15);
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        let c_drift = drift.execute(&w).unwrap().compute_cycles;
+        let mut bf = BitFusion::int8().unwrap();
+        let hi = GemmWorkload::uniform("hi", w.shape(), false);
+        let c_bf = bf.execute(&hi).unwrap().compute_cycles;
+        let speedup = c_bf as f64 / c_drift as f64;
+        assert!(
+            speedup > 2.0 && speedup < 4.5,
+            "speedup {speedup} out of the expected band"
+        );
+    }
+
+    #[test]
+    fn drift_beats_drq_on_the_same_workload() {
+        let w = mixed_workload(1024, 1024, 0.15, 0.15);
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        let c_drift = drift.execute(&w).unwrap().compute_cycles;
+        let mut drq = DrqAccelerator::paper_config().unwrap();
+        let c_drq = drq.execute(&w).unwrap().compute_cycles;
+        assert!(
+            c_drq > c_drift,
+            "drq {c_drq} should be slower than drift {c_drift}"
+        );
+    }
+
+    #[test]
+    fn uniform_high_workload_degrades_to_bitfusion() {
+        // With everything 8-bit, Drift's partition collapses to one
+        // array and its latency matches BitFusion INT8 to within the
+        // reconfiguration overhead and the scheduler's ceiling slack.
+        let shape = GemmShape::new(512, 512, 512).unwrap();
+        let w = GemmWorkload::uniform("hi", shape, false);
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        let c_drift = drift.execute(&w).unwrap().compute_cycles;
+        let mut bf = BitFusion::int8().unwrap();
+        let c_bf = bf.execute(&w).unwrap().compute_cycles;
+        let overhead = drift.fabric().rows as u64 + drift.fabric().cols as u64;
+        assert!(c_drift <= c_bf + overhead, "{c_drift} > {c_bf} + {overhead}");
+        let rel = (c_drift as f64 - c_bf as f64).abs() / c_bf as f64;
+        assert!(rel < 0.01, "relative gap {rel} too large");
+    }
+
+    #[test]
+    fn balanced_scheduler_beats_equal_static() {
+        let w = mixed_workload(1024, 1024, 0.1, 0.4);
+        let mut balanced = DriftAccelerator::paper_config().unwrap();
+        let c_b = balanced.execute(&w).unwrap().compute_cycles;
+        let mut equal =
+            DriftAccelerator::new(paper_fabric(), SchedulerKind::EqualStatic).unwrap();
+        let c_e = equal.execute(&w).unwrap().compute_cycles;
+        assert!(c_b <= c_e, "balanced {c_b} !<= equal {c_e}");
+    }
+
+    #[test]
+    fn reconfiguration_elides_on_repeated_partitions() {
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        let w = mixed_workload(512, 512, 0.25, 0.25);
+        let first = drift.execute(&w).unwrap();
+        let second = drift.execute(&w).unwrap();
+        // Same workload → same partition → no reconfiguration charge.
+        let overhead =
+            drift.last_schedule().unwrap().partition.reconfig_cycles();
+        assert_eq!(first.compute_cycles, second.compute_cycles + overhead);
+    }
+
+    #[test]
+    fn energy_components_present() {
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        let w = mixed_workload(512, 512, 0.2, 0.2);
+        let r = drift.execute(&w).unwrap();
+        assert!(r.energy.static_pj > 0.0);
+        assert!(r.energy.dram_pj > 0.0);
+        assert!(r.energy.buffer_pj > 0.0);
+        assert!(r.energy.core_pj > 0.0);
+    }
+}

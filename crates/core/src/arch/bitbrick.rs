@@ -1,0 +1,215 @@
+//! Bit-level BitBrick composition — the lowest level of the fabric.
+//!
+//! A *BitBrick* multiplies 1 activation bit by a 4-bit weight nibble
+//! per cycle (paper Section 4.1). Wider products compose by shift-add:
+//! an `a4·w4` product needs 4 BitBricks (one per activation bit), an
+//! `a8·w8` needs 16 (8 activation bits × 2 weight nibbles) — exactly
+//! one BitGroup. This module implements the decomposition and the
+//! shift-add reduction for *signed* operands (two's complement: the
+//! most significant activation bit and the high weight nibble carry
+//! negative weight), and verifies against plain multiplication — the
+//! arithmetic that justifies both BitFusion's fusion and the BitGroup
+//! throughput model used by Eq. 7.
+
+use crate::{CoreError, Result};
+use drift_quant::precision::Precision;
+
+/// One BitBrick operation: a single activation bit (0/1) times a
+/// 4-bit weight nibble magnitude, in [0, 15].
+///
+/// # Panics
+///
+/// Panics if `act_bit > 1` or `weight_nibble > 15` — hardware lanes
+/// cannot carry wider values; violating this is a decomposition bug.
+pub fn bitbrick(act_bit: u8, weight_nibble: u8) -> u32 {
+    assert!(act_bit <= 1, "activation lane carries one bit");
+    assert!(weight_nibble <= 15, "weight lane carries one nibble");
+    u32::from(act_bit) * u32::from(weight_nibble)
+}
+
+/// Decomposes a signed value into its two's-complement bits at the
+/// given width (LSB first).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when the value does not fit
+/// the width.
+pub fn to_bits(value: i32, precision: Precision) -> Result<Vec<u8>> {
+    if !precision.contains(value) {
+        return Err(CoreError::InvalidParameter {
+            name: "value",
+            detail: format!("{value} does not fit {precision}"),
+        });
+    }
+    let bits = precision.bits() as usize;
+    let raw = (value as u32) & ((1u32 << bits) - 1).max(1);
+    Ok((0..bits).map(|b| ((raw >> b) & 1) as u8).collect())
+}
+
+/// Decomposes a signed value into 4-bit nibbles (LSB first), two's
+/// complement at the given width (width must be a multiple of 4).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for non-nibble widths or
+/// out-of-range values.
+pub fn to_nibbles(value: i32, precision: Precision) -> Result<Vec<u8>> {
+    if precision.bits() % 4 != 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "precision",
+            detail: format!("{precision} is not nibble-aligned"),
+        });
+    }
+    let bits = to_bits(value, precision)?;
+    Ok(bits
+        .chunks(4)
+        .map(|c| c.iter().enumerate().map(|(i, &b)| b << i).sum())
+        .collect())
+}
+
+/// Multiplies a `pa`-bit signed activation by a `pw`-bit signed weight
+/// using only BitBrick operations and shift-adds, returning the exact
+/// product and the number of BitBrick invocations consumed.
+///
+/// Signs are handled as real bit-serial hardware does: the activation's
+/// MSB contributes with weight `-2^(pa-1)`, and the top weight nibble
+/// is interpreted in two's complement (its contribution re-weighted by
+/// the nibble's signed value).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for operands that do not fit
+/// their precisions or a non-nibble-aligned weight precision.
+pub fn composed_multiply(
+    act: i32,
+    weight: i32,
+    pa: Precision,
+    pw: Precision,
+) -> Result<(i64, u32)> {
+    let act_bits = to_bits(act, pa)?;
+    let weight_nibbles = to_nibbles(weight, pw)?;
+    let n_nibbles = weight_nibbles.len();
+    let mut acc = 0i64;
+    let mut bricks = 0u32;
+    for (bi, &bit) in act_bits.iter().enumerate() {
+        // The activation MSB has negative positional weight
+        // (two's complement).
+        let bit_weight: i64 = if bi == act_bits.len() - 1 {
+            -(1i64 << bi)
+        } else {
+            1i64 << bi
+        };
+        for (ni, &nibble) in weight_nibbles.iter().enumerate() {
+            let raw = i64::from(bitbrick(bit, nibble));
+            bricks += 1;
+            // The top nibble is signed in two's complement: a set sign
+            // bit means the nibble contributes its value minus 16.
+            let signed = if ni == n_nibbles - 1 && nibble >= 8 {
+                raw - i64::from(bit) * 16
+            } else {
+                raw
+            };
+            acc += bit_weight * signed * (1i64 << (4 * ni));
+        }
+    }
+    Ok((acc, bricks))
+}
+
+/// The BitBrick count a `(pa, pw)` product needs: `pa · ⌈pw/4⌉` —
+/// the spatial-fusion cost BitFusion pays and the basis of the
+/// `⌈pa·K/4R⌉·⌈pw·N/16C⌉` repetition factors in Eq. 7.
+pub fn bricks_per_product(pa: Precision, pw: Precision) -> u32 {
+    u32::from(pa.bits()) * u32::from(pw.bits()).div_ceil(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitbrick_is_one_by_four() {
+        assert_eq!(bitbrick(0, 15), 0);
+        assert_eq!(bitbrick(1, 15), 15);
+        assert_eq!(bitbrick(1, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation lane")]
+    fn bitbrick_rejects_wide_bits() {
+        let _ = bitbrick(2, 0);
+    }
+
+    #[test]
+    fn bit_decomposition_roundtrip() {
+        // The symmetric scheme excludes -2^(bits-1), so -8 is not a
+        // valid INT4 code.
+        for v in [-7i32, -1, 0, 1, 7] {
+            let bits = to_bits(v, Precision::INT4).unwrap();
+            assert_eq!(bits.len(), 4);
+            let back: i32 = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| {
+                    let w = if i == 3 { -(1i32 << i) } else { 1i32 << i };
+                    w * i32::from(b)
+                })
+                .sum();
+            assert_eq!(back, v, "roundtrip of {v}");
+        }
+        assert!(to_bits(8, Precision::INT4).is_err());
+    }
+
+    #[test]
+    fn nibble_decomposition() {
+        let n = to_nibbles(0x5A - 128, Precision::INT8).unwrap(); // -0x26
+        assert_eq!(n.len(), 2);
+        assert!(to_nibbles(1, Precision::INT3).is_err());
+    }
+
+    #[test]
+    fn composed_a4w4_exhaustive() {
+        for a in -7i32..=7 {
+            for w in -7i32..=7 {
+                let (p, bricks) =
+                    composed_multiply(a, w, Precision::INT4, Precision::INT4).unwrap();
+                assert_eq!(p, i64::from(a) * i64::from(w), "{a} x {w}");
+                assert_eq!(bricks, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn composed_a8w8_sampled() {
+        for a in (-127i32..=127).step_by(7) {
+            for w in (-127i32..=127).step_by(11) {
+                let (p, bricks) =
+                    composed_multiply(a, w, Precision::INT8, Precision::INT8).unwrap();
+                assert_eq!(p, i64::from(a) * i64::from(w), "{a} x {w}");
+                assert_eq!(bricks, 16); // one full BitGroup
+            }
+        }
+    }
+
+    #[test]
+    fn composed_mixed_widths() {
+        for (a, w, pa, pw) in [
+            (7, -127, Precision::INT4, Precision::INT8),
+            (-127, 7, Precision::INT8, Precision::INT4),
+            (-3, 3, Precision::INT4, Precision::INT8),
+        ] {
+            let (p, _) = composed_multiply(a, w, pa, pw).unwrap();
+            assert_eq!(p, i64::from(a) * i64::from(w));
+        }
+    }
+
+    #[test]
+    fn brick_counts_match_fusion_table() {
+        use Precision as P;
+        assert_eq!(bricks_per_product(P::INT4, P::INT4), 4);
+        assert_eq!(bricks_per_product(P::INT8, P::INT4), 8);
+        assert_eq!(bricks_per_product(P::INT4, P::INT8), 8);
+        assert_eq!(bricks_per_product(P::INT8, P::INT8), 16);
+        // A BitGroup (16 BBs) therefore fits 4/2/2/1 products of the
+        // four pairs per cycle — the Eq. 7 throughput model.
+    }
+}

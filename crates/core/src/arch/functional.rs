@@ -1,0 +1,497 @@
+//! A functional, register-level weight-stationary systolic array.
+//!
+//! The timing models in `drift-accel::systolic` count cycles without
+//! moving data. This module moves the data: a cycle-stepped simulation
+//! of the MAC grid with explicit activation and partial-sum registers,
+//! so both properties of the paper's fabric can be *verified* rather
+//! than assumed:
+//!
+//! * **numerics** — the psums that emerge equal the exact integer GEMM
+//!   of the coded operands ([`drift_quant::intgemm`]);
+//! * **timing** — the cycle at which the last psum emerges equals the
+//!   stream model's `T_pre + M + R + C − 2` (and therefore Eq. 7 under
+//!   the BitGroup lane mapping).
+//!
+//! The grid is simulated at MAC granularity: one unit performs one
+//! full-width multiply-accumulate per cycle. A BitGroup at `a4·w4`
+//! provides 4 such MACs (16 BitBricks of 1×4 bits), so an `R×C` BG
+//! array corresponds to an `R×4C` MAC grid; the timing cross-check in
+//! the tests uses that correspondence.
+//!
+//! Dataflow (classic weight stationary): weights are preloaded one grid
+//! row per cycle; activation element `a[i][r]` enters row `r` at cycle
+//! `i + r` (skewed) and moves right one unit per cycle; partial sums
+//! flow down one unit per cycle, so output `(i, c)` emerges from the
+//! bottom row at cycle `i + (R−1) + c` after preload.
+
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The result of streaming one tile through the array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PassResult {
+    /// Row-major `[m, cols]` partial sums.
+    pub psums: Vec<i64>,
+    /// Streamed rows.
+    pub m: usize,
+    /// Output columns.
+    pub cols: usize,
+    /// Cycles consumed: preload + execute (+ drain).
+    pub cycles: u64,
+}
+
+/// A functional weight-stationary MAC grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalArray {
+    rows: usize,
+    cols: usize,
+}
+
+impl FunctionalArray {
+    /// Creates a grid of `rows × cols` MAC units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPartition`] for zero extents.
+    pub fn new(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(CoreError::InvalidPartition {
+                detail: format!("functional array needs positive extents, got {rows}x{cols}"),
+            });
+        }
+        Ok(FunctionalArray { rows, cols })
+    }
+
+    /// Grid rows (the K-tile extent).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns (the N-tile extent).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Streams one tile: activations `a` (`m × rows`, row-major) against
+    /// stationary weights `w` (`rows × cols`, row-major), returning the
+    /// `m × cols` psums and the exact cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on operand size
+    /// mismatches.
+    pub fn run_pass(&self, a: &[i32], w: &[i32], m: usize) -> Result<PassResult> {
+        let (rows, cols) = (self.rows, self.cols);
+        if a.len() != m * rows {
+            return Err(CoreError::InvalidParameter {
+                name: "a",
+                detail: format!("expected {} values, got {}", m * rows, a.len()),
+            });
+        }
+        if w.len() != rows * cols {
+            return Err(CoreError::InvalidParameter {
+                name: "w",
+                detail: format!("expected {} values, got {}", rows * cols, w.len()),
+            });
+        }
+        if m == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "m",
+                detail: "empty stream".to_string(),
+            });
+        }
+
+        // Weight preload: one grid row per cycle.
+        let mut cycles = rows as u64;
+
+        // Register state: activation values moving right, psums moving
+        // down. `a_grid[r][c]` holds the activation at unit (r, c) this
+        // cycle; `p_grid[r][c]` the psum it just produced.
+        let mut a_grid = vec![0i32; rows * cols];
+        let mut p_grid = vec![0i64; rows * cols];
+        let mut psums = vec![0i64; m * cols];
+
+        // Execute: element i of row r is injected at cycle i + r; the
+        // last output emerges at cycle (m-1) + (rows-1) + (cols-1).
+        let exec_cycles = m + rows + cols - 2;
+        for t in 0..exec_cycles {
+            let mut next_a = vec![0i32; rows * cols];
+            let mut next_p = vec![0i64; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    // Activation arriving at (r, c) this cycle.
+                    let a_val = if c == 0 {
+                        // Injection port of row r: element i = t - r.
+                        let i = t as isize - r as isize;
+                        if i >= 0 && (i as usize) < m {
+                            a[i as usize * rows + r]
+                        } else {
+                            0
+                        }
+                    } else {
+                        a_grid[r * cols + (c - 1)]
+                    };
+                    // Psum arriving from above (previous cycle's value).
+                    let p_in = if r == 0 { 0 } else { p_grid[(r - 1) * cols + c] };
+                    next_a[r * cols + c] = a_val;
+                    next_p[r * cols + c] =
+                        p_in + i64::from(a_val) * i64::from(w[r * cols + c]);
+                }
+            }
+            a_grid = next_a;
+            p_grid = next_p;
+            // Collect from the bottom row: output (i, c) emerges when
+            // t = i + (rows - 1) + c.
+            for c in 0..cols {
+                let i = t as isize - (rows as isize - 1) - c as isize;
+                if i >= 0 && (i as usize) < m {
+                    psums[i as usize * cols + c] = p_grid[(rows - 1) * cols + c];
+                }
+            }
+        }
+        cycles += exec_cycles as u64;
+        Ok(PassResult { psums, m, cols, cycles })
+    }
+
+    /// Computes a full integer GEMM `C[m,n] = A[m,k] · W[k,n]` by tiling
+    /// K over grid rows and N over grid columns, accumulating psums
+    /// across K-tiles (the hardware's wide accumulators live beside the
+    /// array). Returns the exact products and total cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] on operand size
+    /// mismatches.
+    pub fn run_gemm(
+        &self,
+        a: &[i32],
+        w: &[i32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<(Vec<i64>, u64)> {
+        if a.len() != m * k || w.len() != k * n {
+            return Err(CoreError::InvalidParameter {
+                name: "operands",
+                detail: format!(
+                    "A needs {} values (got {}), W needs {} (got {})",
+                    m * k,
+                    a.len(),
+                    k * n,
+                    w.len()
+                ),
+            });
+        }
+        let mut out = vec![0i64; m * n];
+        let mut cycles = 0u64;
+        let mut k0 = 0usize;
+        while k0 < k {
+            let k_tile = (k - k0).min(self.rows);
+            let mut n0 = 0usize;
+            while n0 < n {
+                let n_tile = (n - n0).min(self.cols);
+                // Pack operand tiles (zero-padded to the grid extents).
+                let mut a_tile = vec![0i32; m * self.rows];
+                for i in 0..m {
+                    for r in 0..k_tile {
+                        a_tile[i * self.rows + r] = a[i * k + k0 + r];
+                    }
+                }
+                let mut w_tile = vec![0i32; self.rows * self.cols];
+                for r in 0..k_tile {
+                    for c in 0..n_tile {
+                        w_tile[r * self.cols + c] = w[(k0 + r) * n + n0 + c];
+                    }
+                }
+                let pass = self.run_pass(&a_tile, &w_tile, m)?;
+                cycles += pass.cycles;
+                for i in 0..m {
+                    for c in 0..n_tile {
+                        out[i * n + n0 + c] += pass.psums[i * self.cols + c];
+                    }
+                }
+                n0 += n_tile;
+            }
+            k0 += k_tile;
+        }
+        Ok((out, cycles))
+    }
+}
+
+/// The result of a functional split-fabric GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitGemmResult {
+    /// The `m × n` output, scaled to floats exactly as the hardware's
+    /// output stage does.
+    pub output: drift_tensor::Tensor,
+    /// Per-quadrant cycle counts in `(hh, hl, lh, ll)` order.
+    pub quadrant_cycles: [u64; 4],
+    /// The layer's compute time: the slowest quadrant (the arrays run
+    /// concurrently).
+    pub makespan: u64,
+}
+
+/// Runs a full mixed-precision GEMM through the *split* fabric,
+/// value-level: the dispatch plan routes each activation row and weight
+/// column to its precision quadrant, four [`FunctionalArray`]s compute
+/// the four tiles concurrently, and the outputs merge — demonstrating
+/// functionally that dataflow splitting computes exactly what the
+/// monolithic integer GEMM computes.
+///
+/// Array geometries are in MAC units (pass `None` to give every
+/// quadrant a default 8×8 grid; cycle counts then reflect equal-sized
+/// arrays rather than a schedule).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] on operand/plan mismatches.
+pub fn run_split_gemm(
+    a: &drift_quant::intgemm::CodedMatrix,
+    b: &drift_quant::intgemm::CodedMatrix,
+    plan: &crate::arch::dispatch::DispatchPlan,
+    grids: Option<[FunctionalArray; 4]>,
+) -> Result<SplitGemmResult> {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    if b.rows() != k {
+        return Err(CoreError::InvalidParameter {
+            name: "operands",
+            detail: format!("inner dims {} vs {}", k, b.rows()),
+        });
+    }
+    if !plan.is_consistent(m, n) {
+        return Err(CoreError::InvalidParameter {
+            name: "plan",
+            detail: "dispatch plan does not cover the GEMM".to_string(),
+        });
+    }
+    let default = FunctionalArray::new(8, 8).expect("static extents");
+    let grids = grids.unwrap_or([default; 4]);
+
+    let mut out = vec![0.0f32; m * n];
+    let mut quadrant_cycles = [0u64; 4];
+    let row_sets = [&plan.high_rows, &plan.high_rows, &plan.low_rows, &plan.low_rows];
+    let col_sets = [&plan.high_cols, &plan.low_cols, &plan.high_cols, &plan.low_cols];
+    for q in 0..4 {
+        let (rows, cols) = (row_sets[q], col_sets[q]);
+        if rows.is_empty() || cols.is_empty() {
+            continue;
+        }
+        // Gather the quadrant's operand tiles.
+        let mut a_tile = Vec::with_capacity(rows.len() * k);
+        for &i in rows.iter() {
+            a_tile.extend_from_slice(&a.codes()[i * k..(i + 1) * k]);
+        }
+        let mut w_tile = Vec::with_capacity(k * cols.len());
+        for p in 0..k {
+            for &j in cols.iter() {
+                w_tile.push(b.codes()[p * n + j]);
+            }
+        }
+        let (raw, cycles) =
+            grids[q].run_gemm(&a_tile, &w_tile, rows.len(), k, cols.len())?;
+        quadrant_cycles[q] = cycles;
+        // Scatter with the hardware's output scaling.
+        for (ti, &i) in rows.iter().enumerate() {
+            for (tj, &j) in cols.iter().enumerate() {
+                out[i * n + j] =
+                    (raw[ti * cols.len() + tj] as f64 * a.scales()[i] * b.scales()[j])
+                        as f32;
+            }
+        }
+    }
+    Ok(SplitGemmResult {
+        output: drift_tensor::Tensor::from_vec(vec![m, n], out).map_err(|e| {
+            CoreError::InvalidParameter { name: "output", detail: e.to_string() }
+        })?,
+        quadrant_cycles,
+        makespan: quadrant_cycles.iter().copied().max().unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drift_accel::systolic::{simulate_stream, ArrayGeometry};
+
+    fn reference_gemm(a: &[i32], w: &[i32], m: usize, k: usize, n: usize) -> Vec<i64> {
+        let mut out = vec![0i64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += i64::from(a[i * k + p]) * i64::from(w[p * n + j]);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(FunctionalArray::new(0, 4).is_err());
+        assert!(FunctionalArray::new(4, 0).is_err());
+        let arr = FunctionalArray::new(2, 2).unwrap();
+        assert!(arr.run_pass(&[1, 2], &[1, 2, 3, 4], 2).is_err()); // a too short
+        assert!(arr.run_pass(&[1, 2, 3, 4], &[1, 2, 3], 2).is_err()); // w too short
+        assert!(arr.run_pass(&[], &[1, 2, 3, 4], 0).is_err());
+    }
+
+    #[test]
+    fn single_pass_numerics_match_reference() {
+        let arr = FunctionalArray::new(4, 3).unwrap();
+        let m = 7;
+        let a: Vec<i32> = (0..m * 4).map(|i| (i as i32 % 11) - 5).collect();
+        let w: Vec<i32> = (0..4 * 3).map(|i| (i as i32 % 7) - 3).collect();
+        let pass = arr.run_pass(&a, &w, m).unwrap();
+        assert_eq!(pass.psums, reference_gemm(&a, &w, m, 4, 3));
+    }
+
+    #[test]
+    fn single_pass_cycles_match_stream_model() {
+        let arr = FunctionalArray::new(5, 6).unwrap();
+        let m = 13;
+        let a = vec![1i32; m * 5];
+        let w = vec![1i32; 5 * 6];
+        let pass = arr.run_pass(&a, &w, m).unwrap();
+        let geo = ArrayGeometry::new(5, 6).unwrap();
+        let model = simulate_stream(&vec![1u32; m], geo, 1);
+        assert_eq!(pass.cycles, model.total_cycles);
+    }
+
+    #[test]
+    fn tiled_gemm_matches_reference_ragged() {
+        // K and N not multiples of the grid extents: exercises padding.
+        let arr = FunctionalArray::new(4, 4).unwrap();
+        let (m, k, n) = (5, 10, 7);
+        let a: Vec<i32> = (0..m * k).map(|i| (i as i32 * 3 % 13) - 6).collect();
+        let w: Vec<i32> = (0..k * n).map(|i| (i as i32 * 5 % 9) - 4).collect();
+        let (out, cycles) = arr.run_gemm(&a, &w, m, k, n).unwrap();
+        assert_eq!(out, reference_gemm(&a, &w, m, k, n));
+        // Cycles: ceil(10/4)·ceil(7/4) = 6 passes of (4 + 5+4+4-2).
+        assert_eq!(cycles, 6 * (4 + 11));
+    }
+
+    #[test]
+    fn tiled_gemm_pass_count_matches_mac_lane_mapping() {
+        // An R×C BitGroup array at a4w4 is an R×4C MAC grid; its pass
+        // count must equal Eq. 7's ceil factors under that mapping.
+        use drift_accel::gemm::GemmShape;
+        use drift_accel::systolic::pass_count;
+        use drift_quant::precision::Precision;
+
+        let (bg_rows, bg_cols) = (6, 3);
+        let arr = FunctionalArray::new(bg_rows, 4 * bg_cols).unwrap();
+        let (m, k, n) = (9, 20, 30);
+        let a = vec![1i32; m * k];
+        let w = vec![1i32; k * n];
+        let (_, cycles) = arr.run_gemm(&a, &w, m, k, n).unwrap();
+        let shape = GemmShape::new(m, k, n).unwrap();
+        let geo = ArrayGeometry::new(bg_rows, bg_cols).unwrap();
+        let passes = pass_count(shape, Precision::INT4, Precision::INT4, geo);
+        let per_pass = bg_rows as u64 + (m + bg_rows + 4 * bg_cols - 2) as u64;
+        assert_eq!(cycles, passes * per_pass);
+    }
+
+    #[test]
+    fn functional_fabric_matches_int_gemm() {
+        // End-to-end: policy-coded operands through the functional
+        // array equal the exact integer GEMM.
+        use drift_quant::intgemm::{int_gemm, CodedMatrix};
+        use drift_quant::policy::StaticLowPolicy;
+        use drift_quant::precision::Precision;
+        use drift_tensor::Tensor;
+
+        let acts = Tensor::from_fn(vec![6, 12], |i| ((i * 31 % 17) as f32 - 8.0) * 0.05)
+            .unwrap();
+        let weights =
+            Tensor::from_fn(vec![12, 5], |i| ((i * 13 % 11) as f32 - 5.0) * 0.08).unwrap();
+        let policy = StaticLowPolicy::new(Precision::INT4);
+        let ca = CodedMatrix::encode_rows(&acts, Precision::INT8, &policy).unwrap();
+        let cb = CodedMatrix::encode_cols(&weights, Precision::INT8, &policy).unwrap();
+        let reference = int_gemm(&ca, &cb).unwrap();
+
+        let arr = FunctionalArray::new(4, 4).unwrap();
+        let (raw, _) = arr.run_gemm(ca.codes(), cb.codes(), 6, 12, 5).unwrap();
+        // Scale the raw psums exactly as the hardware's output stage
+        // does.
+        for i in 0..6 {
+            for j in 0..5 {
+                let v = raw[i * 5 + j] as f64 * ca.scales()[i] * cb.scales()[j];
+                let r = f64::from(reference.as_slice()[i * 5 + j]);
+                assert!((v - r).abs() < 1e-6, "({i},{j}): {v} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_fabric_equals_monolithic_int_gemm() {
+        use crate::arch::dispatch::DispatchPlan;
+        use crate::selector::DriftPolicy;
+        use drift_accel::gemm::{GemmShape, GemmWorkload};
+        use drift_quant::intgemm::{int_gemm, CodedMatrix};
+        use drift_quant::precision::Precision;
+        use drift_tensor::Tensor;
+
+        // Token-dispersed activations so the selector produces a real
+        // mix of precisions.
+        let acts = Tensor::from_fn(vec![10, 16], |i| {
+            let t = i / 16;
+            0.01 * (1 + t * t) as f32 * (((i * 29) % 13) as f32 - 6.0) / 6.0
+        })
+        .unwrap();
+        let weights =
+            Tensor::from_fn(vec![16, 7], |i| ((i * 17 % 11) as f32 - 5.0) * 0.06).unwrap();
+        let policy = DriftPolicy::new(0.2).unwrap();
+        let ca = CodedMatrix::encode_rows(&acts, Precision::INT8, &policy).unwrap();
+        let cb = CodedMatrix::encode_cols(&weights, Precision::INT8, &policy).unwrap();
+
+        // The dispatch plan from the same precision decisions.
+        let act_high: Vec<bool> =
+            ca.precisions().iter().map(|p| *p == Precision::INT8).collect();
+        let weight_high: Vec<bool> =
+            cb.precisions().iter().map(|p| *p == Precision::INT8).collect();
+        assert!(act_high.iter().any(|&h| h) && act_high.iter().any(|&h| !h));
+        let shape = GemmShape::new(10, 16, 7).unwrap();
+        let w = GemmWorkload::new("f", shape, act_high, weight_high).unwrap();
+        let plan = DispatchPlan::build(&w, None).unwrap();
+
+        let split = run_split_gemm(&ca, &cb, &plan, None).unwrap();
+        let reference = int_gemm(&ca, &cb).unwrap();
+        for (x, y) in split.output.iter().zip(reference.iter()) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        assert!(split.makespan > 0);
+        assert_eq!(
+            split.makespan,
+            split.quadrant_cycles.iter().copied().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn split_gemm_validates_inputs() {
+        use crate::arch::dispatch::DispatchPlan;
+        use drift_accel::gemm::{GemmShape, GemmWorkload};
+        use drift_quant::intgemm::CodedMatrix;
+        use drift_quant::policy::StaticHighPolicy;
+        use drift_quant::precision::Precision;
+        use drift_tensor::Tensor;
+
+        let a = Tensor::from_fn(vec![4, 8], |i| i as f32 * 0.01).unwrap();
+        let b = Tensor::from_fn(vec![6, 3], |i| i as f32 * 0.01).unwrap(); // k mismatch
+        let ca = CodedMatrix::encode_rows(&a, Precision::INT8, &StaticHighPolicy).unwrap();
+        let cb = CodedMatrix::encode_cols(&b, Precision::INT8, &StaticHighPolicy).unwrap();
+        let shape = GemmShape::new(4, 8, 3).unwrap();
+        let w = GemmWorkload::uniform("v", shape, false);
+        let plan = DispatchPlan::build(&w, None).unwrap();
+        assert!(run_split_gemm(&ca, &cb, &plan, None).is_err());
+    }
+
+    #[test]
+    fn zero_padding_does_not_contaminate() {
+        // A 1-wide stream through a larger grid: all pad lanes are
+        // zero-coded and must not change the result.
+        let arr = FunctionalArray::new(8, 8).unwrap();
+        let (out, _) = arr.run_gemm(&[3], &[4], 1, 1, 1).unwrap();
+        assert_eq!(out, vec![12]);
+    }
+}

@@ -1,0 +1,224 @@
+//! The Drift accelerator fabric (paper Section 4.1–4.2).
+//!
+//! The computing engine is an array of *BitGroups* (BGs), each a 4×4
+//! array of *BitBricks* multiplying 1 activation bit by 4 weight bits
+//! per cycle. Unlike BitFusion, every BG has bidirectional connections
+//! to its neighbours, so the fabric can be split at runtime into up to
+//! four independent weight-stationary systolic arrays — one per
+//! (activation, weight) precision pair — by configuring the dataflow
+//! direction between BGs (Fig. 5). Each split array runs a single
+//! precision, so no element ever needs multiple injection slots and the
+//! Section 2.3 stalls disappear by construction.
+//!
+//! The partition shape the hardware supports (and [`FabricPartition`]
+//! models) is: one vertical cut at `col_split` separating high-weight
+//! columns (left) from low-weight columns (right), and an independent
+//! horizontal cut on each side (`rows_left`, `rows_right`) separating
+//! high-activation rows (top) from low-activation rows (bottom). The
+//! per-side horizontal cuts are what the psum-direction reallocation of
+//! Fig. 5 buys: a BG row can flip its partial-sum direction to join the
+//! array above or below it.
+
+pub mod bitbrick;
+pub mod controller;
+pub mod dispatch;
+pub mod functional;
+
+use crate::{CoreError, Result};
+use drift_accel::systolic::ArrayGeometry;
+use serde::{Deserialize, Serialize};
+
+/// BitBricks per BitGroup along each axis (a BG is 4×4 BitBricks).
+pub const BITBRICKS_PER_BG_SIDE: usize = 4;
+
+/// The paper's unit budget: 792 BitGroups, arranged 24×33 like the other
+/// BitGroup-class designs in the comparison.
+pub fn paper_fabric() -> ArrayGeometry {
+    ArrayGeometry::new(24, 33).expect("static geometry is valid")
+}
+
+/// A runtime partition of the fabric into four systolic arrays.
+///
+/// Quadrant order everywhere is `(hh, hl, lh, ll)`:
+/// high-act×high-weight, high-act×low-weight, low-act×high-weight,
+/// low-act×low-weight.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_core::arch::{paper_fabric, FabricPartition};
+///
+/// # fn main() -> Result<(), drift_core::CoreError> {
+/// let p = FabricPartition::new(paper_fabric(), 16, 8, 4)?;
+/// let [hh, hl, lh, ll] = p.geometries();
+/// assert_eq!((hh.unwrap().rows, hh.unwrap().cols), (8, 16));
+/// assert_eq!((ll.unwrap().rows, ll.unwrap().cols), (20, 17));
+/// // Partitions always cover the whole fabric.
+/// assert_eq!(p.total_units(), 24 * 33);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FabricPartition {
+    fabric: ArrayGeometry,
+    /// Columns assigned to the high-weight (left) side; the remaining
+    /// `fabric.cols - col_split` serve low weights.
+    col_split: usize,
+    /// Rows of the left side assigned to high activations (top).
+    rows_left: usize,
+    /// Rows of the right side assigned to high activations (top).
+    rows_right: usize,
+}
+
+impl FabricPartition {
+    /// Creates a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPartition`] when a cut exceeds the
+    /// fabric extents.
+    pub fn new(
+        fabric: ArrayGeometry,
+        col_split: usize,
+        rows_left: usize,
+        rows_right: usize,
+    ) -> Result<Self> {
+        if col_split > fabric.cols {
+            return Err(CoreError::InvalidPartition {
+                detail: format!("col_split {col_split} exceeds {} columns", fabric.cols),
+            });
+        }
+        if rows_left > fabric.rows || rows_right > fabric.rows {
+            return Err(CoreError::InvalidPartition {
+                detail: format!(
+                    "row cuts ({rows_left}, {rows_right}) exceed {} rows",
+                    fabric.rows
+                ),
+            });
+        }
+        Ok(FabricPartition { fabric, col_split, rows_left, rows_right })
+    }
+
+    /// The whole fabric as a single array (no split): how Drift runs a
+    /// uniform-precision workload.
+    pub fn whole(fabric: ArrayGeometry) -> Self {
+        FabricPartition { fabric, col_split: fabric.cols, rows_left: fabric.rows, rows_right: 0 }
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> ArrayGeometry {
+        self.fabric
+    }
+
+    /// The vertical cut position.
+    pub fn col_split(&self) -> usize {
+        self.col_split
+    }
+
+    /// The left-side horizontal cut.
+    pub fn rows_left(&self) -> usize {
+        self.rows_left
+    }
+
+    /// The right-side horizontal cut.
+    pub fn rows_right(&self) -> usize {
+        self.rows_right
+    }
+
+    /// The four quadrant geometries in `(hh, hl, lh, ll)` order; `None`
+    /// for zero-area quadrants.
+    pub fn geometries(&self) -> [Option<ArrayGeometry>; 4] {
+        let right_cols = self.fabric.cols - self.col_split;
+        let make = |rows: usize, cols: usize| {
+            if rows == 0 || cols == 0 {
+                None
+            } else {
+                Some(ArrayGeometry::new(rows, cols).expect("checked non-zero"))
+            }
+        };
+        [
+            make(self.rows_left, self.col_split),
+            make(self.rows_right, right_cols),
+            make(self.fabric.rows - self.rows_left, self.col_split),
+            make(self.fabric.rows - self.rows_right, right_cols),
+        ]
+    }
+
+    /// Total BitGroups across all quadrants — always the whole fabric
+    /// (partitions never strand units).
+    pub fn total_units(&self) -> usize {
+        self.geometries()
+            .iter()
+            .map(|g| g.map_or(0, |geo| geo.units()))
+            .sum()
+    }
+
+    /// Cycles to reconfigure the fabric into this partition: draining
+    /// in-flight wavefronts and flipping the BG link directions, one
+    /// pipeline depth.
+    pub fn reconfig_cycles(&self) -> u64 {
+        (self.fabric.rows + self.fabric.cols) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fabric_has_792_units() {
+        assert_eq!(paper_fabric().units(), 792);
+    }
+
+    #[test]
+    fn partition_validation() {
+        let f = paper_fabric();
+        assert!(FabricPartition::new(f, 34, 0, 0).is_err());
+        assert!(FabricPartition::new(f, 0, 25, 0).is_err());
+        assert!(FabricPartition::new(f, 0, 0, 25).is_err());
+        assert!(FabricPartition::new(f, 33, 24, 24).is_ok());
+    }
+
+    #[test]
+    fn quadrants_cover_fabric_exactly() {
+        let f = paper_fabric();
+        for col in [0, 1, 16, 33] {
+            for rl in [0, 5, 24] {
+                for rr in [0, 12, 24] {
+                    let p = FabricPartition::new(f, col, rl, rr).unwrap();
+                    assert_eq!(p.total_units(), 792, "col={col} rl={rl} rr={rr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_area_quadrants_are_none() {
+        let f = paper_fabric();
+        let p = FabricPartition::new(f, 0, 0, 12).unwrap();
+        let [hh, hl, lh, ll] = p.geometries();
+        assert!(hh.is_none()); // no left columns
+        assert!(lh.is_none());
+        assert!(hl.is_some());
+        assert!(ll.is_some());
+        assert_eq!(hl.unwrap().rows, 12);
+        assert_eq!(ll.unwrap().rows, 12);
+    }
+
+    #[test]
+    fn whole_partition_is_one_array() {
+        let f = paper_fabric();
+        let p = FabricPartition::whole(f);
+        let [hh, hl, lh, ll] = p.geometries();
+        assert_eq!(hh.unwrap(), f);
+        assert!(hl.is_none());
+        assert!(lh.is_none());
+        assert!(ll.is_none());
+    }
+
+    #[test]
+    fn reconfig_cost_is_pipeline_depth() {
+        let p = FabricPartition::whole(paper_fabric());
+        assert_eq!(p.reconfig_cycles(), 24 + 33);
+    }
+}

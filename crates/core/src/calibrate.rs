@@ -1,0 +1,340 @@
+//! Hessian-aware selection of the density threshold δ (paper
+//! Section 3.3).
+//!
+//! The paper picks δ with the Hessian-aware strategy of HAWQ / Q-BERT:
+//! layers whose loss curvature is high tolerate less quantization
+//! noise, so the expected loss increase of a candidate δ is the
+//! sensitivity-weighted sum of per-layer quantization errors, and the
+//! chosen δ is the largest one whose proxy stays under a budget (more
+//! low-bit compute with negligible accuracy impact).
+//!
+//! For a linear layer `y = W·x`, the Hessian of the squared loss with
+//! respect to the input `x` is `WᵀW`, whose trace we estimate with
+//! Hutchinson's stochastic estimator `E[‖W·z‖²]` over Rademacher
+//! vectors `z` — the same estimator HAWQ uses, and exactly `‖W‖_F²` in
+//! expectation, which the tests verify.
+
+use crate::selector::DriftPolicy;
+use crate::{CoreError, Result};
+use drift_quant::linear::mse;
+use drift_quant::policy::run_policy;
+use drift_quant::precision::Precision;
+use drift_tensor::rng::DriftRng;
+use drift_tensor::subtensor::SubTensorScheme;
+use drift_tensor::Tensor;
+use rand::Rng;
+
+/// One layer's calibration inputs: a representative activation tensor,
+/// its sub-tensor scheme, and the layer weight matrix for sensitivity.
+#[derive(Debug, Clone)]
+pub struct CalibrationLayer {
+    /// Layer name for reports.
+    pub name: String,
+    /// A representative activation tensor (from a calibration batch).
+    pub activations: Tensor,
+    /// The sub-tensor scheme this layer quantizes at.
+    pub scheme: SubTensorScheme,
+    /// The layer's weight matrix, row-major `[out, in]`, used for the
+    /// Hessian-trace sensitivity. `None` falls back to sensitivity 1.
+    pub weights: Option<Tensor>,
+}
+
+/// Hutchinson estimate of `trace(WᵀW)` for a row-major `[out, in]`
+/// weight matrix: `E_z[‖W z‖²]` over Rademacher `z`.
+///
+/// With `probes = 0` this returns 0; in expectation the estimate equals
+/// `‖W‖_F²`.
+pub fn hutchinson_trace(weights: &Tensor, probes: usize, rng: &mut DriftRng) -> f64 {
+    let dims = weights.shape().dims();
+    let (out_dim, in_dim) = (dims[0], dims[1..].iter().product::<usize>());
+    let w = weights.as_slice();
+    let mut acc = 0.0f64;
+    for _ in 0..probes {
+        let z: Vec<f64> = (0..in_dim)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect();
+        for row in 0..out_dim {
+            let dot: f64 = w[row * in_dim..(row + 1) * in_dim]
+                .iter()
+                .zip(&z)
+                .map(|(&wv, &zv)| f64::from(wv) * zv)
+                .sum();
+            acc += dot * dot;
+        }
+    }
+    if probes == 0 {
+        0.0
+    } else {
+        acc / probes as f64
+    }
+}
+
+/// Exact `trace(WᵀW) = ‖W‖_F²`, the quantity Hutchinson estimates.
+pub fn exact_trace(weights: &Tensor) -> f64 {
+    weights.iter().map(|&v| f64::from(v) * f64::from(v)).sum()
+}
+
+/// The result of a threshold calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationResult {
+    /// The selected threshold δ.
+    pub delta: f64,
+    /// The sensitivity-weighted loss proxy at the selected δ.
+    pub proxy_loss: f64,
+    /// Fraction of elements computing at low precision at the selected
+    /// δ, averaged over layers.
+    pub low_fraction: f64,
+    /// The full sweep, `(delta, proxy_loss, low_fraction)` per
+    /// candidate, for reporting.
+    pub sweep: Vec<(f64, f64, f64)>,
+}
+
+/// Hessian-aware threshold calibrator.
+#[derive(Debug, Clone)]
+pub struct HessianCalibrator {
+    /// Candidate thresholds, swept in increasing order.
+    pub candidates: Vec<f64>,
+    /// Hutchinson probes per layer.
+    pub probes: usize,
+    /// High precision of the initial quantization.
+    pub hp: Precision,
+    /// Low precision the policy targets.
+    pub lp: Precision,
+}
+
+impl Default for HessianCalibrator {
+    fn default() -> Self {
+        HessianCalibrator {
+            // Log-spaced grid covering the regimes the evaluation uses.
+            candidates: vec![
+                1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0,
+            ],
+            probes: 8,
+            hp: Precision::INT8,
+            lp: Precision::INT4,
+        }
+    }
+}
+
+impl HessianCalibrator {
+    /// Creates the default calibrator.
+    pub fn new() -> Self {
+        HessianCalibrator::default()
+    }
+
+    /// Selects the largest δ whose sensitivity-weighted loss proxy stays
+    /// within `budget` relative to the INT8 (δ = ∞, everything kept)
+    /// proxy. Larger δ keeps more sub-tensors at 8-bit, so the proxy is
+    /// non-increasing in δ; the *smallest* candidate passing the budget
+    /// maximises low-bit compute, matching the paper's "select
+    /// low-precision sub-tensors as much as possible".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty candidate
+    /// grid, a non-positive budget, or layers the policy cannot process.
+    pub fn calibrate(
+        &self,
+        layers: &[CalibrationLayer],
+        budget: f64,
+        rng: &mut DriftRng,
+    ) -> Result<CalibrationResult> {
+        if self.candidates.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "candidates",
+                detail: "empty threshold grid".to_string(),
+            });
+        }
+        if !(budget > 0.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "budget",
+                detail: format!("must be positive, got {budget}"),
+            });
+        }
+        if layers.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "layers",
+                detail: "no calibration layers".to_string(),
+            });
+        }
+
+        // Per-layer sensitivity: Hutchinson trace of WᵀW, normalised per
+        // element so wide layers do not dominate merely by size.
+        let sensitivities: Vec<f64> = layers
+            .iter()
+            .map(|l| match &l.weights {
+                Some(w) => hutchinson_trace(w, self.probes, rng) / w.len() as f64,
+                None => 1.0,
+            })
+            .collect();
+
+        // The INT8 floor: proxy loss with everything kept at 8-bit.
+        let int8_proxy = self.proxy_for_policy(
+            layers,
+            &sensitivities,
+            &drift_quant::policy::StaticHighPolicy,
+        )?;
+
+        let mut sweep = Vec::with_capacity(self.candidates.len());
+        let mut best: Option<(f64, f64, f64)> = None;
+        let mut sorted = self.candidates.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite candidates"));
+        for &delta in &sorted {
+            let policy = DriftPolicy::with_low_precision(delta, self.lp)
+                .map_err(|e| CoreError::InvalidParameter {
+                    name: "delta",
+                    detail: e.to_string(),
+                })?;
+            let (proxy, low_fraction) =
+                self.proxy_and_fraction(layers, &sensitivities, &policy)?;
+            sweep.push((delta, proxy, low_fraction));
+            let excess = if int8_proxy > 0.0 {
+                proxy / int8_proxy - 1.0
+            } else {
+                proxy
+            };
+            if excess <= budget && best.is_none() {
+                best = Some((delta, proxy, low_fraction));
+            }
+        }
+        // Every candidate blew the budget: fall back to the most
+        // conservative (largest δ, most 8-bit).
+        let (delta, proxy_loss, low_fraction) = best.unwrap_or_else(|| {
+            *sweep.last().expect("sweep is non-empty")
+        });
+        Ok(CalibrationResult { delta, proxy_loss, low_fraction, sweep })
+    }
+
+    fn proxy_for_policy(
+        &self,
+        layers: &[CalibrationLayer],
+        sensitivities: &[f64],
+        policy: &dyn drift_quant::policy::PrecisionPolicy,
+    ) -> Result<f64> {
+        Ok(self.proxy_and_fraction_impl(layers, sensitivities, policy)?.0)
+    }
+
+    fn proxy_and_fraction(
+        &self,
+        layers: &[CalibrationLayer],
+        sensitivities: &[f64],
+        policy: &DriftPolicy,
+    ) -> Result<(f64, f64)> {
+        self.proxy_and_fraction_impl(layers, sensitivities, policy)
+    }
+
+    fn proxy_and_fraction_impl(
+        &self,
+        layers: &[CalibrationLayer],
+        sensitivities: &[f64],
+        policy: &dyn drift_quant::policy::PrecisionPolicy,
+    ) -> Result<(f64, f64)> {
+        let mut proxy = 0.0f64;
+        let mut fraction_acc = 0.0f64;
+        for (layer, &sens) in layers.iter().zip(sensitivities) {
+            let run = run_policy(&layer.activations, &layer.scheme, self.hp, policy)
+                .map_err(|e| CoreError::InvalidParameter {
+                    name: "layer",
+                    detail: format!("{}: {e}", layer.name),
+                })?;
+            proxy += sens * mse(layer.activations.as_slice(), run.effective.as_slice());
+            fraction_acc += run.low_fraction();
+        }
+        Ok((proxy, fraction_acc / layers.len() as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drift_tensor::dist::{Laplace, Sampler};
+    use drift_tensor::rng::seeded;
+
+    fn synthetic_layer(seed: u64, tokens: usize, hidden: usize) -> CalibrationLayer {
+        let mut rng = seeded(seed);
+        let mut data = Vec::with_capacity(tokens * hidden);
+        for t in 0..tokens {
+            let b = 0.02 + 0.5 * (t as f64 / tokens as f64);
+            let lap = Laplace::new(0.0, b).unwrap();
+            data.extend(lap.sample_f32(&mut rng, hidden));
+        }
+        let weights =
+            Tensor::from_fn(vec![hidden, hidden], |i| (((i * 31) % 7) as f32 - 3.0) * 0.1)
+                .unwrap();
+        CalibrationLayer {
+            name: format!("layer{seed}"),
+            activations: Tensor::from_vec(vec![tokens, hidden], data).unwrap(),
+            scheme: SubTensorScheme::token(hidden),
+            weights: Some(weights),
+        }
+    }
+
+    #[test]
+    fn hutchinson_matches_frobenius() {
+        let w = Tensor::from_fn(vec![16, 24], |i| ((i % 5) as f32 - 2.0) * 0.3).unwrap();
+        let exact = exact_trace(&w);
+        let mut rng = seeded(1);
+        let est = hutchinson_trace(&w, 256, &mut rng);
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.15, "relative error {rel}");
+    }
+
+    #[test]
+    fn hutchinson_zero_probes_is_zero() {
+        let w = Tensor::full(vec![4, 4], 1.0).unwrap();
+        let mut rng = seeded(2);
+        assert_eq!(hutchinson_trace(&w, 0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn calibrate_validates_inputs() {
+        let cal = HessianCalibrator::new();
+        let mut rng = seeded(3);
+        assert!(cal.calibrate(&[], 0.05, &mut rng).is_err());
+        let layer = synthetic_layer(1, 8, 32);
+        assert!(cal.calibrate(&[layer.clone()], 0.0, &mut rng).is_err());
+        let empty = HessianCalibrator { candidates: vec![], ..HessianCalibrator::new() };
+        assert!(empty.calibrate(&[layer], 0.05, &mut rng).is_err());
+    }
+
+    #[test]
+    fn calibration_picks_aggressive_delta_within_budget() {
+        let cal = HessianCalibrator::new();
+        let layers: Vec<CalibrationLayer> =
+            (0..3).map(|s| synthetic_layer(s, 16, 64)).collect();
+        let mut rng = seeded(4);
+        // Generous budget: should pick a small δ with a high low-bit
+        // fraction.
+        let generous = cal.calibrate(&layers, 10.0, &mut rng).unwrap();
+        let mut rng2 = seeded(4);
+        // Tight budget: larger δ, lower low-bit fraction.
+        let tight = cal.calibrate(&layers, 0.01, &mut rng2).unwrap();
+        assert!(generous.delta <= tight.delta);
+        assert!(generous.low_fraction >= tight.low_fraction);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_low_fraction() {
+        let cal = HessianCalibrator::new();
+        let layers = vec![synthetic_layer(7, 32, 64)];
+        let mut rng = seeded(5);
+        let result = cal.calibrate(&layers, 1.0, &mut rng).unwrap();
+        for pair in result.sweep.windows(2) {
+            assert!(
+                pair[0].2 >= pair[1].2 - 1e-12,
+                "low fraction should not increase with δ"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_weights_fall_back_to_unit_sensitivity() {
+        let mut layer = synthetic_layer(9, 8, 32);
+        layer.weights = None;
+        let cal = HessianCalibrator::new();
+        let mut rng = seeded(6);
+        let result = cal.calibrate(&[layer], 1.0, &mut rng).unwrap();
+        assert!(result.delta > 0.0);
+        assert_eq!(result.sweep.len(), cal.candidates.len());
+    }
+}

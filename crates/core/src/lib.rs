@@ -1,0 +1,104 @@
+//! The Drift algorithm–architecture co-design: the paper's primary
+//! contribution.
+//!
+//! * [`selector`] — the distribution-based dynamic precision selection
+//!   algorithm (paper Section 3.3): Eq. 5 picks the high-end clip `hc`
+//!   from the representation-range test, Eq. 6 accepts or rejects the
+//!   conversion from the representation-density test.
+//! * [`calibrate`] — Hessian-aware selection of the density threshold δ
+//!   (paper's use of HAWQ/Q-BERT-style sensitivity).
+//! * [`arch`] — the Drift accelerator fabric: BitGroups with
+//!   bidirectional links, runtime partitioning into four systolic arrays
+//!   (Section 4.2 / Fig. 5), and the controller (precision selector +
+//!   index buffer, Section 4.1).
+//! * [`schedule`] — the balanced online scheduler minimising the maximum
+//!   per-array latency (Eq. 8) with the Eq. 7 analytical model.
+//! * [`accelerator`] — [`accelerator::DriftAccelerator`], tying fabric,
+//!   scheduler, and the `drift-accel` memory subsystem together behind
+//!   the common [`drift_accel::Accelerator`] trait.
+//!
+//! # Example
+//!
+//! Select precisions for a tensor and execute the resulting workload:
+//!
+//! ```rust
+//! use drift_core::accelerator::DriftAccelerator;
+//! use drift_core::selector::DriftPolicy;
+//! use drift_accel::accelerator::Accelerator;
+//! use drift_accel::gemm::{GemmShape, GemmWorkload};
+//! use drift_quant::policy::run_policy;
+//! use drift_quant::Precision;
+//! use drift_tensor::subtensor::SubTensorScheme;
+//! use drift_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Token-granular activations with heterogeneous scales.
+//! let acts = Tensor::from_fn(vec![64, 128], |i| {
+//!     let token = i / 128;
+//!     (1.0 + token as f32) / 64.0 * (((i * 37) % 13) as f32 - 6.0) / 6.0
+//! })?;
+//! let policy = DriftPolicy::new(16.0)?;
+//! let run = run_policy(&acts, &SubTensorScheme::token(128), Precision::INT8, &policy)?;
+//!
+//! let act_high: Vec<bool> =
+//!     run.decisions.iter().map(|d| !d.decision.is_low()).collect();
+//! let shape = GemmShape::new(64, 128, 256)?;
+//! let workload = GemmWorkload::new("layer", shape, act_high, vec![false; 256])?;
+//!
+//! let mut drift = DriftAccelerator::paper_config()?;
+//! let report = drift.execute(&workload)?;
+//! assert_eq!(report.stall_cycles, 0); // dataflow splitting removes stalls
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod accelerator;
+pub mod arch;
+pub mod calibrate;
+pub mod schedule;
+pub mod selector;
+
+pub use accelerator::DriftAccelerator;
+pub use selector::DriftPolicy;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A selector or scheduler parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A fabric partition was geometrically impossible.
+    InvalidPartition {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter {name}: {detail}")
+            }
+            CoreError::InvalidPartition { detail } => {
+                write!(f, "invalid partition: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;

@@ -1,0 +1,118 @@
+//! Property-based tests for the Drift core: the functional fabric, the
+//! selector, and the scheduler.
+
+use drift_accel::systolic::{simulate_stream, ArrayGeometry};
+use drift_core::arch::dispatch::DispatchPlan;
+use drift_core::arch::functional::FunctionalArray;
+use drift_core::arch::{paper_fabric, FabricPartition};
+use drift_core::schedule::balanced_schedule;
+use drift_core::selector::DriftPolicy;
+use drift_accel::gemm::{GemmShape, GemmWorkload};
+use drift_quant::linear::QuantParams;
+use drift_quant::Precision;
+use proptest::prelude::*;
+
+fn reference_gemm(a: &[i32], w: &[i32], m: usize, k: usize, n: usize) -> Vec<i64> {
+    let mut out = vec![0i64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                out[i * n + j] += i64::from(a[i * k + p]) * i64::from(w[p * n + j]);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The register-level fabric computes exactly the reference GEMM
+    /// for arbitrary shapes, tilings, and signed operands.
+    #[test]
+    fn functional_array_is_exact(
+        m in 1usize..10,
+        k in 1usize..20,
+        n in 1usize..12,
+        rows in 1usize..8,
+        cols in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let a: Vec<i32> = (0..m * k)
+            .map(|i| ((i as u64).wrapping_mul(seed + 13) % 255) as i32 - 127)
+            .collect();
+        let w: Vec<i32> = (0..k * n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 29) % 15) as i32 - 7)
+            .collect();
+        let arr = FunctionalArray::new(rows, cols).unwrap();
+        let (out, cycles) = arr.run_gemm(&a, &w, m, k, n).unwrap();
+        prop_assert_eq!(out, reference_gemm(&a, &w, m, k, n));
+        // Cycles equal the per-pass stream model summed over tiles.
+        let k_tiles = k.div_ceil(rows) as u64;
+        let n_tiles = n.div_ceil(cols) as u64;
+        let geo = ArrayGeometry::new(rows, cols).unwrap();
+        let per_pass = simulate_stream(&vec![1u32; m], geo, 1).total_cycles;
+        prop_assert_eq!(cycles, k_tiles * n_tiles * per_pass);
+    }
+
+    /// Eq. 5 structural property: `hc` is non-increasing in `abs_max`
+    /// (larger sub-tensors clip less from the high end).
+    #[test]
+    fn hc_monotone_in_abs_max(a in 1e-4f64..10.0, b in 1e-4f64..10.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let params = QuantParams::from_abs_max(10.0, Precision::INT8);
+        let policy = DriftPolicy::new(1.0).unwrap();
+        let c_lo = policy.range_choice(lo, &params).unwrap();
+        let c_hi = policy.range_choice(hi, &params).unwrap();
+        prop_assert!(c_lo.hc() >= c_hi.hc());
+    }
+
+    /// Every fabric partition covers all 792 BitGroups, whatever the
+    /// cuts.
+    #[test]
+    fn partitions_conserve_units(col in 0usize..=33, rl in 0usize..=24, rr in 0usize..=24) {
+        let p = FabricPartition::new(paper_fabric(), col, rl, rr).unwrap();
+        prop_assert_eq!(p.total_units(), 792);
+        // Geometries are consistent with the cuts.
+        let [hh, _, lh, _] = p.geometries();
+        if col > 0 && rl > 0 {
+            prop_assert_eq!(hh.unwrap().units(), rl * col);
+        }
+        if col > 0 && rl < 24 {
+            prop_assert_eq!(lh.unwrap().units(), (24 - rl) * col);
+        }
+    }
+
+    /// The balanced schedule's chosen partition reproduces the reported
+    /// latencies when re-evaluated, and dispatch extents match the
+    /// quadrants for any workload.
+    #[test]
+    fn schedule_and_dispatch_agree(
+        m in 4usize..200,
+        n in 4usize..200,
+        fa in 0.0f64..1.0,
+        fw in 0.0f64..1.0,
+    ) {
+        let shape = GemmShape::new(m, 256, n).unwrap();
+        let ah = (m as f64 * fa) as usize;
+        let wh = (n as f64 * fw) as usize;
+        let w = GemmWorkload::new(
+            "p",
+            shape,
+            (0..m).map(|i| (i * 7) % m < ah).collect(),
+            (0..n).map(|j| (j * 5) % n < wh).collect(),
+        )
+        .unwrap();
+        let quads = w.quadrants();
+        let schedule = balanced_schedule(paper_fabric(), &quads).unwrap();
+        let geos = schedule.partition.geometries();
+        for (idx, (q, geo)) in quads.iter().zip(geos).enumerate() {
+            let re = drift_core::schedule::quadrant_latency(q, geo).unwrap();
+            prop_assert_eq!(re, schedule.latencies[idx]);
+        }
+        let plan = DispatchPlan::build(&w, None).unwrap();
+        prop_assert!(plan.is_consistent(m, n));
+        let extents = plan.tile_extents();
+        for (e, q) in extents.iter().zip(&quads) {
+            prop_assert_eq!(*e, (q.rows, q.cols));
+        }
+    }
+}

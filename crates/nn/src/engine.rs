@@ -1,0 +1,644 @@
+//! Executable scaled-down models with pluggable quantization.
+//!
+//! These stand in for the pretrained checkpoints of the paper's
+//! accuracy evaluation (Fig. 6, Table 1). They are small enough to run
+//! thousands of forwards in tests, but structurally faithful: real
+//! attention, real GEMMs, real im2col convolution — and the
+//! quantization hook sits exactly where the hardware applies it, on the
+//! activations entering each GEMM, at the model family's sub-tensor
+//! granularity.
+//!
+//! A modelling note on quantization placement: the tiny transformers
+//! quantize the *residual stream* (where the Figure-1 per-token scale
+//! dispersion lives) and apply layer normalisation *after* the
+//! quantization point, pre-attention and pre-MLP. LN re-amplifies every
+//! token to unit scale, which is exactly why small-scale tokens matter
+//! in real transformers: a method that wipes a small token (DRQ's
+//! range-preserving 4-bit step) destroys that token's entire post-LN
+//! representation, while a density-preserving encoding (Drift's
+//! high-end clipping) keeps it intact.
+
+use crate::layers::{
+    gelu, im2col, layernorm_rows, matmul, maxpool2, mean_pool_rows, multi_head_attention,
+    relu, transpose, Conv2dSpec,
+};
+use crate::{datagen, NnError, Result};
+use drift_quant::asymmetric::AsymmetricQuantizer;
+use drift_quant::linear::{dequantize_slice, quantize_slice};
+use drift_quant::policy::{run_policy, PrecisionPolicy};
+use drift_quant::precision::Precision;
+use drift_tensor::subtensor::SubTensorScheme;
+use drift_tensor::Tensor;
+use std::fmt;
+
+/// How a forward pass treats activations and weights.
+pub enum ForwardMode<'a> {
+    /// Exact f32 execution (the reference).
+    Fp32,
+    /// Weights statically INT8; activations quantized per sub-tensor by
+    /// the policy (INT8 kept or converted lower).
+    Quantized {
+        /// The precision policy deciding each activation sub-tensor.
+        policy: &'a dyn PrecisionPolicy,
+        /// The initial (high) precision.
+        hp: Precision,
+    },
+}
+
+impl<'a> ForwardMode<'a> {
+    /// Quantized execution at the paper's INT8 initial precision.
+    pub fn quantized(policy: &'a dyn PrecisionPolicy) -> Self {
+        ForwardMode::Quantized { policy, hp: Precision::INT8 }
+    }
+}
+
+impl fmt::Debug for ForwardMode<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForwardMode::Fp32 => write!(f, "Fp32"),
+            ForwardMode::Quantized { policy, hp } => {
+                write!(f, "Quantized({}, hp={hp})", policy.name())
+            }
+        }
+    }
+}
+
+/// The result of one forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardOutput {
+    /// Logits: `[1, classes]` for classifiers, `[seq, vocab]` for
+    /// language models.
+    pub logits: Tensor,
+    /// Per-quantized-GEMM low-precision element fractions (empty in
+    /// FP32 mode).
+    pub layer_fractions: Vec<f64>,
+}
+
+impl ForwardOutput {
+    /// Mean low-precision fraction across quantized GEMMs (0 in FP32
+    /// mode).
+    pub fn low_fraction(&self) -> f64 {
+        if self.layer_fractions.is_empty() {
+            0.0
+        } else {
+            self.layer_fractions.iter().sum::<f64>() / self.layer_fractions.len() as f64
+        }
+    }
+}
+
+/// An executable model.
+pub trait Model {
+    /// A short name for reports.
+    fn name(&self) -> &str;
+
+    /// Runs a forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] for shape mismatches.
+    fn forward(&self, input: &Tensor, mode: &ForwardMode<'_>) -> Result<ForwardOutput>;
+}
+
+/// Quantizes activations entering a GEMM according to the mode,
+/// returning the effective tensor and the low fraction.
+fn quantize_activations(
+    x: &Tensor,
+    scheme: &SubTensorScheme,
+    mode: &ForwardMode<'_>,
+) -> Result<(Tensor, Option<f64>)> {
+    match mode {
+        ForwardMode::Fp32 => Ok((x.clone(), None)),
+        ForwardMode::Quantized { policy, hp } => {
+            let run = run_policy(x, scheme, *hp, *policy)?;
+            let frac = run.low_fraction();
+            Ok((run.effective, Some(frac)))
+        }
+    }
+}
+
+/// Like [`quantize_activations`], but asymmetric (per-row zero-point):
+/// post-GELU tensors are one-sided, and every practical PTQ pipeline
+/// quantizes them with a zero-point. Delegates to
+/// [`drift_quant::asymmetric::AsymmetricQuantizer`].
+fn quantize_activations_centered(
+    x: &Tensor,
+    scheme: &SubTensorScheme,
+    mode: &ForwardMode<'_>,
+) -> Result<(Tensor, Option<f64>)> {
+    match mode {
+        ForwardMode::Fp32 => Ok((x.clone(), None)),
+        ForwardMode::Quantized { policy, hp } => {
+            let out = AsymmetricQuantizer::new(*hp).run(x, scheme, *policy)?;
+            let frac = out.low_fraction();
+            Ok((out.effective, Some(frac)))
+        }
+    }
+}
+
+/// Statically INT8-quantizes a weight matrix (per-tensor scale), the
+/// treatment every method shares in the accuracy comparison.
+fn quantize_weights(w: &Tensor, mode: &ForwardMode<'_>) -> Result<Tensor> {
+    match mode {
+        ForwardMode::Fp32 => Ok(w.clone()),
+        ForwardMode::Quantized { hp, .. } => {
+            let (codes, params) = quantize_slice(w.as_slice(), *hp)?;
+            Ok(Tensor::from_vec(
+                w.shape().dims().to_vec(),
+                dequantize_slice(&codes, &params),
+            )?)
+        }
+    }
+}
+
+/// One transformer block's weights.
+#[derive(Debug, Clone)]
+struct Block {
+    wq: Tensor,
+    wk: Tensor,
+    wv: Tensor,
+    wo: Tensor,
+    w1: Tensor,
+    w2: Tensor,
+}
+
+/// A tiny but structurally real transformer (attention + MLP blocks).
+#[derive(Debug, Clone)]
+pub struct TinyTransformer {
+    name: String,
+    hidden: usize,
+    head: Tensor,
+    blocks: Vec<Block>,
+    /// When true the head maps every token to vocab logits (language
+    /// model) and attention is causally masked; otherwise tokens are
+    /// mean-pooled into one class row.
+    lm: bool,
+    /// Attention heads.
+    heads: usize,
+    /// Residual gain keeping activations bounded without
+    /// normalisation.
+    residual_gain: f32,
+}
+
+impl TinyTransformer {
+    /// A BERT-like classifier: hidden 64, 2 blocks, 10 classes, with a
+    /// matched head (see [`TinyTransformer::with_matched_head`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-generation errors.
+    pub fn bert_like(seed: u64) -> Result<Self> {
+        Ok(TinyTransformer::build("tiny-bert", seed, 64, 2, 10, false)?
+            .with_matched_head(10))
+    }
+
+    /// A ViT-like classifier (same structure, used with the ViT data
+    /// profile), with a matched head.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-generation errors.
+    pub fn vit_like(seed: u64) -> Result<Self> {
+        Ok(TinyTransformer::build("tiny-vit", seed, 64, 2, 10, false)?
+            .with_matched_head(10))
+    }
+
+    /// Replaces the classifier head with one whose column `c` is the
+    /// class-`c` template of [`crate::datagen::class_template`] — what a
+    /// trained classifier converges to when the data carries class
+    /// templates. Gives the fidelity evaluation real logit margins.
+    pub fn with_matched_head(mut self, classes: usize) -> Self {
+        let hidden = self.hidden;
+        let mut head = vec![0.0f32; hidden * classes];
+        for c in 0..classes {
+            let template = datagen::class_template(c, hidden);
+            for (j, &t) in template.iter().enumerate() {
+                head[j * classes + c] = t as f32;
+            }
+        }
+        self.head = Tensor::from_vec(vec![hidden, classes], head)
+            .expect("dimensions are consistent");
+        self
+    }
+
+    /// A decoder-style language model with the given vocabulary size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-generation errors.
+    pub fn llm_like(seed: u64, vocab: usize) -> Result<Self> {
+        TinyTransformer::build("tiny-llm", seed, 64, 3, vocab, true)
+    }
+
+    /// Builds a custom transformer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidModel`] for zero sizes.
+    pub fn build(
+        name: &str,
+        seed: u64,
+        hidden: usize,
+        blocks: usize,
+        out_dim: usize,
+        lm: bool,
+    ) -> Result<Self> {
+        if hidden == 0 || blocks == 0 || out_dim == 0 {
+            return Err(NnError::InvalidModel {
+                detail: format!("degenerate transformer: h={hidden} b={blocks} o={out_dim}"),
+            });
+        }
+        let mut block_list = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let s = seed.wrapping_mul(1000).wrapping_add(b as u64);
+            block_list.push(Block {
+                wq: datagen::xavier_weights(hidden, hidden, s)?,
+                wk: datagen::xavier_weights(hidden, hidden, s + 1)?,
+                wv: datagen::xavier_weights(hidden, hidden, s + 2)?,
+                wo: datagen::xavier_weights(hidden, hidden, s + 3)?,
+                w1: datagen::xavier_weights(hidden, hidden * 4, s + 4)?,
+                w2: datagen::xavier_weights(hidden * 4, hidden, s + 5)?,
+            });
+        }
+        Ok(TinyTransformer {
+            name: name.to_string(),
+            hidden,
+            head: datagen::xavier_weights(hidden, out_dim, seed.wrapping_add(99))?,
+            blocks: block_list,
+            lm,
+            heads: 4,
+            residual_gain: 0.5,
+        })
+    }
+
+    /// Hidden width (the token length inputs must use).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Attention heads per block.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Whether the model emits per-token vocabulary logits.
+    pub fn is_lm(&self) -> bool {
+        self.lm
+    }
+}
+
+impl Model for TinyTransformer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor, mode: &ForwardMode<'_>) -> Result<ForwardOutput> {
+        let dims = input.shape().dims();
+        if dims.len() != 2 || dims[1] != self.hidden {
+            return Err(NnError::InvalidModel {
+                detail: format!(
+                    "{} expects [seq, {}], got {:?}",
+                    self.name, self.hidden, dims
+                ),
+            });
+        }
+        let mut fractions = Vec::new();
+        let mut x = input.clone();
+        for block in &self.blocks {
+            // Attention sub-layer: quantize the residual stream at
+            // token granularity, then normalise and run attention
+            // (pre-LN placement; LN sits after the quantization point).
+            let scheme = SubTensorScheme::token(x.shape().dims()[1]);
+            let (xq, f) = quantize_activations(&x, &scheme, mode)?;
+            if let Some(f) = f {
+                fractions.push(f);
+            }
+            let xn = layernorm_rows(&xq, 1e-6)?;
+            let attn = multi_head_attention(
+                &xn,
+                &quantize_weights(&block.wq, mode)?,
+                &quantize_weights(&block.wk, mode)?,
+                &quantize_weights(&block.wv, mode)?,
+                self.heads,
+                self.lm,
+            )?;
+            let attn = matmul(&attn, &quantize_weights(&block.wo, mode)?)?;
+            x = x.zip_with(&attn, |a, b| a + self.residual_gain * b)?;
+
+            // MLP sub-layer: quantize, normalise, expand, and quantize
+            // the (homogeneous) expanded activations too.
+            let scheme = SubTensorScheme::token(x.shape().dims()[1]);
+            let (xq, f) = quantize_activations(&x, &scheme, mode)?;
+            if let Some(f) = f {
+                fractions.push(f);
+            }
+            let xn = layernorm_rows(&xq, 1e-6)?;
+            let h = gelu(&matmul(&xn, &quantize_weights(&block.w1, mode)?)?);
+            let scheme_h = SubTensorScheme::token(h.shape().dims()[1]);
+            let (hq, f) = quantize_activations_centered(&h, &scheme_h, mode)?;
+            if let Some(f) = f {
+                fractions.push(f);
+            }
+            let down = matmul(&hq, &quantize_weights(&block.w2, mode)?)?;
+            x = x.zip_with(&down, |a, b| a + self.residual_gain * b)?;
+        }
+
+        // The classifier / LM head stays at the initial high precision,
+        // the standard PTQ practice (first/last layers are excluded
+        // from aggressive quantization); its input quantizes at INT8.
+        let head = quantize_weights(&self.head, mode)?;
+        let head_input_quant = |x: &Tensor| -> Result<Tensor> {
+            match mode {
+                ForwardMode::Fp32 => Ok(x.clone()),
+                ForwardMode::Quantized { hp, .. } => {
+                    let (codes, params) = quantize_slice(x.as_slice(), *hp)?;
+                    Ok(Tensor::from_vec(
+                        x.shape().dims().to_vec(),
+                        dequantize_slice(&codes, &params),
+                    )?)
+                }
+            }
+        };
+        let logits = if self.lm {
+            // Per-token vocabulary logits from the normalised stream.
+            let xq = head_input_quant(&x)?;
+            matmul(&layernorm_rows(&xq, 1e-6)?, &head)?
+        } else {
+            let xq = head_input_quant(&x)?;
+            let pooled = mean_pool_rows(&layernorm_rows(&xq, 1e-6)?)?;
+            matmul(&pooled, &head)?
+        };
+        Ok(ForwardOutput { logits, layer_fractions: fractions })
+    }
+}
+
+/// A tiny CNN classifier executing convolutions as im2col GEMMs.
+#[derive(Debug, Clone)]
+pub struct TinyCnn {
+    name: String,
+    specs: Vec<Conv2dSpec>,
+    /// Conv weights, `[out_c, k·k·in_c]` each.
+    weights: Vec<Tensor>,
+    head: Tensor,
+    input_hw: usize,
+    input_channels: usize,
+    /// Region tile height (rows of the im2col matrix grouped into one
+    /// sub-tensor) — the DRQ-style region granularity.
+    region_rows: usize,
+    /// Indices of convs whose output adds back the stage input
+    /// (ResNet-style identity shortcuts; requires equal channels and
+    /// spatial size).
+    residual_after: Vec<usize>,
+}
+
+
+impl TinyCnn {
+    /// A ResNet-flavoured tiny CNN: 3→16→32 channels on 16×16 inputs,
+    /// 10 classes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-generation errors.
+    pub fn resnet_like(seed: u64) -> Result<Self> {
+        let specs = vec![
+            Conv2dSpec { in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
+            Conv2dSpec { in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+        ];
+        let weights = vec![
+            datagen::xavier_weights(16, 27, seed)?,
+            datagen::xavier_weights(32, 144, seed + 1)?,
+        ];
+        Ok(TinyCnn {
+            name: "tiny-cnn".to_string(),
+            specs,
+            weights,
+            head: datagen::xavier_weights(32, 10, seed + 2)?,
+            input_hw: 16,
+            input_channels: 3,
+            region_rows: 8,
+            residual_after: Vec::new(),
+        })
+    }
+
+    /// A residual variant: 3→16 stem, then a 16→16 identity-shortcut
+    /// block, then 16→32 — structurally closer to a ResNet basic block.
+    ///
+    /// # Errors
+    ///
+    /// Propagates weight-generation errors.
+    pub fn residual_like(seed: u64) -> Result<Self> {
+        let specs = vec![
+            Conv2dSpec { in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
+            Conv2dSpec { in_channels: 16, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
+            Conv2dSpec { in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+        ];
+        let weights = vec![
+            datagen::xavier_weights(16, 27, seed)?,
+            datagen::xavier_weights(16, 144, seed + 1)?,
+            datagen::xavier_weights(32, 144, seed + 2)?,
+        ];
+        Ok(TinyCnn {
+            name: "tiny-resnet".to_string(),
+            specs,
+            weights,
+            head: datagen::xavier_weights(32, 10, seed + 3)?,
+            input_hw: 16,
+            input_channels: 3,
+            region_rows: 8,
+            residual_after: vec![1],
+        })
+    }
+
+    /// Expected input spatial size.
+    pub fn input_hw(&self) -> usize {
+        self.input_hw
+    }
+
+    /// Expected input channels.
+    pub fn input_channels(&self) -> usize {
+        self.input_channels
+    }
+}
+
+impl Model for TinyCnn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, input: &Tensor, mode: &ForwardMode<'_>) -> Result<ForwardOutput> {
+        let dims = input.shape().dims();
+        if dims != [self.input_channels, self.input_hw, self.input_hw] {
+            return Err(NnError::InvalidModel {
+                detail: format!(
+                    "{} expects [{}, {}, {}], got {:?}",
+                    self.name, self.input_channels, self.input_hw, self.input_hw, dims
+                ),
+            });
+        }
+        let mut fractions = Vec::new();
+        let mut x = input.clone();
+        for (idx, (spec, w)) in self.specs.iter().zip(&self.weights).enumerate() {
+            let stage_input = x.clone();
+            let cols = im2col(&x, spec)?;
+            let k_cols = cols.shape().dims()[1];
+            let scheme = SubTensorScheme::region(self.region_rows, k_cols);
+            let (colsq, f) = quantize_activations(&cols, &scheme, mode)?;
+            if let Some(f) = f {
+                fractions.push(f);
+            }
+            let wq = quantize_weights(w, mode)?;
+            let y = matmul(&colsq, &transpose(&wq)?)?;
+            let d = x.shape().dims();
+            let (oh, ow) = spec.output_hw(d[1], d[2])?;
+            x = transpose(&y)?.reshaped(vec![spec.out_channels, oh, ow])?;
+            if self.residual_after.contains(&idx) {
+                // Identity shortcut (requires matching shapes).
+                x = x.add(&stage_input)?;
+            }
+            x = relu(&x);
+            if !self.residual_after.contains(&idx) {
+                x = maxpool2(&x)?;
+            }
+        }
+        // Global average pool per channel.
+        let d = x.shape().dims();
+        let (c, hw) = (d[0], d[1] * d[2]);
+        let flat = x.reshaped(vec![c, hw])?;
+        let mut pooled = vec![0.0f32; c];
+        for ch in 0..c {
+            pooled[ch] =
+                flat.as_slice()[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32;
+        }
+        let pooled = Tensor::from_vec(vec![1, c], pooled)?;
+        let logits = matmul(&pooled, &quantize_weights(&self.head, mode)?)?;
+        Ok(ForwardOutput { logits, layer_fractions: fractions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{ImageProfile, TokenProfile};
+    use drift_core::selector::DriftPolicy;
+    use drift_quant::policy::StaticHighPolicy;
+
+    #[test]
+    fn transformer_rejects_bad_input() {
+        let m = TinyTransformer::bert_like(1).unwrap();
+        let bad = Tensor::zeros(vec![8, 32]).unwrap();
+        assert!(m.forward(&bad, &ForwardMode::Fp32).is_err());
+        assert!(TinyTransformer::build("x", 1, 0, 1, 1, false).is_err());
+    }
+
+    #[test]
+    fn fp32_forward_is_deterministic() {
+        let m = TinyTransformer::bert_like(2).unwrap();
+        let input = TokenProfile::bert().generate(16, 64, 3).unwrap();
+        let a = m.forward(&input, &ForwardMode::Fp32).unwrap();
+        let b = m.forward(&input, &ForwardMode::Fp32).unwrap();
+        assert_eq!(a.logits, b.logits);
+        assert!(a.layer_fractions.is_empty());
+        assert_eq!(a.logits.shape().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn int8_forward_is_close_to_fp32() {
+        let m = TinyTransformer::bert_like(4).unwrap();
+        let input = TokenProfile::bert().generate(16, 64, 5).unwrap();
+        let fp32 = m.forward(&input, &ForwardMode::Fp32).unwrap();
+        let int8 = m
+            .forward(&input, &ForwardMode::quantized(&StaticHighPolicy))
+            .unwrap();
+        let cos = drift_quant::linear::cosine_similarity(
+            fp32.logits.as_slice(),
+            int8.logits.as_slice(),
+        );
+        assert!(cos > 0.98, "INT8 cosine similarity {cos}");
+        assert_eq!(int8.low_fraction(), 0.0);
+    }
+
+    #[test]
+    fn drift_forward_uses_low_precision() {
+        let m = TinyTransformer::bert_like(4).unwrap();
+        let input = TokenProfile::bert().generate(16, 64, 5).unwrap();
+        let policy = DriftPolicy::new(0.1).unwrap();
+        let out = m.forward(&input, &ForwardMode::quantized(&policy)).unwrap();
+        assert!(out.low_fraction() > 0.3, "low fraction {}", out.low_fraction());
+        let fp32 = m.forward(&input, &ForwardMode::Fp32).unwrap();
+        let cos = drift_quant::linear::cosine_similarity(
+            fp32.logits.as_slice(),
+            out.logits.as_slice(),
+        );
+        assert!(cos > 0.9, "drift cosine similarity {cos}");
+    }
+
+    #[test]
+    fn llm_emits_per_token_logits() {
+        let m = TinyTransformer::llm_like(6, 32).unwrap();
+        assert!(m.is_lm());
+        let input = TokenProfile::llm().generate(12, 64, 7).unwrap();
+        let out = m.forward(&input, &ForwardMode::Fp32).unwrap();
+        assert_eq!(out.logits.shape().dims(), &[12, 32]);
+    }
+
+    #[test]
+    fn cnn_forward_shapes() {
+        let m = TinyCnn::resnet_like(8).unwrap();
+        let img = ImageProfile::natural().generate(3, 16, 16, 9).unwrap();
+        let out = m.forward(&img, &ForwardMode::Fp32).unwrap();
+        assert_eq!(out.logits.shape().dims(), &[1, 10]);
+        let bad = Tensor::zeros(vec![3, 8, 8]).unwrap();
+        assert!(m.forward(&bad, &ForwardMode::Fp32).is_err());
+    }
+
+    #[test]
+    fn cnn_quantized_close_to_fp32() {
+        let m = TinyCnn::resnet_like(8).unwrap();
+        let img = ImageProfile::natural().generate(3, 16, 16, 10).unwrap();
+        let fp32 = m.forward(&img, &ForwardMode::Fp32).unwrap();
+        let policy = DriftPolicy::new(0.1).unwrap();
+        let q = m.forward(&img, &ForwardMode::quantized(&policy)).unwrap();
+        let cos = drift_quant::linear::cosine_similarity(
+            fp32.logits.as_slice(),
+            q.logits.as_slice(),
+        );
+        assert!(cos > 0.9, "cnn drift cosine {cos}");
+        assert!(!q.layer_fractions.is_empty());
+    }
+
+    #[test]
+    fn forward_mode_debug_strings() {
+        let policy = StaticHighPolicy;
+        let m = ForwardMode::quantized(&policy);
+        assert!(format!("{m:?}").contains("int8"));
+        assert_eq!(format!("{:?}", ForwardMode::Fp32), "Fp32");
+    }
+
+    #[test]
+    fn residual_cnn_forwards_and_quantizes() {
+        let m = TinyCnn::residual_like(21).unwrap();
+        let img = ImageProfile::natural().generate(3, 16, 16, 33).unwrap();
+        let fp32 = m.forward(&img, &ForwardMode::Fp32).unwrap();
+        assert_eq!(fp32.logits.shape().dims(), &[1, 10]);
+        let policy = DriftPolicy::new(0.05).unwrap();
+        let q = m.forward(&img, &ForwardMode::quantized(&policy)).unwrap();
+        assert_eq!(q.layer_fractions.len(), 3);
+        let cos = drift_quant::linear::cosine_similarity(
+            fp32.logits.as_slice(),
+            q.logits.as_slice(),
+        );
+        assert!(cos > 0.9, "residual cnn drift cosine {cos}");
+    }
+
+    #[test]
+    fn residual_shortcut_changes_the_function() {
+        // With identical seeds, the residual variant must differ from a
+        // shortcut-free stack (the shortcut is live).
+        let img = ImageProfile::natural().generate(3, 16, 16, 34).unwrap();
+        let with = TinyCnn::residual_like(21).unwrap();
+        let mut without = TinyCnn::residual_like(21).unwrap();
+        without.residual_after.clear();
+        let a = with.forward(&img, &ForwardMode::Fp32).unwrap();
+        let b = without.forward(&img, &ForwardMode::Fp32).unwrap();
+        assert_ne!(a.logits, b.logits);
+    }
+}

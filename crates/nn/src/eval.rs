@@ -1,0 +1,383 @@
+//! Accuracy and perplexity evaluation (Fig. 6 and Table 1).
+//!
+//! Without the original checkpoints and datasets, absolute task
+//! accuracy is not measurable; what *is* measurable — and what the
+//! paper's claims are actually about — is the accuracy **loss** a
+//! quantization method induces relative to FP32. We therefore measure
+//! *fidelity*: the top-1 agreement between the quantized model and its
+//! own FP32 reference over a synthetic input set, and report it
+//! anchored to the paper's FP32 accuracy:
+//!
+//! ```text
+//! reported = anchor − (1 − agreement) · 100        (percentage points)
+//! ```
+//!
+//! For LLMs, the perplexity proxy follows the same logic: quantization
+//! perturbs logits, increasing cross-entropy against the FP32
+//! reference labels by `ΔCE`, and perplexity scales as
+//! `ppl = anchor · exp(ΔCE)`.
+
+use crate::engine::{ForwardMode, Model};
+use crate::layers::{argmax_rows, cross_entropy};
+use crate::Result;
+use drift_quant::policy::PrecisionPolicy;
+use drift_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Fidelity-accuracy report for one (model, policy) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// Top-1 agreement with the FP32 reference, in [0, 1].
+    pub agreement: f64,
+    /// Agreement anchored to the paper's FP32 accuracy (percentage
+    /// points, clamped at 0).
+    pub anchored_accuracy: f64,
+    /// Mean low-precision element fraction across quantized GEMMs.
+    pub low_fraction: f64,
+    /// Inputs evaluated.
+    pub samples: usize,
+}
+
+impl FidelityReport {
+    /// The 95% Wilson score interval for the agreement — how much of a
+    /// reported accuracy difference is sampling noise at this input
+    /// count.
+    pub fn agreement_ci95(&self) -> (f64, f64) {
+        wilson_interval(self.agreement, self.samples, 1.96)
+    }
+}
+
+/// The Wilson score interval for a binomial proportion `p` over `n`
+/// trials at normal quantile `z`. Returns `(0, 1)` for `n = 0`.
+pub fn wilson_interval(p: f64, n: usize, z: f64) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let n = n as f64;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+/// Runs the classification fidelity protocol: FP32 forward fixes the
+/// reference label per input; the quantized forward must reproduce it.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors; errors on an empty input set.
+pub fn classification_fidelity(
+    model: &dyn Model,
+    inputs: &[Tensor],
+    policy: &dyn PrecisionPolicy,
+    fp32_anchor: f64,
+) -> Result<FidelityReport> {
+    if inputs.is_empty() {
+        return Err(crate::NnError::InvalidModel {
+            detail: "fidelity evaluation needs at least one input".to_string(),
+        });
+    }
+    let mode = ForwardMode::quantized(policy);
+    let mut agree = 0usize;
+    let mut frac_acc = 0.0f64;
+    for input in inputs {
+        let reference = model.forward(input, &ForwardMode::Fp32)?;
+        let quantized = model.forward(input, &mode)?;
+        let ref_label = argmax_rows(&reference.logits)?[0];
+        let q_label = argmax_rows(&quantized.logits)?[0];
+        if ref_label == q_label {
+            agree += 1;
+        }
+        frac_acc += quantized.low_fraction();
+    }
+    let agreement = agree as f64 / inputs.len() as f64;
+    Ok(FidelityReport {
+        agreement,
+        anchored_accuracy: (fp32_anchor - (1.0 - agreement) * 100.0).max(0.0),
+        low_fraction: frac_acc / inputs.len() as f64,
+        samples: inputs.len(),
+    })
+}
+
+/// Perplexity-proxy report for one (model, policy) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerplexityReport {
+    /// The proxy perplexity `anchor · exp(ΔCE)`.
+    pub perplexity: f64,
+    /// The quantization-induced cross-entropy increase, in nats.
+    pub delta_ce: f64,
+    /// Mean low-precision element fraction across quantized GEMMs.
+    pub low_fraction: f64,
+    /// Inputs evaluated.
+    pub samples: usize,
+}
+
+/// Runs the perplexity-proxy protocol on a language model: per input,
+/// the FP32 forward's per-token argmax fixes the reference labels; the
+/// quantized model's cross-entropy against those labels minus the FP32
+/// model's own is `ΔCE`.
+///
+/// Pass `policy = None` for the FP32 row (ΔCE = 0 by construction).
+///
+/// # Errors
+///
+/// Propagates forward-pass errors; errors on an empty input set.
+pub fn perplexity_proxy(
+    model: &dyn Model,
+    inputs: &[Tensor],
+    policy: Option<&dyn PrecisionPolicy>,
+    anchor_ppl: f64,
+) -> Result<PerplexityReport> {
+    if inputs.is_empty() {
+        return Err(crate::NnError::InvalidModel {
+            detail: "perplexity evaluation needs at least one input".to_string(),
+        });
+    }
+    let mut delta_acc = 0.0f64;
+    let mut frac_acc = 0.0f64;
+    for input in inputs {
+        let reference = model.forward(input, &ForwardMode::Fp32)?;
+        let labels = argmax_rows(&reference.logits)?;
+        let ce_ref = cross_entropy(&reference.logits, &labels)?;
+        match policy {
+            None => {}
+            Some(p) => {
+                let quantized = model.forward(input, &ForwardMode::quantized(p))?;
+                let ce_q = cross_entropy(&quantized.logits, &labels)?;
+                delta_acc += (ce_q - ce_ref).max(0.0);
+                frac_acc += quantized.low_fraction();
+            }
+        }
+    }
+    let delta_ce = delta_acc / inputs.len() as f64;
+    Ok(PerplexityReport {
+        perplexity: anchor_ppl * delta_ce.exp(),
+        delta_ce,
+        low_fraction: frac_acc / inputs.len() as f64,
+        samples: inputs.len(),
+    })
+}
+
+/// Selects the density threshold δ like the paper's calibration:
+/// "quickly identify the minimum threshold with negligible impact on
+/// model accuracy". The Hessian proxy
+/// ([`drift_core::calibrate::HessianCalibrator`]) narrows the grid
+/// cheaply; this confirms each candidate on held-out calibration
+/// inputs and returns the smallest δ whose agreement stays within
+/// `tolerance` of INT8's. Falls back to the grid's largest (most
+/// conservative) candidate when none qualifies.
+///
+/// # Errors
+///
+/// Returns an error for an empty grid or calibration set, or when a
+/// forward pass fails.
+pub fn calibrate_delta_by_fidelity(
+    model: &dyn Model,
+    calibration_inputs: &[Tensor],
+    grid: &[f64],
+    tolerance: f64,
+) -> Result<f64> {
+    if grid.is_empty() {
+        return Err(crate::NnError::InvalidModel {
+            detail: "empty δ grid".to_string(),
+        });
+    }
+    let int8 = classification_fidelity(
+        model,
+        calibration_inputs,
+        &drift_quant::policy::StaticHighPolicy,
+        100.0,
+    )?;
+    let mut sorted = grid.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite grid"));
+    for &delta in &sorted {
+        let policy =
+            drift_core::selector::DriftPolicy::new(delta).map_err(|e| {
+                crate::NnError::InvalidModel { detail: e.to_string() }
+            })?;
+        let r = classification_fidelity(model, calibration_inputs, &policy, 100.0)?;
+        if int8.agreement - r.agreement <= tolerance {
+            return Ok(delta);
+        }
+    }
+    Ok(*sorted.last().expect("grid is non-empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{ImageProfile, TokenProfile};
+    use crate::engine::{TinyCnn, TinyTransformer};
+    use drift_core::selector::DriftPolicy;
+    use drift_quant::drq::DrqPolicy;
+    use drift_quant::policy::StaticHighPolicy;
+
+    fn bert_inputs(n: usize, hidden: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| {
+                TokenProfile::bert()
+                    .generate_classified(16, hidden, i % 10, 2.5, 100 + i as u64)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn int8_fidelity_is_high() {
+        let model = TinyTransformer::bert_like(1).unwrap();
+        let inputs = bert_inputs(24, model.hidden());
+        let r =
+            classification_fidelity(&model, &inputs, &StaticHighPolicy, 80.0).unwrap();
+        assert!(r.agreement > 0.9, "INT8 agreement {}", r.agreement);
+        assert_eq!(r.samples, 24);
+        assert!(r.anchored_accuracy <= 80.0);
+    }
+
+    #[test]
+    fn drift_fidelity_close_to_int8_with_high_low_fraction() {
+        let model = TinyTransformer::bert_like(1).unwrap();
+        let inputs = bert_inputs(24, model.hidden());
+        let int8 =
+            classification_fidelity(&model, &inputs, &StaticHighPolicy, 80.0).unwrap();
+        let drift = classification_fidelity(
+            &model,
+            &inputs,
+            &DriftPolicy::new(0.05).unwrap(),
+            80.0,
+        )
+        .unwrap();
+        assert!(drift.low_fraction > 0.4, "low fraction {}", drift.low_fraction);
+        assert!(
+            int8.agreement - drift.agreement < 0.15,
+            "drift lost too much: {} vs {}",
+            drift.agreement,
+            int8.agreement
+        );
+    }
+
+    #[test]
+    fn drq_struggles_on_token_data() {
+        // The Section 5.2 result: DRQ's region criterion misfires on
+        // token-dispersed data relative to Drift at a similar low-bit
+        // share.
+        let model = TinyTransformer::bert_like(1).unwrap();
+        let inputs = bert_inputs(32, model.hidden());
+        let drq =
+            classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 80.0)
+                .unwrap();
+        let drift = classification_fidelity(
+            &model,
+            &inputs,
+            &DriftPolicy::new(0.05).unwrap(),
+            80.0,
+        )
+        .unwrap();
+        assert!(
+            drift.agreement >= drq.agreement,
+            "drift {} should be at least drq {}",
+            drift.agreement,
+            drq.agreement
+        );
+    }
+
+    #[test]
+    fn cnn_fidelity_works_for_both_policies() {
+        let model = TinyCnn::resnet_like(3).unwrap();
+        let inputs: Vec<Tensor> = (0..16)
+            .map(|i| ImageProfile::natural().generate(3, 16, 16, 200 + i as u64).unwrap())
+            .collect();
+        let drq =
+            classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 70.0)
+                .unwrap();
+        let drift = classification_fidelity(
+            &model,
+            &inputs,
+            &DriftPolicy::new(0.05).unwrap(),
+            70.0,
+        )
+        .unwrap();
+        // On CNN data both dynamic methods hold up (paper Fig. 6).
+        assert!(drq.agreement > 0.7, "drq on cnn {}", drq.agreement);
+        assert!(drift.agreement > 0.7, "drift on cnn {}", drift.agreement);
+    }
+
+    #[test]
+    fn perplexity_fp32_row_is_the_anchor() {
+        let model = TinyTransformer::llm_like(5, 32).unwrap();
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|i| TokenProfile::llm().generate(12, 64, 300 + i as u64).unwrap())
+            .collect();
+        let r = perplexity_proxy(&model, &inputs, None, 17.48).unwrap();
+        assert_eq!(r.perplexity, 17.48);
+        assert_eq!(r.delta_ce, 0.0);
+    }
+
+    #[test]
+    fn perplexity_increases_under_quantization() {
+        let model = TinyTransformer::llm_like(5, 32).unwrap();
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|i| TokenProfile::llm().generate(12, 64, 400 + i as u64).unwrap())
+            .collect();
+        let int8 = perplexity_proxy(&model, &inputs, Some(&StaticHighPolicy), 17.48).unwrap();
+        let drift = perplexity_proxy(
+            &model,
+            &inputs,
+            Some(&DriftPolicy::new(0.05).unwrap()),
+            17.48,
+        )
+        .unwrap();
+        assert!(int8.perplexity >= 17.48);
+        assert!(drift.perplexity >= 17.48);
+        assert!(drift.low_fraction > 0.4, "llm low fraction {}", drift.low_fraction);
+        // Drift stays within a modest factor of INT8 (Table 1's shape).
+        assert!(
+            drift.perplexity < int8.perplexity * 1.5 + 5.0,
+            "drift ppl {} vs int8 {}",
+            drift.perplexity,
+            int8.perplexity
+        );
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // Contains the point estimate, shrinks with n, and clamps.
+        let (lo, hi) = wilson_interval(0.9, 100, 1.96);
+        assert!(lo < 0.9 && 0.9 < hi);
+        let (lo2, hi2) = wilson_interval(0.9, 1000, 1.96);
+        assert!(hi2 - lo2 < hi - lo);
+        assert_eq!(wilson_interval(0.5, 0, 1.96), (0.0, 1.0));
+        let (lo3, hi3) = wilson_interval(1.0, 10, 1.96);
+        assert!(lo3 > 0.6 && hi3 <= 1.0);
+        let r = FidelityReport {
+            agreement: 0.95,
+            anchored_accuracy: 80.0,
+            low_fraction: 0.9,
+            samples: 128,
+        };
+        let (a, b) = r.agreement_ci95();
+        assert!(a < 0.95 && 0.95 < b);
+    }
+
+    #[test]
+    fn fidelity_calibration_picks_within_grid() {
+        let model = TinyTransformer::bert_like(1).unwrap();
+        let inputs = bert_inputs(24, model.hidden());
+        let grid = [0.01, 0.3, 3.0];
+        let delta =
+            calibrate_delta_by_fidelity(&model, &inputs, &grid, 0.05).unwrap();
+        assert!(grid.contains(&delta));
+        // A zero tolerance can only pick an equal-or-larger δ.
+        let strict =
+            calibrate_delta_by_fidelity(&model, &inputs, &grid, 0.0).unwrap();
+        assert!(strict >= delta);
+        assert!(calibrate_delta_by_fidelity(&model, &inputs, &[], 0.05).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let model = TinyTransformer::bert_like(1).unwrap();
+        assert!(classification_fidelity(&model, &[], &StaticHighPolicy, 80.0).is_err());
+        assert!(perplexity_proxy(&model, &[], None, 10.0).is_err());
+    }
+}

@@ -1,0 +1,724 @@
+//! Neural-network layer primitives on [`drift_tensor::Tensor`].
+//!
+//! Plain f32 reference implementations: GEMM, conv2d via im2col,
+//! attention, activations, pooling, softmax, and layer normalisation.
+//! The quantized engine ([`crate::engine`]) wraps the GEMM entry points
+//! with precision policies; everything here stays exact so it can serve
+//! as the FP32 reference.
+
+use crate::{NnError, Result};
+use drift_tensor::{Shape, Tensor};
+
+/// `C = A · B` for row-major `A: [m, k]` and `B: [k, n]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] when the inner dimensions disagree
+/// or an operand is not rank-2.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ad, bd) = (a.shape().dims(), b.shape().dims());
+    if ad.len() != 2 || bd.len() != 2 || ad[1] != bd[0] {
+        return Err(NnError::InvalidModel {
+            detail: format!("matmul shape mismatch: {:?} x {:?}", ad, bd),
+        });
+    }
+    let (m, k, n) = (ad[0], ad[1], bd[1]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let aip = av[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bpj) in orow.iter_mut().zip(brow) {
+                *o += aip * bpj;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(vec![m, n], out)?)
+}
+
+/// Adds a bias row vector `[n]` to every row of `x: [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] on shape mismatch.
+pub fn add_bias(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let xd = x.shape().dims();
+    if xd.len() != 2 || bias.shape().dims() != [xd[1]] {
+        return Err(NnError::InvalidModel {
+            detail: format!(
+                "bias shape {:?} does not match {:?}",
+                bias.shape().dims(),
+                xd
+            ),
+        });
+    }
+    let n = xd[1];
+    let bv = bias.as_slice();
+    let data = x
+        .as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v + bv[i % n])
+        .collect();
+    Ok(Tensor::from_vec(xd.to_vec(), data)?)
+}
+
+/// ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// GELU (tanh approximation).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(|v| {
+        let v3 = v * v * v;
+        0.5 * v * (1.0 + ((0.797_884_6) * (v + 0.044_715 * v3)).tanh())
+    })
+}
+
+/// Row-wise softmax over the last axis of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] for non-rank-2 input.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    let xd = x.shape().dims();
+    if xd.len() != 2 {
+        return Err(NnError::InvalidModel {
+            detail: format!("softmax expects rank-2, got {:?}", xd),
+        });
+    }
+    let (m, n) = (xd[0], xd[1]);
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &xv[i * n..(i + 1) * n];
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut sum = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[i * n + j] = e;
+            sum += e;
+        }
+        for o in &mut out[i * n..(i + 1) * n] {
+            *o /= sum;
+        }
+    }
+    Ok(Tensor::from_vec(vec![m, n], out)?)
+}
+
+/// Row-wise layer normalisation (zero mean, unit variance per row) with
+/// a learnable-free identity affine.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] for non-rank-2 input.
+pub fn layernorm_rows(x: &Tensor, eps: f32) -> Result<Tensor> {
+    let xd = x.shape().dims();
+    if xd.len() != 2 {
+        return Err(NnError::InvalidModel {
+            detail: format!("layernorm expects rank-2, got {:?}", xd),
+        });
+    }
+    let (m, n) = (xd[0], xd[1]);
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &xv[i * n..(i + 1) * n];
+        let mean = row.iter().sum::<f32>() / n as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (j, &v) in row.iter().enumerate() {
+            out[i * n + j] = (v - mean) * inv;
+        }
+    }
+    Ok(Tensor::from_vec(vec![m, n], out)?)
+}
+
+/// Mean over the rows of a rank-2 tensor, producing `[1, n]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] for non-rank-2 input.
+pub fn mean_pool_rows(x: &Tensor) -> Result<Tensor> {
+    let xd = x.shape().dims();
+    if xd.len() != 2 {
+        return Err(NnError::InvalidModel {
+            detail: format!("mean_pool expects rank-2, got {:?}", xd),
+        });
+    }
+    let (m, n) = (xd[0], xd[1]);
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j] += xv[i * n + j];
+        }
+    }
+    for o in &mut out {
+        *o /= m as f32;
+    }
+    Ok(Tensor::from_vec(vec![1, n], out)?)
+}
+
+/// Parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidModel`] when the kernel does not fit.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let eff_h = h + 2 * self.padding;
+        let eff_w = w + 2 * self.padding;
+        if self.kernel == 0 || self.stride == 0 || eff_h < self.kernel || eff_w < self.kernel
+        {
+            return Err(NnError::InvalidModel {
+                detail: format!("conv {self:?} does not fit input {h}x{w}"),
+            });
+        }
+        Ok((
+            (eff_h - self.kernel) / self.stride + 1,
+            (eff_w - self.kernel) / self.stride + 1,
+        ))
+    }
+}
+
+/// Lowers a `[c, h, w]` input to the im2col matrix `[out_h·out_w,
+/// k·k·c]`, so convolution becomes a GEMM against `[k·k·c, out_c]`
+/// weights — exactly how the accelerators execute it.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] on shape mismatch.
+pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    let d = input.shape().dims();
+    if d.len() != 3 || d[0] != spec.in_channels {
+        return Err(NnError::InvalidModel {
+            detail: format!("im2col expects [c={}, h, w], got {:?}", spec.in_channels, d),
+        });
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let k = spec.kernel;
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; oh * ow * k * k * c];
+    let cols = k * k * c;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            for ch in 0..c {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        let val = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                        {
+                            0.0
+                        } else {
+                            iv[ch * h * w + iy as usize * w + ix as usize]
+                        };
+                        out[row * cols + ch * k * k + ky * k + kx] = val;
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(vec![oh * ow, cols], out)?)
+}
+
+/// Direct (nested-loop) conv2d reference used to validate the
+/// im2col+GEMM path. Input `[c, h, w]`, weights `[out_c, k·k·c]`,
+/// output `[out_c, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] on shape mismatch.
+pub fn conv2d_direct(input: &Tensor, weights: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
+    let d = input.shape().dims();
+    let wd = weights.shape().dims();
+    let k = spec.kernel;
+    if wd != [spec.out_channels, k * k * spec.in_channels] {
+        return Err(NnError::InvalidModel {
+            detail: format!("weights {:?} do not match {spec:?}", wd),
+        });
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let (oh, ow) = spec.output_hw(h, w)?;
+    let iv = input.as_slice();
+    let wv = weights.as_slice();
+    let mut out = vec![0.0f32; spec.out_channels * oh * ow];
+    for oc in 0..spec.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ch in 0..c {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy =
+                                (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            let ix =
+                                (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                continue;
+                            }
+                            acc += iv[ch * h * w + iy as usize * w + ix as usize]
+                                * wv[oc * k * k * c + ch * k * k + ky * k + kx];
+                        }
+                    }
+                }
+                out[oc * oh * ow + oy * ow + ox] = acc;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(vec![spec.out_channels, oh, ow], out)?)
+}
+
+/// 2×2 max pooling with stride 2 on a `[c, h, w]` tensor (truncating
+/// odd edges).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] for inputs smaller than 2×2.
+pub fn maxpool2(input: &Tensor) -> Result<Tensor> {
+    let d = input.shape().dims();
+    if d.len() != 3 || d[1] < 2 || d[2] < 2 {
+        return Err(NnError::InvalidModel {
+            detail: format!("maxpool2 expects [c, h>=2, w>=2], got {:?}", d),
+        });
+    }
+    let (c, h, w) = (d[0], d[1], d[2]);
+    let (oh, ow) = (h / 2, w / 2);
+    let iv = input.as_slice();
+    let mut out = vec![0.0f32; c * oh * ow];
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        m = m.max(iv[ch * h * w + (oy * 2 + dy) * w + ox * 2 + dx]);
+                    }
+                }
+                out[ch * oh * ow + oy * ow + ox] = m;
+            }
+        }
+    }
+    Ok(Tensor::from_vec(vec![c, oh, ow], out)?)
+}
+
+/// Single-head scaled-dot-product self-attention over `x: [seq, d]`,
+/// with projection weights `wq, wk, wv: [d, d]`.
+///
+/// # Errors
+///
+/// Propagates GEMM shape errors.
+pub fn attention(x: &Tensor, wq: &Tensor, wk: &Tensor, wv: &Tensor) -> Result<Tensor> {
+    attention_with_mask(x, wq, wk, wv, false)
+}
+
+/// [`attention`] with an optional causal mask: position `i` may only
+/// attend to positions `j <= i` (the decoder-only LLM setting).
+///
+/// # Errors
+///
+/// Propagates GEMM shape errors.
+pub fn attention_with_mask(
+    x: &Tensor,
+    wq: &Tensor,
+    wk: &Tensor,
+    wv: &Tensor,
+    causal: bool,
+) -> Result<Tensor> {
+    let q = matmul(x, wq)?;
+    let k = matmul(x, wk)?;
+    let v = matmul(x, wv)?;
+    let d = x.shape().dims()[1] as f32;
+    let kt = transpose(&k)?;
+    let mut scores = matmul(&q, &kt)?.map(|s| s / d.sqrt());
+    if causal {
+        let seq = x.shape().dims()[0];
+        let sv = scores.as_mut_slice();
+        for i in 0..seq {
+            for j in i + 1..seq {
+                sv[i * seq + j] = f32::NEG_INFINITY;
+            }
+        }
+    }
+    let probs = softmax_rows(&scores)?;
+    matmul(&probs, &v)
+}
+
+/// Multi-head scaled-dot-product self-attention: the hidden dimension
+/// splits into `heads` equal slices, each attending independently
+/// (each head's Q/K/V are the corresponding column slices of the
+/// projections), and the head outputs concatenate.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] unless `heads` divides the hidden
+/// width; propagates GEMM shape errors.
+pub fn multi_head_attention(
+    x: &Tensor,
+    wq: &Tensor,
+    wk: &Tensor,
+    wv: &Tensor,
+    heads: usize,
+    causal: bool,
+) -> Result<Tensor> {
+    let (seq, d) = expect_matrix(x.shape())?;
+    if heads == 0 || d % heads != 0 {
+        return Err(NnError::InvalidModel {
+            detail: format!("{heads} heads do not divide hidden width {d}"),
+        });
+    }
+    let hd = d / heads;
+    let q = matmul(x, wq)?;
+    let k = matmul(x, wk)?;
+    let v = matmul(x, wv)?;
+    let slice_head = |t: &Tensor, h: usize| -> Result<Tensor> {
+        let tv = t.as_slice();
+        let mut out = Vec::with_capacity(seq * hd);
+        for i in 0..seq {
+            out.extend_from_slice(&tv[i * d + h * hd..i * d + (h + 1) * hd]);
+        }
+        Ok(Tensor::from_vec(vec![seq, hd], out)?)
+    };
+    let mut data = vec![0.0f32; seq * d];
+    for h in 0..heads {
+        let (qh, kh, vh) = (slice_head(&q, h)?, slice_head(&k, h)?, slice_head(&v, h)?);
+        let mut scores = matmul(&qh, &transpose(&kh)?)?.map(|s| s / (hd as f32).sqrt());
+        if causal {
+            let sv = scores.as_mut_slice();
+            for i in 0..seq {
+                for j in i + 1..seq {
+                    sv[i * seq + j] = f32::NEG_INFINITY;
+                }
+            }
+        }
+        let out_h = matmul(&softmax_rows(&scores)?, &vh)?;
+        for i in 0..seq {
+            data[i * d + h * hd..i * d + (h + 1) * hd]
+                .copy_from_slice(&out_h.as_slice()[i * hd..(i + 1) * hd]);
+        }
+    }
+    Ok(Tensor::from_vec(vec![seq, d], data)?)
+}
+
+/// Transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] for non-rank-2 input.
+pub fn transpose(x: &Tensor) -> Result<Tensor> {
+    let d = x.shape().dims();
+    if d.len() != 2 {
+        return Err(NnError::InvalidModel {
+            detail: format!("transpose expects rank-2, got {:?}", d),
+        });
+    }
+    let (m, n) = (d[0], d[1]);
+    let xv = x.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = xv[i * n + j];
+        }
+    }
+    Ok(Tensor::from_vec(vec![n, m], out)?)
+}
+
+/// Cross-entropy of row-wise logits against integer targets, in nats.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] on rank/target mismatch.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<f64> {
+    let d = logits.shape().dims();
+    if d.len() != 2 || targets.len() != d[0] {
+        return Err(NnError::InvalidModel {
+            detail: format!("cross_entropy shapes: logits {:?}, targets {}", d, targets.len()),
+        });
+    }
+    let probs = softmax_rows(logits)?;
+    let n = d[1];
+    let mut ce = 0.0f64;
+    for (i, &t) in targets.iter().enumerate() {
+        if t >= n {
+            return Err(NnError::InvalidModel {
+                detail: format!("target {t} out of range {n}"),
+            });
+        }
+        let p = f64::from(probs.as_slice()[i * n + t]).max(1e-12);
+        ce -= p.ln();
+    }
+    Ok(ce / targets.len() as f64)
+}
+
+/// Row-wise argmax of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidModel`] for non-rank-2 input.
+pub fn argmax_rows(x: &Tensor) -> Result<Vec<usize>> {
+    let d = x.shape().dims();
+    if d.len() != 2 {
+        return Err(NnError::InvalidModel {
+            detail: format!("argmax expects rank-2, got {:?}", d),
+        });
+    }
+    let (m, n) = (d[0], d[1]);
+    let xv = x.as_slice();
+    Ok((0..m)
+        .map(|i| {
+            let row = &xv[i * n..(i + 1) * n];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                .map(|(j, _)| j)
+                .expect("rows are non-empty")
+        })
+        .collect())
+}
+
+/// Validates a shape quickly for rank-2 use.
+pub fn expect_matrix(shape: &Shape) -> Result<(usize, usize)> {
+    let d = shape.dims();
+    if d.len() != 2 {
+        return Err(NnError::InvalidModel {
+            detail: format!("expected rank-2 tensor, got {:?}", d),
+        });
+    }
+    Ok((d[0], d[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let id = Tensor::from_vec(vec![2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+        assert!(matmul(&a, &a).is_err());
+    }
+
+    #[test]
+    fn bias_broadcasts_rows() {
+        let x = Tensor::zeros(vec![2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = add_bias(&x, &b).unwrap();
+        assert_eq!(y.as_slice(), &[1., 2., 3., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn activations() {
+        let x = Tensor::from_vec(vec![1, 3], vec![-1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+        let g = gelu(&x);
+        assert!(g.as_slice()[0] < 0.0 && g.as_slice()[0] > -0.2);
+        assert_eq!(g.as_slice()[1], 0.0);
+        assert!((g.as_slice()[2] - 1.954).abs() < 0.01);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        for i in 0..2 {
+            let sum: f32 = s.as_slice()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(s.as_slice()[2] > s.as_slice()[1]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let x = Tensor::from_vec(vec![1, 3], vec![1000.0, 1001.0, 1002.0]).unwrap();
+        let s = softmax_rows(&x).unwrap();
+        assert!(s.iter().all(|v| v.is_finite()));
+        let sum: f32 = s.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn layernorm_normalises_rows() {
+        let x = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = layernorm_rows(&x, 1e-6).unwrap();
+        let mean: f32 = y.as_slice().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.as_slice().iter().map(|&v| v * v).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mean_pool() {
+        let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let p = mean_pool_rows(&x).unwrap();
+        assert_eq!(p.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn conv_output_size() {
+        let spec = Conv2dSpec {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_eq!(spec.output_hw(8, 8).unwrap(), (4, 4));
+        let bad = Conv2dSpec { kernel: 9, ..spec };
+        assert!(bad.output_hw(4, 4).is_err());
+    }
+
+    #[test]
+    fn im2col_gemm_matches_direct_conv() {
+        let spec = Conv2dSpec {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let input = Tensor::from_fn(vec![2, 5, 5], |i| ((i * 13) % 9) as f32 - 4.0).unwrap();
+        let weights =
+            Tensor::from_fn(vec![3, 18], |i| ((i * 7) % 5) as f32 * 0.2 - 0.4).unwrap();
+        let direct = conv2d_direct(&input, &weights, &spec).unwrap();
+        // im2col path: [oh*ow, kkc] x [kkc, out_c] then transpose to
+        // [out_c, oh, ow].
+        let cols = im2col(&input, &spec).unwrap();
+        let wt = transpose(&weights).unwrap();
+        let gemm = matmul(&cols, &wt).unwrap(); // [25, 3]
+        let gemm_t = transpose(&gemm).unwrap(); // [3, 25]
+        let direct_flat = direct.reshaped(vec![3, 25]).unwrap();
+        for (a, b) in gemm_t.iter().zip(direct_flat.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn maxpool_halves() {
+        let x = Tensor::from_fn(vec![1, 4, 4], |i| i as f32).unwrap();
+        let p = maxpool2(&x).unwrap();
+        assert_eq!(p.shape().dims(), &[1, 2, 2]);
+        assert_eq!(p.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let x = Tensor::from_fn(vec![3, 5], |i| i as f32).unwrap();
+        let t = transpose(&x).unwrap();
+        assert_eq!(t.shape().dims(), &[5, 3]);
+        assert_eq!(transpose(&t).unwrap(), x);
+    }
+
+    #[test]
+    fn attention_shapes_and_uniform_value() {
+        // With all-zero projections the scores are uniform and the
+        // output equals the mean of V = 0.
+        let x = Tensor::from_fn(vec![4, 8], |i| (i % 7) as f32 - 3.0).unwrap();
+        let zeros = Tensor::zeros(vec![8, 8]).unwrap();
+        let out = attention(&x, &zeros, &zeros, &zeros).unwrap();
+        assert_eq!(out.shape().dims(), &[4, 8]);
+        assert!(out.iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn multi_head_with_one_head_equals_single_head() {
+        let x = Tensor::from_fn(vec![5, 8], |i| ((i * 7) % 11) as f32 * 0.1 - 0.5).unwrap();
+        let wq = Tensor::from_fn(vec![8, 8], |i| ((i * 3) % 7) as f32 * 0.1 - 0.3).unwrap();
+        let wk = Tensor::from_fn(vec![8, 8], |i| ((i * 5) % 9) as f32 * 0.1 - 0.4).unwrap();
+        let wv = Tensor::from_fn(vec![8, 8], |i| ((i * 11) % 5) as f32 * 0.1 - 0.2).unwrap();
+        let single = attention(&x, &wq, &wk, &wv).unwrap();
+        let multi = multi_head_attention(&x, &wq, &wk, &wv, 1, false).unwrap();
+        for (a, b) in single.iter().zip(multi.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn multi_head_validates_and_differs_from_single() {
+        let x = Tensor::from_fn(vec![4, 8], |i| (i % 5) as f32 - 2.0).unwrap();
+        let w = Tensor::from_fn(vec![8, 8], |i| ((i * 3) % 7) as f32 * 0.2 - 0.6).unwrap();
+        assert!(multi_head_attention(&x, &w, &w, &w, 3, false).is_err());
+        assert!(multi_head_attention(&x, &w, &w, &w, 0, false).is_err());
+        let m2 = multi_head_attention(&x, &w, &w, &w, 2, false).unwrap();
+        let m1 = multi_head_attention(&x, &w, &w, &w, 1, false).unwrap();
+        assert_eq!(m2.shape().dims(), &[4, 8]);
+        // Head partitioning changes the attention pattern.
+        let diff: f32 = m1
+            .iter()
+            .zip(m2.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4, "multi-head should differ from single-head");
+    }
+
+    #[test]
+    fn multi_head_causal_blocks_future() {
+        let x = Tensor::from_fn(vec![4, 8], |i| ((i * 13) % 9) as f32 * 0.2 - 0.8).unwrap();
+        let w = Tensor::from_fn(vec![8, 8], |i| ((i * 3) % 7) as f32 * 0.2 - 0.6).unwrap();
+        let base = multi_head_attention(&x, &w, &w, &w, 2, true).unwrap();
+        let mut perturbed = x.clone();
+        for c in 0..8 {
+            let v = perturbed.get(&[3, c]).unwrap();
+            perturbed.set(&[3, c], v + 5.0).unwrap();
+        }
+        let out = multi_head_attention(&perturbed, &w, &w, &w, 2, true).unwrap();
+        for i in 0..3 {
+            for c in 0..8 {
+                assert!(
+                    (base.get(&[i, c]).unwrap() - out.get(&[i, c]).unwrap()).abs() < 1e-5
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits =
+            Tensor::from_vec(vec![2, 3], vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]).unwrap();
+        let ce = cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(ce < 1e-3);
+        let bad = cross_entropy(&logits, &[2, 2]).unwrap();
+        assert!(bad > 5.0);
+        assert!(cross_entropy(&logits, &[3, 0]).is_err());
+        assert!(cross_entropy(&logits, &[0]).is_err());
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let x = Tensor::from_vec(vec![2, 3], vec![0.1, 0.9, 0.0, 5.0, -1.0, 2.0]).unwrap();
+        assert_eq!(argmax_rows(&x).unwrap(), vec![1, 0]);
+    }
+}

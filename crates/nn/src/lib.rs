@@ -1,0 +1,121 @@
+//! DNN substrate for the Drift reproduction: layers, a model zoo,
+//! GEMM lowering, synthetic data generation, a quantized inference
+//! engine, and accuracy/perplexity evaluation.
+//!
+//! The paper evaluates on pretrained ResNet/ViT/DeiT/BERT checkpoints
+//! and GPT2-XL/BLOOM-7B1/OPT-6.7B with ImageNet/GLUE/WikiText/C4 data —
+//! none of which are available offline. The substitution (documented in
+//! `DESIGN.md`) rests on one fact: every quantization decision in Drift
+//! and its baselines depends only on *sub-tensor statistics*, so
+//! reproducing the statistics reproduces the behaviour:
+//!
+//! * [`zoo`] — full-scale layer-shape tables for all eight models
+//!   (driving the hardware evaluation) plus scaled-down executable
+//!   variants (driving the accuracy evaluation).
+//! * [`datagen`] — synthetic inputs whose sub-tensor statistics match
+//!   the paper's Figure-1 observations: zero-mean Laplace sub-tensors
+//!   with per-family scale dispersion (homogeneous for CNN feature
+//!   maps, orders-of-magnitude token spread with outliers for
+//!   transformers and LLMs).
+//! * [`layers`] — GEMM, conv (im2col), attention, activations, pooling.
+//! * [`engine`] — forward passes with a pluggable
+//!   [`drift_quant::policy::PrecisionPolicy`] applied to every GEMM's
+//!   activations.
+//! * [`eval`] — fidelity accuracy (top-1 agreement against the model's
+//!   own FP32 reference, anchored to the paper's FP32 numbers) and the
+//!   perplexity proxy for Table 1.
+//! * [`lower`] — lowering every layer to `(M, K, N)` GEMMs with
+//!   precision maps, producing the [`drift_accel::GemmWorkload`]s the
+//!   accelerator comparison consumes.
+//!
+//! # Example
+//!
+//! ```rust
+//! use drift_core::selector::DriftPolicy;
+//! use drift_nn::engine::{ForwardMode, Model, TinyTransformer};
+//! use drift_nn::datagen::TokenProfile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = TinyTransformer::bert_like(7)?;
+//! let input = TokenProfile::bert().generate(32, model.hidden(), 11)?;
+//! let fp32 = model.forward(&input, &ForwardMode::Fp32)?;
+//! let policy = DriftPolicy::new(1.0)?;
+//! let quant = model.forward(&input, &ForwardMode::quantized(&policy))?;
+//! assert_eq!(fp32.logits.shape(), quant.logits.shape());
+//! assert!(quant.low_fraction() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod datagen;
+pub mod engine;
+pub mod eval;
+pub mod layers;
+pub mod lower;
+pub mod zoo;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor operation failed.
+    Tensor(drift_tensor::TensorError),
+    /// A quantization operation failed.
+    Quant(drift_quant::QuantError),
+    /// An accelerator-side operation failed.
+    Accel(drift_accel::AccelError),
+    /// A model or layer configuration was invalid.
+    InvalidModel {
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Quant(e) => write!(f, "quantization error: {e}"),
+            NnError::Accel(e) => write!(f, "accelerator error: {e}"),
+            NnError::InvalidModel { detail } => write!(f, "invalid model: {detail}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            NnError::Quant(e) => Some(e),
+            NnError::Accel(e) => Some(e),
+            NnError::InvalidModel { .. } => None,
+        }
+    }
+}
+
+impl From<drift_tensor::TensorError> for NnError {
+    fn from(e: drift_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+impl From<drift_quant::QuantError> for NnError {
+    fn from(e: drift_quant::QuantError) -> Self {
+        NnError::Quant(e)
+    }
+}
+
+impl From<drift_accel::AccelError> for NnError {
+    fn from(e: drift_accel::AccelError) -> Self {
+        NnError::Accel(e)
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = NnError> = std::result::Result<T, E>;

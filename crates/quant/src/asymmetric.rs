@@ -1,0 +1,193 @@
+//! Asymmetric (zero-point) quantization for one-sided data.
+//!
+//! Symmetric quantization (Eq. 1) wastes half its codes on one-sided
+//! tensors — post-ReLU/GELU activations in particular. Every practical
+//! PTQ pipeline therefore quantizes such tensors *asymmetrically*: the
+//! data is centred on the midpoint of its range, coded symmetrically,
+//! and the zero-point is folded back at the accumulator. Drift's
+//! dynamic conversion machinery composes unchanged with this: the
+//! conversion operates on the centred codes, and the zero-point rides
+//! in the index metadata beside the scale.
+//!
+//! [`AsymmetricQuantizer`] wraps the whole round trip at sub-tensor
+//! granularity.
+
+use crate::policy::{run_policy, PolicyRun, PrecisionPolicy};
+use crate::precision::Precision;
+use crate::Result;
+use drift_tensor::subtensor::SubTensorScheme;
+use drift_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The result of an asymmetric policy run: the effective tensor plus
+/// the per-sub-tensor zero points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsymmetricRun {
+    /// The underlying (centred-domain) policy run.
+    pub run: PolicyRun,
+    /// The effective tensor with zero-points restored.
+    pub effective: Tensor,
+    /// One zero-point per sub-tensor, in view order.
+    pub zero_points: Vec<f32>,
+}
+
+impl AsymmetricRun {
+    /// Fraction of elements computing at low precision.
+    pub fn low_fraction(&self) -> f64 {
+        self.run.low_fraction()
+    }
+}
+
+/// Asymmetric per-sub-tensor quantization driven by any
+/// [`PrecisionPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsymmetricQuantizer {
+    hp: Precision,
+}
+
+impl AsymmetricQuantizer {
+    /// Creates a quantizer with initial precision `hp`.
+    pub fn new(hp: Precision) -> Self {
+        AsymmetricQuantizer { hp }
+    }
+
+    /// Quantizes `tensor` under `scheme`: each sub-tensor is centred on
+    /// the midpoint of its own range (its zero-point), the symmetric
+    /// policy pipeline runs on the centred data, and the zero-points
+    /// are restored in the effective output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition and policy errors.
+    pub fn run(
+        &self,
+        tensor: &Tensor,
+        scheme: &SubTensorScheme,
+        policy: &dyn PrecisionPolicy,
+    ) -> Result<AsymmetricRun> {
+        let views = scheme
+            .partition(tensor.shape())
+            .map_err(crate::QuantError::from)?;
+        let mut centred = tensor.clone();
+        let mut zero_points = Vec::with_capacity(views.len());
+        for view in &views {
+            let values = tensor.subtensor(view).map_err(crate::QuantError::from)?;
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &v in &values {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            let zp = (lo + hi) * 0.5;
+            zero_points.push(zp);
+            let shifted: Vec<f32> = values.iter().map(|&v| v - zp).collect();
+            centred
+                .set_subtensor(view, &shifted)
+                .map_err(crate::QuantError::from)?;
+        }
+        let run = run_policy(&centred, scheme, self.hp, policy)?;
+        let mut effective = run.effective.clone();
+        for (view, &zp) in views.iter().zip(&zero_points) {
+            let values = effective.subtensor(view).map_err(crate::QuantError::from)?;
+            let restored: Vec<f32> = values.iter().map(|&v| v + zp).collect();
+            effective
+                .set_subtensor(view, &restored)
+                .map_err(crate::QuantError::from)?;
+        }
+        Ok(AsymmetricRun { run, effective, zero_points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::mse;
+    use crate::policy::{StaticHighPolicy, StaticLowPolicy};
+
+    /// A strongly one-sided tensor (post-GELU-like).
+    fn one_sided() -> Tensor {
+        Tensor::from_fn(vec![4, 32], |i| 1.0 + 0.5 * (((i * 37) % 17) as f32 / 17.0))
+            .unwrap()
+    }
+
+    #[test]
+    fn zero_points_are_range_midpoints() {
+        let q = AsymmetricQuantizer::new(Precision::INT8);
+        let t = one_sided();
+        let out = q
+            .run(&t, &SubTensorScheme::token(32), &StaticHighPolicy)
+            .unwrap();
+        assert_eq!(out.zero_points.len(), 4);
+        for (r, &zp) in out.zero_points.iter().enumerate() {
+            let row = &t.as_slice()[r * 32..(r + 1) * 32];
+            let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            assert!((zp - (lo + hi) * 0.5).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn asymmetric_beats_symmetric_on_one_sided_data() {
+        let t = one_sided();
+        let scheme = SubTensorScheme::token(32);
+        let low = StaticLowPolicy::new(Precision::INT4);
+        let sym = run_policy(&t, &scheme, Precision::INT8, &low).unwrap();
+        let asym = AsymmetricQuantizer::new(Precision::INT8)
+            .run(&t, &scheme, &low)
+            .unwrap();
+        let e_sym = mse(t.as_slice(), sym.effective.as_slice());
+        let e_asym = mse(t.as_slice(), asym.effective.as_slice());
+        assert!(
+            e_asym < e_sym * 0.5,
+            "asymmetric {e_asym} should clearly beat symmetric {e_sym}"
+        );
+    }
+
+    #[test]
+    fn matches_symmetric_on_centred_data() {
+        // Zero-mean symmetric-range data: zero-points ~ 0 and the two
+        // paths coincide.
+        let t = Tensor::from_fn(vec![2, 16], |i| {
+            let v = ((i * 13) % 9) as f32 - 4.0;
+            v * 0.1
+        })
+        .unwrap();
+        let scheme = SubTensorScheme::token(16);
+        let sym = run_policy(&t, &scheme, Precision::INT8, &StaticHighPolicy).unwrap();
+        let asym = AsymmetricQuantizer::new(Precision::INT8)
+            .run(&t, &scheme, &StaticHighPolicy)
+            .unwrap();
+        for (a, b) in asym.effective.iter().zip(sym.effective.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn low_fraction_passthrough() {
+        let t = one_sided();
+        let out = AsymmetricQuantizer::new(Precision::INT8)
+            .run(
+                &t,
+                &SubTensorScheme::token(32),
+                &StaticLowPolicy::new(Precision::INT4),
+            )
+            .unwrap();
+        assert_eq!(out.low_fraction(), 1.0);
+    }
+
+    #[test]
+    fn constant_subtensors_are_exact() {
+        // A constant sub-tensor centres to all-zeros: representable
+        // exactly at any precision.
+        let t = Tensor::full(vec![2, 8], 3.7).unwrap();
+        let out = AsymmetricQuantizer::new(Precision::INT8)
+            .run(
+                &t,
+                &SubTensorScheme::token(8),
+                &StaticLowPolicy::new(Precision::INT4),
+            )
+            .unwrap();
+        for &v in out.effective.as_slice() {
+            assert!((v - 3.7).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Representation capability: range (RR) and density (RD).
+//!
+//! Paper Section 3.2 evaluates a candidate low-precision encoding by two
+//! metrics. For an `hp`-bit sub-tensor converted by clipping `hc` high
+//! bits and `lc` low bits (scale `Δ`):
+//!
+//! ```text
+//! RR = (2^(hp-1) - 1) / 2^hc · Δ     — largest representable magnitude
+//! RD = 2^lc · Δ                      — quantization step (rounding error)
+//! ```
+//!
+//! (paper Eq. 3). The selection algorithm in `drift-core` requires
+//! `RR ≥ max(|Y|)` (Eq. 5) and `var(Y) / RD ≥ δ` (Eq. 6).
+
+use crate::convert::ConversionChoice;
+use crate::linear::QuantParams;
+use serde::{Deserialize, Serialize};
+
+/// The representation capability of a (conversion, scale) pair.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_quant::capability::RepresentationCapability;
+/// use drift_quant::convert::ConversionChoice;
+/// use drift_quant::linear::QuantParams;
+/// use drift_quant::Precision;
+///
+/// # fn main() -> Result<(), drift_quant::QuantError> {
+/// let params = QuantParams::from_abs_max(1.27, Precision::INT8);
+/// let keep_range = ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4)?;
+/// let keep_density = ConversionChoice::new(Precision::INT8, Precision::INT4, 4, 0)?;
+///
+/// let rc_range = RepresentationCapability::of(&keep_range, &params);
+/// let rc_density = RepresentationCapability::of(&keep_density, &params);
+///
+/// // (hc=0) keeps the full range but has a 16x coarser step;
+/// // (hc=4) keeps the fine step but can only represent 1/16 of the range.
+/// assert!(rc_range.range > rc_density.range);
+/// assert!(rc_range.density > rc_density.density);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepresentationCapability {
+    /// Representation range RR: the largest magnitude the encoding can
+    /// express (paper Eq. 3, first line).
+    pub range: f64,
+    /// Representation density RD: the quantization step, i.e. the
+    /// magnitude of rounding error the encoding introduces (paper Eq. 3,
+    /// second line). *Smaller* density values mean a *denser* grid.
+    pub density: f64,
+}
+
+impl RepresentationCapability {
+    /// Computes the capability of `choice` under the original scale in
+    /// `params` (paper Eq. 3).
+    pub fn of(choice: &ConversionChoice, params: &QuantParams) -> Self {
+        let hp_max = f64::from(choice.hp().q_max());
+        RepresentationCapability {
+            range: hp_max / f64::from(1u32 << choice.hc()) * params.scale,
+            density: f64::from(1u32 << choice.lc()) * params.scale,
+        }
+    }
+
+    /// Capability of the unconverted high-precision encoding itself:
+    /// `RR = max(|X|)` and `RD = Δ`.
+    pub fn of_params(params: &QuantParams) -> Self {
+        RepresentationCapability {
+            range: params.representation_range(),
+            density: params.representation_density(),
+        }
+    }
+
+    /// The representation-range test of paper Eq. 5: can this encoding
+    /// represent a sub-tensor whose largest magnitude is `abs_max`?
+    pub fn covers(&self, abs_max: f64) -> bool {
+        self.range >= abs_max
+    }
+
+    /// The representation-density ratio of paper Eq. 6:
+    /// `var(Y) / RD`, to be compared against the threshold δ.
+    /// Returns `+inf` when the density is zero (degenerate all-zero
+    /// scale).
+    pub fn density_ratio(&self, variance: f64) -> f64 {
+        if self.density == 0.0 {
+            f64::INFINITY
+        } else {
+            variance / self.density
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+
+    fn params() -> QuantParams {
+        QuantParams::from_abs_max(12.7, Precision::INT8)
+    }
+
+    #[test]
+    fn eq3_values() {
+        let p = params(); // Δ = 0.1
+        let c = ConversionChoice::new(Precision::INT8, Precision::INT4, 2, 2).unwrap();
+        let rc = RepresentationCapability::of(&c, &p);
+        assert!((rc.range - 127.0 / 4.0 * 0.1).abs() < 1e-9);
+        assert!((rc.density - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identity_matches_params_capability() {
+        let p = params();
+        let id = ConversionChoice::identity(Precision::INT8);
+        let rc = RepresentationCapability::of(&id, &p);
+        let rp = RepresentationCapability::of_params(&p);
+        assert!((rc.range - rp.range).abs() < 1e-9);
+        assert!((rc.density - rp.density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_halves_per_high_clip_bit() {
+        let p = params();
+        let choices = ConversionChoice::enumerate(Precision::INT8, Precision::INT4);
+        for pair in choices.windows(2) {
+            let a = RepresentationCapability::of(&pair[0], &p);
+            let b = RepresentationCapability::of(&pair[1], &p);
+            assert!((a.range / b.range - 2.0).abs() < 1e-9);
+            assert!((a.density / b.density - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covers_is_range_test() {
+        let p = params();
+        let c = ConversionChoice::new(Precision::INT8, Precision::INT4, 3, 1).unwrap();
+        let rc = RepresentationCapability::of(&c, &p);
+        assert!(rc.covers(1.0));
+        assert!(!rc.covers(2.0)); // RR = 127/8 * 0.1 ≈ 1.5875
+    }
+
+    #[test]
+    fn density_ratio_scales_inverse_with_lc() {
+        let p = params();
+        let fine = ConversionChoice::new(Precision::INT8, Precision::INT4, 4, 0).unwrap();
+        let coarse = ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4).unwrap();
+        let var = 0.8;
+        let r_fine = RepresentationCapability::of(&fine, &p).density_ratio(var);
+        let r_coarse = RepresentationCapability::of(&coarse, &p).density_ratio(var);
+        assert!((r_fine / r_coarse - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_scale_density_ratio_is_infinite() {
+        let p = QuantParams::from_abs_max(0.0, Precision::INT8);
+        let c = ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4).unwrap();
+        let rc = RepresentationCapability::of(&c, &p);
+        assert_eq!(rc.density_ratio(1.0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,279 @@
+//! Precision conversion: re-encoding an `hp`-bit integer in `lp` bits.
+//!
+//! Paper Section 3.1 / Figure 3: after the initial quantization, a
+//! high-precision integer can be converted to low precision by clipping
+//! `hc` bits from the high end (saturating the magnitude) and `lc` bits
+//! from the low end (right-shifting with rounding), under the constraint
+//!
+//! ```text
+//! hp = hc + lp + lc,    hp, lp, hc, lc ≥ 0        (paper Eq. 2)
+//! ```
+//!
+//! For the paper's 8→4-bit setting there are exactly five choices,
+//! `(hc, lc) ∈ {(0,4), (1,3), (2,2), (3,1), (4,0)}`. The choice trades
+//! *range* (how large a magnitude survives) against *density* (how fine
+//! the step is): see [`crate::capability`].
+
+use crate::linear::QuantParams;
+use crate::precision::Precision;
+use crate::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One way of converting an `hp`-bit integer to `lp` bits (paper Eq. 2).
+///
+/// # Example
+///
+/// Enumerate the five 8→4-bit choices from the paper:
+///
+/// ```rust
+/// use drift_quant::convert::ConversionChoice;
+/// use drift_quant::Precision;
+///
+/// let choices = ConversionChoice::enumerate(Precision::INT8, Precision::INT4);
+/// assert_eq!(choices.len(), 5);
+/// assert_eq!(choices[0].hc(), 0);
+/// assert_eq!(choices[0].lc(), 4);
+/// assert_eq!(choices[4].hc(), 4);
+/// assert_eq!(choices[4].lc(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConversionChoice {
+    hp: Precision,
+    lp: Precision,
+    hc: u8,
+    lc: u8,
+}
+
+impl ConversionChoice {
+    /// Creates a conversion from `hp` bits to `lp` bits clipping `hc`
+    /// high bits and `lc` low bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidConversion`] unless
+    /// `hp = hc + lp + lc` and `hp >= lp`.
+    pub fn new(hp: Precision, lp: Precision, hc: u8, lc: u8) -> Result<Self> {
+        if hp.bits() < lp.bits() || hc + lp.bits() + lc != hp.bits() {
+            return Err(QuantError::InvalidConversion {
+                hp: hp.bits(),
+                lp: lp.bits(),
+                hc,
+                lc,
+            });
+        }
+        Ok(ConversionChoice { hp, lp, hc, lc })
+    }
+
+    /// The identity "conversion" that keeps all `hp` bits. Useful as the
+    /// decision for sub-tensors that stay at high precision.
+    pub fn identity(hp: Precision) -> Self {
+        ConversionChoice { hp, lp: hp, hc: 0, lc: 0 }
+    }
+
+    /// Enumerates every valid `(hc, lc)` split for an `hp → lp`
+    /// conversion, ordered by increasing `hc`. Empty when `lp > hp`.
+    pub fn enumerate(hp: Precision, lp: Precision) -> Vec<ConversionChoice> {
+        if lp.bits() > hp.bits() {
+            return Vec::new();
+        }
+        let free = hp.bits() - lp.bits();
+        (0..=free)
+            .map(|hc| ConversionChoice { hp, lp, hc, lc: free - hc })
+            .collect()
+    }
+
+    /// Source (high) precision.
+    pub fn hp(&self) -> Precision {
+        self.hp
+    }
+
+    /// Destination (low) precision.
+    pub fn lp(&self) -> Precision {
+        self.lp
+    }
+
+    /// Bits clipped from the high end.
+    pub fn hc(&self) -> u8 {
+        self.hc
+    }
+
+    /// Bits clipped from the low end.
+    pub fn lc(&self) -> u8 {
+        self.lc
+    }
+
+    /// Whether this is the identity conversion (no bits clipped).
+    pub fn is_identity(&self) -> bool {
+        self.hc == 0 && self.lc == 0 && self.hp == self.lp
+    }
+
+    /// Converts one `hp`-bit code to its `lp`-bit representation:
+    /// round-shift by `lc`, then saturate to the `lp`-bit range.
+    pub fn apply_value(&self, value: i32) -> i32 {
+        let shifted = if self.lc == 0 {
+            value
+        } else {
+            // Round half away from zero, matching quantization rounding.
+            let half = 1i32 << (self.lc - 1);
+            let magnitude = (value.abs() + half) >> self.lc;
+            magnitude * value.signum()
+        };
+        self.lp.saturate(shifted)
+    }
+
+    /// Converts a slice of codes (see [`ConversionChoice::apply_value`]).
+    pub fn apply_slice(&self, values: &[i32]) -> Vec<i32> {
+        values.iter().map(|&v| self.apply_value(v)).collect()
+    }
+
+    /// The effective scale of the low-precision codes: `Δ · 2^lc`.
+    pub fn effective_scale(&self, params: &QuantParams) -> f64 {
+        params.scale * f64::from(1u32 << self.lc)
+    }
+
+    /// The quantization parameters describing the low-precision codes.
+    pub fn effective_params(&self, params: &QuantParams) -> QuantParams {
+        QuantParams { scale: self.effective_scale(params), precision: self.lp }
+    }
+
+    /// Reconstructs one low-precision code to `f32`.
+    pub fn dequantize_value(&self, low_code: i32, params: &QuantParams) -> f32 {
+        (f64::from(low_code) * self.effective_scale(params)) as f32
+    }
+
+    /// Reconstructs a slice of low-precision codes.
+    pub fn dequantize_slice(&self, low_codes: &[i32], params: &QuantParams) -> Vec<f32> {
+        low_codes.iter().map(|&v| self.dequantize_value(v, params)).collect()
+    }
+
+    /// The worst-case absolute reconstruction error (in original float
+    /// units) this conversion introduces for an in-range value: half the
+    /// effective step.
+    pub fn max_rounding_error(&self, params: &QuantParams) -> f64 {
+        self.effective_scale(params) * 0.5
+    }
+}
+
+impl fmt::Display for ConversionChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}→{} (hc={}, lc={})",
+            self.hp, self.lp, self.hc, self.lc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int8_to_int4(hc: u8, lc: u8) -> ConversionChoice {
+        ConversionChoice::new(Precision::INT8, Precision::INT4, hc, lc).unwrap()
+    }
+
+    #[test]
+    fn constraint_enforced() {
+        assert!(ConversionChoice::new(Precision::INT8, Precision::INT4, 2, 2).is_ok());
+        assert!(ConversionChoice::new(Precision::INT8, Precision::INT4, 2, 3).is_err());
+        assert!(ConversionChoice::new(Precision::INT4, Precision::INT8, 0, 0).is_err());
+    }
+
+    #[test]
+    fn enumerate_five_choices_for_8_to_4() {
+        let choices = ConversionChoice::enumerate(Precision::INT8, Precision::INT4);
+        assert_eq!(choices.len(), 5);
+        for (i, c) in choices.iter().enumerate() {
+            assert_eq!(c.hc(), i as u8);
+            assert_eq!(c.lc(), 4 - i as u8);
+        }
+        assert!(ConversionChoice::enumerate(Precision::INT4, Precision::INT8).is_empty());
+    }
+
+    #[test]
+    fn identity_is_lossless() {
+        let id = ConversionChoice::identity(Precision::INT8);
+        assert!(id.is_identity());
+        for v in [-127, -1, 0, 1, 64, 127] {
+            assert_eq!(id.apply_value(v), v);
+        }
+    }
+
+    #[test]
+    fn pure_low_clip_shifts_with_rounding() {
+        let c = int8_to_int4(0, 4);
+        // 24 / 16 = 1.5 → rounds away from zero to 2.
+        assert_eq!(c.apply_value(24), 2);
+        assert_eq!(c.apply_value(-24), -2);
+        assert_eq!(c.apply_value(23), 1); // 1.4375 → 1
+        assert_eq!(c.apply_value(112), 7);
+        assert_eq!(c.apply_value(127), 7); // 7.94 saturates at q_max
+        assert_eq!(c.apply_value(0), 0);
+    }
+
+    #[test]
+    fn pure_high_clip_saturates() {
+        let c = int8_to_int4(4, 0);
+        assert_eq!(c.apply_value(5), 5);
+        assert_eq!(c.apply_value(-7), -7);
+        assert_eq!(c.apply_value(8), 7);
+        assert_eq!(c.apply_value(127), 7);
+        assert_eq!(c.apply_value(-127), -7);
+    }
+
+    #[test]
+    fn mixed_clip() {
+        let c = int8_to_int4(2, 2);
+        // 30 / 4 = 7.5 → 8 → saturate 7.
+        assert_eq!(c.apply_value(30), 7);
+        assert_eq!(c.apply_value(10), 3); // 2.5 → 3
+        assert_eq!(c.apply_value(-10), -3);
+    }
+
+    #[test]
+    fn effective_scale_grows_with_lc() {
+        let params = QuantParams::from_abs_max(1.27, Precision::INT8);
+        let c0 = int8_to_int4(4, 0);
+        let c4 = int8_to_int4(0, 4);
+        assert!((c0.effective_scale(&params) - params.scale).abs() < 1e-15);
+        assert!((c4.effective_scale(&params) - params.scale * 16.0).abs() < 1e-15);
+        assert_eq!(c4.effective_params(&params).precision, Precision::INT4);
+    }
+
+    #[test]
+    fn dequantize_uses_effective_scale() {
+        let params = QuantParams::from_abs_max(1.27, Precision::INT8);
+        let c = int8_to_int4(0, 4);
+        // Code 112 (≈ value 1.12) shifts to 7; reconstruction = 7·16·Δ.
+        let low = c.apply_value(112);
+        let restored = c.dequantize_value(low, &params);
+        assert!((f64::from(restored) - 1.12).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_for_in_range_values() {
+        let params = QuantParams::from_abs_max(1.27, Precision::INT8);
+        for choice in ConversionChoice::enumerate(Precision::INT8, Precision::INT4) {
+            // Values whose magnitude fits under the low format's
+            // saturation point (q_max · 2^lc).
+            let range_cap = choice.lp().q_max() << choice.lc();
+            for v in -range_cap..=range_cap {
+                let low = choice.apply_value(v);
+                let restored = f64::from(choice.dequantize_value(low, &params));
+                let original = f64::from(v) * params.scale;
+                assert!(
+                    (restored - original).abs()
+                        <= choice.max_rounding_error(&params) + 1e-6,
+                    "{choice}: value {v} error too large"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = int8_to_int4(1, 3);
+        assert_eq!(c.to_string(), "INT8→INT4 (hc=1, lc=3)");
+    }
+}

@@ -1,0 +1,144 @@
+//! Quantization primitives, precision conversion, and baseline
+//! dynamic-quantization algorithms for the Drift reproduction.
+//!
+//! This crate implements Section 3.1–3.2 of the Drift paper plus the
+//! baseline algorithms it compares against (Section 2.2):
+//!
+//! * [`precision`] — bit-width newtypes and precision pairs.
+//! * [`linear`] — symmetric linear quantization (paper Eq. 1), dequantization,
+//!   and error metrics (MSE, SQNR, cosine similarity).
+//! * [`convert`] — the precision-conversion space: converting an `hp`-bit
+//!   integer to `lp` bits by clipping `hc` bits from the high end and `lc`
+//!   bits from the low end, under `hp = hc + lp + lc` (paper Eq. 2).
+//! * [`capability`] — representation range (RR) and representation density
+//!   (RD), the two representation-capability metrics (paper Eq. 3).
+//! * [`policy`] — the [`policy::PrecisionPolicy`] trait through which the
+//!   inference engine asks an algorithm to pick a precision per sub-tensor,
+//!   plus the static FP32/INT8/INT4 baselines.
+//! * [`asymmetric`] — zero-point quantization for one-sided tensors
+//!   (post-GELU activations), composing with every policy.
+//! * [`intgemm`] — the exact integer GEMM path over mixed-precision
+//!   codes (what the hardware actually computes), cross-checked against
+//!   the dequantized-f32 path.
+//! * [`drq`] — the DRQ baseline (region mean-magnitude sensitivity).
+//! * [`gating`] — the Precision Gating baseline (per-value dual precision).
+//!
+//! The Drift selection algorithm itself lives in `drift-core`, since it is
+//! the paper's primary contribution; it implements the same
+//! [`policy::PrecisionPolicy`] trait defined here.
+//!
+//! # Example
+//!
+//! Quantize a tensor to INT8 and convert one sub-tensor to 4 bits:
+//!
+//! ```rust
+//! use drift_quant::convert::ConversionChoice;
+//! use drift_quant::linear::{dequantize_slice, quantize_slice, sqnr_db};
+//! use drift_quant::precision::Precision;
+//!
+//! # fn main() -> Result<(), drift_quant::QuantError> {
+//! let data = [0.31f32, -0.12, 0.44, -0.05, 0.27, -0.38];
+//! let (q, params) = quantize_slice(&data, Precision::INT8)?;
+//!
+//! // Clip all 4 bits from the low end: the range-preserving (hc=0, lc=4)
+//! // 8→4-bit conversion.
+//! let choice = ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4)?;
+//! let low = choice.apply_slice(&q);
+//! let restored = choice.dequantize_slice(&low, &params);
+//!
+//! let reference = dequantize_slice(&q, &params);
+//! assert!(sqnr_db(&data, &restored) > 10.0);
+//! assert!(sqnr_db(&data, &reference) > sqnr_db(&data, &restored));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod asymmetric;
+pub mod capability;
+pub mod convert;
+pub mod drq;
+pub mod gating;
+pub mod intgemm;
+pub mod linear;
+pub mod policy;
+pub mod precision;
+
+pub use capability::RepresentationCapability;
+pub use convert::ConversionChoice;
+pub use linear::{QuantParams, QuantizedTensor};
+pub use policy::{Decision, PrecisionPolicy, TensorContext};
+pub use precision::Precision;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// A bit width outside the supported 1..=16 range.
+    InvalidBitWidth {
+        /// The offending width.
+        bits: u8,
+    },
+    /// A conversion whose parameters violate `hp = hc + lp + lc` or
+    /// `hp > lp`.
+    InvalidConversion {
+        /// High-precision bits.
+        hp: u8,
+        /// Low-precision bits.
+        lp: u8,
+        /// High-end clipped bits.
+        hc: u8,
+        /// Low-end clipped bits.
+        lc: u8,
+    },
+    /// Mismatched buffer lengths for a paired operation.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A policy parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::InvalidBitWidth { bits } => {
+                write!(f, "invalid bit width {bits} (supported: 1..=16)")
+            }
+            QuantError::InvalidConversion { hp, lp, hc, lc } => write!(
+                f,
+                "invalid conversion hp={hp} lp={lp} hc={hc} lc={lc} (need hp = hc + lp + lc)"
+            ),
+            QuantError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match expected {expected}")
+            }
+            QuantError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter {name}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+impl From<drift_tensor::TensorError> for QuantError {
+    fn from(e: drift_tensor::TensorError) -> Self {
+        QuantError::InvalidParameter { name: "tensor", detail: e.to_string() }
+    }
+}
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = QuantError> = std::result::Result<T, E>;

@@ -1,0 +1,335 @@
+//! Symmetric linear quantization (paper Eq. 1) and error metrics.
+//!
+//! The initial quantization step maps FP32 data to `N`-bit integers:
+//!
+//! ```text
+//! X̄ = round(X / Δ),   Δ = max(|X|) / (2^(N-1) - 1)
+//! ```
+//!
+//! Dynamic precision quantization then operates *on the integers*; the
+//! scale `Δ` never changes, only the integer representation (see
+//! [`crate::convert`]).
+
+use crate::precision::Precision;
+use crate::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Quantization parameters: the scale `Δ` and the precision of the initial
+/// quantization.
+///
+/// `Δ` is exactly the *representation density* of the full-precision code
+/// (paper Section 3.2), and `(2^(N-1)-1) · Δ = max(|X|)` is its
+/// *representation range*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// The quantization scale `Δ`.
+    pub scale: f64,
+    /// The initial (high) precision `N`.
+    pub precision: Precision,
+}
+
+impl QuantParams {
+    /// Computes parameters from the data's absolute maximum (paper Eq. 1).
+    ///
+    /// All-zero data yields `scale = 0`, under which every value
+    /// quantizes and dequantizes to zero.
+    pub fn from_abs_max(abs_max: f64, precision: Precision) -> Self {
+        let scale = if abs_max > 0.0 {
+            abs_max / f64::from(precision.q_max())
+        } else {
+            0.0
+        };
+        QuantParams { scale, precision }
+    }
+
+    /// The representation range `(2^(N-1) - 1) · Δ = max(|X|)`.
+    pub fn representation_range(&self) -> f64 {
+        f64::from(self.precision.q_max()) * self.scale
+    }
+
+    /// The representation density `Δ` (quantization step).
+    pub fn representation_density(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// Quantizes one value to the symmetric integer grid.
+///
+/// Rounds half away from zero (the behaviour of `f64::round`), matching
+/// the paper's `⌈·⌋` rounding operator, and saturates to the
+/// representable range.
+pub fn quantize_value(x: f32, params: &QuantParams) -> i32 {
+    if params.scale == 0.0 {
+        return 0;
+    }
+    let q = (f64::from(x) / params.scale).round() as i64;
+    params.precision.saturate(q.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32)
+}
+
+/// Dequantizes one integer code back to `f32`.
+pub fn dequantize_value(q: i32, params: &QuantParams) -> f32 {
+    (f64::from(q) * params.scale) as f32
+}
+
+/// Quantizes a slice, computing the scale from the slice's own maximum
+/// (paper Eq. 1).
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidBitWidth`] only via an invalid
+/// `precision`, which cannot happen for constructed [`Precision`] values;
+/// the `Result` exists for interface consistency with fallible callers.
+pub fn quantize_slice(data: &[f32], precision: Precision) -> Result<(Vec<i32>, QuantParams)> {
+    let abs_max = data.iter().fold(0.0f64, |m, &v| m.max(f64::from(v).abs()));
+    let params = QuantParams::from_abs_max(abs_max, precision);
+    let q = data.iter().map(|&x| quantize_value(x, &params)).collect();
+    Ok((q, params))
+}
+
+/// Dequantizes a slice of integer codes.
+pub fn dequantize_slice(q: &[i32], params: &QuantParams) -> Vec<f32> {
+    q.iter().map(|&v| dequantize_value(v, params)).collect()
+}
+
+/// A quantized tensor payload: integer codes plus their parameters.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_quant::linear::QuantizedTensor;
+/// use drift_quant::Precision;
+///
+/// # fn main() -> Result<(), drift_quant::QuantError> {
+/// let qt = QuantizedTensor::quantize(&[1.0, -0.5, 0.25], Precision::INT8)?;
+/// let restored = qt.dequantize();
+/// assert!((restored[0] - 1.0).abs() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    values: Vec<i32>,
+    params: QuantParams,
+}
+
+impl QuantizedTensor {
+    /// Quantizes `data` at the given precision with a per-slice scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`quantize_slice`] errors.
+    pub fn quantize(data: &[f32], precision: Precision) -> Result<Self> {
+        let (values, params) = quantize_slice(data, precision)?;
+        Ok(QuantizedTensor { values, params })
+    }
+
+    /// Wraps pre-quantized codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidParameter`] if any code exceeds the
+    /// precision's representable range.
+    pub fn from_codes(values: Vec<i32>, params: QuantParams) -> Result<Self> {
+        if let Some(&bad) = values.iter().find(|&&v| !params.precision.contains(v)) {
+            return Err(QuantError::InvalidParameter {
+                name: "values",
+                detail: format!("code {bad} exceeds {}", params.precision),
+            });
+        }
+        Ok(QuantizedTensor { values, params })
+    }
+
+    /// The integer codes.
+    pub fn codes(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> &QuantParams {
+        &self.params
+    }
+
+    /// Number of codes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Reconstructs the floating-point values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        dequantize_slice(&self.values, &self.params)
+    }
+}
+
+/// Mean squared error between a reference and a reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mse(reference: &[f32], restored: &[f32]) -> f64 {
+    assert_eq!(reference.len(), restored.len(), "mse requires equal lengths");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    reference
+        .iter()
+        .zip(restored)
+        .map(|(&a, &b)| {
+            let d = f64::from(a) - f64::from(b);
+            d * d
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Signal-to-quantization-noise ratio in decibels. Higher is better;
+/// `+inf` for an exact reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sqnr_db(reference: &[f32], restored: &[f32]) -> f64 {
+    let noise = mse(reference, restored);
+    let signal = if reference.is_empty() {
+        0.0
+    } else {
+        reference.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+            / reference.len() as f64
+    };
+    if noise == 0.0 {
+        f64::INFINITY
+    } else if signal == 0.0 {
+        f64::NEG_INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+/// Cosine similarity between a reference and a reconstruction (1 for a
+/// perfect match, 0 for orthogonal signals). Returns 1 when both inputs
+/// are all-zero, 0 when exactly one is.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cosine_similarity(reference: &[f32], restored: &[f32]) -> f64 {
+    assert_eq!(reference.len(), restored.len(), "cosine requires equal lengths");
+    let dot: f64 = reference
+        .iter()
+        .zip(restored)
+        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+        .sum();
+    let na: f64 = reference.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+    let nb: f64 = restored.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+    if na == 0.0 && nb == 0.0 {
+        1.0
+    } else if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_from_abs_max() {
+        let p = QuantParams::from_abs_max(12.7, Precision::INT8);
+        assert!((p.scale - 0.1).abs() < 1e-12);
+        assert!((p.representation_range() - 12.7).abs() < 1e-9);
+        assert_eq!(p.representation_density(), p.scale);
+    }
+
+    #[test]
+    fn zero_data_quantizes_to_zero() {
+        let (q, params) = quantize_slice(&[0.0, 0.0], Precision::INT8).unwrap();
+        assert_eq!(params.scale, 0.0);
+        assert_eq!(q, vec![0, 0]);
+        assert_eq!(dequantize_slice(&q, &params), vec![0.0, 0.0]);
+        assert_eq!(quantize_value(5.0, &params), 0);
+    }
+
+    #[test]
+    fn max_value_maps_to_q_max() {
+        let (q, _) = quantize_slice(&[1.0, -1.0, 0.5], Precision::INT8).unwrap();
+        assert_eq!(q[0], 127);
+        assert_eq!(q[1], -127);
+        assert_eq!(q[2], 64); // 63.5 rounds away from zero
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let data: Vec<f32> = (0..256).map(|i| (i as f32 - 128.0) / 77.3).collect();
+        let (q, params) = quantize_slice(&data, Precision::INT8).unwrap();
+        let restored = dequantize_slice(&q, &params);
+        for (a, b) in data.iter().zip(&restored) {
+            assert!(
+                f64::from((a - b).abs()) <= params.scale * 0.5 + 1e-6,
+                "error exceeds half step"
+            );
+        }
+    }
+
+    #[test]
+    fn int4_is_coarser_than_int8() {
+        let data: Vec<f32> = (0..64).map(|i| ((i * 37) % 64) as f32 / 63.0 - 0.5).collect();
+        let q8 = QuantizedTensor::quantize(&data, Precision::INT8).unwrap();
+        let q4 = QuantizedTensor::quantize(&data, Precision::INT4).unwrap();
+        assert!(mse(&data, &q4.dequantize()) > mse(&data, &q8.dequantize()));
+    }
+
+    #[test]
+    fn from_codes_validates_range() {
+        let params = QuantParams::from_abs_max(1.0, Precision::INT4);
+        assert!(QuantizedTensor::from_codes(vec![7, -7], params).is_ok());
+        assert!(QuantizedTensor::from_codes(vec![8], params).is_err());
+    }
+
+    #[test]
+    fn sqnr_increases_with_precision() {
+        let data: Vec<f32> = (0..512).map(|i| ((i * 97) % 511) as f32 / 255.0 - 1.0).collect();
+        let mut last = f64::NEG_INFINITY;
+        for bits in [2u8, 4, 6, 8] {
+            let p = Precision::new(bits).unwrap();
+            let qt = QuantizedTensor::quantize(&data, p).unwrap();
+            let s = sqnr_db(&data, &qt.dequantize());
+            assert!(s > last, "SQNR should increase with bits: {s} !> {last}");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn sqnr_perfect_reconstruction() {
+        let data = [1.0f32, 2.0, 3.0];
+        assert_eq!(sqnr_db(&data, &data), f64::INFINITY);
+    }
+
+    #[test]
+    fn cosine_similarity_cases() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&a, &b).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_empty_is_zero() {
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn saturation_on_outlier_with_foreign_scale() {
+        // Quantizing with a scale computed from other data saturates.
+        let params = QuantParams::from_abs_max(1.0, Precision::INT8);
+        assert_eq!(quantize_value(10.0, &params), 127);
+        assert_eq!(quantize_value(-10.0, &params), -127);
+    }
+}

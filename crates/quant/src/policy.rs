@@ -1,0 +1,343 @@
+//! The precision-policy interface between quantization algorithms and the
+//! inference engine, plus the static baselines.
+//!
+//! A [`PrecisionPolicy`] receives, for each sub-tensor, the streaming
+//! statistics the accelerator's pooling unit computes (`max|Y|`,
+//! `avg|Y|`, …) and returns a [`Decision`]: keep the initial
+//! high-precision encoding, or convert to low precision with a specific
+//! [`ConversionChoice`]. The Drift selection algorithm (in `drift-core`),
+//! the DRQ baseline ([`crate::drq`]), and the static baselines below all
+//! implement this trait, so the engine and the hardware simulators can
+//! treat them interchangeably.
+
+use crate::convert::ConversionChoice;
+use crate::linear::{dequantize_slice, quantize_slice, QuantParams};
+use crate::precision::Precision;
+use crate::Result;
+use drift_tensor::stats::SummaryStats;
+use drift_tensor::subtensor::SubTensorScheme;
+use drift_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A per-sub-tensor precision decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Keep the initial high-precision encoding.
+    Keep,
+    /// Convert to low precision with the given choice.
+    Convert(ConversionChoice),
+}
+
+impl Decision {
+    /// The bit width this decision computes at, given the initial
+    /// precision `hp`.
+    pub fn bits(&self, hp: Precision) -> Precision {
+        match self {
+            Decision::Keep => hp,
+            Decision::Convert(choice) => choice.lp(),
+        }
+    }
+
+    /// Whether the decision selects low precision.
+    pub fn is_low(&self) -> bool {
+        matches!(self, Decision::Convert(_))
+    }
+}
+
+/// Whole-tensor context handed to a policy alongside each sub-tensor's
+/// statistics. DRQ's sensitivity criterion, for example, compares a
+/// region's mean magnitude against the whole tensor's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorContext {
+    /// Statistics over the entire tensor.
+    pub global: SummaryStats,
+    /// The initial quantization parameters (scale Δ and precision hp).
+    pub params: QuantParams,
+}
+
+/// A dynamic (or static) precision-selection algorithm.
+///
+/// Implementations must be deterministic functions of their inputs: the
+/// hardware precision selector evaluates them on the fly (paper
+/// Section 4.1) and replays must agree.
+pub trait PrecisionPolicy {
+    /// A short, stable name for reports ("drift", "drq", "int8", …).
+    fn name(&self) -> &str;
+
+    /// Decides the precision for one sub-tensor.
+    fn decide(&self, ctx: &TensorContext, stats: &SummaryStats) -> Decision;
+
+    /// The low precision this policy targets (used by hardware mapping to
+    /// size low-precision tiles). Defaults to INT4, the paper's setting.
+    fn low_precision(&self) -> Precision {
+        Precision::INT4
+    }
+}
+
+/// Static high-precision policy: every sub-tensor keeps the initial
+/// encoding. With `hp = INT8` this is the paper's INT8 baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticHighPolicy;
+
+impl StaticHighPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        StaticHighPolicy
+    }
+}
+
+impl PrecisionPolicy for StaticHighPolicy {
+    fn name(&self) -> &str {
+        "int8"
+    }
+
+    fn decide(&self, _ctx: &TensorContext, _stats: &SummaryStats) -> Decision {
+        Decision::Keep
+    }
+}
+
+/// Static low-precision policy: every sub-tensor is converted with a
+/// fixed range-preserving choice (`hc = 0`, all clipping at the low end).
+/// With `lp = INT4` this is an aggressive static INT4 baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticLowPolicy {
+    lp: Precision,
+}
+
+impl StaticLowPolicy {
+    /// Creates a static low-precision policy targeting `lp` bits.
+    pub fn new(lp: Precision) -> Self {
+        StaticLowPolicy { lp }
+    }
+}
+
+impl PrecisionPolicy for StaticLowPolicy {
+    fn name(&self) -> &str {
+        "static-low"
+    }
+
+    fn decide(&self, ctx: &TensorContext, _stats: &SummaryStats) -> Decision {
+        let hp = ctx.params.precision;
+        if self.lp.bits() >= hp.bits() {
+            return Decision::Keep;
+        }
+        let lc = hp.bits() - self.lp.bits();
+        // hc = 0 keeps the full representation range (Eq. 5 always holds);
+        // the cost is a 2^lc coarser representation density.
+        let choice = ConversionChoice::new(hp, self.lp, 0, lc)
+            .expect("hc=0 split always satisfies Eq. 2");
+        Decision::Convert(choice)
+    }
+
+    fn low_precision(&self) -> Precision {
+        self.lp
+    }
+}
+
+/// One sub-tensor's decision within a [`PolicyRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubTensorDecision {
+    /// The sub-tensor's view id within the partition.
+    pub view_id: usize,
+    /// Elements in the sub-tensor.
+    pub len: usize,
+    /// The decision taken.
+    pub decision: Decision,
+}
+
+/// The result of running a policy over a whole tensor.
+///
+/// `effective` holds the dequantized values *as the selected encodings
+/// represent them* — i.e. what the accelerator actually computes with —
+/// so downstream layers and accuracy metrics see the true quantization
+/// error of the mixed-precision tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRun {
+    /// The initial quantization parameters.
+    pub params: QuantParams,
+    /// Per-sub-tensor decisions, in view order.
+    pub decisions: Vec<SubTensorDecision>,
+    /// The tensor as reconstructed from the selected encodings.
+    pub effective: Tensor,
+}
+
+impl PolicyRun {
+    /// Fraction of *elements* that compute at low precision.
+    pub fn low_fraction(&self) -> f64 {
+        let total: usize = self.decisions.iter().map(|d| d.len).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let low: usize = self
+            .decisions
+            .iter()
+            .filter(|d| d.decision.is_low())
+            .map(|d| d.len)
+            .sum();
+        low as f64 / total as f64
+    }
+
+    /// Count of sub-tensors that selected low precision.
+    pub fn low_subtensors(&self) -> usize {
+        self.decisions.iter().filter(|d| d.decision.is_low()).count()
+    }
+}
+
+/// Runs `policy` over `tensor` partitioned by `scheme`:
+///
+/// 1. quantize the whole tensor to `hp` with a per-tensor scale (Eq. 1);
+/// 2. compute each sub-tensor's statistics (what the pooling unit does);
+/// 3. ask the policy for a decision per sub-tensor;
+/// 4. materialise the effective (mixed-precision, dequantized) tensor.
+///
+/// # Errors
+///
+/// Propagates partitioning errors (e.g. a token length that does not
+/// divide the tensor) and quantization errors.
+pub fn run_policy(
+    tensor: &Tensor,
+    scheme: &SubTensorScheme,
+    hp: Precision,
+    policy: &dyn PrecisionPolicy,
+) -> Result<PolicyRun> {
+    let (codes, params) = quantize_slice(tensor.as_slice(), hp)?;
+    let global = SummaryStats::from_slice(tensor.as_slice());
+    let ctx = TensorContext { global, params };
+
+    let views = scheme
+        .partition(tensor.shape())
+        .map_err(|e| crate::QuantError::InvalidParameter {
+            name: "scheme",
+            detail: e.to_string(),
+        })?;
+
+    let mut decisions = Vec::with_capacity(views.len());
+    let mut effective = tensor.clone();
+    for view in &views {
+        let sub = tensor
+            .subtensor(view)
+            .map_err(|e| crate::QuantError::InvalidParameter {
+                name: "view",
+                detail: e.to_string(),
+            })?;
+        let stats = SummaryStats::from_slice(&sub);
+        let decision = policy.decide(&ctx, &stats);
+
+        // Gather this sub-tensor's integer codes and reconstruct through
+        // the selected encoding.
+        let sub_codes: Vec<i32> = view.indices().map(|i| codes[i]).collect();
+        let restored = match decision {
+            Decision::Keep => dequantize_slice(&sub_codes, &params),
+            Decision::Convert(choice) => {
+                let low = choice.apply_slice(&sub_codes);
+                choice.dequantize_slice(&low, &params)
+            }
+        };
+        effective
+            .set_subtensor(view, &restored)
+            .map_err(|e| crate::QuantError::InvalidParameter {
+                name: "view",
+                detail: e.to_string(),
+            })?;
+        decisions.push(SubTensorDecision { view_id: view.id(), len: view.len(), decision });
+    }
+
+    Ok(PolicyRun { params, decisions, effective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::mse;
+    use drift_tensor::Shape;
+
+    fn ramp_tensor() -> Tensor {
+        Tensor::from_fn(vec![8, 16], |i| ((i * 29) % 97) as f32 / 97.0 - 0.5).unwrap()
+    }
+
+    #[test]
+    fn static_high_keeps_everything() {
+        let t = ramp_tensor();
+        let run = run_policy(&t, &SubTensorScheme::token(16), Precision::INT8, &StaticHighPolicy)
+            .unwrap();
+        assert_eq!(run.low_fraction(), 0.0);
+        assert_eq!(run.low_subtensors(), 0);
+        // INT8 reconstruction error bounded by half a step per element.
+        let err = mse(t.as_slice(), run.effective.as_slice());
+        assert!(err < (run.params.scale * run.params.scale) as f64);
+    }
+
+    #[test]
+    fn static_low_converts_everything() {
+        let t = ramp_tensor();
+        let run = run_policy(
+            &t,
+            &SubTensorScheme::token(16),
+            Precision::INT8,
+            &StaticLowPolicy::new(Precision::INT4),
+        )
+        .unwrap();
+        assert_eq!(run.low_fraction(), 1.0);
+        assert_eq!(run.low_subtensors(), 8);
+    }
+
+    #[test]
+    fn static_low_noop_when_lp_not_lower() {
+        let t = ramp_tensor();
+        let run = run_policy(
+            &t,
+            &SubTensorScheme::PerTensor,
+            Precision::INT4,
+            &StaticLowPolicy::new(Precision::INT8),
+        )
+        .unwrap();
+        assert_eq!(run.low_fraction(), 0.0);
+    }
+
+    #[test]
+    fn low_precision_is_lossier() {
+        let t = ramp_tensor();
+        let high = run_policy(&t, &SubTensorScheme::token(16), Precision::INT8, &StaticHighPolicy)
+            .unwrap();
+        let low = run_policy(
+            &t,
+            &SubTensorScheme::token(16),
+            Precision::INT8,
+            &StaticLowPolicy::new(Precision::INT4),
+        )
+        .unwrap();
+        assert!(
+            mse(t.as_slice(), low.effective.as_slice())
+                > mse(t.as_slice(), high.effective.as_slice())
+        );
+    }
+
+    #[test]
+    fn decisions_cover_all_subtensors() {
+        let t = ramp_tensor();
+        let scheme = SubTensorScheme::region(4, 4);
+        let run = run_policy(&t, &scheme, Precision::INT8, &StaticHighPolicy).unwrap();
+        let expected = scheme.count(&Shape::matrix(8, 16).unwrap()).unwrap();
+        assert_eq!(run.decisions.len(), expected);
+        let total: usize = run.decisions.iter().map(|d| d.len).sum();
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn decision_bits() {
+        let keep = Decision::Keep;
+        assert_eq!(keep.bits(Precision::INT8), Precision::INT8);
+        assert!(!keep.is_low());
+        let choice = ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4).unwrap();
+        let conv = Decision::Convert(choice);
+        assert_eq!(conv.bits(Precision::INT8), Precision::INT4);
+        assert!(conv.is_low());
+    }
+
+    #[test]
+    fn bad_scheme_is_an_error() {
+        let t = ramp_tensor();
+        let res = run_policy(&t, &SubTensorScheme::token(31), Precision::INT8, &StaticHighPolicy);
+        assert!(res.is_err());
+    }
+}

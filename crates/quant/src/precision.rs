@@ -1,0 +1,208 @@
+//! Bit-width newtypes and precision pairs.
+
+use crate::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signed integer precision (bit width) between 1 and 16 bits.
+///
+/// The value counts *all* bits including the sign; the representable
+/// symmetric range is `±(2^(bits-1) - 1)` (the symmetric scheme of paper
+/// Eq. 1 excludes the asymmetric most-negative code).
+///
+/// # Example
+///
+/// ```rust
+/// use drift_quant::Precision;
+///
+/// # fn main() -> Result<(), drift_quant::QuantError> {
+/// let p = Precision::new(8)?;
+/// assert_eq!(p, Precision::INT8);
+/// assert_eq!(p.q_max(), 127);
+/// assert_eq!(Precision::INT4.q_max(), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Precision(u8);
+
+impl Precision {
+    /// 8-bit precision: the paper's high-precision setting.
+    pub const INT8: Precision = Precision(8);
+    /// 4-bit precision: the paper's low-precision setting.
+    pub const INT4: Precision = Precision(4);
+    /// 3-bit precision (Precision Gating's low setting; supported by
+    /// Drift's BitBrick fabric per Section 4.1).
+    pub const INT3: Precision = Precision(3);
+    /// 5-bit precision (Precision Gating's high setting).
+    pub const INT5: Precision = Precision(5);
+    /// 16-bit precision, used for wide accumulators in tests.
+    pub const INT16: Precision = Precision(16);
+
+    /// Creates a precision of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidBitWidth`] unless `1 <= bits <= 16`.
+    pub fn new(bits: u8) -> Result<Self> {
+        if (1..=16).contains(&bits) {
+            Ok(Precision(bits))
+        } else {
+            Err(QuantError::InvalidBitWidth { bits })
+        }
+    }
+
+    /// The bit width.
+    pub fn bits(&self) -> u8 {
+        self.0
+    }
+
+    /// Largest representable magnitude, `2^(bits-1) - 1`.
+    ///
+    /// For 1-bit precision this is 0 (sign only), which is why practical
+    /// low-precision settings start at 2–3 bits.
+    pub fn q_max(&self) -> i32 {
+        (1i32 << (self.0 - 1)) - 1
+    }
+
+    /// Number of distinct symmetric codes, `2 · q_max + 1`.
+    pub fn levels(&self) -> u32 {
+        (2 * self.q_max() + 1) as u32
+    }
+
+    /// Whether `value` is representable at this precision.
+    pub fn contains(&self, value: i32) -> bool {
+        value.abs() <= self.q_max()
+    }
+
+    /// Saturates `value` to the representable range.
+    pub fn saturate(&self, value: i32) -> i32 {
+        value.clamp(-self.q_max(), self.q_max())
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INT{}", self.0)
+    }
+}
+
+impl TryFrom<u8> for Precision {
+    type Error = QuantError;
+
+    fn try_from(bits: u8) -> Result<Self> {
+        Precision::new(bits)
+    }
+}
+
+/// The (activation, weight) precision pair of a GEMM tile, naming the four
+/// systolic arrays of Drift's Section 4.2 (`hh`, `hl`, `lh`, `ll`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct PrecisionPair {
+    /// Activation precision.
+    pub activation: Precision,
+    /// Weight precision.
+    pub weight: Precision,
+}
+
+impl PrecisionPair {
+    /// High activation × high weight (both 8-bit).
+    pub const HH: PrecisionPair =
+        PrecisionPair { activation: Precision::INT8, weight: Precision::INT8 };
+    /// High activation × low weight.
+    pub const HL: PrecisionPair =
+        PrecisionPair { activation: Precision::INT8, weight: Precision::INT4 };
+    /// Low activation × high weight.
+    pub const LH: PrecisionPair =
+        PrecisionPair { activation: Precision::INT4, weight: Precision::INT8 };
+    /// Low activation × low weight (both 4-bit).
+    pub const LL: PrecisionPair =
+        PrecisionPair { activation: Precision::INT4, weight: Precision::INT4 };
+
+    /// Creates a pair.
+    pub fn new(activation: Precision, weight: Precision) -> Self {
+        PrecisionPair { activation, weight }
+    }
+
+    /// The four canonical pairs of the paper's Section 4.2, in
+    /// (hh, hl, lh, ll) order.
+    pub fn canonical() -> [PrecisionPair; 4] {
+        [Self::HH, Self::HL, Self::LH, Self::LL]
+    }
+
+    /// Product of the bit widths, proportional to the work one
+    /// multiply costs on a 4-bit×1-bit BitBrick fabric.
+    pub fn bit_product(&self) -> u32 {
+        u32::from(self.activation.bits()) * u32::from(self.weight.bits())
+    }
+}
+
+impl fmt::Display for PrecisionPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}w{}", self.activation.bits(), self.weight.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Precision::new(0).is_err());
+        assert!(Precision::new(17).is_err());
+        assert!(Precision::new(1).is_ok());
+        assert!(Precision::new(16).is_ok());
+    }
+
+    #[test]
+    fn q_max_values() {
+        assert_eq!(Precision::INT8.q_max(), 127);
+        assert_eq!(Precision::INT4.q_max(), 7);
+        assert_eq!(Precision::INT3.q_max(), 3);
+        assert_eq!(Precision::INT5.q_max(), 15);
+        assert_eq!(Precision::new(1).unwrap().q_max(), 0);
+    }
+
+    #[test]
+    fn levels_and_contains() {
+        assert_eq!(Precision::INT4.levels(), 15);
+        assert!(Precision::INT4.contains(7));
+        assert!(Precision::INT4.contains(-7));
+        assert!(!Precision::INT4.contains(8));
+        assert!(!Precision::INT4.contains(-8));
+    }
+
+    #[test]
+    fn saturate_clamps_symmetrically() {
+        assert_eq!(Precision::INT4.saturate(100), 7);
+        assert_eq!(Precision::INT4.saturate(-100), -7);
+        assert_eq!(Precision::INT4.saturate(3), 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Precision::INT8.to_string(), "INT8");
+        assert_eq!(PrecisionPair::LH.to_string(), "a4w8");
+    }
+
+    #[test]
+    fn canonical_pairs_ordered() {
+        let pairs = PrecisionPair::canonical();
+        assert_eq!(pairs[0], PrecisionPair::HH);
+        assert_eq!(pairs[3], PrecisionPair::LL);
+        assert_eq!(pairs[0].bit_product(), 64);
+        assert_eq!(pairs[3].bit_product(), 16);
+    }
+
+    #[test]
+    fn try_from_u8() {
+        let p: Precision = 6u8.try_into().unwrap();
+        assert_eq!(p.bits(), 6);
+        assert!(Precision::try_from(0u8).is_err());
+    }
+}

@@ -1,0 +1,608 @@
+//! Distribution samplers, histograms, and goodness-of-fit tests.
+//!
+//! The Drift paper's Figure 1 profiles sub-tensor distributions and finds
+//! that zero-mean Laplace distributions approximate nearly all of them.
+//! This module supplies the samplers used to generate activation data with
+//! controlled sub-tensor statistics, and the Kolmogorov–Smirnov machinery
+//! used by the Figure-1 reproduction to quantify the Laplace fit.
+
+use crate::rng::DriftRng;
+use crate::{Result, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution that can draw `f64` samples from a [`DriftRng`].
+///
+/// Implemented by [`Laplace`], [`Gaussian`], [`Exponential`], and
+/// [`Uniform`].
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut DriftRng) -> f64;
+
+    /// Evaluates the cumulative distribution function at `x`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Fills a vector with `n` samples.
+    fn sample_vec(&self, rng: &mut DriftRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Fills a vector with `n` samples, narrowed to `f32`.
+    fn sample_f32(&self, rng: &mut DriftRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.sample(rng) as f32).collect()
+    }
+}
+
+/// Laplace distribution `Laplace(μ, b)` with density
+/// `f(x) = exp(-|x-μ|/b) / (2b)`.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_tensor::dist::{Laplace, Sampler};
+/// use drift_tensor::stats::SummaryStats;
+///
+/// # fn main() -> Result<(), drift_tensor::TensorError> {
+/// let lap = Laplace::new(0.0, 0.5)?;
+/// let mut rng = drift_tensor::rng::seeded(3);
+/// let stats: SummaryStats = lap.sample_f32(&mut rng, 4096).into_iter().collect();
+/// // MLE of the scale recovers b.
+/// assert!((stats.laplace_scale() - 0.5).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Laplace {
+    mu: f64,
+    b: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with location `mu` and scale `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] unless `b > 0` and both
+    /// parameters are finite.
+    pub fn new(mu: f64, b: f64) -> Result<Self> {
+        if !b.is_finite() || b <= 0.0 {
+            return Err(TensorError::InvalidParameter { name: "b", value: b });
+        }
+        if !mu.is_finite() {
+            return Err(TensorError::InvalidParameter { name: "mu", value: mu });
+        }
+        Ok(Laplace { mu, b })
+    }
+
+    /// Location parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter.
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// The distribution variance, `2 b²`.
+    pub fn variance(&self) -> f64 {
+        2.0 * self.b * self.b
+    }
+}
+
+impl Sampler for Laplace {
+    fn sample(&self, rng: &mut DriftRng) -> f64 {
+        // Inverse-CDF sampling: u ∈ (-1/2, 1/2),
+        // x = μ - b · sign(u) · ln(1 - 2|u|).
+        let u: f64 = rng.gen::<f64>() - 0.5;
+        self.mu - self.b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.b;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+}
+
+/// Gaussian distribution `N(μ, σ²)` sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with mean `mu` and standard deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] unless `sigma > 0` and
+    /// both parameters are finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(TensorError::InvalidParameter { name: "sigma", value: sigma });
+        }
+        if !mu.is_finite() {
+            return Err(TensorError::InvalidParameter { name: "mu", value: mu });
+        }
+        Ok(Gaussian { mu, sigma })
+    }
+
+    /// Mean.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Sampler for Gaussian {
+    fn sample(&self, rng: &mut DriftRng) -> f64 {
+        // Box–Muller; one of the pair is discarded for simplicity.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf((x - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+    }
+}
+
+/// Exponential distribution with rate `λ` (the distribution of `|Y|` when
+/// `Y ~ Laplace(0, 1/λ)`, paper Eq. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] unless `lambda > 0` and
+    /// finite.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(TensorError::InvalidParameter { name: "lambda", value: lambda });
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// Rate parameter.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut DriftRng) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+}
+
+/// Uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] unless `lo < hi` and both
+    /// are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(TensorError::InvalidParameter { name: "hi", value: hi });
+        }
+        Ok(Uniform { lo, hi })
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample(&self, rng: &mut DriftRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.gen::<f64>()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, max abs error
+/// 1.5e-7), sufficient for goodness-of-fit reporting.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
+            - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// One-sample Kolmogorov–Smirnov statistic of `samples` against a model
+/// CDF: `D = sup_x |F_n(x) - F(x)|`.
+///
+/// Small values (≲ 1.36/√n for 5% significance) indicate the model fits.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_tensor::dist::{ks_statistic, Laplace, Sampler};
+///
+/// # fn main() -> Result<(), drift_tensor::TensorError> {
+/// let lap = Laplace::new(0.0, 1.0)?;
+/// let mut rng = drift_tensor::rng::seeded(11);
+/// let samples = lap.sample_vec(&mut rng, 2000);
+/// let d = ks_statistic(&samples, |x| lap.cdf(x));
+/// assert!(d < 1.36 / (2000f64).sqrt() * 1.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// KS statistic of `samples` against the best-fit zero-mean Laplace
+/// (scale from the MLE `b = avg(|x|)`). Returns the fitted scale and the
+/// statistic; `None` for empty or all-zero input.
+pub fn laplace_fit_ks(samples: &[f64]) -> Option<(f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let b = samples.iter().map(|v| v.abs()).sum::<f64>() / samples.len() as f64;
+    if b == 0.0 {
+        return None;
+    }
+    let lap = Laplace::new(0.0, b).ok()?;
+    Some((b, ks_statistic(samples, |x| lap.cdf(x))))
+}
+
+/// Quantile function (inverse CDF) of the zero-mean Laplace
+/// distribution with scale `b`.
+pub fn laplace_quantile(p: f64, b: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    if p < 0.5 {
+        b * (2.0 * p).ln()
+    } else {
+        -b * (2.0 * (1.0 - p)).ln()
+    }
+}
+
+/// QQ-plot points of `samples` against the best-fit zero-mean Laplace:
+/// `(theoretical quantile, empirical quantile)` pairs at the plotting
+/// positions `(i + 0.5) / n`. A good fit hugs the diagonal; the
+/// Figure-1 reproduction prints the worst deviation. Returns an empty
+/// vector for empty or all-zero input.
+pub fn laplace_qq_points(samples: &[f64]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let b = samples.iter().map(|v| v.abs()).sum::<f64>() / samples.len() as f64;
+    if b == 0.0 {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, c| a.partial_cmp(c).expect("samples must not contain NaN"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (laplace_quantile((i as f64 + 0.5) / n, b), x))
+        .collect()
+}
+
+/// A fixed-width histogram over `[lo, hi]` used to render Figure-1 style
+/// distribution plots as text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] unless `lo < hi` and
+    /// `bins > 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(TensorError::InvalidParameter { name: "hi", value: hi });
+        }
+        if bins == 0 {
+            return Err(TensorError::InvalidParameter { name: "bins", value: 0.0 });
+        }
+        Ok(Histogram { lo, hi, counts: vec![0; bins], total: 0, underflow: 0, overflow: 0 })
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let bin = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalized bin densities (each bin's fraction of in-range mass,
+    /// divided by bin width).
+    pub fn densities(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let in_range: u64 = self.counts.iter().sum();
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / in_range as f64 / width)
+            .collect()
+    }
+
+    /// Centre of each bin, for plotting.
+    pub fn bin_centers(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (0..self.counts.len())
+            .map(|i| self.lo + width * (i as f64 + 0.5))
+            .collect()
+    }
+
+    /// Renders a compact ASCII bar chart (one line per bin).
+    pub fn to_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let centers = self.bin_centers();
+        let mut out = String::new();
+        for (c, count) in centers.iter().zip(&self.counts) {
+            let bar = "#".repeat((count * width as u64 / max) as usize);
+            out.push_str(&format!("{c:>9.3} | {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn laplace_rejects_bad_params() {
+        assert!(Laplace::new(0.0, 0.0).is_err());
+        assert!(Laplace::new(0.0, -1.0).is_err());
+        assert!(Laplace::new(f64::NAN, 1.0).is_err());
+        assert!(Laplace::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn laplace_moments_recovered() {
+        let lap = Laplace::new(0.0, 0.8).unwrap();
+        let mut rng = seeded(1);
+        let xs = lap.sample_vec(&mut rng, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mean_abs = xs.iter().map(|v| v.abs()).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((mean_abs - 0.8).abs() < 0.03, "mean_abs {mean_abs}");
+    }
+
+    #[test]
+    fn laplace_cdf_properties() {
+        let lap = Laplace::new(0.0, 1.0).unwrap();
+        assert!((lap.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!(lap.cdf(-10.0) < 1e-4);
+        assert!(lap.cdf(10.0) > 1.0 - 1e-4);
+        // Monotone.
+        assert!(lap.cdf(-1.0) < lap.cdf(0.0));
+        assert!(lap.cdf(0.0) < lap.cdf(1.0));
+    }
+
+    #[test]
+    fn gaussian_moments_recovered() {
+        let g = Gaussian::new(1.0, 2.0).unwrap();
+        let mut rng = seeded(2);
+        let xs = g.sample_vec(&mut rng, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn gaussian_cdf_median() {
+        let g = Gaussian::new(3.0, 1.5).unwrap();
+        assert!((g.cdf(3.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let e = Exponential::new(4.0).unwrap();
+        let mut rng = seeded(3);
+        let xs = e.sample_vec(&mut rng, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.25).abs() < 0.01);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn abs_laplace_is_exponential() {
+        // Paper Eq. 4: |Laplace(0, b)| ~ Exponential(1/b).
+        let lap = Laplace::new(0.0, 0.5).unwrap();
+        let exp = Exponential::new(2.0).unwrap();
+        let mut rng = seeded(4);
+        let abs_samples: Vec<f64> =
+            lap.sample_vec(&mut rng, 5_000).into_iter().map(f64::abs).collect();
+        let d = ks_statistic(&abs_samples, |x| exp.cdf(x));
+        assert!(d < 0.03, "KS statistic {d} too large");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let u = Uniform::new(-1.0, 1.0).unwrap();
+        let mut rng = seeded(5);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        assert!(Uniform::new(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn ks_accepts_true_model_rejects_wrong_model() {
+        let lap = Laplace::new(0.0, 1.0).unwrap();
+        let mut rng = seeded(6);
+        let xs = lap.sample_vec(&mut rng, 3_000);
+        let d_true = ks_statistic(&xs, |x| lap.cdf(x));
+        let g = Gaussian::new(0.0, (2.0f64).sqrt()).unwrap();
+        let d_wrong = ks_statistic(&xs, |x| g.cdf(x));
+        assert!(d_true < d_wrong, "true {d_true} vs wrong {d_wrong}");
+        assert!(d_true < 0.05);
+    }
+
+    #[test]
+    fn laplace_fit_ks_recovers_scale() {
+        let lap = Laplace::new(0.0, 0.3).unwrap();
+        let mut rng = seeded(7);
+        let xs = lap.sample_vec(&mut rng, 5_000);
+        let (b, d) = laplace_fit_ks(&xs).unwrap();
+        assert!((b - 0.3).abs() < 0.02);
+        assert!(d < 0.05);
+        assert!(laplace_fit_ks(&[]).is_none());
+        assert!(laplace_fit_ks(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn laplace_quantile_inverts_cdf() {
+        let lap = Laplace::new(0.0, 0.7).unwrap();
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let x = laplace_quantile(p, 0.7);
+            assert!((lap.cdf(x) - p).abs() < 1e-9, "p = {p}");
+        }
+        assert_eq!(laplace_quantile(0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn qq_points_hug_the_diagonal_for_true_laplace() {
+        let lap = Laplace::new(0.0, 0.4).unwrap();
+        let mut rng = seeded(12);
+        let xs = lap.sample_vec(&mut rng, 4000);
+        let points = laplace_qq_points(&xs);
+        assert_eq!(points.len(), 4000);
+        // Central 95% of points stay near the diagonal.
+        let inner = &points[100..3900];
+        let worst = inner
+            .iter()
+            .map(|(t, e)| (t - e).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 0.12, "worst central deviation {worst}");
+        assert!(laplace_qq_points(&[]).is_empty());
+        assert!(laplace_qq_points(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn histogram_counts_and_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for x in [0.1, 0.3, 0.6, 0.9, -0.5, 1.5] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 6);
+        let centers = h.bin_centers();
+        assert!((centers[0] - 0.125).abs() < 1e-12);
+        assert!(!h.to_ascii(20).is_empty());
+    }
+
+    #[test]
+    fn histogram_densities_integrate_to_one() {
+        let mut h = Histogram::new(-2.0, 2.0, 32).unwrap();
+        let lap = Laplace::new(0.0, 0.4).unwrap();
+        let mut rng = seeded(8);
+        for _ in 0..10_000 {
+            h.push(lap.sample(&mut rng));
+        }
+        let width = 4.0 / 32.0;
+        let integral: f64 = h.densities().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Dense tensor, statistics, and distribution substrate for the Drift
+//! reproduction.
+//!
+//! The Drift paper ("Drift: Leveraging Distribution-based Dynamic Precision
+//! Quantization for Efficient Deep Neural Network Acceleration", DAC 2024)
+//! bases its quantization algorithm on two observations about DNN data
+//! tensors (its Section 2.1):
+//!
+//! 1. *Sub-tensor dynamics*: different sub-tensors (patches, tokens,
+//!    regions) of the same tensor have wildly different value ranges and
+//!    variances.
+//! 2. *Laplace ubiquity*: nearly all sub-tensors are well approximated by a
+//!    zero-mean Laplace distribution, so `max(|Y|)` and `avg(|Y|)` suffice
+//!    to characterise a sub-tensor.
+//!
+//! This crate provides everything needed to state, generate, and verify
+//! those observations:
+//!
+//! * [`tensor`] — a small dense row-major tensor library ([`Tensor`]).
+//! * [`shape`] — shapes, strides, and index arithmetic ([`Shape`]).
+//! * [`stats`] — streaming statistics and Laplace/exponential maximum
+//!   likelihood estimation ([`stats::SummaryStats`]).
+//! * [`dist`] — distribution samplers, histograms, and goodness-of-fit
+//!   tests ([`dist::Laplace`], [`dist::ks_statistic`]).
+//! * [`subtensor`] — sub-tensor partitioning schemes (patch / token /
+//!   region / channel granularity, [`subtensor::SubTensorScheme`]).
+//!
+//! # Example
+//!
+//! Partition an activation tensor into token sub-tensors and confirm that
+//! each is approximately Laplace:
+//!
+//! ```rust
+//! use drift_tensor::dist::{Laplace, Sampler};
+//! use drift_tensor::stats::SummaryStats;
+//! use drift_tensor::subtensor::SubTensorScheme;
+//! use drift_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), drift_tensor::TensorError> {
+//! // A [tokens, hidden] activation tensor with per-token scales.
+//! let mut rng = drift_tensor::rng::seeded(7);
+//! let mut data = Vec::new();
+//! for t in 0..8 {
+//!     let lap = Laplace::new(0.0, 0.05 * (t + 1) as f64)?;
+//!     data.extend((0..64).map(|_| lap.sample(&mut rng) as f32));
+//! }
+//! let acts = Tensor::from_vec(vec![8, 64], data)?;
+//!
+//! let scheme = SubTensorScheme::token(64);
+//! for view in scheme.partition(acts.shape())? {
+//!     let stats = SummaryStats::from_slice(acts.subtensor(&view)?);
+//!     // Laplace MLE: b ~= avg(|Y|), var(Y) ~= 2 b^2.
+//!     assert!(stats.laplace_scale() > 0.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dist;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod subtensor;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// A shape was empty or contained a zero-sized dimension.
+    InvalidShape {
+        /// The offending dimension list.
+        dims: Vec<usize>,
+    },
+    /// The element count of the provided buffer does not match the shape.
+    LengthMismatch {
+        /// Elements the shape requires.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending flat or per-axis index.
+        index: usize,
+        /// The bound that was violated.
+        bound: usize,
+    },
+    /// Two tensors had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Left-hand dimensions.
+        left: Vec<usize>,
+        /// Right-hand dimensions.
+        right: Vec<usize>,
+    },
+    /// A sub-tensor partitioning scheme does not divide the tensor shape.
+    PartitionMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A distribution parameter was invalid (for example a non-positive
+    /// scale).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::InvalidShape { dims } => {
+                write!(f, "invalid tensor shape {dims:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape volume {expected}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for extent {bound}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch between {left:?} and {right:?}")
+            }
+            TensorError::PartitionMismatch { detail } => {
+                write!(f, "partition mismatch: {detail}")
+            }
+            TensorError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T, E = TensorError> = std::result::Result<T, E>;

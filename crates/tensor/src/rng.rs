@@ -1,0 +1,69 @@
+//! Deterministic random-number helpers.
+//!
+//! Every synthetic workload in the reproduction is seeded explicitly so
+//! that each figure/table binary is reproducible bit-for-bit. We use
+//! ChaCha8 throughout: fast, portable, and stable across platforms
+//! (unlike `rand::thread_rng`).
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG type used throughout the workspace.
+pub type DriftRng = ChaCha8Rng;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Example
+///
+/// ```rust
+/// use rand::Rng;
+///
+/// let mut a = drift_tensor::rng::seeded(42);
+/// let mut b = drift_tensor::rng::seeded(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> DriftRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream label, so that
+/// independent workload components (weights vs. activations vs. noise)
+/// never share a stream even when built from one experiment seed.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    // FNV-1a over the label, folded into the parent seed.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    parent.rotate_left(17) ^ hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(7);
+        let mut b = seeded(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded(1);
+        let mut b = seeded(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn derive_seed_depends_on_label() {
+        assert_ne!(derive_seed(9, "weights"), derive_seed(9, "acts"));
+        assert_eq!(derive_seed(9, "weights"), derive_seed(9, "weights"));
+        assert_ne!(derive_seed(9, "weights"), derive_seed(10, "weights"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Shapes, strides, and index arithmetic for row-major dense tensors.
+
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a dense row-major tensor.
+///
+/// A `Shape` is an ordered list of strictly positive dimension extents.
+/// Rank-0 (scalar) shapes are not supported; scalars are rank-1 tensors of
+/// length one.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_tensor::Shape;
+///
+/// # fn main() -> Result<(), drift_tensor::TensorError> {
+/// let shape = Shape::new(vec![2, 3, 4])?;
+/// assert_eq!(shape.volume(), 24);
+/// assert_eq!(shape.strides(), vec![12, 4, 1]);
+/// assert_eq!(shape.flatten(&[1, 2, 3])?, 23);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if `dims` is empty or any
+    /// extent is zero.
+    pub fn new(dims: Vec<usize>) -> Result<Self> {
+        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            return Err(TensorError::InvalidShape { dims });
+        }
+        Ok(Shape { dims })
+    }
+
+    /// Creates a rank-1 shape of the given length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if `len` is zero.
+    pub fn vector(len: usize) -> Result<Self> {
+        Shape::new(vec![len])
+    }
+
+    /// Creates a rank-2 shape (`rows` × `cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if either extent is zero.
+    pub fn matrix(rows: usize, cols: usize) -> Result<Self> {
+        Shape::new(vec![rows, cols])
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The extent of axis `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims.get(axis).copied().ok_or(TensorError::IndexOutOfBounds {
+            index: axis,
+            bound: self.dims.len(),
+        })
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides: the flat distance between consecutive elements
+    /// along each axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for axis in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[axis] = strides[axis + 1] * self.dims[axis + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-axis index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the index rank differs
+    /// from the shape rank, and [`TensorError::IndexOutOfBounds`] if any
+    /// component exceeds its extent.
+    pub fn flatten(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims.clone(),
+                right: index.to_vec(),
+            });
+        }
+        let mut flat = 0usize;
+        for (axis, (&i, &extent)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= extent {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: extent });
+            }
+            // Row-major accumulation avoids materialising the stride list.
+            flat = flat * extent + i;
+            let _ = axis;
+        }
+        Ok(flat)
+    }
+
+    /// Converts a flat row-major offset back into a multi-axis index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `flat >= volume`.
+    pub fn unflatten(&self, flat: usize) -> Result<Vec<usize>> {
+        if flat >= self.volume() {
+            return Err(TensorError::IndexOutOfBounds { index: flat, bound: self.volume() });
+        }
+        let mut rem = flat;
+        let mut index = vec![0usize; self.dims.len()];
+        for axis in (0..self.dims.len()).rev() {
+            index[axis] = rem % self.dims[axis];
+            rem /= self.dims[axis];
+        }
+        Ok(index)
+    }
+
+    /// Returns true when both shapes have the same volume (reshape is
+    /// possible).
+    pub fn same_volume(&self, other: &Shape) -> bool {
+        self.volume() == other.volume()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl TryFrom<Vec<usize>> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: Vec<usize>) -> Result<Self> {
+        Shape::new(dims)
+    }
+}
+
+impl TryFrom<&[usize]> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: &[usize]) -> Result<Self> {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_shape() {
+        assert!(matches!(Shape::new(vec![]), Err(TensorError::InvalidShape { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_extent() {
+        assert!(matches!(Shape::new(vec![3, 0]), Err(TensorError::InvalidShape { .. })));
+    }
+
+    #[test]
+    fn volume_and_strides() {
+        let s = Shape::new(vec![2, 3, 4]).unwrap();
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let s = Shape::new(vec![3, 5, 7]).unwrap();
+        for flat in 0..s.volume() {
+            let idx = s.unflatten(flat).unwrap();
+            assert_eq!(s.flatten(&idx).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn flatten_rejects_out_of_bounds() {
+        let s = Shape::new(vec![2, 2]).unwrap();
+        assert!(s.flatten(&[2, 0]).is_err());
+        assert!(s.flatten(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn unflatten_rejects_out_of_bounds() {
+        let s = Shape::new(vec![2, 2]).unwrap();
+        assert!(s.unflatten(4).is_err());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = Shape::new(vec![8, 64]).unwrap();
+        assert_eq!(s.to_string(), "[8x64]");
+    }
+
+    #[test]
+    fn vector_and_matrix_constructors() {
+        assert_eq!(Shape::vector(5).unwrap().dims(), &[5]);
+        assert_eq!(Shape::matrix(2, 3).unwrap().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn try_from_slice() {
+        let s: Shape = [2usize, 4].as_slice().try_into().unwrap();
+        assert_eq!(s.volume(), 8);
+    }
+}

@@ -1,0 +1,389 @@
+//! A small dense row-major `f32` tensor.
+//!
+//! [`Tensor`] is deliberately minimal: the Drift pipeline only needs dense
+//! storage, elementwise maps, sub-tensor gather/scatter, and a handful of
+//! reductions. Quantized integer payloads are represented by
+//! `drift-quant`'s dedicated types rather than by a generic element
+//! parameter here.
+
+use crate::shape::Shape;
+use crate::subtensor::SubTensorView;
+use crate::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major tensor of `f32` values.
+///
+/// # Example
+///
+/// ```rust
+/// use drift_tensor::Tensor;
+///
+/// # fn main() -> Result<(), drift_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![2, 3], vec![1.0, -2.0, 3.0, -4.0, 5.0, -6.0])?;
+/// assert_eq!(t.abs_max(), 6.0);
+/// assert_eq!(t.get(&[1, 2])?, -6.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] for an empty or zero-extent
+    /// shape.
+    pub fn zeros(dims: Vec<usize>) -> Result<Self> {
+        let shape = Shape::new(dims)?;
+        let volume = shape.volume();
+        Ok(Tensor { shape, data: vec![0.0; volume] })
+    }
+
+    /// Creates a tensor filled with a constant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] for an invalid shape.
+    pub fn full(dims: Vec<usize>, value: f32) -> Result<Self> {
+        let shape = Shape::new(dims)?;
+        let volume = shape.volume();
+        Ok(Tensor { shape, data: vec![value; volume] })
+    }
+
+    /// Creates a tensor from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] for an invalid shape and
+    /// [`TensorError::LengthMismatch`] if `data.len()` differs from the
+    /// shape volume.
+    pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Result<Self> {
+        let shape = Shape::new(dims)?;
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at every flat index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] for an invalid shape.
+    pub fn from_fn(dims: Vec<usize>, mut f: impl FnMut(usize) -> f32) -> Result<Self> {
+        let shape = Shape::new(dims)?;
+        let data = (0..shape.volume()).map(&mut f).collect();
+        Ok(Tensor { shape, data })
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false: zero-volume tensors cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Borrow the flat row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-axis index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error if the index is out of bounds or of the
+    /// wrong rank.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.flatten(index)?])
+    }
+
+    /// Writes the element at a multi-axis index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error if the index is out of bounds or of the
+    /// wrong rank.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.shape.flatten(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// Returns a copy of this tensor with a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when volumes differ.
+    pub fn reshaped(&self, dims: Vec<usize>) -> Result<Tensor> {
+        let new_shape = Shape::new(dims)?;
+        if !self.shape.same_volume(&new_shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.dims().to_vec(),
+                right: new_shape.dims().to_vec(),
+            });
+        }
+        Ok(Tensor { shape: new_shape, data: self.data.clone() })
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise sum with another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference with another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.dims().to_vec(),
+                right: other.shape.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Maximum absolute value over all elements (0 for all-zero tensors).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.data.iter().sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Gathers the elements selected by a sub-tensor view into a fresh
+    /// buffer (views may be non-contiguous, e.g. image patches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the view refers past
+    /// the end of this tensor.
+    pub fn subtensor(&self, view: &SubTensorView) -> Result<Vec<f32>> {
+        let mut out = Vec::with_capacity(view.len());
+        for range in view.ranges() {
+            let slice = self.data.get(range.clone()).ok_or(TensorError::IndexOutOfBounds {
+                index: range.end,
+                bound: self.data.len(),
+            })?;
+            out.extend_from_slice(slice);
+        }
+        Ok(out)
+    }
+
+    /// Scatters `values` back into the elements selected by `view`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `values.len()` differs
+    /// from the view size, and [`TensorError::IndexOutOfBounds`] if the
+    /// view refers past the end of this tensor.
+    pub fn set_subtensor(&mut self, view: &SubTensorView, values: &[f32]) -> Result<()> {
+        if values.len() != view.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: view.len(),
+                actual: values.len(),
+            });
+        }
+        let mut cursor = 0usize;
+        for range in view.ranges() {
+            let len = range.len();
+            let slice =
+                self.data
+                    .get_mut(range.clone())
+                    .ok_or(TensorError::IndexOutOfBounds {
+                        index: range.end,
+                        bound: values.len(),
+                    })?;
+            slice.copy_from_slice(&values[cursor..cursor + len]);
+            cursor += len;
+        }
+        Ok(())
+    }
+
+    /// Iterator over the flat row-major elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} (", self.shape)?;
+        let preview: Vec<String> =
+            self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        write!(f, "{}", preview.join(", "))?;
+        if self.data.len() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<'a> IntoIterator for &'a Tensor {
+    type Item = &'a f32;
+    type IntoIter = std::slice::Iter<'a, f32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subtensor::SubTensorScheme;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(vec![2, 2]).unwrap();
+        assert!(z.iter().all(|&v| v == 0.0));
+        let f = Tensor::full(vec![3], 1.5).unwrap();
+        assert!(f.iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 3]).is_err());
+        assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(vec![2, 3]).unwrap();
+        t.set(&[1, 2], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 9.0);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshaped(vec![3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshaped(vec![4, 2]).is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[1.5, 2.5, 3.5]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[0.5, 1.5, 2.5]);
+        let c = Tensor::from_vec(vec![2], vec![1.0, 1.0]).unwrap();
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![4], vec![-3.0, 1.0, 2.0, -0.5]).unwrap();
+        assert_eq!(t.abs_max(), 3.0);
+        assert!((t.mean() - (-0.125)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subtensor_gather_scatter_roundtrip() {
+        let mut t =
+            Tensor::from_vec(vec![4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
+        let scheme = SubTensorScheme::token(4);
+        let views = scheme.partition(t.shape()).unwrap();
+        assert_eq!(views.len(), 4);
+        let row2 = t.subtensor(&views[2]).unwrap();
+        assert_eq!(row2, vec![8.0, 9.0, 10.0, 11.0]);
+        t.set_subtensor(&views[2], &[0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(t.subtensor(&views[2]).unwrap(), vec![0.0; 4]);
+        // Other rows untouched.
+        assert_eq!(t.get(&[1, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn set_subtensor_checks_length() {
+        let mut t = Tensor::zeros(vec![2, 2]).unwrap();
+        let views = SubTensorScheme::token(2).partition(t.shape()).unwrap();
+        assert!(t.set_subtensor(&views[0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let t = Tensor::from_vec(vec![2], vec![1.0, -2.0]).unwrap();
+        assert_eq!(t.map(f32::abs).as_slice(), &[1.0, 2.0]);
+        let mut u = t.clone();
+        u.map_inplace(|v| v * 2.0);
+        assert_eq!(u.as_slice(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn display_preview() {
+        let t = Tensor::zeros(vec![16]).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("Tensor[16]"));
+        assert!(s.contains('…'));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the tensor substrate.
+
+use drift_tensor::dist::{ks_statistic, Exponential, Gaussian, Histogram, Laplace, Sampler};
+use drift_tensor::rng::seeded;
+use drift_tensor::stats::SummaryStats;
+use drift_tensor::subtensor::SubTensorScheme;
+use drift_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..8, 1..4)
+}
+
+proptest! {
+    /// flatten ∘ unflatten is the identity on every valid offset.
+    #[test]
+    fn shape_flatten_roundtrip(dims in arb_shape()) {
+        let shape = Shape::new(dims).unwrap();
+        for flat in 0..shape.volume() {
+            let idx = shape.unflatten(flat).unwrap();
+            prop_assert_eq!(shape.flatten(&idx).unwrap(), flat);
+        }
+    }
+
+    /// Strides are consistent with flatten: moving one step along an
+    /// axis moves the flat offset by that axis's stride.
+    #[test]
+    fn strides_match_flatten(dims in arb_shape()) {
+        let shape = Shape::new(dims.clone()).unwrap();
+        let strides = shape.strides();
+        let zero = vec![0usize; dims.len()];
+        for axis in 0..dims.len() {
+            if dims[axis] < 2 {
+                continue;
+            }
+            let mut idx = zero.clone();
+            idx[axis] = 1;
+            prop_assert_eq!(shape.flatten(&idx).unwrap(), strides[axis]);
+        }
+    }
+
+    /// Every partitioning scheme covers the tensor exactly once.
+    #[test]
+    fn partitions_are_exact_covers(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        tile_r in 1usize..6,
+        tile_c in 1usize..6,
+    ) {
+        let shape = Shape::matrix(rows, cols).unwrap();
+        let schemes = vec![
+            SubTensorScheme::PerTensor,
+            SubTensorScheme::region(tile_r, tile_c),
+            SubTensorScheme::Channel,
+            SubTensorScheme::PerValue,
+        ];
+        for scheme in schemes {
+            let views = scheme.partition(&shape).unwrap();
+            prop_assert_eq!(views.len(), scheme.count(&shape).unwrap());
+            let mut seen = vec![false; shape.volume()];
+            for v in &views {
+                for i in v.indices() {
+                    prop_assert!(!seen[i], "double cover at {i}");
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    /// Gather then scatter of any view is the identity.
+    #[test]
+    fn gather_scatter_identity(
+        rows in 1usize..8,
+        cols in 1usize..8,
+        data in proptest::collection::vec(-100.0f32..100.0, 64),
+    ) {
+        let n = rows * cols;
+        let t = Tensor::from_vec(vec![rows, cols], data[..n].to_vec()).unwrap();
+        let views = SubTensorScheme::region(2, 2).partition(t.shape()).unwrap();
+        let mut u = t.clone();
+        for v in &views {
+            let gathered = t.subtensor(v).unwrap();
+            u.set_subtensor(v, &gathered).unwrap();
+        }
+        prop_assert_eq!(t, u);
+    }
+
+    /// Welford statistics match two-pass computation.
+    #[test]
+    fn stats_match_two_pass(data in proptest::collection::vec(-1e3f32..1e3, 1..256)) {
+        let s = SummaryStats::from_slice(&data);
+        let mean = data.iter().map(|&v| f64::from(v)).sum::<f64>() / data.len() as f64;
+        let var = data
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / data.len() as f64;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.max(1.0));
+        let abs_max = data.iter().fold(0.0f64, |m, &v| m.max(f64::from(v).abs()));
+        prop_assert_eq!(s.abs_max(), abs_max);
+        prop_assert!(s.mean_abs() <= s.abs_max() + 1e-12);
+    }
+
+    /// All histogram mass is accounted for (bins + underflow + overflow).
+    #[test]
+    fn histogram_conserves_mass(
+        data in proptest::collection::vec(-10.0f64..10.0, 1..200),
+        lo in -5.0f64..-0.1,
+        hi in 0.1f64..5.0,
+        bins in 1usize..32,
+    ) {
+        let mut h = Histogram::new(lo, hi, bins).unwrap();
+        for &x in &data {
+            h.push(x);
+        }
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), data.len() as u64);
+    }
+
+    /// CDFs are monotone and bounded for all three parametrised
+    /// distributions.
+    #[test]
+    fn cdfs_are_monotone(
+        scale in 0.01f64..10.0,
+        a in -20.0f64..20.0,
+        b in -20.0f64..20.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let lap = Laplace::new(0.0, scale).unwrap();
+        let gauss = Gaussian::new(0.0, scale).unwrap();
+        let exp = Exponential::new(1.0 / scale).unwrap();
+        for cdf in [&lap.cdf(lo), &gauss.cdf(lo), &exp.cdf(lo)] {
+            prop_assert!((0.0..=1.0).contains(cdf));
+        }
+        prop_assert!(lap.cdf(lo) <= lap.cdf(hi) + 1e-12);
+        prop_assert!(gauss.cdf(lo) <= gauss.cdf(hi) + 1e-12);
+        prop_assert!(exp.cdf(lo) <= exp.cdf(hi) + 1e-12);
+    }
+
+    /// The KS statistic of a sample against its own empirical source is
+    /// bounded by 1 and decreases with sample size for the true model.
+    #[test]
+    fn ks_statistic_bounded(seed in 0u64..1000, scale in 0.05f64..5.0) {
+        let lap = Laplace::new(0.0, scale).unwrap();
+        let mut rng = seeded(seed);
+        let xs = lap.sample_vec(&mut rng, 500);
+        let d = ks_statistic(&xs, |x| lap.cdf(x));
+        prop_assert!((0.0..=1.0).contains(&d));
+        // 99.9% band for n = 500.
+        prop_assert!(d < 1.95 / (500f64).sqrt(), "KS {d} too large");
+    }
+
+    /// Sampling is deterministic per seed and sensitive to it.
+    #[test]
+    fn sampling_deterministic(seed in 0u64..10_000) {
+        let lap = Laplace::new(0.0, 1.0).unwrap();
+        let a = lap.sample_vec(&mut seeded(seed), 16);
+        let b = lap.sample_vec(&mut seeded(seed), 16);
+        prop_assert_eq!(a, b);
+    }
+}

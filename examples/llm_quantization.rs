@@ -1,0 +1,46 @@
+//! Dynamic precision quantization of a language model: compares FP32,
+//! static INT8, and Drift on the perplexity proxy, the Table-1
+//! workflow of the paper.
+//!
+//! ```text
+//! cargo run --release --example llm_quantization
+//! ```
+
+use drift::core::selector::DriftPolicy;
+use drift::nn::datagen::TokenProfile;
+use drift::nn::engine::TinyTransformer;
+use drift::nn::eval::perplexity_proxy;
+use drift::quant::policy::StaticHighPolicy;
+use drift::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = TinyTransformer::llm_like(5, 64)?;
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|i| TokenProfile::llm().generate(32, model.hidden(), 100 + i as u64))
+        .collect::<Result<_, _>>()?;
+
+    let anchor = 17.48; // the paper's GPT2-XL FP32 perplexity on WikiText
+    let fp32 = perplexity_proxy(&model, &inputs, None, anchor)?;
+    let int8 = perplexity_proxy(&model, &inputs, Some(&StaticHighPolicy), anchor)?;
+    let drift = perplexity_proxy(&model, &inputs, Some(&DriftPolicy::new(0.1)?), anchor)?;
+
+    println!("perplexity proxy (lower is better, anchored at GPT2-XL/Wiki):");
+    println!("  fp32   {:.2}", fp32.perplexity);
+    println!("  int8   {:.2}  (ΔCE {:.4})", int8.perplexity, int8.delta_ce);
+    println!(
+        "  drift  {:.2}  (ΔCE {:.4}) at {:.1}% 4-bit computation",
+        drift.perplexity,
+        drift.delta_ce,
+        drift.low_fraction * 100.0
+    );
+    println!();
+    println!(
+        "drift computes {:.0}% of activations at 4 bits while staying within",
+        drift.low_fraction * 100.0
+    );
+    println!(
+        "{:.1}% of the INT8 perplexity.",
+        (drift.perplexity / int8.perplexity - 1.0) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: dynamic precision quantization of one activation tensor
+//! and execution of the resulting mixed-precision GEMM on the Drift
+//! accelerator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use drift::core::accelerator::DriftAccelerator;
+use drift::core::selector::DriftPolicy;
+use drift::accel::accelerator::Accelerator;
+use drift::accel::gemm::{GemmShape, GemmWorkload};
+use drift::quant::policy::run_policy;
+use drift::quant::Precision;
+use drift::tensor::dist::{Laplace, Sampler};
+use drift::tensor::subtensor::SubTensorScheme;
+use drift::tensor::Tensor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. An activation tensor with heterogeneous token scales — the
+    //    sub-tensor dynamics of the paper's Figure 1.
+    let mut rng = drift::tensor::rng::seeded(7);
+    let (tokens, hidden) = (64usize, 256usize);
+    let mut data = Vec::with_capacity(tokens * hidden);
+    for t in 0..tokens {
+        let scale = 0.02 * (1.0 + t as f64); // scales spread 64x
+        let lap = Laplace::new(0.0, scale)?;
+        data.extend(lap.sample_f32(&mut rng, hidden));
+    }
+    let acts = Tensor::from_vec(vec![tokens, hidden], data)?;
+
+    // 2. Run the Drift selection algorithm per token (Eqs. 5-6).
+    let policy = DriftPolicy::new(0.3)?;
+    let run = run_policy(&acts, &SubTensorScheme::token(hidden), Precision::INT8, &policy)?;
+    println!(
+        "drift selected {} of {} tokens for 4-bit ({:.1}% of elements)",
+        run.low_subtensors(),
+        run.decisions.len(),
+        run.low_fraction() * 100.0
+    );
+
+    // 3. Build the mixed-precision GEMM workload those decisions imply.
+    let act_high: Vec<bool> =
+        run.decisions.iter().map(|d| !d.decision.is_low()).collect();
+    let shape = GemmShape::new(tokens, hidden, 512)?;
+    let workload = GemmWorkload::new("quickstart", shape, act_high, vec![false; 512])?;
+
+    // 4. Execute on the Drift accelerator: the fabric splits into four
+    //    stall-free systolic arrays sized by the online scheduler.
+    let mut drift = DriftAccelerator::paper_config()?;
+    let report = drift.execute(&workload)?;
+    println!(
+        "drift: {} cycles ({} stalls), energy {:.1} nJ",
+        report.cycles,
+        report.stall_cycles,
+        report.energy.total_pj() / 1000.0
+    );
+    if let Some(schedule) = drift.last_schedule() {
+        println!("fabric partition: {:?}", schedule.partition.geometries());
+    }
+    Ok(())
+}

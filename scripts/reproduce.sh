@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation into
+# results/. Deterministic; ~1 minute on a laptop.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINARIES=(
+  fig1_subtensor_dynamics
+  fig2_bitfusion_stalls
+  fig3_conversion_choices
+  fig4_architecture
+  fig5_fabric_partition
+  fig6_accuracy
+  table1_llm_perplexity
+  fig7_latency
+  fig8_energy
+  sweep_mix
+  ablate_scheduler
+  ablate_metrics
+  ablate_granularity
+  ablate_flexible_precision
+  ablate_gating
+)
+for bin in "${BINARIES[@]}"; do
+  echo "== $bin =="
+  cargo run --release -q -p drift-bench --bin "$bin" | tee "results/$bin.txt"
+  echo
+done

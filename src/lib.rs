@@ -1,0 +1,10 @@
+//! Facade crate re-exporting the entire Drift reproduction workspace.
+//!
+//! See the individual crates for details: [`drift_tensor`],
+//! [`drift_quant`], [`drift_accel`], [`drift_core`], [`drift_nn`].
+
+pub use drift_accel as accel;
+pub use drift_core as core;
+pub use drift_nn as nn;
+pub use drift_quant as quant;
+pub use drift_tensor as tensor;

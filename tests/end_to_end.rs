@@ -1,0 +1,119 @@
+//! End-to-end integration: synthetic data → precision selection →
+//! GEMM workloads → all four accelerators, asserting the orderings the
+//! paper's evaluation rests on.
+
+use drift::accel::accelerator::Accelerator;
+use drift::accel::bitfusion::BitFusion;
+use drift::accel::drq::DrqAccelerator;
+use drift::accel::eyeriss::Eyeriss;
+use drift::accel::gemm::GemmWorkload;
+use drift::core::accelerator::DriftAccelerator;
+use drift::core::selector::DriftPolicy;
+use drift::nn::lower::{model_low_fraction, model_workloads};
+use drift::nn::zoo;
+
+/// The full BERT pipeline, end to end: annotate with Drift's selector,
+/// execute everywhere, check the paper's ordering.
+#[test]
+fn bert_pipeline_orders_accelerators_correctly() {
+    let desc = zoo::bert_base();
+    let policy = DriftPolicy::new(0.027).unwrap();
+    let workloads = model_workloads(&desc, &policy, 42).unwrap();
+    assert!(model_low_fraction(&workloads) > 0.6, "BERT should be mostly 4-bit");
+
+    let mut eyeriss = Eyeriss::paper_config().unwrap();
+    let mut bitfusion = BitFusion::int8().unwrap();
+    let mut drq = DrqAccelerator::paper_config().unwrap();
+    let mut drift = DriftAccelerator::paper_config().unwrap();
+
+    let (mut t_e, mut t_b, mut t_q, mut t_d) = (0u64, 0u64, 0u64, 0u64);
+    for (op, w) in &workloads {
+        let uniform = GemmWorkload::uniform(op.name.clone(), op.shape, false);
+        t_e += eyeriss.execute(&uniform).unwrap().cycles * op.repeat;
+        t_b += bitfusion.execute(&uniform).unwrap().cycles * op.repeat;
+        t_q += drq.execute(w).unwrap().cycles * op.repeat;
+        let rd = drift.execute(w).unwrap();
+        assert_eq!(rd.stall_cycles, 0, "{}: drift must not stall", op.name);
+        t_d += rd.cycles * op.repeat;
+    }
+    assert!(t_e > t_b, "eyeriss {t_e} should be slowest (bitfusion {t_b})");
+    assert!(t_b > t_q, "bitfusion {t_b} should trail drq {t_q}");
+    assert!(t_q > t_d, "drq {t_q} should trail drift {t_d}");
+    // The paper's headline factors, loosely: drift 5-15x over eyeriss,
+    // 1.5-3.5x over bitfusion, 1.2-2.5x over drq.
+    let over_eyeriss = t_e as f64 / t_d as f64;
+    let over_bitfusion = t_b as f64 / t_d as f64;
+    let over_drq = t_q as f64 / t_d as f64;
+    assert!((5.0..20.0).contains(&over_eyeriss), "vs eyeriss {over_eyeriss}");
+    assert!((1.5..3.5).contains(&over_bitfusion), "vs bitfusion {over_bitfusion}");
+    assert!((1.2..2.5).contains(&over_drq), "vs drq {over_drq}");
+}
+
+/// Energy ordering and breakdown sanity for a ViT workload.
+#[test]
+fn vit_energy_ordering() {
+    let desc = zoo::vit_b16();
+    let policy = DriftPolicy::new(0.045).unwrap();
+    let workloads = model_workloads(&desc, &policy, 42).unwrap();
+
+    let mut eyeriss = Eyeriss::paper_config().unwrap();
+    let mut bitfusion = BitFusion::int8().unwrap();
+    let mut drift = DriftAccelerator::paper_config().unwrap();
+    let (mut e_e, mut e_b, mut e_d) = (0.0f64, 0.0, 0.0);
+    for (op, w) in workloads.iter().take(6) {
+        let uniform = GemmWorkload::uniform(op.name.clone(), op.shape, false);
+        e_e += eyeriss.execute(&uniform).unwrap().energy.total_pj() * op.repeat as f64;
+        e_b += bitfusion.execute(&uniform).unwrap().energy.total_pj() * op.repeat as f64;
+        let rd = drift.execute(w).unwrap();
+        let f = rd.energy.fractions();
+        assert!(f.iter().all(|&x| x > 0.0), "all energy components present");
+        e_d += rd.energy.total_pj() * op.repeat as f64;
+    }
+    assert!(e_e > e_b && e_b > e_d, "energy ordering: {e_e} > {e_b} > {e_d}");
+}
+
+/// The DRQ collapse on interleaved precisions (the ViT-B result): DRQ's
+/// advantage over BitFusion shrinks as the high fraction rises.
+#[test]
+fn drq_advantage_shrinks_with_high_fraction() {
+    let shape = drift::accel::gemm::GemmShape::new(1024, 768, 768).unwrap();
+    let mut ratios = Vec::new();
+    for pct in [10usize, 30, 50] {
+        let high = shape.m * pct / 100;
+        let act_high: Vec<bool> = (0..shape.m)
+            .map(|i| i % (shape.m / high).max(1) == 0)
+            .collect();
+        let w = GemmWorkload::new("mix", shape, act_high, vec![false; 768]).unwrap();
+        let mut bf = BitFusion::int8().unwrap();
+        let c_bf = bf
+            .execute(&GemmWorkload::uniform("hi", shape, false))
+            .unwrap()
+            .compute_cycles;
+        let mut drq = DrqAccelerator::paper_config().unwrap();
+        let c_drq = drq.execute(&w).unwrap().compute_cycles;
+        ratios.push(c_bf as f64 / c_drq as f64);
+    }
+    assert!(
+        ratios[0] > ratios[1] && ratios[1] > ratios[2],
+        "drq advantage should shrink: {ratios:?}"
+    );
+}
+
+/// Determinism: the whole pipeline is reproducible bit-for-bit.
+#[test]
+fn pipeline_is_deterministic() {
+    let desc = zoo::deit_s();
+    let policy = DriftPolicy::new(0.04).unwrap();
+    let a = model_workloads(&desc, &policy, 9).unwrap();
+    let b = model_workloads(&desc, &policy, 9).unwrap();
+    for ((_, wa), (_, wb)) in a.iter().zip(&b) {
+        assert_eq!(wa.act_high(), wb.act_high());
+        assert_eq!(wa.weight_high(), wb.weight_high());
+    }
+    let mut d1 = DriftAccelerator::paper_config().unwrap();
+    let mut d2 = DriftAccelerator::paper_config().unwrap();
+    let r1 = d1.execute(&a[0].1).unwrap();
+    let r2 = d2.execute(&b[0].1).unwrap();
+    assert_eq!(r1.cycles, r2.cycles);
+    assert_eq!(r1.energy, r2.energy);
+}

@@ -1,0 +1,147 @@
+//! Integration tests of the accuracy-evaluation invariants behind
+//! Fig. 6 and Table 1.
+
+use drift::core::selector::DriftPolicy;
+use drift::nn::datagen::{ImageProfile, TokenProfile};
+use drift::nn::engine::{TinyCnn, TinyTransformer};
+use drift::nn::eval::{classification_fidelity, perplexity_proxy};
+use drift::quant::drq::DrqPolicy;
+use drift::quant::policy::StaticHighPolicy;
+use drift::tensor::Tensor;
+
+fn bert_inputs(n: usize, hidden: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| {
+            TokenProfile::bert()
+                .generate_classified(16, hidden, i % 10, 2.5, seed + i as u64)
+                .unwrap()
+        })
+        .collect()
+}
+
+/// The Fig. 6 transformer story: Drift holds accuracy near INT8 at a
+/// high 4-bit share; DRQ at a comparable share loses much more.
+#[test]
+fn transformer_ordering_matches_fig6() {
+    let model = TinyTransformer::bert_like(23).unwrap();
+    let inputs = bert_inputs(96, model.hidden(), 3_000);
+
+    let int8 = classification_fidelity(&model, &inputs, &StaticHighPolicy, 100.0).unwrap();
+    let drift = classification_fidelity(
+        &model,
+        &inputs,
+        &DriftPolicy::new(0.3).unwrap(),
+        100.0,
+    )
+    .unwrap();
+    let drq =
+        classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 100.0)
+            .unwrap();
+
+    assert!(int8.agreement > 0.95, "int8 {}", int8.agreement);
+    assert!(drift.low_fraction > 0.8, "drift share {}", drift.low_fraction);
+    assert!(
+        int8.agreement - drift.agreement < 0.06,
+        "drift lost too much: {} vs {}",
+        drift.agreement,
+        int8.agreement
+    );
+    assert!(
+        drift.agreement > drq.agreement + 0.02,
+        "drift {} should clearly beat drq {}",
+        drift.agreement,
+        drq.agreement
+    );
+    assert!(
+        int8.agreement - drq.agreement > 0.05,
+        "drq should lose visibly: {} vs {}",
+        drq.agreement,
+        int8.agreement
+    );
+}
+
+/// The Fig. 6 CNN story: on region-structured image data, both dynamic
+/// schemes hold up.
+#[test]
+fn cnn_both_schemes_hold_up() {
+    let model = TinyCnn::resnet_like(11).unwrap();
+    let inputs: Vec<Tensor> = (0..48)
+        .map(|i| ImageProfile::natural().generate(3, 16, 16, 2_000 + i as u64).unwrap())
+        .collect();
+    let drq =
+        classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 100.0)
+            .unwrap();
+    let drift = classification_fidelity(
+        &model,
+        &inputs,
+        &DriftPolicy::new(0.05).unwrap(),
+        100.0,
+    )
+    .unwrap();
+    assert!(drq.agreement > 0.9, "drq on cnn {}", drq.agreement);
+    assert!(drift.agreement > 0.9, "drift on cnn {}", drift.agreement);
+    assert!(drift.low_fraction > 0.8, "drift share {}", drift.low_fraction);
+}
+
+/// The Table 1 story: the LLM perplexity proxy stays within a modest
+/// factor of INT8 at a high 4-bit share, and both degrade from FP32.
+#[test]
+fn llm_perplexity_matches_table1_shape() {
+    let model = TinyTransformer::llm_like(41, 48).unwrap();
+    let inputs: Vec<Tensor> = (0..10)
+        .map(|i| TokenProfile::llm().generate(24, 64, 6_000 + i as u64).unwrap())
+        .collect();
+    let anchor = 17.48;
+    let fp32 = perplexity_proxy(&model, &inputs, None, anchor).unwrap();
+    let int8 = perplexity_proxy(&model, &inputs, Some(&StaticHighPolicy), anchor).unwrap();
+    let ours = perplexity_proxy(
+        &model,
+        &inputs,
+        Some(&DriftPolicy::new(0.1).unwrap()),
+        anchor,
+    )
+    .unwrap();
+    assert_eq!(fp32.perplexity, anchor);
+    assert!(int8.perplexity >= anchor);
+    assert!(ours.perplexity >= anchor);
+    assert!(ours.low_fraction > 0.85, "llm share {}", ours.low_fraction);
+    assert!(
+        ours.perplexity < int8.perplexity * 1.10,
+        "ours {} should stay within 10% of int8 {}",
+        ours.perplexity,
+        int8.perplexity
+    );
+}
+
+/// Calibration integration: the Hessian-aware calibrator picks a δ that
+/// actually reduces precision without wrecking the proxy loss.
+#[test]
+fn hessian_calibration_integrates() {
+    use drift::core::calibrate::{CalibrationLayer, HessianCalibrator};
+    use drift::tensor::subtensor::SubTensorScheme;
+
+    let layers: Vec<CalibrationLayer> = (0..3)
+        .map(|i| {
+            let acts = TokenProfile::bert().generate(32, 64, 7_000 + i).unwrap();
+            CalibrationLayer {
+                name: format!("l{i}"),
+                activations: acts,
+                scheme: SubTensorScheme::token(64),
+                weights: Some(
+                    drift::nn::datagen::xavier_weights(64, 64, 8_000 + i).unwrap(),
+                ),
+            }
+        })
+        .collect();
+    let calibrator = HessianCalibrator::new();
+    let mut rng = drift::tensor::rng::seeded(1);
+    let result = calibrator.calibrate(&layers, 30.0, &mut rng).unwrap();
+    assert!(result.delta > 0.0);
+    assert!(result.low_fraction > 0.0, "calibrated share {}", result.low_fraction);
+    assert_eq!(result.sweep.len(), calibrator.candidates.len());
+    // A looser budget admits a smaller δ and at least as much 4-bit.
+    let mut rng2 = drift::tensor::rng::seeded(1);
+    let loose = calibrator.calibrate(&layers, 300.0, &mut rng2).unwrap();
+    assert!(loose.delta <= result.delta);
+    assert!(loose.low_fraction >= result.low_fraction);
+}
