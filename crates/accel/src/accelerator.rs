@@ -112,6 +112,17 @@ impl MemorySubsystem {
         })
     }
 
+    /// Returns the subsystem to its just-constructed state (DRAM rows
+    /// closed, allocator rewound, all counters zeroed) without
+    /// re-validating the configuration. Workloads simulated after a
+    /// reset see exactly the traffic a fresh subsystem would report,
+    /// which lets long-lived simulators (e.g. worker-pool workers) keep
+    /// per-job results independent of job history.
+    pub fn reset(&mut self) {
+        self.dram.reset();
+        self.buffers.reset();
+    }
+
     /// Simulates one layer's data movement:
     ///
     /// * weights stream in from DRAM exactly once (the weight-stationary
@@ -157,7 +168,9 @@ impl MemorySubsystem {
         self.buffers.index.write(index_bytes);
 
         // On-chip → array feeds.
-        self.buffers.global.read(act_bytes * act_reread.max(act_dram_rounds));
+        self.buffers
+            .global
+            .read(act_bytes * act_reread.max(act_dram_rounds));
         self.buffers.weight.read(weight_bytes);
         self.buffers.index.read(index_bytes);
 
@@ -270,7 +283,11 @@ mod tests {
     fn finish_report_overlaps_compute_and_dram() {
         let shape = GemmShape::new(8, 8, 8).unwrap();
         let w = GemmWorkload::uniform("t", shape, false);
-        let traffic = TrafficReport { dram_cycles: 100, dram_pj: 1.0, buffer_pj: 1.0 };
+        let traffic = TrafficReport {
+            dram_cycles: 100,
+            dram_pj: 1.0,
+            buffer_pj: 1.0,
+        };
         let r = finish_report("x", &w, 40, 0, 10, 5.0, traffic, 10, 0.1);
         assert_eq!(r.cycles, 100); // DRAM-bound
         let r2 = finish_report("x", &w, 400, 0, 10, 5.0, traffic, 10, 0.1);
@@ -282,7 +299,11 @@ mod tests {
     fn total_report_sums_layers() {
         let shape = GemmShape::new(8, 8, 8).unwrap();
         let w = GemmWorkload::uniform("t", shape, false);
-        let traffic = TrafficReport { dram_cycles: 10, dram_pj: 1.0, buffer_pj: 2.0 };
+        let traffic = TrafficReport {
+            dram_cycles: 10,
+            dram_pj: 1.0,
+            buffer_pj: 2.0,
+        };
         let r = finish_report("x", &w, 40, 3, 10, 5.0, traffic, 10, 0.1);
         let total = total_report("model", "x", &[r.clone(), r]);
         assert_eq!(total.cycles, 80);
@@ -294,7 +315,11 @@ mod tests {
     fn utilization_is_bounded() {
         let shape = GemmShape::new(8, 8, 8).unwrap();
         let w = GemmWorkload::uniform("t", shape, false);
-        let traffic = TrafficReport { dram_cycles: 0, dram_pj: 0.0, buffer_pj: 0.0 };
+        let traffic = TrafficReport {
+            dram_cycles: 0,
+            dram_pj: 0.0,
+            buffer_pj: 0.0,
+        };
         let r = finish_report("x", &w, 100, 0, 500, 0.0, traffic, 10, 0.0);
         let u = r.utilization(10);
         assert!(u > 0.0 && u <= 1.0);

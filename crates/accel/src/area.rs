@@ -60,11 +60,7 @@ pub struct AreaReport {
 impl AreaReport {
     /// Total die area, mm².
     pub fn total_mm2(&self) -> f64 {
-        self.fabric_mm2
-            + self.links_mm2
-            + self.buffers_mm2
-            + self.index_mm2
-            + self.controller_mm2
+        self.fabric_mm2 + self.links_mm2 + self.buffers_mm2 + self.index_mm2 + self.controller_mm2
     }
 
     /// The share of the total attributable to supporting the dynamic
@@ -81,8 +77,7 @@ pub fn drift_area(model: &AreaModel, fabric: ArrayGeometry, buffers: &BufferSet)
     AreaReport {
         fabric_mm2,
         links_mm2: fabric_mm2 * model.link_overhead_fraction,
-        buffers_mm2: (buffers.global.capacity_bytes() + buffers.weight.capacity_bytes())
-            as f64
+        buffers_mm2: (buffers.global.capacity_bytes() + buffers.weight.capacity_bytes()) as f64
             / 1024.0
             * model.sram_mm2_per_kib,
         index_mm2: buffers.index.capacity_bytes() as f64 / 1024.0 * model.sram_mm2_per_kib,
@@ -96,8 +91,7 @@ pub fn bitfusion_area(model: &AreaModel, fabric: ArrayGeometry, buffers: &Buffer
     AreaReport {
         fabric_mm2: fabric.units() as f64 * model.bitgroup_mm2,
         links_mm2: 0.0,
-        buffers_mm2: (buffers.global.capacity_bytes() + buffers.weight.capacity_bytes())
-            as f64
+        buffers_mm2: (buffers.global.capacity_bytes() + buffers.weight.capacity_bytes()) as f64
             / 1024.0
             * model.sram_mm2_per_kib,
         index_mm2: 0.0,

@@ -119,7 +119,12 @@ impl Accelerator for BitFusion {
             })
             .collect();
 
-        let passes = pass_count(shape, self.fused_act, pw_eff.max(self.fused_weight), self.geometry);
+        let passes = pass_count(
+            shape,
+            self.fused_act,
+            pw_eff.max(self.fused_weight),
+            self.geometry,
+        );
         let report = simulate_stream(&occupancies, self.geometry, passes);
 
         // Activations re-read once per column-pass group.

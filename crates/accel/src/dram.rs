@@ -181,6 +181,15 @@ impl DramSim {
         self.stats = DramStats::default();
     }
 
+    /// Returns the simulator to its just-constructed state: all rows
+    /// closed, statistics zeroed, allocator rewound. Subsequent
+    /// transfers behave identically to those on a fresh simulator.
+    pub fn reset(&mut self) {
+        self.open_rows.iter_mut().for_each(|row| *row = None);
+        self.stats = DramStats::default();
+        self.next_alloc = 0;
+    }
+
     /// Allocates a region of `bytes`, returning its base address.
     /// Regions are laid out back to back, row-aligned, so distinct
     /// tensors land in distinct rows.
@@ -262,11 +271,15 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(DramConfig::default().validate().is_ok());
-        let mut bad = DramConfig::default();
-        bad.channels = 0;
+        let bad = DramConfig {
+            channels: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let mut bad2 = DramConfig::default();
-        bad2.burst_bytes = 4096;
+        let bad2 = DramConfig {
+            burst_bytes: 4096,
+            ..Default::default()
+        };
         assert!(bad2.validate().is_err());
     }
 

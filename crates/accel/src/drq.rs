@@ -158,11 +158,7 @@ mod tests {
     use crate::bitfusion::BitFusion;
     use crate::gemm::GemmShape;
 
-    fn workload_with_high_fraction(
-        m: usize,
-        frac: f64,
-        interleaved: bool,
-    ) -> GemmWorkload {
+    fn workload_with_high_fraction(m: usize, frac: f64, interleaved: bool) -> GemmWorkload {
         let shape = GemmShape::new(m, 512, 512).unwrap();
         let high_count = (m as f64 * frac) as usize;
         let act_high: Vec<bool> = if interleaved {

@@ -101,7 +101,12 @@ mod tests {
 
     #[test]
     fn total_and_fractions() {
-        let e = EnergyBreakdown { static_pj: 40.0, dram_pj: 30.0, buffer_pj: 10.0, core_pj: 20.0 };
+        let e = EnergyBreakdown {
+            static_pj: 40.0,
+            dram_pj: 30.0,
+            buffer_pj: 10.0,
+            core_pj: 20.0,
+        };
         assert_eq!(e.total_pj(), 100.0);
         let f = e.fractions();
         assert!((f[0] - 0.4).abs() < 1e-12);
@@ -118,7 +123,12 @@ mod tests {
 
     #[test]
     fn add_and_sum() {
-        let a = EnergyBreakdown { static_pj: 1.0, dram_pj: 2.0, buffer_pj: 3.0, core_pj: 4.0 };
+        let a = EnergyBreakdown {
+            static_pj: 1.0,
+            dram_pj: 2.0,
+            buffer_pj: 3.0,
+            core_pj: 4.0,
+        };
         let b = a.add(&a);
         assert_eq!(b.total_pj(), 20.0);
         let s: EnergyBreakdown = vec![a, a, a].into_iter().sum();

@@ -77,15 +77,16 @@ impl Accelerator for Eyeriss {
         let shape = workload.shape();
         let macs = shape.macs();
         // One FP32 MAC per PE per cycle at the mapping utilization.
-        let compute_cycles =
-            (macs as f64 / (self.pes as f64 * self.utilization)).ceil() as u64;
+        let compute_cycles = (macs as f64 / (self.pes as f64 * self.utilization)).ceil() as u64;
         let busy_unit_cycles = macs; // each MAC busies one PE for one cycle
 
         // FP32 traffic ignores the precision maps: everything is 4 bytes.
         let act_bytes = shape.m as u64 * shape.k as u64 * FP32_BYTES;
         let weight_bytes = shape.k as u64 * shape.n as u64 * FP32_BYTES;
         let output_bytes = shape.m as u64 * shape.n as u64 * FP32_BYTES;
-        let traffic = self.memory.layer_traffic(act_bytes, weight_bytes, output_bytes, 0, 1);
+        let traffic = self
+            .memory
+            .layer_traffic(act_bytes, weight_bytes, output_bytes, 0, 1);
 
         let core_pj = macs as f64 * self.energy.e_fp32_mac_pj;
         Ok(finish_report(
@@ -139,9 +140,13 @@ mod tests {
     fn fp32_traffic_ignores_precision_flags() {
         let shape = GemmShape::new(32, 64, 32).unwrap();
         let mut e1 = Eyeriss::paper_config().unwrap();
-        let hi = e1.execute(&GemmWorkload::uniform("h", shape, false)).unwrap();
+        let hi = e1
+            .execute(&GemmWorkload::uniform("h", shape, false))
+            .unwrap();
         let mut e2 = Eyeriss::paper_config().unwrap();
-        let lo = e2.execute(&GemmWorkload::uniform("l", shape, true)).unwrap();
+        let lo = e2
+            .execute(&GemmWorkload::uniform("l", shape, true))
+            .unwrap();
         assert!((hi.energy.dram_pj - lo.energy.dram_pj).abs() < 1e-9);
     }
 

@@ -58,7 +58,11 @@ impl GemmShape {
         if rows == 0 || cols == 0 {
             None
         } else {
-            Some(GemmShape { m: rows, k: self.k, n: cols })
+            Some(GemmShape {
+                m: rows,
+                k: self.k,
+                n: cols,
+            })
         }
     }
 }
@@ -317,7 +321,8 @@ impl GemmWorkload {
     /// Bytes of output data written once (outputs stay at the high
     /// precision before the next layer's requantization).
     pub fn output_bytes(&self) -> u64 {
-        self.shape.m as u64 * self.shape.n as u64
+        self.shape.m as u64
+            * self.shape.n as u64
             * u64::from(self.act_precisions.0.bits()).div_ceil(8)
     }
 
@@ -353,7 +358,11 @@ impl PrecisionQuadrant {
         if self.is_empty() {
             None
         } else {
-            Some(GemmShape { m: self.rows, k: self.k, n: self.cols })
+            Some(GemmShape {
+                m: self.rows,
+                k: self.k,
+                n: self.cols,
+            })
         }
     }
 

@@ -124,12 +124,9 @@ impl BufferSet {
     /// 40 nm-class access energies (~2 pJ/byte).
     pub fn drift_default() -> Self {
         BufferSet {
-            global: SramBuffer::new("global", 128 << 10, 2.2, 2.6)
-                .expect("constants are valid"),
-            weight: SramBuffer::new("weight", 256 << 10, 2.0, 2.4)
-                .expect("constants are valid"),
-            index: SramBuffer::new("index", 8 << 10, 0.6, 0.8)
-                .expect("constants are valid"),
+            global: SramBuffer::new("global", 128 << 10, 2.2, 2.6).expect("constants are valid"),
+            weight: SramBuffer::new("weight", 256 << 10, 2.0, 2.4).expect("constants are valid"),
+            index: SramBuffer::new("index", 8 << 10, 0.6, 0.8).expect("constants are valid"),
         }
     }
 

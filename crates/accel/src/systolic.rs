@@ -75,10 +75,10 @@ impl ArrayGeometry {
 /// Number of repetitions of the array schedule a GEMM needs at the given
 /// precisions (the two ceiling factors of paper Eq. 7).
 pub fn pass_count(shape: GemmShape, pa: Precision, pw: Precision, geo: ArrayGeometry) -> u64 {
-    let k_passes = (u64::from(pa.bits()) * shape.k as u64)
-        .div_ceil(BG_ACT_BIT_LANES * geo.rows as u64);
-    let n_passes = (u64::from(pw.bits()) * shape.n as u64)
-        .div_ceil(BG_WEIGHT_BIT_LANES * geo.cols as u64);
+    let k_passes =
+        (u64::from(pa.bits()) * shape.k as u64).div_ceil(BG_ACT_BIT_LANES * geo.rows as u64);
+    let n_passes =
+        (u64::from(pw.bits()) * shape.n as u64).div_ceil(BG_WEIGHT_BIT_LANES * geo.cols as u64);
     k_passes * n_passes
 }
 
@@ -288,8 +288,7 @@ mod tests {
         let g = geo(8, 8);
         let mut last_total = 0u64;
         for high in [0usize, 8, 16, 24, 32] {
-            let occ: Vec<u32> =
-                (0..32).map(|i| if i < high { 2 } else { 1 }).collect();
+            let occ: Vec<u32> = (0..32).map(|i| if i < high { 2 } else { 1 }).collect();
             let report = simulate_stream(&occ, g, 1);
             assert!(report.total_cycles > last_total);
             assert_eq!(report.stall_cycles, high as u64);
@@ -331,8 +330,8 @@ mod tests {
     #[test]
     fn busy_cycles_scale_with_work() {
         let g = geo(2, 3);
-        let a = simulate_stream(&vec![1; 10], g, 1);
-        let b = simulate_stream(&vec![2; 10], g, 1);
+        let a = simulate_stream(&[1; 10], g, 1);
+        let b = simulate_stream(&[2; 10], g, 1);
         assert_eq!(b.busy_bg_cycles, 2 * a.busy_bg_cycles);
     }
 }

@@ -73,7 +73,10 @@ impl TraceRecorder {
 
     /// Count of DRAM-bound layers.
     pub fn dram_bound_layers(&self) -> usize {
-        self.events.iter().filter(|e| e.bound_by == BoundBy::Dram).count()
+        self.events
+            .iter()
+            .filter(|e| e.bound_by == BoundBy::Dram)
+            .count()
     }
 
     /// Serialises the timeline to a JSON string.
@@ -97,7 +100,11 @@ mod tests {
     fn report(compute: u64, dram: u64) -> ExecReport {
         let shape = GemmShape::new(4, 4, 4).unwrap();
         let w = GemmWorkload::uniform("t", shape, false);
-        let traffic = TrafficReport { dram_cycles: dram, dram_pj: 1.0, buffer_pj: 1.0 };
+        let traffic = TrafficReport {
+            dram_cycles: dram,
+            dram_pj: 1.0,
+            buffer_pj: 1.0,
+        };
         finish_report("x", &w, compute, 0, 1, 1.0, traffic, 4, 0.1)
     }
 

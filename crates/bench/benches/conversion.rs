@@ -7,7 +7,9 @@ use drift_quant::linear::quantize_slice;
 use drift_quant::precision::Precision;
 
 fn bench_conversion(c: &mut Criterion) {
-    let data: Vec<f32> = (0..4096).map(|i| ((i * 37) % 255) as f32 / 127.0 - 1.0).collect();
+    let data: Vec<f32> = (0..4096)
+        .map(|i| ((i * 37) % 255) as f32 / 127.0 - 1.0)
+        .collect();
     let (codes, _) = quantize_slice(&data, Precision::INT8).expect("quantization runs");
 
     let mut group = c.benchmark_group("conversion");

@@ -38,7 +38,7 @@ fn bench_selector(c: &mut Criterion) {
         use drift_tensor::dist::Sampler;
         b.iter_batched(
             || lap.sample_f32(&mut rng, 768),
-            |token| SummaryStats::from_slice(token),
+            SummaryStats::from_slice,
             BatchSize::SmallInput,
         )
     });

@@ -1,0 +1,48 @@
+//! Criterion: the batch-serving runtime. Measures end-to-end job
+//! throughput of `drift_serve::serve` across worker counts (pool
+//! scaling) and the schedule cache's lookup-vs-solve gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drift_core::schedule::ScheduleKey;
+use drift_serve::{serve, synthetic_jobs, ScheduleCache, ServeConfig};
+
+const JOBS: usize = 64;
+
+fn bench_serve_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.throughput(Throughput::Elements(JOBS as u64));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let outcome = serve(synthetic_jobs(JOBS, 4, 42), &ServeConfig::with_workers(w));
+                assert_eq!(outcome.results.len(), JOBS);
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_cache(c: &mut Criterion) {
+    let key = ScheduleKey::for_workload(
+        &drift_accel::gemm::GemmWorkload::uniform(
+            "bench",
+            drift_accel::gemm::GemmShape::new(512, 768, 768).expect("valid shape"),
+            false,
+        ),
+        drift_core::arch::paper_fabric(),
+    );
+    let mut group = c.benchmark_group("schedule_cache");
+    group.bench_function("solve_uncached", |b| {
+        b.iter(|| key.solve().expect("feasible"))
+    });
+    let cache = ScheduleCache::new(64, 4);
+    cache.get_or_solve(key).expect("feasible");
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| cache.get_or_solve(key).expect("feasible"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_workers, bench_schedule_cache);
+criterion_main!(benches);

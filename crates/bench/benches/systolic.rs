@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use drift_accel::gemm::GemmShape;
-use drift_accel::systolic::{
-    analytical_cycles, pass_count, simulate_stream, ArrayGeometry,
-};
+use drift_accel::systolic::{analytical_cycles, pass_count, simulate_stream, ArrayGeometry};
 use drift_quant::precision::Precision;
 
 fn bench_systolic(c: &mut Criterion) {

@@ -36,11 +36,14 @@ fn main() {
     let shape = GemmShape::new(128, 768, 768).expect("static shape is valid");
 
     let mut rows = Vec::new();
-    for (lp, delta) in [(Precision::INT5, 0.15), (Precision::INT4, 0.3), (Precision::INT3, 0.6)] {
-        let policy =
-            DriftPolicy::with_low_precision(delta, lp).expect("precision is valid");
-        let fid = classification_fidelity(&model, &inputs, &policy, 100.0)
-            .expect("evaluation runs");
+    for (lp, delta) in [
+        (Precision::INT5, 0.15),
+        (Precision::INT4, 0.3),
+        (Precision::INT3, 0.6),
+    ] {
+        let policy = DriftPolicy::with_low_precision(delta, lp).expect("precision is valid");
+        let fid =
+            classification_fidelity(&model, &inputs, &policy, 100.0).expect("evaluation runs");
 
         // Hardware: a workload with this low fraction at (8, lp) pairs.
         let low_rows = (shape.m as f64 * fid.low_fraction) as usize;
@@ -68,7 +71,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["low precision", "δ", "agreement", "low share", "gemm cycles"],
+            &[
+                "low precision",
+                "δ",
+                "agreement",
+                "low share",
+                "gemm cycles"
+            ],
             &rows
         )
     );

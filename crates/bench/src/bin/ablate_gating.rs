@@ -16,6 +16,7 @@ use drift_core::arch::controller::INDEX_ENTRY_BITS;
 use drift_core::selector::DriftPolicy;
 use drift_nn::datagen::TokenProfile;
 use drift_nn::engine::TinyTransformer;
+use drift_nn::engine::{ForwardMode, Model};
 use drift_nn::eval::classification_fidelity;
 use drift_nn::layers::argmax_rows;
 use drift_quant::gating::PrecisionGatingPolicy;
@@ -23,7 +24,6 @@ use drift_quant::policy::{run_policy, StaticHighPolicy};
 use drift_quant::precision::Precision;
 use drift_tensor::subtensor::SubTensorScheme;
 use drift_tensor::Tensor;
-use drift_nn::engine::{ForwardMode, Model};
 
 fn main() {
     println!("== Ablation A5: per-value Precision Gating vs token-level Drift ==\n");
@@ -52,15 +52,21 @@ fn main() {
     // per-token, so apply PG to the input tensor at per-value
     // granularity and run the rest of the network at INT8 (the A3
     // methodology): its accuracy effect and bookkeeping both show.
-    let pg_policy =
-        PrecisionGatingPolicy::new(0.25, Precision::INT5).expect("valid theta");
+    let pg_policy = PrecisionGatingPolicy::new(0.25, Precision::INT5).expect("valid theta");
     let mut pg_agree = 0usize;
     let mut pg_low = 0.0f64;
     for input in &inputs {
-        let run = run_policy(input, &SubTensorScheme::PerValue, Precision::INT8, &pg_policy)
-            .expect("per-value scheme divides");
+        let run = run_policy(
+            input,
+            &SubTensorScheme::PerValue,
+            Precision::INT8,
+            &pg_policy,
+        )
+        .expect("per-value scheme divides");
         pg_low += run.low_fraction();
-        let reference = model.forward(input, &ForwardMode::Fp32).expect("forward runs");
+        let reference = model
+            .forward(input, &ForwardMode::Fp32)
+            .expect("forward runs");
         let quantized = model
             .forward(&run.effective, &ForwardMode::quantized(&StaticHighPolicy))
             .expect("forward runs");
@@ -70,15 +76,22 @@ fn main() {
             pg_agree += 1;
         }
     }
-    let (pg_agreement, pg_share) =
-        (pg_agree as f64 / inputs.len() as f64, pg_low / inputs.len() as f64);
+    let (pg_agreement, pg_share) = (
+        pg_agree as f64 / inputs.len() as f64,
+        pg_low / inputs.len() as f64,
+    );
 
     // Index metadata per activation tensor: one entry per decision
     // unit. PG decides per value; Drift per token.
     let pg_bits = (seq * hidden) as u64 * INDEX_ENTRY_BITS;
     let drift_bits = seq as u64 * INDEX_ENTRY_BITS;
     let rows = vec![
-        vec!["INT8".to_string(), fmt_pct(int8.agreement), "-".to_string(), "0".to_string()],
+        vec![
+            "INT8".to_string(),
+            fmt_pct(int8.agreement),
+            "-".to_string(),
+            "0".to_string(),
+        ],
         vec![
             "Precision Gating (5-of-8, per value)".to_string(),
             fmt_pct(pg_agreement),
@@ -94,7 +107,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["method", "agreement", "low share", "index bits / tensor"], &rows)
+        render_table(
+            &["method", "agreement", "low share", "index bits / tensor"],
+            &rows
+        )
     );
     println!(
         "per-value gating needs {}x the index metadata of token-level Drift",

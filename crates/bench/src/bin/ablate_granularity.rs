@@ -51,8 +51,8 @@ fn main() {
         let mut frac = 0.0f64;
         let mut index_bits = 0u64;
         for input in &inputs {
-            let run = run_policy(input, scheme, Precision::INT8, &policy)
-                .expect("scheme divides tensor");
+            let run =
+                run_policy(input, scheme, Precision::INT8, &policy).expect("scheme divides tensor");
             frac += run.low_fraction();
             index_bits = run.decisions.len() as u64 * INDEX_ENTRY_BITS;
             let reference = model
@@ -77,12 +77,19 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["granularity", "agreement", "input 4-bit share", "index bits / tensor"],
+            &[
+                "granularity",
+                "agreement",
+                "input 4-bit share",
+                "index bits / tensor"
+            ],
             &rows
         )
     );
     println!("finer granularity adapts better (higher share at equal accuracy) but");
-    println!("the index cost grows linearly; per-value needs {}x the token-level",
-        (16 * 64) / 16);
+    println!(
+        "the index cost grows linearly; per-value needs {}x the token-level",
+        (16 * 64) / 16
+    );
     println!("bookkeeping — the overhead that makes Precision Gating impractical.");
 }

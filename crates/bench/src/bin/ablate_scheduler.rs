@@ -60,7 +60,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["model", "equal-split cycles", "balanced cycles", "gain", "vs oracle"],
+            &[
+                "model",
+                "equal-split cycles",
+                "balanced cycles",
+                "gain",
+                "vs oracle"
+            ],
             &rows
         )
     );

@@ -27,17 +27,19 @@ fn main() {
         .iter()
         .map(|v| SummaryStats::from_slice(vit.subtensor(v).expect("view in bounds")))
         .collect();
-    let max_of = |f: fn(&SummaryStats) -> f64| {
-        stats.iter().map(f).fold(f64::NEG_INFINITY, f64::max)
-    };
-    let min_of = |f: fn(&SummaryStats) -> f64| {
-        stats.iter().map(f).fold(f64::INFINITY, f64::min)
-    };
+    let max_of =
+        |f: fn(&SummaryStats) -> f64| stats.iter().map(f).fold(f64::NEG_INFINITY, f64::max);
+    let min_of = |f: fn(&SummaryStats) -> f64| stats.iter().map(f).fold(f64::INFINITY, f64::min);
     println!("== Figure 1a: ViT-B activation sub-tensor (patch) dynamics ==\n");
     println!(
         "{}",
         render_table(
-            &["statistic", "min over patches", "max over patches", "spread"],
+            &[
+                "statistic",
+                "min over patches",
+                "max over patches",
+                "spread"
+            ],
             &[
                 vec![
                     "max|Y|".to_string(),
@@ -74,8 +76,11 @@ fn main() {
         })
         .collect();
     by_scale.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
-    let picks =
-        [by_scale[5].1, by_scale[by_scale.len() / 2].1, by_scale[by_scale.len() - 3].1];
+    let picks = [
+        by_scale[5].1,
+        by_scale[by_scale.len() / 2].1,
+        by_scale[by_scale.len() - 3].1,
+    ];
 
     println!("== Figure 1b-c: three BERT token sub-tensors vs Laplace fits ==\n");
     let mut rows = Vec::new();
@@ -96,10 +101,8 @@ fn main() {
             .fold(0.0f64, f64::max)
             / b;
         // Contrast with the best-fit Gaussian to show Laplace wins.
-        let std = SummaryStats::from_slice(
-            values.iter().map(|&v| v as f32).collect::<Vec<_>>(),
-        )
-        .std_dev();
+        let std = SummaryStats::from_slice(values.iter().map(|&v| v as f32).collect::<Vec<_>>())
+            .std_dev();
         let gauss = Gaussian::new(0.0, std).expect("positive std");
         let ks_gauss = drift_tensor::dist::ks_statistic(&values, |x| gauss.cdf(x));
         rows.push(vec![

@@ -12,12 +12,12 @@
 
 use drift_bench::render_table;
 use drift_core::selector::DriftPolicy;
+use drift_nn::datagen::stats_with;
 use drift_quant::capability::RepresentationCapability;
 use drift_quant::convert::ConversionChoice;
 use drift_quant::linear::QuantParams;
 use drift_quant::policy::{Decision, PrecisionPolicy, TensorContext};
 use drift_quant::precision::Precision;
-use drift_nn::datagen::stats_with;
 
 fn main() {
     // The tensor-wide scale: abs max 1.27 so Δ = 0.01 exactly.
@@ -42,9 +42,15 @@ fn main() {
 
     // Three example sub-tensors, one per row of the paper's figure.
     let policy = DriftPolicy::new(1.0).expect("delta is valid");
-    let ctx = TensorContext { global: stats_with(1.27, 0.4), params };
+    let ctx = TensorContext {
+        global: stats_with(1.27, 0.4),
+        params,
+    };
     let examples = [
-        ("row 1: moderate range, high variance", stats_with(0.30, 0.16)),
+        (
+            "row 1: moderate range, high variance",
+            stats_with(0.30, 0.16),
+        ),
         ("row 2: wide range (forces hc=0)", stats_with(1.20, 0.45)),
         ("row 3: wide range, tiny variance", stats_with(1.20, 0.02)),
     ];
@@ -71,7 +77,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["sub-tensor", "max|Y|", "avg|Y|", "Eq.5 choice", "var/RD", "decision (δ=1)"],
+            &[
+                "sub-tensor",
+                "max|Y|",
+                "avg|Y|",
+                "Eq.5 choice",
+                "var/RD",
+                "decision (δ=1)"
+            ],
             &rows
         )
     );

@@ -8,19 +8,19 @@
 //! cargo run --release -p drift-bench --bin fig4_architecture
 //! ```
 
+use drift_accel::dram::DramConfig;
+use drift_accel::energy::EnergyModel;
+use drift_accel::gemm::{GemmShape, GemmWorkload};
+use drift_accel::memory::BufferSet;
 use drift_bench::render_table;
 use drift_core::arch::controller::{PrecisionController, INDEX_ENTRY_BITS};
 use drift_core::arch::dispatch::DispatchPlan;
 use drift_core::arch::functional::FunctionalArray;
 use drift_core::arch::paper_fabric;
 use drift_core::selector::DriftPolicy;
-use drift_accel::dram::DramConfig;
-use drift_accel::energy::EnergyModel;
-use drift_accel::gemm::{GemmShape, GemmWorkload};
-use drift_accel::memory::BufferSet;
 use drift_quant::intgemm::{int_gemm, CodedMatrix};
-use drift_quant::policy::{PrecisionPolicy, TensorContext};
 use drift_quant::linear::QuantParams;
+use drift_quant::policy::{PrecisionPolicy, TensorContext};
 use drift_quant::precision::Precision;
 use drift_tensor::stats::SummaryStats;
 use drift_tensor::Tensor;
@@ -47,7 +47,10 @@ fn main() {
         ],
         vec![
             "global buffer".to_string(),
-            format!("{} KiB (activations/outputs)", buffers.global.capacity_bytes() >> 10),
+            format!(
+                "{} KiB (activations/outputs)",
+                buffers.global.capacity_bytes() >> 10
+            ),
         ],
         vec![
             "weight buffer".to_string(),

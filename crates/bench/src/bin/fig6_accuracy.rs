@@ -35,9 +35,7 @@ fn generate(inputs: &Inputs, n: usize, seed: u64) -> Vec<Tensor> {
             Inputs::Tokens(p, hidden) => p
                 .generate_classified(16, *hidden, i % 10, 2.5, seed + i as u64)
                 .expect("valid dims"),
-            Inputs::Images(p) => {
-                p.generate(3, 16, 16, seed + i as u64).expect("valid dims")
-            }
+            Inputs::Images(p) => p.generate(3, 16, 16, seed + i as u64).expect("valid dims"),
         })
         .collect()
 }
@@ -59,7 +57,10 @@ fn calibrated_delta(model: &dyn Model, calib: &[Tensor]) -> f64 {
             return delta;
         }
     }
-    *HessianCalibrator::new().candidates.last().expect("grid is non-empty")
+    *HessianCalibrator::new()
+        .candidates
+        .last()
+        .expect("grid is non-empty")
 }
 
 fn main() {
@@ -118,8 +119,9 @@ fn main() {
         let calib_inputs = generate(inputs, 64, 5000);
         let delta = calibrated_delta(model.as_ref(), &calib_inputs);
 
-        let int8 = classification_fidelity(model.as_ref(), &eval_inputs, &StaticHighPolicy, *anchor)
-            .expect("evaluation runs");
+        let int8 =
+            classification_fidelity(model.as_ref(), &eval_inputs, &StaticHighPolicy, *anchor)
+                .expect("evaluation runs");
         let drq = classification_fidelity(
             model.as_ref(),
             &eval_inputs,
@@ -139,8 +141,16 @@ fn main() {
             name.to_string(),
             format!("{anchor:.1}"),
             format!("{:.1}", int8.anchored_accuracy),
-            format!("{:.1} ({})", drq.anchored_accuracy, fmt_pct(drq.low_fraction)),
-            format!("{:.1} ({})", drift.anchored_accuracy, fmt_pct(drift.low_fraction)),
+            format!(
+                "{:.1} ({})",
+                drq.anchored_accuracy,
+                fmt_pct(drq.low_fraction)
+            ),
+            format!(
+                "{:.1} ({})",
+                drift.anchored_accuracy,
+                fmt_pct(drift.low_fraction)
+            ),
             format!("{delta:.3}"),
         ]);
         drift_losses.push(int8.anchored_accuracy - drift.anchored_accuracy);

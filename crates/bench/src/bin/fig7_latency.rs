@@ -72,8 +72,6 @@ fn main() {
             &rows
         )
     );
-    println!(
-        "paper: drift 9.57x vs eyeriss, 2.85x vs bitfusion, 1.64x vs drq (averages);"
-    );
+    println!("paper: drift 9.57x vs eyeriss, 2.85x vs bitfusion, 1.64x vs drq (averages);");
     println!("       drq only ~1.07x over bitfusion on ViT-B.");
 }

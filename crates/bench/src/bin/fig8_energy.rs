@@ -10,8 +10,8 @@
 //! cargo run --release -p drift-bench --bin fig8_energy
 //! ```
 
-use drift_bench::{compare_model, fmt_pct, fmt_x, geomean, render_table};
 use drift_accel::accelerator::ExecReport;
+use drift_bench::{compare_model, fmt_pct, fmt_x, geomean, render_table};
 use drift_nn::zoo::hardware_eval_models;
 
 fn breakdown_cells(r: &ExecReport) -> String {

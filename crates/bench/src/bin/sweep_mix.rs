@@ -64,7 +64,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["4-bit share", "eyeriss", "bitfusion", "drq", "drift", "drq stalls"],
+            &[
+                "4-bit share",
+                "eyeriss",
+                "bitfusion",
+                "drq",
+                "drift",
+                "drq stalls"
+            ],
             &rows
         )
     );

@@ -54,8 +54,8 @@ fn main() {
         for (anchor, data) in [(fp32_wiki, &wiki), (fp32_c4, &c4)] {
             let int8 = perplexity_proxy(&model, data, Some(&StaticHighPolicy), anchor)
                 .expect("evaluation runs");
-            let ours = perplexity_proxy(&model, data, Some(&policy), anchor)
-                .expect("evaluation runs");
+            let ours =
+                perplexity_proxy(&model, data, Some(&policy), anchor).expect("evaluation runs");
             cells.push(format!("{anchor:.2}"));
             cells.push(format!("{:.2}", int8.perplexity));
             cells.push(format!("{:.2}", ours.perplexity));

@@ -184,7 +184,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     ));
     out.push_str(&format!(
         "{}\n",
-        widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
     ));
     for row in rows {
         out.push_str(&line(row, &widths));
@@ -250,9 +254,7 @@ mod tests {
             dram_pj: 1.0,
             buffer_pj: 2.0,
         };
-        let r = drift_accel::accelerator::finish_report(
-            "x", &w, 10, 1, 3, 4.0, traffic, 2, 0.5,
-        );
+        let r = drift_accel::accelerator::finish_report("x", &w, 10, 1, 3, 4.0, traffic, 2, 0.5);
         let s = scale_report(&r, 3);
         assert_eq!(s.cycles, 30);
         assert_eq!(s.stall_cycles, 3);

@@ -23,8 +23,14 @@ type Opts = HashMap<String, String>;
 
 /// `drift models`
 pub fn models() -> Result<(), String> {
-    println!("{:<11} {:<6} {:>6} {:>9} {:>9}", "model", "family", "gemms", "GMACs", "seq");
-    for desc in zoo::hardware_eval_models().into_iter().chain(zoo::llm_models()) {
+    println!(
+        "{:<11} {:<6} {:>6} {:>9} {:>9}",
+        "model", "family", "gemms", "GMACs", "seq"
+    );
+    for desc in zoo::hardware_eval_models()
+        .into_iter()
+        .chain(zoo::llm_models())
+    {
         let ops = lower(&desc).map_err(|e| e.to_string())?;
         let macs: u64 = ops.iter().map(|o| o.shape.macs() * o.repeat).sum();
         let family = match desc.family {
@@ -62,8 +68,13 @@ pub fn select(opts: &Opts) -> Result<(), String> {
         .generate(tokens, hidden, seed)
         .map_err(|e| e.to_string())?;
     let policy = DriftPolicy::new(delta).map_err(|e| e.to_string())?;
-    let run = run_policy(&data, &SubTensorScheme::token(hidden), Precision::INT8, &policy)
-        .map_err(|e| e.to_string())?;
+    let run = run_policy(
+        &data,
+        &SubTensorScheme::token(hidden),
+        Precision::INT8,
+        &policy,
+    )
+    .map_err(|e| e.to_string())?;
 
     println!(
         "selector on [{tokens} x {hidden}] ({} profile), δ = {delta}:",
@@ -150,12 +161,16 @@ pub fn simulate(opts: &Opts) -> Result<(), String> {
 
     let mut total = 0u64;
     let mut trace = drift_accel::trace::TraceRecorder::new();
-    let execute = |w: &GemmWorkload, uniform: &GemmWorkload| -> Result<drift_accel::accelerator::ExecReport, String> {
+    let execute = |w: &GemmWorkload,
+                   uniform: &GemmWorkload|
+     -> Result<drift_accel::accelerator::ExecReport, String> {
         let report = match accel_name {
             "drift" => DriftAccelerator::paper_config()
                 .map_err(|e| e.to_string())?
                 .execute(w),
-            "bitfusion" => BitFusion::int8().map_err(|e| e.to_string())?.execute(uniform),
+            "bitfusion" => BitFusion::int8()
+                .map_err(|e| e.to_string())?
+                .execute(uniform),
             "drq" => DrqAccelerator::paper_config()
                 .map_err(|e| e.to_string())?
                 .execute(w),
@@ -167,7 +182,10 @@ pub fn simulate(opts: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
         Ok(report)
     };
-    println!("{:<24} {:>16} {:>6} {:>12}", "layer", "shape", "rep", "cycles");
+    println!(
+        "{:<24} {:>16} {:>6} {:>12}",
+        "layer", "shape", "rep", "cycles"
+    );
     for (op, w) in &workloads {
         let uniform = GemmWorkload::uniform(op.name.clone(), op.shape, false);
         let report = execute(w, &uniform)?;
@@ -183,12 +201,112 @@ pub fn simulate(opts: &Opts) -> Result<(), String> {
     }
     println!("{:<24} {:>16} {:>6} {:>12}", "total", "", "", total);
     if let Some(path) = opts.get("trace") {
-        std::fs::write(path, trace.to_json()?)
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(path, trace.to_json()?).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!(
             "trace: {} layers ({} DRAM-bound) written to {path}",
             trace.events().len(),
             trace.dram_bound_layers()
+        );
+    }
+    Ok(())
+}
+
+/// `drift serve`
+pub fn serve(opts: &Opts) -> Result<(), String> {
+    use std::io::Write;
+
+    let workers: usize = opt_parse(opts, "workers", 4)?;
+    let queue_depth: usize = opt_parse(opts, "queue-depth", 256)?;
+    let cache_capacity: usize = opt_parse(opts, "cache-capacity", 4096)?;
+    let source = opt_str(opts, "jobs", "-");
+    let jobs = if source == "-" {
+        drift_serve::job::read_jobs(std::io::stdin().lock())?
+    } else {
+        let file = std::fs::File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+        drift_serve::job::read_jobs(std::io::BufReader::new(file))
+            .map_err(|e| format!("{source}: {e}"))?
+    };
+    if jobs.is_empty() {
+        return Err("no jobs in the input stream".to_string());
+    }
+
+    let config = drift_serve::ServeConfig {
+        workers,
+        queue_depth,
+        cache_capacity,
+        ..drift_serve::ServeConfig::default()
+    };
+    let outcome = drift_serve::serve(jobs, &config);
+
+    // Results as JSONL on stdout; the report goes to stderr so the
+    // stream stays pipeable.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for result in &outcome.results {
+        writeln!(out, "{}", drift_serve::job::result_line(result))
+            .map_err(|e| format!("cannot write results: {e}"))?;
+    }
+    out.flush()
+        .map_err(|e| format!("cannot write results: {e}"))?;
+    eprint!("{}", outcome.report.render());
+    Ok(())
+}
+
+/// `drift bench-serve`
+pub fn bench_serve(opts: &Opts) -> Result<(), String> {
+    let count: usize = opt_parse(opts, "jobs", 1000)?;
+    let shapes: usize = opt_parse(opts, "shapes", 4)?;
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let worker_counts: Vec<usize> = opt_str(opts, "workers", "1,2,4,8")
+        .split(',')
+        .map(|w| {
+            w.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--workers: cannot parse '{w}'"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    println!("bench-serve: {count} jobs over {shapes} shapes (seed {seed})");
+    println!(
+        "{:>7} {:>10} {:>10} {:>9} {:>9} {:>10}",
+        "workers", "wall(ms)", "jobs/s", "p50(us)", "p99(us)", "hit-rate"
+    );
+    let mut baseline = None;
+    for &workers in &worker_counts {
+        let jobs = drift_serve::synthetic_jobs(count, shapes, seed);
+        let outcome = drift_serve::serve(jobs, &drift_serve::ServeConfig::with_workers(workers));
+        if outcome.report.errors > 0 {
+            return Err(format!("{} jobs failed", outcome.report.errors));
+        }
+        // Worst worker percentiles stand in for the pool's tail.
+        let p50 = outcome
+            .report
+            .workers
+            .iter()
+            .map(|w| w.p50_us)
+            .fold(0.0f64, f64::max);
+        let p99 = outcome
+            .report
+            .workers
+            .iter()
+            .map(|w| w.p99_us)
+            .fold(0.0f64, f64::max);
+        let speedup = match baseline {
+            None => {
+                baseline = Some(outcome.report.jobs_per_sec);
+                String::new()
+            }
+            Some(base) => format!("  ({:.2}x)", outcome.report.jobs_per_sec / base),
+        };
+        println!(
+            "{:>7} {:>10.1} {:>10.0} {:>9.0} {:>9.0} {:>9.1}%{}",
+            workers,
+            outcome.report.wall.as_secs_f64() * 1e3,
+            outcome.report.jobs_per_sec,
+            p50,
+            p99,
+            outcome.report.cache.hit_rate() * 100.0,
+            speedup,
         );
     }
     Ok(())

@@ -18,15 +18,15 @@
 use crate::arch::controller::PrecisionController;
 use crate::arch::dispatch::DispatchPlan;
 use crate::arch::paper_fabric;
-use drift_quant::convert::ConversionChoice;
-use drift_quant::policy::Decision;
-use drift_quant::precision::Precision;
 use crate::schedule::{balanced_schedule, equal_schedule, Schedule};
 use drift_accel::accelerator::{finish_report, Accelerator, ExecReport, MemorySubsystem};
 use drift_accel::energy::EnergyModel;
 use drift_accel::gemm::GemmWorkload;
 use drift_accel::systolic::{pass_count, simulate_stream, ArrayGeometry, BG_WEIGHT_BIT_LANES};
 use drift_accel::{AccelError, Result};
+use drift_quant::convert::ConversionChoice;
+use drift_quant::policy::Decision;
+use drift_quant::precision::Precision;
 use serde::{Deserialize, Serialize};
 
 /// The low-precision decision the dispatcher records for converted
@@ -98,33 +98,58 @@ impl DriftAccelerator {
         self.last_schedule.as_ref()
     }
 
-    /// The controller (precision selector + index buffer) model.
-    pub fn controller(&self) -> &PrecisionController {
-        &self.controller
+    /// Clears all cross-layer state: the controller's index buffer, the
+    /// memory subsystem's allocator/row/counter state, and the
+    /// remembered partition that drives reconfiguration elision.
+    ///
+    /// After a reset, the next `execute` behaves exactly like the first
+    /// call on a freshly built accelerator — which is what lets a worker
+    /// pool reuse one simulator per thread while keeping every job's
+    /// report independent of which worker ran it (and of job order).
+    pub fn reset(&mut self) {
+        self.controller.reset();
+        self.memory.reset();
+        self.last_schedule = None;
     }
 
-    /// The fabric geometry.
-    pub fn fabric(&self) -> ArrayGeometry {
-        self.fabric
+    /// Executes `workload` with a pre-computed `schedule`, skipping the
+    /// `O(C·R)` Eq. 8 sweep. The schedule must come from
+    /// [`ScheduleKey::solve`](crate::schedule::ScheduleKey::solve) (or
+    /// [`balanced_schedule`]) for this workload's quadrant counts on
+    /// this fabric — this is the consumer side of the schedule cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::InvalidConfig`] when the schedule's
+    /// partition was cut from a different fabric, and propagates
+    /// dispatch errors.
+    pub fn execute_with_schedule(
+        &mut self,
+        workload: &GemmWorkload,
+        schedule: Schedule,
+    ) -> Result<ExecReport> {
+        if schedule.partition.fabric() != self.fabric {
+            return Err(AccelError::InvalidConfig {
+                name: "schedule",
+                detail: format!(
+                    "schedule was cut from a {}x{} fabric, accelerator has {}x{}",
+                    schedule.partition.fabric().rows,
+                    schedule.partition.fabric().cols,
+                    self.fabric.rows,
+                    self.fabric.cols
+                ),
+            });
+        }
+        let plan = self.dispatch(workload)?;
+        self.simulate(workload, &plan, schedule)
     }
-}
 
-impl Accelerator for DriftAccelerator {
-    fn name(&self) -> &str {
-        "drift"
-    }
-
-    fn units(&self) -> usize {
-        self.fabric.units()
-    }
-
-    fn execute(&mut self, workload: &GemmWorkload) -> Result<ExecReport> {
-        // Per layer, the precision selector's decisions land in the
-        // index buffer and the dispatcher builds the four per-quadrant
-        // streams from it (Section 4.1). If the layer exceeds the index
-        // buffer, hardware would process it in index-buffer-sized
-        // chunks; the model falls back to direct (workload-map)
-        // dispatch in that case.
+    /// Records the workload's precision decisions in the index buffer
+    /// and builds the four per-quadrant dispatch streams (Section 4.1).
+    fn dispatch(&mut self, workload: &GemmWorkload) -> Result<DispatchPlan> {
+        // If the layer exceeds the index buffer, hardware would process
+        // it in index-buffer-sized chunks; the model falls back to
+        // direct (workload-map) dispatch in that case.
         self.controller.reset();
         let fits = workload.shape().m as u64 * crate::arch::controller::INDEX_ENTRY_BITS
             <= self.controller.capacity_bits();
@@ -147,9 +172,23 @@ impl Accelerator for DriftAccelerator {
         } else {
             DispatchPlan::build(workload, None)
         }
-        .map_err(|e| AccelError::InvalidConfig { name: "dispatch", detail: e.to_string() })?;
+        .map_err(|e| AccelError::InvalidConfig {
+            name: "dispatch",
+            detail: e.to_string(),
+        })?;
         debug_assert!(plan.is_consistent(workload.shape().m, workload.shape().n));
+        Ok(plan)
+    }
 
+    /// Streams every quadrant of the dispatched workload under
+    /// `schedule`, charges reconfiguration when the partition changed,
+    /// and accounts memory traffic.
+    fn simulate(
+        &mut self,
+        workload: &GemmWorkload,
+        plan: &DispatchPlan,
+        schedule: Schedule,
+    ) -> Result<ExecReport> {
         let quadrants = workload.quadrants();
         debug_assert_eq!(
             plan.tile_extents(),
@@ -160,14 +199,6 @@ impl Accelerator for DriftAccelerator {
                 (quadrants[3].rows, quadrants[3].cols),
             ]
         );
-        let schedule = match self.scheduler {
-            SchedulerKind::Balanced => balanced_schedule(self.fabric, &quadrants),
-            SchedulerKind::EqualStatic => equal_schedule(self.fabric, &quadrants),
-        }
-        .map_err(|e| AccelError::InvalidConfig {
-            name: "schedule",
-            detail: e.to_string(),
-        })?;
 
         // Stream each quadrant on its own array: occupancy 1 everywhere
         // (a split array serves exactly one precision pair), so the
@@ -191,8 +222,8 @@ impl Accelerator for DriftAccelerator {
             // pass group.
             let n_passes = (u64::from(q.pair.weight.bits()) * shape.n as u64)
                 .div_ceil(BG_WEIGHT_BIT_LANES * geo.cols as u64);
-            let q_act_bytes = shape.m as u64
-                * (shape.k as u64 * u64::from(q.pair.activation.bits())).div_ceil(8);
+            let q_act_bytes =
+                shape.m as u64 * (shape.k as u64 * u64::from(q.pair.activation.bits())).div_ceil(8);
             act_reread_weighted += q_act_bytes * n_passes;
             act_bytes_total += q_act_bytes;
         }
@@ -202,7 +233,7 @@ impl Accelerator for DriftAccelerator {
         // (reconfiguration elision).
         let reconfigures = self
             .last_schedule
-            .map_or(true, |prev| prev.partition != schedule.partition);
+            .is_none_or(|prev| prev.partition != schedule.partition);
         if reconfigures {
             compute_cycles += schedule.partition.reconfig_cycles();
         }
@@ -228,7 +259,51 @@ impl Accelerator for DriftAccelerator {
             self.energy.static_pj_per_unit_cycle,
         ))
     }
+
+    /// The controller (precision selector + index buffer) model.
+    pub fn controller(&self) -> &PrecisionController {
+        &self.controller
+    }
+
+    /// The fabric geometry.
+    pub fn fabric(&self) -> ArrayGeometry {
+        self.fabric
+    }
 }
+
+impl Accelerator for DriftAccelerator {
+    fn name(&self) -> &str {
+        "drift"
+    }
+
+    fn units(&self) -> usize {
+        self.fabric.units()
+    }
+
+    fn execute(&mut self, workload: &GemmWorkload) -> Result<ExecReport> {
+        // Per layer, the precision selector's decisions land in the
+        // index buffer and the dispatcher builds the four per-quadrant
+        // streams from it (Section 4.1); the scheduler then solves
+        // Eq. 8 for the quadrant mix.
+        let plan = self.dispatch(workload)?;
+        let schedule = match self.scheduler {
+            SchedulerKind::Balanced => balanced_schedule(self.fabric, &workload.quadrants()),
+            SchedulerKind::EqualStatic => equal_schedule(self.fabric, &workload.quadrants()),
+        }
+        .map_err(|e| AccelError::InvalidConfig {
+            name: "schedule",
+            detail: e.to_string(),
+        })?;
+        self.simulate(workload, &plan, schedule)
+    }
+}
+
+// Workers in `drift-serve` move one simulator into each pool thread;
+// keep that guaranteed at compile time.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<DriftAccelerator>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -299,7 +374,10 @@ mod tests {
         let mut bf = BitFusion::int8().unwrap();
         let c_bf = bf.execute(&w).unwrap().compute_cycles;
         let overhead = drift.fabric().rows as u64 + drift.fabric().cols as u64;
-        assert!(c_drift <= c_bf + overhead, "{c_drift} > {c_bf} + {overhead}");
+        assert!(
+            c_drift <= c_bf + overhead,
+            "{c_drift} > {c_bf} + {overhead}"
+        );
         let rel = (c_drift as f64 - c_bf as f64).abs() / c_bf as f64;
         assert!(rel < 0.01, "relative gap {rel} too large");
     }
@@ -309,8 +387,7 @@ mod tests {
         let w = mixed_workload(1024, 1024, 0.1, 0.4);
         let mut balanced = DriftAccelerator::paper_config().unwrap();
         let c_b = balanced.execute(&w).unwrap().compute_cycles;
-        let mut equal =
-            DriftAccelerator::new(paper_fabric(), SchedulerKind::EqualStatic).unwrap();
+        let mut equal = DriftAccelerator::new(paper_fabric(), SchedulerKind::EqualStatic).unwrap();
         let c_e = equal.execute(&w).unwrap().compute_cycles;
         assert!(c_b <= c_e, "balanced {c_b} !<= equal {c_e}");
     }
@@ -322,9 +399,47 @@ mod tests {
         let first = drift.execute(&w).unwrap();
         let second = drift.execute(&w).unwrap();
         // Same workload → same partition → no reconfiguration charge.
-        let overhead =
-            drift.last_schedule().unwrap().partition.reconfig_cycles();
+        let overhead = drift.last_schedule().unwrap().partition.reconfig_cycles();
         assert_eq!(first.compute_cycles, second.compute_cycles + overhead);
+    }
+
+    #[test]
+    fn reset_restores_first_run_behavior() {
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        let w = mixed_workload(512, 512, 0.25, 0.25);
+        let first = drift.execute(&w).unwrap();
+        let repeat = drift.execute(&w).unwrap();
+        assert_ne!(first.compute_cycles, repeat.compute_cycles);
+        drift.reset();
+        assert!(drift.last_schedule().is_none());
+        let fresh = drift.execute(&w).unwrap();
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn cached_schedule_reproduces_direct_execution() {
+        use crate::schedule::ScheduleKey;
+        let w = mixed_workload(384, 256, 0.3, 0.6);
+        let mut direct = DriftAccelerator::paper_config().unwrap();
+        let want = direct.execute(&w).unwrap();
+        let mut reused = DriftAccelerator::paper_config().unwrap();
+        let schedule = ScheduleKey::for_workload(&w, reused.fabric())
+            .solve()
+            .unwrap();
+        let got = reused.execute_with_schedule(&w, schedule).unwrap();
+        assert_eq!(want, got);
+        assert_eq!(reused.last_schedule(), Some(&schedule));
+    }
+
+    #[test]
+    fn foreign_fabric_schedule_is_rejected() {
+        let w = mixed_workload(64, 64, 0.5, 0.5);
+        let small = drift_accel::systolic::ArrayGeometry::new(4, 4).unwrap();
+        let schedule = crate::schedule::ScheduleKey::for_workload(&w, small)
+            .solve()
+            .unwrap();
+        let mut drift = DriftAccelerator::paper_config().unwrap();
+        assert!(drift.execute_with_schedule(&w, schedule).is_err());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub fn to_bits(value: i32, precision: Precision) -> Result<Vec<u8>> {
 /// Returns [`CoreError::InvalidParameter`] for non-nibble widths or
 /// out-of-range values.
 pub fn to_nibbles(value: i32, precision: Precision) -> Result<Vec<u8>> {
-    if precision.bits() % 4 != 0 {
+    if !precision.bits().is_multiple_of(4) {
         return Err(CoreError::InvalidParameter {
             name: "precision",
             detail: format!("{precision} is not nibble-aligned"),

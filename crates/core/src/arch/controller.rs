@@ -54,7 +54,11 @@ impl PrecisionController {
                 detail: "index buffer must have capacity".to_string(),
             });
         }
-        Ok(PrecisionController { capacity_bits, entries: Vec::new(), comparisons: 0 })
+        Ok(PrecisionController {
+            capacity_bits,
+            entries: Vec::new(),
+            comparisons: 0,
+        })
     }
 
     /// The default configuration: an 8 KiB index buffer.
@@ -100,7 +104,10 @@ impl PrecisionController {
     /// Looks up the decision for a sub-tensor (what the dispatcher does
     /// per tile).
     pub fn lookup(&self, subtensor: usize) -> Option<IndexEntry> {
-        self.entries.iter().copied().find(|e| e.subtensor == subtensor)
+        self.entries
+            .iter()
+            .copied()
+            .find(|e| e.subtensor == subtensor)
     }
 
     /// Comparator operations performed so far.

@@ -86,7 +86,13 @@ impl DispatchPlan {
                 low_cols.push(j);
             }
         }
-        Ok(DispatchPlan { high_rows, low_rows, high_cols, low_cols, lookups })
+        Ok(DispatchPlan {
+            high_rows,
+            low_rows,
+            high_cols,
+            low_cols,
+            lookups,
+        })
     }
 
     /// The `(rows, cols)` tile extents per quadrant in `(hh, hl, lh,
@@ -142,10 +148,13 @@ mod tests {
 
     fn filled_controller(w: &GemmWorkload) -> PrecisionController {
         let mut c = PrecisionController::drift_default();
-        let choice =
-            ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4).unwrap();
+        let choice = ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4).unwrap();
         for (i, &high) in w.act_high().iter().enumerate() {
-            let d = if high { Decision::Keep } else { Decision::Convert(choice) };
+            let d = if high {
+                Decision::Keep
+            } else {
+                Decision::Convert(choice)
+            };
             c.record(i, d).unwrap();
         }
         c
@@ -195,10 +204,13 @@ mod tests {
         let w = workload();
         let mut c = PrecisionController::drift_default();
         // Record the OPPOSITE decision for every row.
-        let choice =
-            ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4).unwrap();
+        let choice = ConversionChoice::new(Precision::INT8, Precision::INT4, 0, 4).unwrap();
         for (i, &high) in w.act_high().iter().enumerate() {
-            let d = if high { Decision::Convert(choice) } else { Decision::Keep };
+            let d = if high {
+                Decision::Convert(choice)
+            } else {
+                Decision::Keep
+            };
             c.record(i, d).unwrap();
         }
         assert!(DispatchPlan::build(&w, Some(&c)).is_err());

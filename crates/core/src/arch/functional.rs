@@ -132,10 +132,13 @@ impl FunctionalArray {
                         a_grid[r * cols + (c - 1)]
                     };
                     // Psum arriving from above (previous cycle's value).
-                    let p_in = if r == 0 { 0 } else { p_grid[(r - 1) * cols + c] };
+                    let p_in = if r == 0 {
+                        0
+                    } else {
+                        p_grid[(r - 1) * cols + c]
+                    };
                     next_a[r * cols + c] = a_val;
-                    next_p[r * cols + c] =
-                        p_in + i64::from(a_val) * i64::from(w[r * cols + c]);
+                    next_p[r * cols + c] = p_in + i64::from(a_val) * i64::from(w[r * cols + c]);
                 }
             }
             a_grid = next_a;
@@ -150,7 +153,12 @@ impl FunctionalArray {
             }
         }
         cycles += exec_cycles as u64;
-        Ok(PassResult { psums, m, cols, cycles })
+        Ok(PassResult {
+            psums,
+            m,
+            cols,
+            cycles,
+        })
     }
 
     /// Computes a full integer GEMM `C[m,n] = A[m,k] · W[k,n]` by tiling
@@ -270,8 +278,18 @@ pub fn run_split_gemm(
 
     let mut out = vec![0.0f32; m * n];
     let mut quadrant_cycles = [0u64; 4];
-    let row_sets = [&plan.high_rows, &plan.high_rows, &plan.low_rows, &plan.low_rows];
-    let col_sets = [&plan.high_cols, &plan.low_cols, &plan.high_cols, &plan.low_cols];
+    let row_sets = [
+        &plan.high_rows,
+        &plan.high_rows,
+        &plan.low_rows,
+        &plan.low_rows,
+    ];
+    let col_sets = [
+        &plan.high_cols,
+        &plan.low_cols,
+        &plan.high_cols,
+        &plan.low_cols,
+    ];
     for q in 0..4 {
         let (rows, cols) = (row_sets[q], col_sets[q]);
         if rows.is_empty() || cols.is_empty() {
@@ -288,21 +306,22 @@ pub fn run_split_gemm(
                 w_tile.push(b.codes()[p * n + j]);
             }
         }
-        let (raw, cycles) =
-            grids[q].run_gemm(&a_tile, &w_tile, rows.len(), k, cols.len())?;
+        let (raw, cycles) = grids[q].run_gemm(&a_tile, &w_tile, rows.len(), k, cols.len())?;
         quadrant_cycles[q] = cycles;
         // Scatter with the hardware's output scaling.
         for (ti, &i) in rows.iter().enumerate() {
             for (tj, &j) in cols.iter().enumerate() {
                 out[i * n + j] =
-                    (raw[ti * cols.len() + tj] as f64 * a.scales()[i] * b.scales()[j])
-                        as f32;
+                    (raw[ti * cols.len() + tj] as f64 * a.scales()[i] * b.scales()[j]) as f32;
             }
         }
     }
     Ok(SplitGemmResult {
         output: drift_tensor::Tensor::from_vec(vec![m, n], out).map_err(|e| {
-            CoreError::InvalidParameter { name: "output", detail: e.to_string() }
+            CoreError::InvalidParameter {
+                name: "output",
+                detail: e.to_string(),
+            }
         })?,
         quadrant_cycles,
         makespan: quadrant_cycles.iter().copied().max().unwrap_or(0),
@@ -341,7 +360,7 @@ mod tests {
         let arr = FunctionalArray::new(4, 3).unwrap();
         let m = 7;
         let a: Vec<i32> = (0..m * 4).map(|i| (i as i32 % 11) - 5).collect();
-        let w: Vec<i32> = (0..4 * 3).map(|i| (i as i32 % 7) - 3).collect();
+        let w: Vec<i32> = (0..4 * 3).map(|i| (i % 7) - 3).collect();
         let pass = arr.run_pass(&a, &w, m).unwrap();
         assert_eq!(pass.psums, reference_gemm(&a, &w, m, 4, 3));
     }
@@ -401,8 +420,7 @@ mod tests {
         use drift_quant::precision::Precision;
         use drift_tensor::Tensor;
 
-        let acts = Tensor::from_fn(vec![6, 12], |i| ((i * 31 % 17) as f32 - 8.0) * 0.05)
-            .unwrap();
+        let acts = Tensor::from_fn(vec![6, 12], |i| ((i * 31 % 17) as f32 - 8.0) * 0.05).unwrap();
         let weights =
             Tensor::from_fn(vec![12, 5], |i| ((i * 13 % 11) as f32 - 5.0) * 0.08).unwrap();
         let policy = StaticLowPolicy::new(Precision::INT4);
@@ -446,10 +464,16 @@ mod tests {
         let cb = CodedMatrix::encode_cols(&weights, Precision::INT8, &policy).unwrap();
 
         // The dispatch plan from the same precision decisions.
-        let act_high: Vec<bool> =
-            ca.precisions().iter().map(|p| *p == Precision::INT8).collect();
-        let weight_high: Vec<bool> =
-            cb.precisions().iter().map(|p| *p == Precision::INT8).collect();
+        let act_high: Vec<bool> = ca
+            .precisions()
+            .iter()
+            .map(|p| *p == Precision::INT8)
+            .collect();
+        let weight_high: Vec<bool> = cb
+            .precisions()
+            .iter()
+            .map(|p| *p == Precision::INT8)
+            .collect();
         assert!(act_high.iter().any(|&h| h) && act_high.iter().any(|&h| !h));
         let shape = GemmShape::new(10, 16, 7).unwrap();
         let w = GemmWorkload::new("f", shape, act_high, weight_high).unwrap();

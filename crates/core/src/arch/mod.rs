@@ -96,13 +96,23 @@ impl FabricPartition {
                 ),
             });
         }
-        Ok(FabricPartition { fabric, col_split, rows_left, rows_right })
+        Ok(FabricPartition {
+            fabric,
+            col_split,
+            rows_left,
+            rows_right,
+        })
     }
 
     /// The whole fabric as a single array (no split): how Drift runs a
     /// uniform-precision workload.
     pub fn whole(fabric: ArrayGeometry) -> Self {
-        FabricPartition { fabric, col_split: fabric.cols, rows_left: fabric.rows, rows_right: 0 }
+        FabricPartition {
+            fabric,
+            col_split: fabric.cols,
+            rows_left: fabric.rows,
+            rows_right: 0,
+        }
     }
 
     /// The underlying fabric.

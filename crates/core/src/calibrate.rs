@@ -145,7 +145,8 @@ impl HessianCalibrator {
                 detail: "empty threshold grid".to_string(),
             });
         }
-        if !(budget > 0.0) {
+        // Rejects NaN too: only a strictly-greater comparison passes.
+        if budget.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(CoreError::InvalidParameter {
                 name: "budget",
                 detail: format!("must be positive, got {budget}"),
@@ -180,13 +181,13 @@ impl HessianCalibrator {
         let mut sorted = self.candidates.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite candidates"));
         for &delta in &sorted {
-            let policy = DriftPolicy::with_low_precision(delta, self.lp)
-                .map_err(|e| CoreError::InvalidParameter {
+            let policy = DriftPolicy::with_low_precision(delta, self.lp).map_err(|e| {
+                CoreError::InvalidParameter {
                     name: "delta",
                     detail: e.to_string(),
-                })?;
-            let (proxy, low_fraction) =
-                self.proxy_and_fraction(layers, &sensitivities, &policy)?;
+                }
+            })?;
+            let (proxy, low_fraction) = self.proxy_and_fraction(layers, &sensitivities, &policy)?;
             sweep.push((delta, proxy, low_fraction));
             let excess = if int8_proxy > 0.0 {
                 proxy / int8_proxy - 1.0
@@ -199,10 +200,14 @@ impl HessianCalibrator {
         }
         // Every candidate blew the budget: fall back to the most
         // conservative (largest δ, most 8-bit).
-        let (delta, proxy_loss, low_fraction) = best.unwrap_or_else(|| {
-            *sweep.last().expect("sweep is non-empty")
-        });
-        Ok(CalibrationResult { delta, proxy_loss, low_fraction, sweep })
+        let (delta, proxy_loss, low_fraction) =
+            best.unwrap_or_else(|| *sweep.last().expect("sweep is non-empty"));
+        Ok(CalibrationResult {
+            delta,
+            proxy_loss,
+            low_fraction,
+            sweep,
+        })
     }
 
     fn proxy_for_policy(
@@ -211,7 +216,9 @@ impl HessianCalibrator {
         sensitivities: &[f64],
         policy: &dyn drift_quant::policy::PrecisionPolicy,
     ) -> Result<f64> {
-        Ok(self.proxy_and_fraction_impl(layers, sensitivities, policy)?.0)
+        Ok(self
+            .proxy_and_fraction_impl(layers, sensitivities, policy)?
+            .0)
     }
 
     fn proxy_and_fraction(
@@ -232,10 +239,12 @@ impl HessianCalibrator {
         let mut proxy = 0.0f64;
         let mut fraction_acc = 0.0f64;
         for (layer, &sens) in layers.iter().zip(sensitivities) {
-            let run = run_policy(&layer.activations, &layer.scheme, self.hp, policy)
-                .map_err(|e| CoreError::InvalidParameter {
-                    name: "layer",
-                    detail: format!("{}: {e}", layer.name),
+            let run =
+                run_policy(&layer.activations, &layer.scheme, self.hp, policy).map_err(|e| {
+                    CoreError::InvalidParameter {
+                        name: "layer",
+                        detail: format!("{}: {e}", layer.name),
+                    }
                 })?;
             proxy += sens * mse(layer.activations.as_slice(), run.effective.as_slice());
             fraction_acc += run.low_fraction();
@@ -258,9 +267,10 @@ mod tests {
             let lap = Laplace::new(0.0, b).unwrap();
             data.extend(lap.sample_f32(&mut rng, hidden));
         }
-        let weights =
-            Tensor::from_fn(vec![hidden, hidden], |i| (((i * 31) % 7) as f32 - 3.0) * 0.1)
-                .unwrap();
+        let weights = Tensor::from_fn(vec![hidden, hidden], |i| {
+            (((i * 31) % 7) as f32 - 3.0) * 0.1
+        })
+        .unwrap();
         CalibrationLayer {
             name: format!("layer{seed}"),
             activations: Tensor::from_vec(vec![tokens, hidden], data).unwrap(),
@@ -292,16 +302,20 @@ mod tests {
         let mut rng = seeded(3);
         assert!(cal.calibrate(&[], 0.05, &mut rng).is_err());
         let layer = synthetic_layer(1, 8, 32);
-        assert!(cal.calibrate(&[layer.clone()], 0.0, &mut rng).is_err());
-        let empty = HessianCalibrator { candidates: vec![], ..HessianCalibrator::new() };
+        assert!(cal
+            .calibrate(std::slice::from_ref(&layer), 0.0, &mut rng)
+            .is_err());
+        let empty = HessianCalibrator {
+            candidates: vec![],
+            ..HessianCalibrator::new()
+        };
         assert!(empty.calibrate(&[layer], 0.05, &mut rng).is_err());
     }
 
     #[test]
     fn calibration_picks_aggressive_delta_within_budget() {
         let cal = HessianCalibrator::new();
-        let layers: Vec<CalibrationLayer> =
-            (0..3).map(|s| synthetic_layer(s, 16, 64)).collect();
+        let layers: Vec<CalibrationLayer> = (0..3).map(|s| synthetic_layer(s, 16, 64)).collect();
         let mut rng = seeded(4);
         // Generous budget: should pick a small δ with a high low-bit
         // fraction.

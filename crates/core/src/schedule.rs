@@ -17,8 +17,9 @@
 
 use crate::arch::FabricPartition;
 use crate::{CoreError, Result};
-use drift_accel::gemm::PrecisionQuadrant;
+use drift_accel::gemm::{GemmShape, GemmWorkload, PrecisionQuadrant};
 use drift_accel::systolic::{analytical_cycles, ArrayGeometry};
+use drift_quant::precision::{Precision, PrecisionPair};
 use serde::{Deserialize, Serialize};
 
 /// A scheduling decision for one layer.
@@ -33,15 +34,108 @@ pub struct Schedule {
     pub makespan: u64,
 }
 
+/// Everything the balanced scheduler's answer depends on, as a hashable
+/// cache key.
+///
+/// [`balanced_schedule`] sees a workload only through its four quadrant
+/// extents, and [`GemmWorkload::quadrants`] derives those solely from
+/// the *counts* of high-precision rows and columns — *which* rows are
+/// high never reaches the scheduler. Two workloads agreeing on shape,
+/// counts, precisions, and fabric therefore share one [`Schedule`],
+/// which is what makes memoising the `O(C·R)` Eq. 8 sweep across jobs
+/// sound ([`solve`](ScheduleKey::solve) is the memoisable function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScheduleKey {
+    /// The GEMM shape `(M, K, N)`.
+    pub shape: GemmShape,
+    /// Streamed rows at the high activation precision (`0..=m`).
+    pub act_high: usize,
+    /// Weight columns at the high weight precision (`0..=n`).
+    pub weight_high: usize,
+    /// The (high, low) activation precisions.
+    pub act_precisions: (Precision, Precision),
+    /// The (high, low) weight precisions.
+    pub weight_precisions: (Precision, Precision),
+    /// The fabric being partitioned.
+    pub fabric: ArrayGeometry,
+}
+
+impl ScheduleKey {
+    /// The key for scheduling `workload` on `fabric`.
+    pub fn for_workload(workload: &GemmWorkload, fabric: ArrayGeometry) -> Self {
+        ScheduleKey {
+            shape: workload.shape(),
+            act_high: workload.act_high().iter().filter(|&&h| h).count(),
+            weight_high: workload.weight_high().iter().filter(|&&h| h).count(),
+            act_precisions: workload.act_precisions(),
+            weight_precisions: workload.weight_precisions(),
+            fabric,
+        }
+    }
+
+    /// Rebuilds the `(hh, hl, lh, ll)` quadrants this key abstracts.
+    /// Identical to [`GemmWorkload::quadrants`] for any workload the key
+    /// was derived from.
+    pub fn quadrants(&self) -> [PrecisionQuadrant; 4] {
+        let m_h = self.act_high.min(self.shape.m);
+        let m_l = self.shape.m - m_h;
+        let n_h = self.weight_high.min(self.shape.n);
+        let n_l = self.shape.n - n_h;
+        let (ah, al) = self.act_precisions;
+        let (wh, wl) = self.weight_precisions;
+        let k = self.shape.k;
+        [
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(ah, wh),
+                rows: m_h,
+                cols: n_h,
+                k,
+            },
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(ah, wl),
+                rows: m_h,
+                cols: n_l,
+                k,
+            },
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(al, wh),
+                rows: m_l,
+                cols: n_h,
+                k,
+            },
+            PrecisionQuadrant {
+                pair: PrecisionPair::new(al, wl),
+                rows: m_l,
+                cols: n_l,
+                k,
+            },
+        ]
+    }
+
+    /// Runs the balanced scheduler (Eq. 8) for this key. Pure in the
+    /// key: equal keys always produce equal schedules, so the result
+    /// may be cached and shared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`balanced_schedule`] errors.
+    pub fn solve(&self) -> Result<Schedule> {
+        balanced_schedule(self.fabric, &self.quadrants())
+    }
+}
+
 /// The latency of one quadrant on one geometry (Eq. 7), `0` for an
 /// empty quadrant and `None` when the quadrant has work but no units.
 pub fn quadrant_latency(q: &PrecisionQuadrant, geo: Option<ArrayGeometry>) -> Option<u64> {
     match (q.shape(), geo) {
         (None, _) => Some(0),
         (Some(_), None) => None,
-        (Some(shape), Some(geo)) => {
-            Some(analytical_cycles(shape, q.pair.activation, q.pair.weight, geo))
-        }
+        (Some(shape), Some(geo)) => Some(analytical_cycles(
+            shape,
+            q.pair.activation,
+            q.pair.weight,
+            geo,
+        )),
     }
 }
 
@@ -68,7 +162,7 @@ fn balance_side(
         let t_bottom = quadrant_latency(bottom, make_geo(rows - rows_top));
         if let (Some(a), Some(b)) = (t_top, t_bottom) {
             let m = a.max(b);
-            if best.map_or(true, |(_, cur)| m < cur) {
+            if best.is_none_or(|(_, cur)| m < cur) {
                 best = Some((rows_top, m));
             }
         }
@@ -98,7 +192,7 @@ pub fn balanced_schedule(
             continue;
         };
         let makespan = m_left.max(m_right);
-        if best.as_ref().map_or(true, |b| makespan < b.makespan) {
+        if best.as_ref().is_none_or(|b| makespan < b.makespan) {
             let partition = FabricPartition::new(fabric, col_split, rows_left, rows_right)?;
             let geos = partition.geometries();
             let latencies = [
@@ -107,7 +201,11 @@ pub fn balanced_schedule(
                 quadrant_latency(lh, geos[2]).expect("feasible by construction"),
                 quadrant_latency(ll, geos[3]).expect("feasible by construction"),
             ];
-            best = Some(Schedule { partition, latencies, makespan });
+            best = Some(Schedule {
+                partition,
+                latencies,
+                makespan,
+            });
         }
     }
     best.ok_or_else(|| CoreError::InvalidPartition {
@@ -139,7 +237,11 @@ pub fn equal_schedule(
         })?;
     }
     let makespan = latencies.into_iter().max().expect("four entries");
-    Ok(Schedule { partition, latencies, makespan })
+    Ok(Schedule {
+        partition,
+        latencies,
+        makespan,
+    })
 }
 
 /// A lower bound on any schedule's makespan: perfect work balance over
@@ -149,9 +251,7 @@ pub fn oracle_lower_bound(fabric: ArrayGeometry, quadrants: &[PrecisionQuadrant;
     let bit_products: f64 = quadrants
         .iter()
         .map(|q| {
-            q.macs() as f64
-                * f64::from(q.pair.activation.bits())
-                * f64::from(q.pair.weight.bits())
+            q.macs() as f64 * f64::from(q.pair.activation.bits()) * f64::from(q.pair.weight.bits())
         })
         .sum();
     bit_products / 64.0 / fabric.units() as f64
@@ -163,7 +263,12 @@ mod tests {
     use crate::arch::paper_fabric;
     use drift_accel::gemm::{GemmShape, GemmWorkload};
 
-    fn quadrants_for(m: usize, n: usize, act_high: f64, weight_high: f64) -> [PrecisionQuadrant; 4] {
+    fn quadrants_for(
+        m: usize,
+        n: usize,
+        act_high: f64,
+        weight_high: f64,
+    ) -> [PrecisionQuadrant; 4] {
         let shape = GemmShape::new(m, 512, n).unwrap();
         let ah = (m as f64 * act_high) as usize;
         let wh = (n as f64 * weight_high) as usize;
@@ -259,6 +364,41 @@ mod tests {
         assert_eq!(quadrant_latency(&quads[0], None), Some(0));
         // ll has work: no geometry is infeasible.
         assert_eq!(quadrant_latency(&quads[3], None), None);
+    }
+
+    #[test]
+    fn schedule_key_reproduces_workload_quadrants() {
+        let shape = GemmShape::new(40, 96, 24).unwrap();
+        // Scattered (non-prefix) high rows/columns: only counts matter.
+        let w = GemmWorkload::new(
+            "scatter",
+            shape,
+            (0..40).map(|i| i % 3 == 0).collect(),
+            (0..24).map(|j| j % 5 == 1).collect(),
+        )
+        .unwrap();
+        let key = ScheduleKey::for_workload(&w, paper_fabric());
+        assert_eq!(key.act_high, 14);
+        assert_eq!(key.weight_high, 5);
+        assert_eq!(key.quadrants(), w.quadrants());
+    }
+
+    #[test]
+    fn schedule_key_solve_matches_direct_scheduling() {
+        for (fa, fw) in [(0.0, 0.0), (0.3, 0.7), (1.0, 1.0)] {
+            let quads = quadrants_for(256, 192, fa, fw);
+            let direct = balanced_schedule(paper_fabric(), &quads).unwrap();
+            let shape = GemmShape::new(256, 512, 192).unwrap();
+            let key = ScheduleKey {
+                shape,
+                act_high: quads[0].rows,
+                weight_high: quads[0].cols,
+                act_precisions: (quads[0].pair.activation, quads[3].pair.activation),
+                weight_precisions: (quads[0].pair.weight, quads[3].pair.weight),
+                fabric: paper_fabric(),
+            };
+            assert_eq!(key.solve().unwrap(), direct, "fa={fa} fw={fw}");
+        }
     }
 
     #[test]

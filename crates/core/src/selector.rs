@@ -85,7 +85,10 @@ impl DriftPolicy {
                 detail: format!("must be finite and >= 0, got {delta}"),
             });
         }
-        Ok(DriftPolicy { delta, lp: Precision::INT4 })
+        Ok(DriftPolicy {
+            delta,
+            lp: Precision::INT4,
+        })
     }
 
     /// Creates a policy targeting a non-default low precision (the 3/5-bit
@@ -112,11 +115,7 @@ impl DriftPolicy {
     ///
     /// All-zero sub-tensors (`abs_max == 0`) clip maximally from the
     /// high end: any encoding represents them exactly.
-    pub fn range_choice(
-        &self,
-        abs_max: f64,
-        params: &QuantParams,
-    ) -> Option<ConversionChoice> {
+    pub fn range_choice(&self, abs_max: f64, params: &QuantParams) -> Option<ConversionChoice> {
         let hp = params.precision;
         if self.lp.bits() >= hp.bits() {
             return None;
@@ -257,10 +256,7 @@ mod tests {
                 )
                 .unwrap();
                 let rc2 = RepresentationCapability::of(&tighter, &params);
-                assert!(
-                    !rc2.covers(abs_max),
-                    "abs_max {abs_max}: hc not maximal"
-                );
+                assert!(!rc2.covers(abs_max), "abs_max {abs_max}: hc not maximal");
             }
         }
     }
@@ -365,8 +361,7 @@ mod tests {
             }
         })
         .unwrap();
-        let run = run_policy(&t, &SubTensorScheme::token(64), Precision::INT8, &policy)
-            .unwrap();
+        let run = run_policy(&t, &SubTensorScheme::token(64), Precision::INT8, &policy).unwrap();
         // The small token must not be wiped to zeros.
         let small = &run.effective.as_slice()[64..];
         assert!(small.iter().any(|&v| v != 0.0), "small token wiped out");

@@ -1,13 +1,13 @@
 //! Property-based tests for the Drift core: the functional fabric, the
 //! selector, and the scheduler.
 
+use drift_accel::gemm::{GemmShape, GemmWorkload};
 use drift_accel::systolic::{simulate_stream, ArrayGeometry};
 use drift_core::arch::dispatch::DispatchPlan;
 use drift_core::arch::functional::FunctionalArray;
 use drift_core::arch::{paper_fabric, FabricPartition};
 use drift_core::schedule::balanced_schedule;
 use drift_core::selector::DriftPolicy;
-use drift_accel::gemm::{GemmShape, GemmWorkload};
 use drift_quant::linear::QuantParams;
 use drift_quant::Precision;
 use proptest::prelude::*;

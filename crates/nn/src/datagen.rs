@@ -212,7 +212,7 @@ impl TokenProfile {
 /// a trained classifier reads exactly the class directions the data
 /// carries).
 pub fn class_template(class: usize, hidden: usize) -> Vec<f64> {
-    let mut trng = seeded(derive_seed(0xC1A5_5E5, &format!("class-{class}-{hidden}")));
+    let mut trng = seeded(derive_seed(0x0C1A_55E5, &format!("class-{class}-{hidden}")));
     let gauss = drift_tensor::dist::Gaussian::new(0.0, 1.0).expect("unit sigma");
     let raw: Vec<f64> = gauss.sample_vec(&mut trng, hidden);
     let norm = raw.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
@@ -261,12 +261,28 @@ pub fn cnn_row_stats(m: usize, k: usize, seed: u64) -> Vec<SummaryStats> {
     let width = (m as f64).sqrt().ceil() as usize;
     let object_fraction = 0.4;
     let span = ((width as f64 * object_fraction) as usize).max(1);
-    let y0 = if width > span { rng.gen_range(0..width - span) } else { 0 };
-    let x0 = if width > span { rng.gen_range(0..width - span) } else { 0 };
-    let background =
-        TokenProfile { base_scale: 0.08, scale_sigma: 0.45, outlier_fraction: 0.0, outlier_gain: 1.0 };
-    let object =
-        TokenProfile { base_scale: 0.6, scale_sigma: 0.3, outlier_fraction: 0.0, outlier_gain: 1.0 };
+    let y0 = if width > span {
+        rng.gen_range(0..width - span)
+    } else {
+        0
+    };
+    let x0 = if width > span {
+        rng.gen_range(0..width - span)
+    } else {
+        0
+    };
+    let background = TokenProfile {
+        base_scale: 0.08,
+        scale_sigma: 0.45,
+        outlier_fraction: 0.0,
+        outlier_gain: 1.0,
+    };
+    let object = TokenProfile {
+        base_scale: 0.6,
+        scale_sigma: 0.3,
+        outlier_fraction: 0.0,
+        outlier_gain: 1.0,
+    };
     (0..m)
         .map(|row| {
             let (y, x) = (row / width, row % width);
@@ -295,7 +311,11 @@ impl ImageProfile {
     /// A natural-image-like default: the object is ~8× the background
     /// amplitude and covers ~40% of each edge.
     pub fn natural() -> Self {
-        ImageProfile { background_scale: 0.08, object_scale: 0.6, object_fraction: 0.4 }
+        ImageProfile {
+            background_scale: 0.08,
+            object_scale: 0.6,
+            object_fraction: 0.4,
+        }
     }
 
     /// Generates a `[channels, h, w]` image.
@@ -316,7 +336,11 @@ impl ImageProfile {
             for y in 0..h {
                 for x in 0..w {
                     let inside = y >= oy && y < oy + oh && x >= ox && x < ox + ow;
-                    let v = if inside { obj.sample(&mut rng) } else { bg.sample(&mut rng) };
+                    let v = if inside {
+                        obj.sample(&mut rng)
+                    } else {
+                        bg.sample(&mut rng)
+                    };
                     data.push(v as f32);
                 }
             }
@@ -417,8 +441,12 @@ mod tests {
         let t = TokenProfile::vit().generate(8, 512, 3).unwrap();
         let views = SubTensorScheme::token(512).partition(t.shape()).unwrap();
         for v in views.iter().take(4) {
-            let vals: Vec<f64> =
-                t.subtensor(v).unwrap().iter().map(|&x| f64::from(x)).collect();
+            let vals: Vec<f64> = t
+                .subtensor(v)
+                .unwrap()
+                .iter()
+                .map(|&x| f64::from(x))
+                .collect();
             let (_, d) = drift_tensor::dist::laplace_fit_ks(&vals).unwrap();
             assert!(d < 0.1, "KS {d} too large for a Laplace token");
         }
@@ -439,14 +467,19 @@ mod tests {
     #[test]
     fn image_has_hot_object_region() {
         let img = ImageProfile::natural().generate(3, 32, 32, 9).unwrap();
-        let views = SubTensorScheme::region(8, 8).partition(img.shape()).unwrap();
+        let views = SubTensorScheme::region(8, 8)
+            .partition(img.shape())
+            .unwrap();
         let means: Vec<f64> = views
             .iter()
             .map(|v| SummaryStats::from_slice(img.subtensor(v).unwrap()).mean_abs())
             .collect();
         let max = means.iter().cloned().fold(0.0f64, f64::max);
         let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min > 3.0, "object region not distinguishable: {max} / {min}");
+        assert!(
+            max / min > 3.0,
+            "object region not distinguishable: {max} / {min}"
+        );
     }
 
     #[test]

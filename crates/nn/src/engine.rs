@@ -19,8 +19,8 @@
 //! high-end clipping) keeps it intact.
 
 use crate::layers::{
-    gelu, im2col, layernorm_rows, matmul, maxpool2, mean_pool_rows, multi_head_attention,
-    relu, transpose, Conv2dSpec,
+    gelu, im2col, layernorm_rows, matmul, maxpool2, mean_pool_rows, multi_head_attention, relu,
+    transpose, Conv2dSpec,
 };
 use crate::{datagen, NnError, Result};
 use drift_quant::asymmetric::AsymmetricQuantizer;
@@ -48,7 +48,10 @@ pub enum ForwardMode<'a> {
 impl<'a> ForwardMode<'a> {
     /// Quantized execution at the paper's INT8 initial precision.
     pub fn quantized(policy: &'a dyn PrecisionPolicy) -> Self {
-        ForwardMode::Quantized { policy, hp: Precision::INT8 }
+        ForwardMode::Quantized {
+            policy,
+            hp: Precision::INT8,
+        }
     }
 }
 
@@ -187,8 +190,7 @@ impl TinyTransformer {
     ///
     /// Propagates weight-generation errors.
     pub fn bert_like(seed: u64) -> Result<Self> {
-        Ok(TinyTransformer::build("tiny-bert", seed, 64, 2, 10, false)?
-            .with_matched_head(10))
+        Ok(TinyTransformer::build("tiny-bert", seed, 64, 2, 10, false)?.with_matched_head(10))
     }
 
     /// A ViT-like classifier (same structure, used with the ViT data
@@ -198,8 +200,7 @@ impl TinyTransformer {
     ///
     /// Propagates weight-generation errors.
     pub fn vit_like(seed: u64) -> Result<Self> {
-        Ok(TinyTransformer::build("tiny-vit", seed, 64, 2, 10, false)?
-            .with_matched_head(10))
+        Ok(TinyTransformer::build("tiny-vit", seed, 64, 2, 10, false)?.with_matched_head(10))
     }
 
     /// Replaces the classifier head with one whose column `c` is the
@@ -215,8 +216,8 @@ impl TinyTransformer {
                 head[j * classes + c] = t as f32;
             }
         }
-        self.head = Tensor::from_vec(vec![hidden, classes], head)
-            .expect("dimensions are consistent");
+        self.head =
+            Tensor::from_vec(vec![hidden, classes], head).expect("dimensions are consistent");
         self
     }
 
@@ -367,7 +368,10 @@ impl Model for TinyTransformer {
             let pooled = mean_pool_rows(&layernorm_rows(&xq, 1e-6)?)?;
             matmul(&pooled, &head)?
         };
-        Ok(ForwardOutput { logits, layer_fractions: fractions })
+        Ok(ForwardOutput {
+            logits,
+            layer_fractions: fractions,
+        })
     }
 }
 
@@ -390,7 +394,6 @@ pub struct TinyCnn {
     residual_after: Vec<usize>,
 }
 
-
 impl TinyCnn {
     /// A ResNet-flavoured tiny CNN: 3→16→32 channels on 16×16 inputs,
     /// 10 classes.
@@ -400,8 +403,20 @@ impl TinyCnn {
     /// Propagates weight-generation errors.
     pub fn resnet_like(seed: u64) -> Result<Self> {
         let specs = vec![
-            Conv2dSpec { in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
-            Conv2dSpec { in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+            Conv2dSpec {
+                in_channels: 3,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            Conv2dSpec {
+                in_channels: 16,
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
         ];
         let weights = vec![
             datagen::xavier_weights(16, 27, seed)?,
@@ -427,9 +442,27 @@ impl TinyCnn {
     /// Propagates weight-generation errors.
     pub fn residual_like(seed: u64) -> Result<Self> {
         let specs = vec![
-            Conv2dSpec { in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
-            Conv2dSpec { in_channels: 16, out_channels: 16, kernel: 3, stride: 1, padding: 1 },
-            Conv2dSpec { in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+            Conv2dSpec {
+                in_channels: 3,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            Conv2dSpec {
+                in_channels: 16,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            Conv2dSpec {
+                in_channels: 16,
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
         ];
         let weights = vec![
             datagen::xavier_weights(16, 27, seed)?,
@@ -503,14 +536,15 @@ impl Model for TinyCnn {
         let d = x.shape().dims();
         let (c, hw) = (d[0], d[1] * d[2]);
         let flat = x.reshaped(vec![c, hw])?;
-        let mut pooled = vec![0.0f32; c];
-        for ch in 0..c {
-            pooled[ch] =
-                flat.as_slice()[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32;
-        }
+        let pooled: Vec<f32> = (0..c)
+            .map(|ch| flat.as_slice()[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / hw as f32)
+            .collect();
         let pooled = Tensor::from_vec(vec![1, c], pooled)?;
         let logits = matmul(&pooled, &quantize_weights(&self.head, mode)?)?;
-        Ok(ForwardOutput { logits, layer_fractions: fractions })
+        Ok(ForwardOutput {
+            logits,
+            layer_fractions: fractions,
+        })
     }
 }
 
@@ -548,10 +582,8 @@ mod tests {
         let int8 = m
             .forward(&input, &ForwardMode::quantized(&StaticHighPolicy))
             .unwrap();
-        let cos = drift_quant::linear::cosine_similarity(
-            fp32.logits.as_slice(),
-            int8.logits.as_slice(),
-        );
+        let cos =
+            drift_quant::linear::cosine_similarity(fp32.logits.as_slice(), int8.logits.as_slice());
         assert!(cos > 0.98, "INT8 cosine similarity {cos}");
         assert_eq!(int8.low_fraction(), 0.0);
     }
@@ -562,12 +594,14 @@ mod tests {
         let input = TokenProfile::bert().generate(16, 64, 5).unwrap();
         let policy = DriftPolicy::new(0.1).unwrap();
         let out = m.forward(&input, &ForwardMode::quantized(&policy)).unwrap();
-        assert!(out.low_fraction() > 0.3, "low fraction {}", out.low_fraction());
-        let fp32 = m.forward(&input, &ForwardMode::Fp32).unwrap();
-        let cos = drift_quant::linear::cosine_similarity(
-            fp32.logits.as_slice(),
-            out.logits.as_slice(),
+        assert!(
+            out.low_fraction() > 0.3,
+            "low fraction {}",
+            out.low_fraction()
         );
+        let fp32 = m.forward(&input, &ForwardMode::Fp32).unwrap();
+        let cos =
+            drift_quant::linear::cosine_similarity(fp32.logits.as_slice(), out.logits.as_slice());
         assert!(cos > 0.9, "drift cosine similarity {cos}");
     }
 
@@ -597,10 +631,8 @@ mod tests {
         let fp32 = m.forward(&img, &ForwardMode::Fp32).unwrap();
         let policy = DriftPolicy::new(0.1).unwrap();
         let q = m.forward(&img, &ForwardMode::quantized(&policy)).unwrap();
-        let cos = drift_quant::linear::cosine_similarity(
-            fp32.logits.as_slice(),
-            q.logits.as_slice(),
-        );
+        let cos =
+            drift_quant::linear::cosine_similarity(fp32.logits.as_slice(), q.logits.as_slice());
         assert!(cos > 0.9, "cnn drift cosine {cos}");
         assert!(!q.layer_fractions.is_empty());
     }
@@ -622,10 +654,8 @@ mod tests {
         let policy = DriftPolicy::new(0.05).unwrap();
         let q = m.forward(&img, &ForwardMode::quantized(&policy)).unwrap();
         assert_eq!(q.layer_fractions.len(), 3);
-        let cos = drift_quant::linear::cosine_similarity(
-            fp32.logits.as_slice(),
-            q.logits.as_slice(),
-        );
+        let cos =
+            drift_quant::linear::cosine_similarity(fp32.logits.as_slice(), q.logits.as_slice());
         assert!(cos > 0.9, "residual cnn drift cosine {cos}");
     }
 

@@ -192,10 +192,11 @@ pub fn calibrate_delta_by_fidelity(
     let mut sorted = grid.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite grid"));
     for &delta in &sorted {
-        let policy =
-            drift_core::selector::DriftPolicy::new(delta).map_err(|e| {
-                crate::NnError::InvalidModel { detail: e.to_string() }
-            })?;
+        let policy = drift_core::selector::DriftPolicy::new(delta).map_err(|e| {
+            crate::NnError::InvalidModel {
+                detail: e.to_string(),
+            }
+        })?;
         let r = classification_fidelity(model, calibration_inputs, &policy, 100.0)?;
         if int8.agreement - r.agreement <= tolerance {
             return Ok(delta);
@@ -227,8 +228,7 @@ mod tests {
     fn int8_fidelity_is_high() {
         let model = TinyTransformer::bert_like(1).unwrap();
         let inputs = bert_inputs(24, model.hidden());
-        let r =
-            classification_fidelity(&model, &inputs, &StaticHighPolicy, 80.0).unwrap();
+        let r = classification_fidelity(&model, &inputs, &StaticHighPolicy, 80.0).unwrap();
         assert!(r.agreement > 0.9, "INT8 agreement {}", r.agreement);
         assert_eq!(r.samples, 24);
         assert!(r.anchored_accuracy <= 80.0);
@@ -238,16 +238,15 @@ mod tests {
     fn drift_fidelity_close_to_int8_with_high_low_fraction() {
         let model = TinyTransformer::bert_like(1).unwrap();
         let inputs = bert_inputs(24, model.hidden());
-        let int8 =
-            classification_fidelity(&model, &inputs, &StaticHighPolicy, 80.0).unwrap();
-        let drift = classification_fidelity(
-            &model,
-            &inputs,
-            &DriftPolicy::new(0.05).unwrap(),
-            80.0,
-        )
-        .unwrap();
-        assert!(drift.low_fraction > 0.4, "low fraction {}", drift.low_fraction);
+        let int8 = classification_fidelity(&model, &inputs, &StaticHighPolicy, 80.0).unwrap();
+        let drift =
+            classification_fidelity(&model, &inputs, &DriftPolicy::new(0.05).unwrap(), 80.0)
+                .unwrap();
+        assert!(
+            drift.low_fraction > 0.4,
+            "low fraction {}",
+            drift.low_fraction
+        );
         assert!(
             int8.agreement - drift.agreement < 0.15,
             "drift lost too much: {} vs {}",
@@ -264,15 +263,10 @@ mod tests {
         let model = TinyTransformer::bert_like(1).unwrap();
         let inputs = bert_inputs(32, model.hidden());
         let drq =
-            classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 80.0)
+            classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 80.0).unwrap();
+        let drift =
+            classification_fidelity(&model, &inputs, &DriftPolicy::new(0.05).unwrap(), 80.0)
                 .unwrap();
-        let drift = classification_fidelity(
-            &model,
-            &inputs,
-            &DriftPolicy::new(0.05).unwrap(),
-            80.0,
-        )
-        .unwrap();
         assert!(
             drift.agreement >= drq.agreement,
             "drift {} should be at least drq {}",
@@ -285,18 +279,17 @@ mod tests {
     fn cnn_fidelity_works_for_both_policies() {
         let model = TinyCnn::resnet_like(3).unwrap();
         let inputs: Vec<Tensor> = (0..16)
-            .map(|i| ImageProfile::natural().generate(3, 16, 16, 200 + i as u64).unwrap())
+            .map(|i| {
+                ImageProfile::natural()
+                    .generate(3, 16, 16, 200 + i as u64)
+                    .unwrap()
+            })
             .collect();
         let drq =
-            classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 70.0)
+            classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 70.0).unwrap();
+        let drift =
+            classification_fidelity(&model, &inputs, &DriftPolicy::new(0.05).unwrap(), 70.0)
                 .unwrap();
-        let drift = classification_fidelity(
-            &model,
-            &inputs,
-            &DriftPolicy::new(0.05).unwrap(),
-            70.0,
-        )
-        .unwrap();
         // On CNN data both dynamic methods hold up (paper Fig. 6).
         assert!(drq.agreement > 0.7, "drq on cnn {}", drq.agreement);
         assert!(drift.agreement > 0.7, "drift on cnn {}", drift.agreement);
@@ -306,7 +299,11 @@ mod tests {
     fn perplexity_fp32_row_is_the_anchor() {
         let model = TinyTransformer::llm_like(5, 32).unwrap();
         let inputs: Vec<Tensor> = (0..4)
-            .map(|i| TokenProfile::llm().generate(12, 64, 300 + i as u64).unwrap())
+            .map(|i| {
+                TokenProfile::llm()
+                    .generate(12, 64, 300 + i as u64)
+                    .unwrap()
+            })
             .collect();
         let r = perplexity_proxy(&model, &inputs, None, 17.48).unwrap();
         assert_eq!(r.perplexity, 17.48);
@@ -317,7 +314,11 @@ mod tests {
     fn perplexity_increases_under_quantization() {
         let model = TinyTransformer::llm_like(5, 32).unwrap();
         let inputs: Vec<Tensor> = (0..6)
-            .map(|i| TokenProfile::llm().generate(12, 64, 400 + i as u64).unwrap())
+            .map(|i| {
+                TokenProfile::llm()
+                    .generate(12, 64, 400 + i as u64)
+                    .unwrap()
+            })
             .collect();
         let int8 = perplexity_proxy(&model, &inputs, Some(&StaticHighPolicy), 17.48).unwrap();
         let drift = perplexity_proxy(
@@ -329,7 +330,11 @@ mod tests {
         .unwrap();
         assert!(int8.perplexity >= 17.48);
         assert!(drift.perplexity >= 17.48);
-        assert!(drift.low_fraction > 0.4, "llm low fraction {}", drift.low_fraction);
+        assert!(
+            drift.low_fraction > 0.4,
+            "llm low fraction {}",
+            drift.low_fraction
+        );
         // Drift stays within a modest factor of INT8 (Table 1's shape).
         assert!(
             drift.perplexity < int8.perplexity * 1.5 + 5.0,
@@ -364,12 +369,10 @@ mod tests {
         let model = TinyTransformer::bert_like(1).unwrap();
         let inputs = bert_inputs(24, model.hidden());
         let grid = [0.01, 0.3, 3.0];
-        let delta =
-            calibrate_delta_by_fidelity(&model, &inputs, &grid, 0.05).unwrap();
+        let delta = calibrate_delta_by_fidelity(&model, &inputs, &grid, 0.05).unwrap();
         assert!(grid.contains(&delta));
         // A zero tolerance can only pick an equal-or-larger δ.
-        let strict =
-            calibrate_delta_by_fidelity(&model, &inputs, &grid, 0.0).unwrap();
+        let strict = calibrate_delta_by_fidelity(&model, &inputs, &grid, 0.0).unwrap();
         assert!(strict >= delta);
         assert!(calibrate_delta_by_fidelity(&model, &inputs, &[], 0.05).is_err());
     }

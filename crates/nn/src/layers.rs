@@ -190,8 +190,7 @@ impl Conv2dSpec {
     pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
         let eff_h = h + 2 * self.padding;
         let eff_w = w + 2 * self.padding;
-        if self.kernel == 0 || self.stride == 0 || eff_h < self.kernel || eff_w < self.kernel
-        {
+        if self.kernel == 0 || self.stride == 0 || eff_h < self.kernel || eff_w < self.kernel {
             return Err(NnError::InvalidModel {
                 detail: format!("conv {self:?} does not fit input {h}x{w}"),
             });
@@ -231,8 +230,7 @@ pub fn im2col(input: &Tensor, spec: &Conv2dSpec) -> Result<Tensor> {
                     for kx in 0..k {
                         let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
                         let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        let val = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                        {
+                        let val = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                             0.0
                         } else {
                             iv[ch * h * w + iy as usize * w + ix as usize]
@@ -274,10 +272,8 @@ pub fn conv2d_direct(input: &Tensor, weights: &Tensor, spec: &Conv2dSpec) -> Res
                 for ch in 0..c {
                     for ky in 0..k {
                         for kx in 0..k {
-                            let iy =
-                                (oy * spec.stride + ky) as isize - spec.padding as isize;
-                            let ix =
-                                (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
                             if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                 continue;
                             }
@@ -456,7 +452,11 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<f64> {
     let d = logits.shape().dims();
     if d.len() != 2 || targets.len() != d[0] {
         return Err(NnError::InvalidModel {
-            detail: format!("cross_entropy shapes: logits {:?}, targets {}", d, targets.len()),
+            detail: format!(
+                "cross_entropy shapes: logits {:?}, targets {}",
+                d,
+                targets.len()
+            ),
         });
     }
     let probs = softmax_rows(logits)?;
@@ -611,8 +611,7 @@ mod tests {
             padding: 1,
         };
         let input = Tensor::from_fn(vec![2, 5, 5], |i| ((i * 13) % 9) as f32 - 4.0).unwrap();
-        let weights =
-            Tensor::from_fn(vec![3, 18], |i| ((i * 7) % 5) as f32 * 0.2 - 0.4).unwrap();
+        let weights = Tensor::from_fn(vec![3, 18], |i| ((i * 7) % 5) as f32 * 0.2 - 0.4).unwrap();
         let direct = conv2d_direct(&input, &weights, &spec).unwrap();
         // im2col path: [oh*ow, kkc] x [kkc, out_c] then transpose to
         // [out_c, oh, ow].
@@ -676,11 +675,7 @@ mod tests {
         let m1 = multi_head_attention(&x, &w, &w, &w, 1, false).unwrap();
         assert_eq!(m2.shape().dims(), &[4, 8]);
         // Head partitioning changes the attention pattern.
-        let diff: f32 = m1
-            .iter()
-            .zip(m2.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 = m1.iter().zip(m2.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-4, "multi-head should differ from single-head");
     }
 
@@ -697,17 +692,14 @@ mod tests {
         let out = multi_head_attention(&perturbed, &w, &w, &w, 2, true).unwrap();
         for i in 0..3 {
             for c in 0..8 {
-                assert!(
-                    (base.get(&[i, c]).unwrap() - out.get(&[i, c]).unwrap()).abs() < 1e-5
-                );
+                assert!((base.get(&[i, c]).unwrap() - out.get(&[i, c]).unwrap()).abs() < 1e-5);
             }
         }
     }
 
     #[test]
     fn cross_entropy_of_perfect_prediction_is_small() {
-        let logits =
-            Tensor::from_vec(vec![2, 3], vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]).unwrap();
+        let logits = Tensor::from_vec(vec![2, 3], vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]).unwrap();
         let ce = cross_entropy(&logits, &[0, 1]).unwrap();
         assert!(ce < 1e-3);
         let bad = cross_entropy(&logits, &[2, 2]).unwrap();

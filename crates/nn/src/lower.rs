@@ -45,7 +45,16 @@ pub fn lower(desc: &ModelDesc) -> Result<Vec<GemmOp>> {
     desc.layers
         .iter()
         .map(|layer| match layer {
-            LayerDesc::Conv { name, in_c, out_c, k, stride, pad, in_hw, repeat } => {
+            LayerDesc::Conv {
+                name,
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+                in_hw,
+                repeat,
+            } => {
                 let eff = in_hw + 2 * pad;
                 if *k == 0 || *stride == 0 || eff < *k {
                     return Err(NnError::InvalidModel {
@@ -54,11 +63,25 @@ pub fn lower(desc: &ModelDesc) -> Result<Vec<GemmOp>> {
                 }
                 let out_hw = (eff - k) / stride + 1;
                 let shape = GemmShape::new(out_hw * out_hw, k * k * in_c, *out_c)?;
-                Ok(GemmOp { name: name.clone(), shape, repeat: *repeat })
+                Ok(GemmOp {
+                    name: name.clone(),
+                    shape,
+                    repeat: *repeat,
+                })
             }
-            LayerDesc::Linear { name, tokens, in_dim, out_dim, repeat } => {
+            LayerDesc::Linear {
+                name,
+                tokens,
+                in_dim,
+                out_dim,
+                repeat,
+            } => {
                 let shape = GemmShape::new(*tokens, *in_dim, *out_dim)?;
-                Ok(GemmOp { name: name.clone(), shape, repeat: *repeat })
+                Ok(GemmOp {
+                    name: name.clone(),
+                    shape,
+                    repeat: *repeat,
+                })
             }
         })
         .collect()
@@ -126,7 +149,12 @@ pub fn annotate(
         .map(|c| !policy.decide(&wctx, c).is_low())
         .collect();
 
-    Ok(GemmWorkload::new(op.name.clone(), shape, act_high, weight_high)?)
+    Ok(GemmWorkload::new(
+        op.name.clone(),
+        shape,
+        act_high,
+        weight_high,
+    )?)
 }
 
 /// Lowers a whole model and annotates every GEMM with `policy`.

@@ -90,6 +90,7 @@ pub struct ModelDesc {
     pub seq: usize,
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors the conv hyper-parameter tuple
 fn conv(
     name: &str,
     in_c: usize,
@@ -100,11 +101,26 @@ fn conv(
     in_hw: usize,
     repeat: u64,
 ) -> LayerDesc {
-    LayerDesc::Conv { name: name.to_string(), in_c, out_c, k, stride, pad, in_hw, repeat }
+    LayerDesc::Conv {
+        name: name.to_string(),
+        in_c,
+        out_c,
+        k,
+        stride,
+        pad,
+        in_hw,
+        repeat,
+    }
 }
 
 fn linear(name: &str, tokens: usize, in_dim: usize, out_dim: usize, repeat: u64) -> LayerDesc {
-    LayerDesc::Linear { name: name.to_string(), tokens, in_dim, out_dim, repeat }
+    LayerDesc::Linear {
+        name: name.to_string(),
+        tokens,
+        in_dim,
+        out_dim,
+        repeat,
+    }
 }
 
 /// Transformer encoder/decoder block GEMMs: QKV projection, attention
@@ -120,11 +136,35 @@ fn transformer_blocks(
     let head_dim = hidden / heads;
     vec![
         linear(&format!("{prefix}.qkv"), seq, hidden, 3 * hidden, layers),
-        linear(&format!("{prefix}.attn_qk"), seq, head_dim, seq, layers * heads as u64),
-        linear(&format!("{prefix}.attn_av"), seq, seq, head_dim, layers * heads as u64),
+        linear(
+            &format!("{prefix}.attn_qk"),
+            seq,
+            head_dim,
+            seq,
+            layers * heads as u64,
+        ),
+        linear(
+            &format!("{prefix}.attn_av"),
+            seq,
+            seq,
+            head_dim,
+            layers * heads as u64,
+        ),
         linear(&format!("{prefix}.attn_out"), seq, hidden, hidden, layers),
-        linear(&format!("{prefix}.mlp_up"), seq, hidden, mlp_ratio * hidden, layers),
-        linear(&format!("{prefix}.mlp_down"), seq, mlp_ratio * hidden, hidden, layers),
+        linear(
+            &format!("{prefix}.mlp_up"),
+            seq,
+            hidden,
+            mlp_ratio * hidden,
+            layers,
+        ),
+        linear(
+            &format!("{prefix}.mlp_down"),
+            seq,
+            mlp_ratio * hidden,
+            hidden,
+            layers,
+        ),
     ]
 }
 
@@ -138,31 +178,72 @@ pub fn resnet18() -> ModelDesc {
         // First block of a stage downsamples (stride 2) except stage 0.
         let stride = if i == 0 { 1 } else { 2 };
         let in_hw = if i == 0 { 56 } else { stages[i - 1].1 };
-        layers.push(conv(&format!("s{i}.b0.conv1"), in_c, c, 3, stride, 1, in_hw, 1));
+        layers.push(conv(
+            &format!("s{i}.b0.conv1"),
+            in_c,
+            c,
+            3,
+            stride,
+            1,
+            in_hw,
+            1,
+        ));
         layers.push(conv(&format!("s{i}.b0.conv2"), c, c, 3, 1, 1, hw, 1));
         layers.push(conv(&format!("s{i}.b1"), c, c, 3, 1, 1, hw, 2));
     }
     layers.push(linear("fc", 1, 512, 1000, 1));
-    ModelDesc { name: "ResNet18".to_string(), family: ModelFamily::Cnn, layers, seq: 1 }
+    ModelDesc {
+        name: "ResNet18".to_string(),
+        family: ModelFamily::Cnn,
+        layers,
+        seq: 1,
+    }
 }
 
 /// ResNet-50 on 224×224 ImageNet inputs (bottleneck blocks).
 pub fn resnet50() -> ModelDesc {
     let mut layers = vec![conv("conv1", 3, 64, 7, 2, 3, 224, 1)];
     // (mid channels, out channels, blocks, spatial).
-    let stages: [(usize, usize, u64, usize); 4] =
-        [(64, 256, 3, 56), (128, 512, 4, 28), (256, 1024, 6, 14), (512, 2048, 3, 7)];
+    let stages: [(usize, usize, u64, usize); 4] = [
+        (64, 256, 3, 56),
+        (128, 512, 4, 28),
+        (256, 1024, 6, 14),
+        (512, 2048, 3, 7),
+    ];
     for (i, &(mid, out, blocks, hw)) in stages.iter().enumerate() {
         let in_c = if i == 0 { 64 } else { stages[i - 1].1 };
         layers.push(conv(&format!("s{i}.reduce"), in_c, mid, 1, 1, 0, hw, 1));
-        layers.push(conv(&format!("s{i}.spatial"), mid, mid, 3, 1, 1, hw, blocks));
+        layers.push(conv(
+            &format!("s{i}.spatial"),
+            mid,
+            mid,
+            3,
+            1,
+            1,
+            hw,
+            blocks,
+        ));
         layers.push(conv(&format!("s{i}.expand"), mid, out, 1, 1, 0, hw, blocks));
         if blocks > 1 {
-            layers.push(conv(&format!("s{i}.reduce_rest"), out, mid, 1, 1, 0, hw, blocks - 1));
+            layers.push(conv(
+                &format!("s{i}.reduce_rest"),
+                out,
+                mid,
+                1,
+                1,
+                0,
+                hw,
+                blocks - 1,
+            ));
         }
     }
     layers.push(linear("fc", 1, 2048, 1000, 1));
-    ModelDesc { name: "ResNet50".to_string(), family: ModelFamily::Cnn, layers, seq: 1 }
+    ModelDesc {
+        name: "ResNet50".to_string(),
+        family: ModelFamily::Cnn,
+        layers,
+        seq: 1,
+    }
 }
 
 /// ViT-B/16: 197 tokens (196 patches + CLS), 12 layers, hidden 768.
@@ -170,7 +251,12 @@ pub fn vit_b16() -> ModelDesc {
     let mut layers = vec![linear("patch_embed", 196, 768, 768, 1)];
     layers.extend(transformer_blocks("enc", 12, 197, 768, 12, 4));
     layers.push(linear("head", 1, 768, 1000, 1));
-    ModelDesc { name: "ViT-B".to_string(), family: ModelFamily::Vit, layers, seq: 197 }
+    ModelDesc {
+        name: "ViT-B".to_string(),
+        family: ModelFamily::Vit,
+        layers,
+        seq: 197,
+    }
 }
 
 /// DeiT-S: 197 tokens, 12 layers, hidden 384, 6 heads.
@@ -178,32 +264,57 @@ pub fn deit_s() -> ModelDesc {
     let mut layers = vec![linear("patch_embed", 196, 768, 384, 1)];
     layers.extend(transformer_blocks("enc", 12, 197, 384, 6, 4));
     layers.push(linear("head", 1, 384, 1000, 1));
-    ModelDesc { name: "DeiT-S".to_string(), family: ModelFamily::Vit, layers, seq: 197 }
+    ModelDesc {
+        name: "DeiT-S".to_string(),
+        family: ModelFamily::Vit,
+        layers,
+        seq: 197,
+    }
 }
 
 /// BERT-base at sequence length 128 (the GLUE fine-tuning setting).
 pub fn bert_base() -> ModelDesc {
     let mut layers = transformer_blocks("enc", 12, 128, 768, 12, 4);
     layers.push(linear("pooler", 1, 768, 768, 1));
-    ModelDesc { name: "BERT".to_string(), family: ModelFamily::Bert, layers, seq: 128 }
+    ModelDesc {
+        name: "BERT".to_string(),
+        family: ModelFamily::Bert,
+        layers,
+        seq: 128,
+    }
 }
 
 /// GPT2-XL: 48 layers, hidden 1600, 25 heads, sequence 1024.
 pub fn gpt2_xl() -> ModelDesc {
     let layers = transformer_blocks("dec", 48, 1024, 1600, 25, 4);
-    ModelDesc { name: "GPT2-XL".to_string(), family: ModelFamily::Llm, layers, seq: 1024 }
+    ModelDesc {
+        name: "GPT2-XL".to_string(),
+        family: ModelFamily::Llm,
+        layers,
+        seq: 1024,
+    }
 }
 
 /// BLOOM-7B1: 30 layers, hidden 4096, 32 heads, sequence 1024.
 pub fn bloom_7b1() -> ModelDesc {
     let layers = transformer_blocks("dec", 30, 1024, 4096, 32, 4);
-    ModelDesc { name: "BLOOM-7B1".to_string(), family: ModelFamily::Llm, layers, seq: 1024 }
+    ModelDesc {
+        name: "BLOOM-7B1".to_string(),
+        family: ModelFamily::Llm,
+        layers,
+        seq: 1024,
+    }
 }
 
 /// OPT-6.7B: 32 layers, hidden 4096, 32 heads, sequence 1024.
 pub fn opt_6_7b() -> ModelDesc {
     let layers = transformer_blocks("dec", 32, 1024, 4096, 32, 4);
-    ModelDesc { name: "OPT-6.7B".to_string(), family: ModelFamily::Llm, layers, seq: 1024 }
+    ModelDesc {
+        name: "OPT-6.7B".to_string(),
+        family: ModelFamily::Llm,
+        layers,
+        seq: 1024,
+    }
 }
 
 impl ModelDesc {
@@ -213,10 +324,20 @@ impl ModelDesc {
         self.layers
             .iter()
             .map(|l| match l {
-                LayerDesc::Conv { in_c, out_c, k, repeat, .. } => {
-                    (k * k * in_c * out_c) as u64 * repeat
-                }
-                LayerDesc::Linear { name, in_dim, out_dim, repeat, .. } => {
+                LayerDesc::Conv {
+                    in_c,
+                    out_c,
+                    k,
+                    repeat,
+                    ..
+                } => (k * k * in_c * out_c) as u64 * repeat,
+                LayerDesc::Linear {
+                    name,
+                    in_dim,
+                    out_dim,
+                    repeat,
+                    ..
+                } => {
                     if name.contains("attn_qk") || name.contains("attn_av") {
                         0
                     } else {
@@ -302,9 +423,13 @@ mod tests {
             .layers
             .iter()
             .filter_map(|l| match l {
-                LayerDesc::Linear { name, in_dim, out_dim, repeat, .. }
-                    if !name.contains("attn_qk") && !name.contains("attn_av") =>
-                {
+                LayerDesc::Linear {
+                    name,
+                    in_dim,
+                    out_dim,
+                    repeat,
+                    ..
+                } if !name.contains("attn_qk") && !name.contains("attn_av") => {
                     Some(*in_dim as u64 * *out_dim as u64 * repeat)
                 }
                 _ => None,

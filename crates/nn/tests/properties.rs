@@ -1,5 +1,6 @@
 //! Property-based tests for the NN substrate.
 
+use drift_core::selector::DriftPolicy;
 use drift_nn::datagen::TokenProfile;
 use drift_nn::engine::{ForwardMode, Model, TinyTransformer};
 use drift_nn::layers::{
@@ -8,7 +9,6 @@ use drift_nn::layers::{
 };
 use drift_nn::lower::{lower, model_low_fraction, model_workloads};
 use drift_nn::zoo;
-use drift_core::selector::DriftPolicy;
 use drift_tensor::Tensor;
 use proptest::prelude::*;
 
@@ -48,7 +48,7 @@ proptest! {
             let var: f32 =
                 row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
             prop_assert!(mean.abs() < 1e-4);
-            prop_assert!(var < 1.1 && (var > 0.9 || var < 1e-6), "var {var}");
+            prop_assert!(var < 1.1 && !(1e-6..=0.9).contains(&var), "var {var}");
         }
     }
 

@@ -93,7 +93,11 @@ impl AsymmetricQuantizer {
                 .set_subtensor(view, &restored)
                 .map_err(crate::QuantError::from)?;
         }
-        Ok(AsymmetricRun { run, effective, zero_points })
+        Ok(AsymmetricRun {
+            run,
+            effective,
+            zero_points,
+        })
     }
 }
 
@@ -105,8 +109,7 @@ mod tests {
 
     /// A strongly one-sided tensor (post-GELU-like).
     fn one_sided() -> Tensor {
-        Tensor::from_fn(vec![4, 32], |i| 1.0 + 0.5 * (((i * 37) % 17) as f32 / 17.0))
-            .unwrap()
+        Tensor::from_fn(vec![4, 32], |i| 1.0 + 0.5 * (((i * 37) % 17) as f32 / 17.0)).unwrap()
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl ConversionChoice {
     /// The identity "conversion" that keeps all `hp` bits. Useful as the
     /// decision for sub-tensors that stay at high precision.
     pub fn identity(hp: Precision) -> Self {
-        ConversionChoice { hp, lp: hp, hc: 0, lc: 0 }
+        ConversionChoice {
+            hp,
+            lp: hp,
+            hc: 0,
+            lc: 0,
+        }
     }
 
     /// Enumerates every valid `(hc, lc)` split for an `hp → lp`
@@ -79,7 +84,12 @@ impl ConversionChoice {
         }
         let free = hp.bits() - lp.bits();
         (0..=free)
-            .map(|hc| ConversionChoice { hp, lp, hc, lc: free - hc })
+            .map(|hc| ConversionChoice {
+                hp,
+                lp,
+                hc,
+                lc: free - hc,
+            })
             .collect()
     }
 
@@ -134,7 +144,10 @@ impl ConversionChoice {
 
     /// The quantization parameters describing the low-precision codes.
     pub fn effective_params(&self, params: &QuantParams) -> QuantParams {
-        QuantParams { scale: self.effective_scale(params), precision: self.lp }
+        QuantParams {
+            scale: self.effective_scale(params),
+            precision: self.lp,
+        }
     }
 
     /// Reconstructs one low-precision code to `f32`.
@@ -144,7 +157,10 @@ impl ConversionChoice {
 
     /// Reconstructs a slice of low-precision codes.
     pub fn dequantize_slice(&self, low_codes: &[i32], params: &QuantParams) -> Vec<f32> {
-        low_codes.iter().map(|&v| self.dequantize_value(v, params)).collect()
+        low_codes
+            .iter()
+            .map(|&v| self.dequantize_value(v, params))
+            .collect()
     }
 
     /// The worst-case absolute reconstruction error (in original float
@@ -263,8 +279,7 @@ mod tests {
                 let restored = f64::from(choice.dequantize_value(low, &params));
                 let original = f64::from(v) * params.scale;
                 assert!(
-                    (restored - original).abs()
-                        <= choice.max_rounding_error(&params) + 1e-6,
+                    (restored - original).abs() <= choice.max_rounding_error(&params) + 1e-6,
                     "{choice}: value {v} error too large"
                 );
             }

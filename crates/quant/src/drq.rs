@@ -77,7 +77,10 @@ impl DrqPolicy {
                 detail: format!("must be finite and >= 0, got {alpha}"),
             });
         }
-        Ok(DrqPolicy { alpha, lp: Precision::INT4 })
+        Ok(DrqPolicy {
+            alpha,
+            lp: Precision::INT4,
+        })
     }
 
     /// Creates a DRQ policy with a non-default low precision (for
@@ -115,8 +118,8 @@ impl PrecisionPolicy for DrqPolicy {
         // Insensitive regions: 4-bit keeping the high-order bits
         // (hc = 0), exactly DRQ's range-preserving encoding.
         let lc = hp.bits() - self.lp.bits();
-        let choice = ConversionChoice::new(hp, self.lp, 0, lc)
-            .expect("hc=0 split always satisfies Eq. 2");
+        let choice =
+            ConversionChoice::new(hp, self.lp, 0, lc).expect("hc=0 split always satisfies Eq. 2");
         Decision::Convert(choice)
     }
 

@@ -89,8 +89,8 @@ impl PrecisionPolicy for PrecisionGatingPolicy {
         }
         // Otherwise keep the MSBs only (hc = 0, truncate low bits).
         let lc = hp.bits() - self.lp.bits();
-        let choice = ConversionChoice::new(hp, self.lp, 0, lc)
-            .expect("hc=0 split always satisfies Eq. 2");
+        let choice =
+            ConversionChoice::new(hp, self.lp, 0, lc).expect("hc=0 split always satisfies Eq. 2");
         Decision::Convert(choice)
     }
 

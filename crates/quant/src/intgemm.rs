@@ -83,7 +83,14 @@ impl CodedMatrix {
             scales.push(scale);
             precisions.push(precision);
         }
-        Ok(CodedMatrix { rows, cols, codes, scales, precisions, row_major_scales: true })
+        Ok(CodedMatrix {
+            rows,
+            cols,
+            codes,
+            scales,
+            precisions,
+            row_major_scales: true,
+        })
     }
 
     /// Encodes a rank-2 tensor with one sub-tensor per *column* (the
@@ -116,7 +123,14 @@ impl CodedMatrix {
             scales.push(scale);
             precisions.push(precision);
         }
-        Ok(CodedMatrix { rows, cols, codes, scales, precisions, row_major_scales: false })
+        Ok(CodedMatrix {
+            rows,
+            cols,
+            codes,
+            scales,
+            precisions,
+            row_major_scales: false,
+        })
     }
 
     /// Builds the row-coded matrix from a pre-computed [`PolicyRun`]
@@ -127,11 +141,7 @@ impl CodedMatrix {
     ///
     /// Returns [`QuantError::InvalidParameter`] when the run's decisions
     /// do not form one-per-row token groups.
-    pub fn from_policy_run(
-        tensor: &Tensor,
-        run: &PolicyRun,
-        hp: Precision,
-    ) -> Result<Self> {
+    pub fn from_policy_run(tensor: &Tensor, run: &PolicyRun, hp: Precision) -> Result<Self> {
         let (rows, cols) = matrix_dims(tensor)?;
         if run.decisions.len() != rows || run.decisions.iter().any(|d| d.len != cols) {
             return Err(QuantError::InvalidParameter {
@@ -150,7 +160,14 @@ impl CodedMatrix {
             scales.push(scale);
             precisions.push(precision);
         }
-        Ok(CodedMatrix { rows, cols, codes, scales, precisions, row_major_scales: true })
+        Ok(CodedMatrix {
+            rows,
+            cols,
+            codes,
+            scales,
+            precisions,
+            row_major_scales: true,
+        })
     }
 
     /// Rows.
@@ -197,7 +214,11 @@ impl CodedMatrix {
 
     /// Fraction of groups at a precision strictly below `hp`.
     pub fn low_fraction(&self, hp: Precision) -> f64 {
-        let low = self.precisions.iter().filter(|p| p.bits() < hp.bits()).count();
+        let low = self
+            .precisions
+            .iter()
+            .filter(|p| p.bits() < hp.bits())
+            .count();
         low as f64 / self.precisions.len() as f64
     }
 }
@@ -214,8 +235,7 @@ pub fn int_gemm(a: &CodedMatrix, b: &CodedMatrix) -> Result<Tensor> {
     if !a.row_major_scales || b.row_major_scales {
         return Err(QuantError::InvalidParameter {
             name: "layout",
-            detail: "int_gemm needs row-coded activations x column-coded weights"
-                .to_string(),
+            detail: "int_gemm needs row-coded activations x column-coded weights".to_string(),
         });
     }
     if a.cols != b.rows {
@@ -257,7 +277,10 @@ fn matrix_dims(tensor: &Tensor) -> Result<(usize, usize)> {
 }
 
 fn context_for(tensor: &Tensor, params: QuantParams) -> TensorContext {
-    TensorContext { global: SummaryStats::from_slice(tensor.as_slice()), params }
+    TensorContext {
+        global: SummaryStats::from_slice(tensor.as_slice()),
+        params,
+    }
 }
 
 /// Applies a decision to a group of INT8 codes, returning the final
@@ -336,8 +359,8 @@ pub fn assert_paths_agree(
 mod tests {
     use super::*;
     use crate::drq::DrqPolicy;
-    use drift_tensor::subtensor::SubTensorScheme;
     use crate::policy::{run_policy, StaticHighPolicy, StaticLowPolicy};
+    use drift_tensor::subtensor::SubTensorScheme;
 
     fn acts() -> Tensor {
         Tensor::from_fn(vec![6, 16], |i| {
@@ -354,8 +377,7 @@ mod tests {
 
     #[test]
     fn encode_rows_shapes_and_scales() {
-        let m = CodedMatrix::encode_rows(&acts(), Precision::INT8, &StaticHighPolicy)
-            .unwrap();
+        let m = CodedMatrix::encode_rows(&acts(), Precision::INT8, &StaticHighPolicy).unwrap();
         assert_eq!((m.rows(), m.cols()), (6, 16));
         assert_eq!(m.scales().len(), 6);
         assert_eq!(m.precisions().len(), 6);
@@ -365,8 +387,7 @@ mod tests {
 
     #[test]
     fn encode_cols_transposed_grouping() {
-        let m = CodedMatrix::encode_cols(&weights(), Precision::INT8, &StaticHighPolicy)
-            .unwrap();
+        let m = CodedMatrix::encode_cols(&weights(), Precision::INT8, &StaticHighPolicy).unwrap();
         assert_eq!((m.rows(), m.cols()), (16, 5));
         assert_eq!(m.scales().len(), 5);
     }
@@ -379,22 +400,18 @@ mod tests {
 
     #[test]
     fn int_gemm_rejects_mismatches() {
-        let a = CodedMatrix::encode_rows(&acts(), Precision::INT8, &StaticHighPolicy)
-            .unwrap();
-        let b = CodedMatrix::encode_rows(&weights(), Precision::INT8, &StaticHighPolicy)
-            .unwrap();
+        let a = CodedMatrix::encode_rows(&acts(), Precision::INT8, &StaticHighPolicy).unwrap();
+        let b = CodedMatrix::encode_rows(&weights(), Precision::INT8, &StaticHighPolicy).unwrap();
         // Both row-coded: layout error.
         assert!(int_gemm(&a, &b).is_err());
-        let bad =
-            CodedMatrix::encode_cols(&acts(), Precision::INT8, &StaticHighPolicy).unwrap();
+        let bad = CodedMatrix::encode_cols(&acts(), Precision::INT8, &StaticHighPolicy).unwrap();
         // Inner dims 16 vs 6.
         assert!(int_gemm(&a, &bad).is_err());
     }
 
     #[test]
     fn integer_path_matches_effective_path_int8() {
-        assert_paths_agree(&acts(), &weights(), Precision::INT8, &StaticHighPolicy)
-            .unwrap();
+        assert_paths_agree(&acts(), &weights(), Precision::INT8, &StaticHighPolicy).unwrap();
     }
 
     #[test]
@@ -423,13 +440,7 @@ mod tests {
     fn from_policy_run_matches_encode_rows() {
         let a = acts();
         let policy = StaticLowPolicy::new(Precision::INT4);
-        let run = run_policy(
-            &a,
-            &SubTensorScheme::token(16),
-            Precision::INT8,
-            &policy,
-        )
-        .unwrap();
+        let run = run_policy(&a, &SubTensorScheme::token(16), Precision::INT8, &policy).unwrap();
         let via_run = CodedMatrix::from_policy_run(&a, &run, Precision::INT8).unwrap();
         let direct = CodedMatrix::encode_rows(&a, Precision::INT8, &policy).unwrap();
         assert_eq!(via_run, direct);

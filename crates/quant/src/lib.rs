@@ -123,7 +123,10 @@ impl fmt::Display for QuantError {
                 "invalid conversion hp={hp} lp={lp} hc={hc} lc={lc} (need hp = hc + lp + lc)"
             ),
             QuantError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match expected {expected}"
+                )
             }
             QuantError::InvalidParameter { name, detail } => {
                 write!(f, "invalid parameter {name}: {detail}")
@@ -136,7 +139,10 @@ impl Error for QuantError {}
 
 impl From<drift_tensor::TensorError> for QuantError {
     fn from(e: drift_tensor::TensorError) -> Self {
-        QuantError::InvalidParameter { name: "tensor", detail: e.to_string() }
+        QuantError::InvalidParameter {
+            name: "tensor",
+            detail: e.to_string(),
+        }
     }
 }
 

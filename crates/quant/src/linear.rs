@@ -63,7 +63,9 @@ pub fn quantize_value(x: f32, params: &QuantParams) -> i32 {
         return 0;
     }
     let q = (f64::from(x) / params.scale).round() as i64;
-    params.precision.saturate(q.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32)
+    params
+        .precision
+        .saturate(q.clamp(i64::from(i32::MIN), i64::from(i32::MAX)) as i32)
 }
 
 /// Dequantizes one integer code back to `f32`.
@@ -171,7 +173,11 @@ impl QuantizedTensor {
 ///
 /// Panics if the slices have different lengths.
 pub fn mse(reference: &[f32], restored: &[f32]) -> f64 {
-    assert_eq!(reference.len(), restored.len(), "mse requires equal lengths");
+    assert_eq!(
+        reference.len(),
+        restored.len(),
+        "mse requires equal lengths"
+    );
     if reference.is_empty() {
         return 0.0;
     }
@@ -197,7 +203,10 @@ pub fn sqnr_db(reference: &[f32], restored: &[f32]) -> f64 {
     let signal = if reference.is_empty() {
         0.0
     } else {
-        reference.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+        reference
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
             / reference.len() as f64
     };
     if noise == 0.0 {
@@ -217,14 +226,26 @@ pub fn sqnr_db(reference: &[f32], restored: &[f32]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn cosine_similarity(reference: &[f32], restored: &[f32]) -> f64 {
-    assert_eq!(reference.len(), restored.len(), "cosine requires equal lengths");
+    assert_eq!(
+        reference.len(),
+        restored.len(),
+        "cosine requires equal lengths"
+    );
     let dot: f64 = reference
         .iter()
         .zip(restored)
         .map(|(&a, &b)| f64::from(a) * f64::from(b))
         .sum();
-    let na: f64 = reference.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
-    let nb: f64 = restored.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+    let na: f64 = reference
+        .iter()
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum::<f64>()
+        .sqrt();
+    let nb: f64 = restored
+        .iter()
+        .map(|&v| f64::from(v) * f64::from(v))
+        .sum::<f64>()
+        .sqrt();
     if na == 0.0 && nb == 0.0 {
         1.0
     } else if na == 0.0 || nb == 0.0 {
@@ -278,7 +299,9 @@ mod tests {
 
     #[test]
     fn int4_is_coarser_than_int8() {
-        let data: Vec<f32> = (0..64).map(|i| ((i * 37) % 64) as f32 / 63.0 - 0.5).collect();
+        let data: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 64) as f32 / 63.0 - 0.5)
+            .collect();
         let q8 = QuantizedTensor::quantize(&data, Precision::INT8).unwrap();
         let q4 = QuantizedTensor::quantize(&data, Precision::INT4).unwrap();
         assert!(mse(&data, &q4.dequantize()) > mse(&data, &q8.dequantize()));
@@ -293,7 +316,9 @@ mod tests {
 
     #[test]
     fn sqnr_increases_with_precision() {
-        let data: Vec<f32> = (0..512).map(|i| ((i * 97) % 511) as f32 / 255.0 - 1.0).collect();
+        let data: Vec<f32> = (0..512)
+            .map(|i| ((i * 97) % 511) as f32 / 255.0 - 1.0)
+            .collect();
         let mut last = f64::NEG_INFINITY;
         for bits in [2u8, 4, 6, 8] {
             let p = Precision::new(bits).unwrap();

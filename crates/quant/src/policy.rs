@@ -124,8 +124,8 @@ impl PrecisionPolicy for StaticLowPolicy {
         let lc = hp.bits() - self.lp.bits();
         // hc = 0 keeps the full representation range (Eq. 5 always holds);
         // the cost is a 2^lc coarser representation density.
-        let choice = ConversionChoice::new(hp, self.lp, 0, lc)
-            .expect("hc=0 split always satisfies Eq. 2");
+        let choice =
+            ConversionChoice::new(hp, self.lp, 0, lc).expect("hc=0 split always satisfies Eq. 2");
         Decision::Convert(choice)
     }
 
@@ -179,7 +179,10 @@ impl PolicyRun {
 
     /// Count of sub-tensors that selected low precision.
     pub fn low_subtensors(&self) -> usize {
-        self.decisions.iter().filter(|d| d.decision.is_low()).count()
+        self.decisions
+            .iter()
+            .filter(|d| d.decision.is_low())
+            .count()
     }
 }
 
@@ -204,12 +207,13 @@ pub fn run_policy(
     let global = SummaryStats::from_slice(tensor.as_slice());
     let ctx = TensorContext { global, params };
 
-    let views = scheme
-        .partition(tensor.shape())
-        .map_err(|e| crate::QuantError::InvalidParameter {
-            name: "scheme",
-            detail: e.to_string(),
-        })?;
+    let views =
+        scheme
+            .partition(tensor.shape())
+            .map_err(|e| crate::QuantError::InvalidParameter {
+                name: "scheme",
+                detail: e.to_string(),
+            })?;
 
     let mut decisions = Vec::with_capacity(views.len());
     let mut effective = tensor.clone();
@@ -233,16 +237,24 @@ pub fn run_policy(
                 choice.dequantize_slice(&low, &params)
             }
         };
-        effective
-            .set_subtensor(view, &restored)
-            .map_err(|e| crate::QuantError::InvalidParameter {
+        effective.set_subtensor(view, &restored).map_err(|e| {
+            crate::QuantError::InvalidParameter {
                 name: "view",
                 detail: e.to_string(),
-            })?;
-        decisions.push(SubTensorDecision { view_id: view.id(), len: view.len(), decision });
+            }
+        })?;
+        decisions.push(SubTensorDecision {
+            view_id: view.id(),
+            len: view.len(),
+            decision,
+        });
     }
 
-    Ok(PolicyRun { params, decisions, effective })
+    Ok(PolicyRun {
+        params,
+        decisions,
+        effective,
+    })
 }
 
 #[cfg(test)]
@@ -258,8 +270,13 @@ mod tests {
     #[test]
     fn static_high_keeps_everything() {
         let t = ramp_tensor();
-        let run = run_policy(&t, &SubTensorScheme::token(16), Precision::INT8, &StaticHighPolicy)
-            .unwrap();
+        let run = run_policy(
+            &t,
+            &SubTensorScheme::token(16),
+            Precision::INT8,
+            &StaticHighPolicy,
+        )
+        .unwrap();
         assert_eq!(run.low_fraction(), 0.0);
         assert_eq!(run.low_subtensors(), 0);
         // INT8 reconstruction error bounded by half a step per element.
@@ -297,8 +314,13 @@ mod tests {
     #[test]
     fn low_precision_is_lossier() {
         let t = ramp_tensor();
-        let high = run_policy(&t, &SubTensorScheme::token(16), Precision::INT8, &StaticHighPolicy)
-            .unwrap();
+        let high = run_policy(
+            &t,
+            &SubTensorScheme::token(16),
+            Precision::INT8,
+            &StaticHighPolicy,
+        )
+        .unwrap();
         let low = run_policy(
             &t,
             &SubTensorScheme::token(16),
@@ -337,7 +359,12 @@ mod tests {
     #[test]
     fn bad_scheme_is_an_error() {
         let t = ramp_tensor();
-        let res = run_policy(&t, &SubTensorScheme::token(31), Precision::INT8, &StaticHighPolicy);
+        let res = run_policy(
+            &t,
+            &SubTensorScheme::token(31),
+            Precision::INT8,
+            &StaticHighPolicy,
+        );
         assert!(res.is_err());
     }
 }

@@ -23,9 +23,7 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Precision(u8);
 
 impl Precision {
@@ -99,9 +97,7 @@ impl TryFrom<u8> for Precision {
 
 /// The (activation, weight) precision pair of a GEMM tile, naming the four
 /// systolic arrays of Drift's Section 4.2 (`hh`, `hl`, `lh`, `ll`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PrecisionPair {
     /// Activation precision.
     pub activation: Precision,
@@ -111,17 +107,25 @@ pub struct PrecisionPair {
 
 impl PrecisionPair {
     /// High activation × high weight (both 8-bit).
-    pub const HH: PrecisionPair =
-        PrecisionPair { activation: Precision::INT8, weight: Precision::INT8 };
+    pub const HH: PrecisionPair = PrecisionPair {
+        activation: Precision::INT8,
+        weight: Precision::INT8,
+    };
     /// High activation × low weight.
-    pub const HL: PrecisionPair =
-        PrecisionPair { activation: Precision::INT8, weight: Precision::INT4 };
+    pub const HL: PrecisionPair = PrecisionPair {
+        activation: Precision::INT8,
+        weight: Precision::INT4,
+    };
     /// Low activation × high weight.
-    pub const LH: PrecisionPair =
-        PrecisionPair { activation: Precision::INT4, weight: Precision::INT8 };
+    pub const LH: PrecisionPair = PrecisionPair {
+        activation: Precision::INT4,
+        weight: Precision::INT8,
+    };
     /// Low activation × low weight (both 4-bit).
-    pub const LL: PrecisionPair =
-        PrecisionPair { activation: Precision::INT4, weight: Precision::INT4 };
+    pub const LL: PrecisionPair = PrecisionPair {
+        activation: Precision::INT4,
+        weight: Precision::INT4,
+    };
 
     /// Creates a pair.
     pub fn new(activation: Precision, weight: Precision) -> Self {

@@ -5,9 +5,7 @@ use drift_quant::convert::ConversionChoice;
 use drift_quant::drq::DrqPolicy;
 use drift_quant::gating::PrecisionGatingPolicy;
 use drift_quant::intgemm::{int_gemm, CodedMatrix};
-use drift_quant::linear::{
-    cosine_similarity, dequantize_slice, mse, quantize_slice, sqnr_db,
-};
+use drift_quant::linear::{cosine_similarity, dequantize_slice, mse, quantize_slice, sqnr_db};
 use drift_quant::policy::{run_policy, PrecisionPolicy, StaticHighPolicy, StaticLowPolicy};
 use drift_quant::Precision;
 use drift_tensor::subtensor::SubTensorScheme;

@@ -1,0 +1,247 @@
+//! The sharded LRU schedule cache.
+//!
+//! The Eq. 8 sweep is the expensive part of a schedule/simulate job —
+//! `O(C·R)` latency-model evaluations per layer — yet its answer
+//! depends only on the [`ScheduleKey`] (shape, high-precision counts,
+//! precisions, fabric). Serving workloads repeat shapes constantly
+//! (every layer of every request of the same model), so one shared
+//! cache turns almost all of those sweeps into lookups.
+//!
+//! The map is split into shards, each behind its own `parking_lot`
+//! mutex, so workers contend only when their keys land in the same
+//! shard. Within a shard, entries are stamped on use and the
+//! least-recently-used one is evicted when the shard outgrows its
+//! capacity slice.
+
+use drift_core::schedule::{Schedule, ScheduleKey};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the scheduler.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    schedule: Schedule,
+    last_used: u64,
+}
+
+struct Shard {
+    entries: HashMap<ScheduleKey, Entry>,
+    /// Monotonic use counter; larger = more recently used.
+    tick: u64,
+}
+
+/// A thread-safe schedule cache shared by all workers.
+pub struct ScheduleCache {
+    shards: Box<[Mutex<Shard>]>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ScheduleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ScheduleCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl ScheduleCache {
+    /// Creates a cache holding at most `capacity` schedules across
+    /// `shards` shards (both clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, capacity.max(1));
+        ScheduleCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        entries: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity: capacity.max(1).div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &ScheduleKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`, counting a hit or miss.
+    pub fn get(&self, key: &ScheduleKey) -> Option<Schedule> {
+        let mut shard = self.shard_for(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.schedule)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a schedule, evicting the shard's least-recently-used
+    /// entry when the shard is full.
+    pub fn insert(&self, key: ScheduleKey, schedule: Schedule) {
+        let mut shard = self.shard_for(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
+            // O(shard) scan: shards are small (capacity / shard count),
+            // and eviction only runs when a full shard takes a new key.
+            if let Some(evict) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.entries.remove(&evict);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                schedule,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Returns `key`'s schedule, running the Eq. 8 sweep on a miss.
+    /// The `bool` is true on a hit. Because [`ScheduleKey::solve`] is
+    /// pure, concurrent misses on one key may both compute — they
+    /// insert identical schedules, trading that rare duplicated sweep
+    /// for never holding a shard lock across the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleKey::solve`] errors (nothing is cached).
+    pub fn get_or_solve(&self, key: ScheduleKey) -> drift_core::Result<(Schedule, bool)> {
+        if let Some(schedule) = self.get(&key) {
+            return Ok((schedule, true));
+        }
+        let schedule = key.solve()?;
+        self.insert(key, schedule);
+        Ok((schedule, false))
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().entries.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drift_accel::gemm::GemmShape;
+    use drift_accel::systolic::ArrayGeometry;
+    use drift_quant::Precision;
+
+    fn key(m: usize, n: usize, ah: usize, wh: usize) -> ScheduleKey {
+        ScheduleKey {
+            shape: GemmShape::new(m, 256, n).unwrap(),
+            act_high: ah,
+            weight_high: wh,
+            act_precisions: (Precision::INT8, Precision::INT4),
+            weight_precisions: (Precision::INT8, Precision::INT4),
+            fabric: ArrayGeometry::new(8, 9).unwrap(),
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits_and_matches_solve() {
+        let cache = ScheduleCache::new(64, 4);
+        let k = key(64, 64, 16, 8);
+        let (first, hit1) = cache.get_or_solve(k).unwrap();
+        let (second, hit2) = cache.get_or_solve(k).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first, second);
+        assert_eq!(first, k.solve().unwrap());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        // One shard of capacity 2 makes the eviction order observable.
+        let cache = ScheduleCache::new(2, 1);
+        let (a, b, c) = (key(32, 32, 8, 8), key(48, 32, 8, 8), key(64, 32, 8, 8));
+        cache.get_or_solve(a).unwrap();
+        cache.get_or_solve(b).unwrap();
+        cache.get(&a); // refresh a: b is now the LRU entry
+        cache.get_or_solve(c).unwrap(); // evicts b
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn concurrent_workers_agree_on_schedules() {
+        let cache = ScheduleCache::new(128, 8);
+        let baseline: Vec<_> = (0..8)
+            .map(|i| key(64 + i * 8, 64, 16, 8).solve().unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for round in 0..3 {
+                        for (i, expected) in baseline.iter().enumerate() {
+                            let k = key(64 + i * 8, 64, 16, 8);
+                            let (got, _) = cache.get_or_solve(k).unwrap();
+                            assert_eq!(&got, expected, "round {round}");
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 3 * 8);
+        assert!(stats.hits > 0);
+        assert_eq!(stats.entries, 8);
+    }
+}

@@ -1,0 +1,264 @@
+//! Job specifications and results, with their JSONL wire format.
+//!
+//! One job is one line of JSON on the way in and one line on the way
+//! out, so job streams pipe naturally between processes:
+//!
+//! ```text
+//! {"id":0,"seed":7,"kind":{"Schedule":{"m":512,"k":768,"n":768,"fa":0.2,"fw":0.1}}}
+//! {"id":1,"seed":9,"kind":{"Simulate":{"m":256,"k":1024,"n":1024,"fa":0.5,"fw":0.25}}}
+//! {"id":2,"seed":3,"kind":{"Select":{"tokens":128,"hidden":768,"delta":0.027,"profile":"bert"}}}
+//! ```
+//!
+//! A result carries only data derived from the job's own fields and its
+//! seeded RNG — never from scheduling accidents like which worker ran
+//! it or whether the schedule cache happened to hit — so a job stream
+//! produces the same result set at any worker count.
+
+use serde::{Deserialize, Serialize};
+use std::io::BufRead;
+
+/// One unit of work for the serve runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Caller-chosen identifier echoed into the matching [`JobResult`].
+    pub id: u64,
+    /// Seed for the job's private RNG; equal specs give equal results.
+    pub seed: u64,
+    /// What to compute.
+    pub kind: JobKind,
+}
+
+/// The job kinds, mirroring the `drift` CLI's offline subcommands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Run the precision selector on a synthetic activation tensor.
+    Select {
+        /// Streamed tokens (sub-tensors).
+        tokens: usize,
+        /// Hidden dimension (elements per sub-tensor).
+        hidden: usize,
+        /// Density threshold δ of Eq. 6.
+        delta: f64,
+        /// Data profile: `cnn`, `vit`, `bert`, or `llm`.
+        profile: String,
+    },
+    /// Solve Eq. 8 for a precision mix on the paper fabric.
+    Schedule {
+        /// Streamed dimension.
+        m: usize,
+        /// Reduction dimension.
+        k: usize,
+        /// Output dimension.
+        n: usize,
+        /// Fraction of high-precision activation rows.
+        fa: f64,
+        /// Fraction of high-precision weight columns.
+        fw: f64,
+    },
+    /// Execute a full GEMM on the Drift accelerator model, with
+    /// precision maps drawn row-by-row from the job's RNG.
+    Simulate {
+        /// Streamed dimension.
+        m: usize,
+        /// Reduction dimension.
+        k: usize,
+        /// Output dimension.
+        n: usize,
+        /// Probability that an activation row is high precision.
+        fa: f64,
+        /// Probability that a weight column is high precision.
+        fw: f64,
+    },
+}
+
+impl JobKind {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::Select { .. } => "select",
+            JobKind::Schedule { .. } => "schedule",
+            JobKind::Simulate { .. } => "simulate",
+        }
+    }
+}
+
+/// The outcome of one job, echoing its id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The [`JobSpec::id`] this result answers.
+    pub id: u64,
+    /// The payload (or error).
+    pub outcome: JobOutcome,
+}
+
+/// Per-kind result payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Selector statistics.
+    Select {
+        /// Sub-tensors converted to the low precision.
+        low_subtensors: usize,
+        /// Total sub-tensors examined.
+        subtensors: usize,
+        /// Fraction of elements at the low precision.
+        low_fraction: f64,
+    },
+    /// The balanced schedule's quality.
+    Schedule {
+        /// The layer's compute time in cycles.
+        makespan: u64,
+        /// Per-quadrant latencies in `(hh, hl, lh, ll)` order.
+        latencies: [u64; 4],
+    },
+    /// The execution report of the simulated GEMM.
+    Simulate {
+        /// End-to-end cycles.
+        cycles: u64,
+        /// Compute-side cycles.
+        compute_cycles: u64,
+        /// DRAM-side cycles.
+        dram_cycles: u64,
+        /// Total energy, pJ.
+        energy_pj: f64,
+    },
+    /// The job failed; the message says why.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// Parses one JSONL line into a job.
+///
+/// # Errors
+///
+/// Returns the JSON parser's message on malformed input.
+pub fn parse_job(line: &str) -> Result<JobSpec, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+/// Reads a whole JSONL job stream, skipping blank lines.
+///
+/// # Errors
+///
+/// Reports I/O and parse failures with their 1-based line number.
+pub fn read_jobs(reader: impl BufRead) -> Result<Vec<JobSpec>, String> {
+    let mut jobs = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        jobs.push(parse_job(&line).map_err(|e| format!("line {}: {e}", idx + 1))?);
+    }
+    Ok(jobs)
+}
+
+/// Renders a result as one JSONL line (no trailing newline).
+pub fn result_line(result: &JobResult) -> String {
+    serde_json::to_string(result).expect("job results contain only finite numbers")
+}
+
+/// A deterministic synthetic job mix for benchmarks and load tests.
+///
+/// Jobs cycle through `distinct_shapes` GEMM shapes (capped at the
+/// built-in pool) and a small seed pool, so a long stream revisits the
+/// same schedule keys and exercises the cache; the mix is roughly 20%
+/// select, 40% schedule, 40% simulate. Equal arguments always produce
+/// the identical job list.
+pub fn synthetic_jobs(count: usize, distinct_shapes: usize, master_seed: u64) -> Vec<JobSpec> {
+    const SHAPES: [(usize, usize, usize); 8] = [
+        (256, 768, 768),
+        (512, 768, 3072),
+        (128, 1024, 1024),
+        (64, 512, 512),
+        (384, 768, 768),
+        (256, 2048, 2048),
+        (512, 512, 2048),
+        (96, 4096, 1024),
+    ];
+    const FRACTIONS: [(f64, f64); 4] = [(0.1, 0.1), (0.2, 0.1), (0.5, 0.25), (0.8, 0.5)];
+    const PROFILES: [&str; 4] = ["cnn", "vit", "bert", "llm"];
+    let shapes = &SHAPES[..distinct_shapes.clamp(1, SHAPES.len())];
+    (0..count)
+        .map(|i| {
+            let (m, k, n) = shapes[i % shapes.len()];
+            let (fa, fw) = FRACTIONS[(i / shapes.len()) % FRACTIONS.len()];
+            // A small seed pool: repeated (shape, seed) pairs give the
+            // simulate jobs repeated schedule keys too.
+            let seed = master_seed.wrapping_add((i % 8) as u64);
+            let kind = match i % 5 {
+                0 => JobKind::Select {
+                    tokens: m.min(256),
+                    hidden: k.min(1024),
+                    delta: 0.03,
+                    profile: PROFILES[i % PROFILES.len()].to_string(),
+                },
+                1 | 2 => JobKind::Schedule { m, k, n, fa, fw },
+                _ => JobKind::Simulate { m, k, n, fa, fw },
+            };
+            JobSpec {
+                id: i as u64,
+                seed,
+                kind,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn specs_round_trip_through_jsonl() {
+        let jobs = synthetic_jobs(25, 8, 42);
+        let text: String = jobs
+            .iter()
+            .map(|j| serde_json::to_string(j).unwrap() + "\n")
+            .collect();
+        let back = read_jobs(Cursor::new(text)).unwrap();
+        assert_eq!(back, jobs);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_errors_carry_line_numbers() {
+        let text = "\n{\"id\":0,\"seed\":1,\"kind\":{\"Schedule\":{\"m\":8,\"k\":8,\"n\":8,\"fa\":0.5,\"fw\":0.5}}}\n\nnot json\n";
+        let err = read_jobs(Cursor::new(text)).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+        let ok = read_jobs(Cursor::new(
+            "{\"id\":3,\"seed\":1,\"kind\":{\"Select\":{\"tokens\":4,\"hidden\":8,\"delta\":0.1,\"profile\":\"bert\"}}}\n",
+        ))
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].kind.label(), "select");
+    }
+
+    #[test]
+    fn results_round_trip() {
+        let r = JobResult {
+            id: 9,
+            outcome: JobOutcome::Simulate {
+                cycles: 123,
+                compute_cycles: 120,
+                dram_cycles: 88,
+                energy_pj: 1.25e6,
+            },
+        };
+        let line = result_line(&r);
+        assert_eq!(serde_json::from_str::<JobResult>(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn synthetic_mix_is_deterministic_and_varied() {
+        let a = synthetic_jobs(100, 4, 7);
+        let b = synthetic_jobs(100, 4, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|j| j.kind.label() == "select"));
+        assert!(a.iter().any(|j| j.kind.label() == "schedule"));
+        assert!(a.iter().any(|j| j.kind.label() == "simulate"));
+        // Ids are the 0..count sequence.
+        assert!(a.iter().enumerate().all(|(i, j)| j.id == i as u64));
+    }
+}

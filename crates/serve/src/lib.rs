@@ -1,0 +1,62 @@
+//! Multi-threaded batch-simulation serving for the Drift model.
+//!
+//! The simulator crates answer one question at a time; this crate
+//! answers streams of them. A [`runtime::serve`] call owns:
+//!
+//! * a **bounded job queue** ([`queue`]) — submission blocks when the
+//!   queue is full, so producers can never outrun memory, and closing
+//!   the queue drains then stops the pool;
+//! * a **worker pool** ([`worker`]) — each thread holds its own
+//!   [`drift_core::DriftAccelerator`] (reset before every job) and each
+//!   job gets a private ChaCha RNG seeded from its spec, so results are
+//!   a pure function of the job, not of worker assignment or timing;
+//! * a **sharded LRU schedule cache** ([`cache`]) — the Eq. 8 sweep is
+//!   memoised on [`drift_core::schedule::ScheduleKey`], turning
+//!   repeated shapes (the common case in serving) into lookups;
+//! * **statistics** ([`stats`]) — per-worker job counts, cache hits,
+//!   and p50/p99 latencies, aggregated into a [`stats::ServeReport`].
+//!
+//! Jobs and results travel as JSONL ([`job`]), one JSON object per
+//! line, so streams pipe through the `drift serve` CLI:
+//!
+//! ```text
+//! $ drift serve --jobs jobs.jsonl --workers 8 > results.jsonl
+//! ```
+//!
+//! # Example
+//!
+//! ```rust
+//! use drift_serve::job::{JobKind, JobSpec};
+//! use drift_serve::runtime::{serve, ServeConfig};
+//!
+//! let jobs = vec![
+//!     JobSpec {
+//!         id: 0,
+//!         seed: 7,
+//!         kind: JobKind::Schedule { m: 128, k: 256, n: 128, fa: 0.25, fw: 0.5 },
+//!     },
+//!     JobSpec {
+//!         id: 1,
+//!         seed: 8,
+//!         kind: JobKind::Simulate { m: 64, k: 256, n: 64, fa: 0.5, fw: 0.5 },
+//!     },
+//! ];
+//! let outcome = serve(jobs, &ServeConfig::with_workers(2));
+//! assert_eq!(outcome.results.len(), 2);
+//! assert_eq!(outcome.report.jobs, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod job;
+pub mod queue;
+pub mod runtime;
+pub mod stats;
+pub mod worker;
+
+pub use cache::{CacheStats, ScheduleCache};
+pub use job::{synthetic_jobs, JobKind, JobOutcome, JobResult, JobSpec};
+pub use runtime::{serve, ServeConfig, ServeOutcome};
+pub use stats::ServeReport;

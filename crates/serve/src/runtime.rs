@@ -1,0 +1,159 @@
+//! The batch-serving runtime: queue + worker pool + cache + report.
+
+use crate::cache::ScheduleCache;
+use crate::job::{JobResult, JobSpec};
+use crate::queue::job_queue;
+use crate::stats::ServeReport;
+use crate::worker::worker_loop;
+use crossbeam::channel::unbounded;
+use std::time::Instant;
+
+/// Tunables for one serve run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads (at least 1).
+    pub workers: usize,
+    /// Maximum jobs buffered in the queue before `submit` blocks.
+    pub queue_depth: usize,
+    /// Total schedules the cache may hold.
+    pub cache_capacity: usize,
+    /// Cache shard count (more shards, less lock contention).
+    pub cache_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 256,
+            cache_capacity: 4096,
+            cache_shards: 16,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration with `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Everything a serve run produces.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// One result per submitted job, sorted by job id.
+    pub results: Vec<JobResult>,
+    /// Throughput, latency, and cache statistics.
+    pub report: ServeReport,
+}
+
+/// Runs `jobs` on a worker pool and collects every result.
+///
+/// Jobs are fed through a bounded queue (backpressure keeps at most
+/// `queue_depth` in flight beyond what workers hold), workers pull
+/// until the queue drains, and the pool shuts down gracefully: exactly
+/// one result per job, regardless of worker count. Results are sorted
+/// by id before returning so equal job streams compare equal across
+/// configurations.
+pub fn serve(jobs: Vec<JobSpec>, config: &ServeConfig) -> ServeOutcome {
+    let cache = ScheduleCache::new(config.cache_capacity.max(1), config.cache_shards.max(1));
+    let workers = config.workers.max(1);
+    let (queue, worker_handle) = job_queue(config.queue_depth);
+    let (result_tx, result_rx) = unbounded();
+
+    let start = Instant::now();
+    let (mut results, worker_stats) = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..workers)
+            .map(|i| {
+                let handle = worker_handle.clone();
+                let tx = result_tx.clone();
+                let cache = &cache;
+                scope.spawn(move || worker_loop(i, handle, tx, cache))
+            })
+            .collect();
+        // The scope keeps only the workers' clones alive: when the last
+        // worker exits, the result channel disconnects and collection
+        // below terminates.
+        drop(worker_handle);
+        drop(result_tx);
+
+        for job in jobs {
+            if queue.submit(job).is_err() {
+                // Every worker died (only possible via a panic, which
+                // the scope will re-raise on join); stop feeding.
+                break;
+            }
+        }
+        queue.close();
+
+        let results: Vec<JobResult> = result_rx.iter().collect();
+        let stats = threads
+            .into_iter()
+            .map(|t| t.join().expect("worker panicked"))
+            .collect::<Vec<_>>();
+        (results, stats)
+    });
+    let wall = start.elapsed();
+
+    results.sort_by_key(|r| r.id);
+    ServeOutcome {
+        results,
+        report: ServeReport::aggregate(&worker_stats, cache.stats(), wall),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::synthetic_jobs;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_job_gets_exactly_one_result() {
+        let jobs = synthetic_jobs(120, 6, 11);
+        let outcome = serve(jobs.clone(), &ServeConfig::with_workers(4));
+        assert_eq!(outcome.results.len(), jobs.len());
+        let ids: HashSet<u64> = outcome.results.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), jobs.len(), "duplicated or lost ids");
+        assert_eq!(outcome.report.jobs, jobs.len() as u64);
+        assert_eq!(outcome.report.errors, 0);
+        assert_eq!(outcome.report.workers.len(), 4);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let jobs = synthetic_jobs(60, 4, 23);
+        let solo = serve(jobs.clone(), &ServeConfig::with_workers(1));
+        let pool = serve(jobs, &ServeConfig::with_workers(4));
+        assert_eq!(solo.results, pool.results);
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let jobs = synthetic_jobs(100, 2, 5);
+        let outcome = serve(jobs, &ServeConfig::with_workers(2));
+        assert!(
+            outcome.report.cache.hit_rate() > 0.0,
+            "expected cache hits on a 2-shape stream: {:?}",
+            outcome.report.cache
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let jobs = synthetic_jobs(5, 2, 1);
+        let outcome = serve(
+            jobs,
+            &ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(outcome.results.len(), 5);
+        assert_eq!(outcome.report.workers.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-worker statistics and the final serve report.
+
+use crate::cache::CacheStats;
+use std::time::Duration;
+
+/// Counters one worker accumulates while it runs. Latencies are kept
+/// raw (nanoseconds per job) and reduced to percentiles at summary
+/// time.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Jobs completed (including ones that returned an error outcome).
+    pub jobs: u64,
+    /// Jobs whose outcome was an error.
+    pub errors: u64,
+    /// Jobs whose schedule came from the cache.
+    pub cache_hits: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl WorkerStats {
+    /// Fresh counters for worker `worker`.
+    pub fn new(worker: usize) -> Self {
+        WorkerStats {
+            worker,
+            jobs: 0,
+            errors: 0,
+            cache_hits: 0,
+            latencies_ns: Vec::new(),
+        }
+    }
+
+    /// Records one finished job.
+    pub fn record(&mut self, latency: Duration, cache_hit: bool, is_error: bool) {
+        self.jobs += 1;
+        self.cache_hits += u64::from(cache_hit);
+        self.errors += u64::from(is_error);
+        self.latencies_ns
+            .push(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Reduces the raw latencies to a report line.
+    pub fn summarize(&self) -> WorkerSummary {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        WorkerSummary {
+            worker: self.worker,
+            jobs: self.jobs,
+            errors: self.errors,
+            cache_hits: self.cache_hits,
+            p50_us: percentile_ns(&sorted, 50.0) as f64 / 1_000.0,
+            p99_us: percentile_ns(&sorted, 99.0) as f64 / 1_000.0,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample (0 when empty).
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One worker's line in the final report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerSummary {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Jobs whose outcome was an error.
+    pub errors: u64,
+    /// Jobs whose schedule came from the cache.
+    pub cache_hits: u64,
+    /// Median per-job latency, µs.
+    pub p50_us: f64,
+    /// 99th-percentile per-job latency, µs.
+    pub p99_us: f64,
+}
+
+/// The aggregated outcome of one serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Total jobs completed across all workers.
+    pub jobs: u64,
+    /// Jobs that returned an error outcome.
+    pub errors: u64,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Schedule-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Per-worker summaries, in worker order.
+    pub workers: Vec<WorkerSummary>,
+}
+
+impl ServeReport {
+    /// Builds the report from worker stats and the cache's counters.
+    pub fn aggregate(workers: &[WorkerStats], cache: CacheStats, wall: Duration) -> Self {
+        let jobs: u64 = workers.iter().map(|w| w.jobs).sum();
+        let secs = wall.as_secs_f64();
+        ServeReport {
+            jobs,
+            errors: workers.iter().map(|w| w.errors).sum(),
+            wall,
+            jobs_per_sec: if secs > 0.0 { jobs as f64 / secs } else { 0.0 },
+            cache,
+            workers: workers.iter().map(WorkerStats::summarize).collect(),
+        }
+    }
+
+    /// A human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "served {} jobs ({} errors) in {:.1} ms — {:.0} jobs/s, cache hit rate {:.1}% ({} entries)\n",
+            self.jobs,
+            self.errors,
+            self.wall.as_secs_f64() * 1e3,
+            self.jobs_per_sec,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries,
+        );
+        out.push_str("worker   jobs  cache-hits   p50(us)   p99(us)\n");
+        for w in &self.workers {
+            out.push_str(&format!(
+                "{:>6} {:>6} {:>11} {:>9.1} {:>9.1}\n",
+                w.worker, w.jobs, w.cache_hits, w.p50_us, w.p99_us
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 50.0), 50);
+        assert_eq!(percentile_ns(&sorted, 99.0), 99);
+        assert_eq!(percentile_ns(&sorted, 100.0), 100);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn worker_stats_reduce_to_summary() {
+        let mut stats = WorkerStats::new(3);
+        for i in 0..10 {
+            stats.record(Duration::from_micros(100 + i * 10), i % 2 == 0, false);
+        }
+        stats.record(Duration::from_micros(5_000), false, true);
+        let s = stats.summarize();
+        assert_eq!(s.worker, 3);
+        assert_eq!(s.jobs, 11);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.cache_hits, 5);
+        assert!(s.p50_us >= 100.0 && s.p50_us <= 200.0);
+        assert!((s.p99_us - 5_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_aggregates_and_renders() {
+        let mut a = WorkerStats::new(0);
+        let mut b = WorkerStats::new(1);
+        a.record(Duration::from_micros(50), true, false);
+        b.record(Duration::from_micros(150), false, false);
+        let cache = CacheStats {
+            hits: 1,
+            misses: 1,
+            entries: 1,
+        };
+        let report = ServeReport::aggregate(&[a, b], cache, Duration::from_millis(10));
+        assert_eq!(report.jobs, 2);
+        assert_eq!(report.errors, 0);
+        assert!((report.jobs_per_sec - 200.0).abs() < 1e-9);
+        let text = report.render();
+        assert!(text.contains("2 jobs"));
+        assert!(text.contains("hit rate 50.0%"));
+    }
+}

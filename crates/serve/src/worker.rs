@@ -1,0 +1,293 @@
+//! Job execution: one simulator per worker, one RNG per job.
+//!
+//! Each pool thread owns a [`DriftAccelerator`] for its whole lifetime
+//! (building one per job would rebuild the memory subsystem
+//! constantly), and calls [`DriftAccelerator::reset`] before every job
+//! so no cross-layer state — reconfiguration elision, DRAM row/
+//! allocator state, the index buffer — leaks between jobs. Randomness
+//! comes from a per-job ChaCha stream seeded by [`JobSpec::seed`].
+//! Together these make every result a pure function of its spec: the
+//! same job stream yields the same result set at any worker count and
+//! any assignment of jobs to workers.
+
+use crate::cache::ScheduleCache;
+use crate::job::{JobKind, JobOutcome, JobResult, JobSpec};
+use crate::queue::WorkerHandle;
+use crate::stats::WorkerStats;
+use crossbeam::channel::Sender;
+use drift_accel::gemm::{GemmShape, GemmWorkload};
+use drift_core::accelerator::DriftAccelerator;
+use drift_core::schedule::ScheduleKey;
+use drift_core::selector::DriftPolicy;
+use drift_nn::datagen::TokenProfile;
+use drift_quant::policy::run_policy;
+use drift_quant::Precision;
+use drift_tensor::rng::{derive_seed, seeded};
+use drift_tensor::subtensor::SubTensorScheme;
+use rand::Rng;
+use std::time::Instant;
+
+/// Executes one job on `accel`, using `cache` for schedules. Returns
+/// the outcome and whether the schedule came from the cache.
+///
+/// Failures of any stage land in [`JobOutcome::Error`] rather than
+/// tearing down the worker: one malformed job must not poison the
+/// stream.
+pub fn execute_job(
+    spec: &JobSpec,
+    accel: &mut DriftAccelerator,
+    cache: &ScheduleCache,
+) -> (JobOutcome, bool) {
+    accel.reset();
+    match run_job(spec, accel, cache) {
+        Ok(pair) => pair,
+        Err(message) => (JobOutcome::Error { message }, false),
+    }
+}
+
+fn run_job(
+    spec: &JobSpec,
+    accel: &mut DriftAccelerator,
+    cache: &ScheduleCache,
+) -> Result<(JobOutcome, bool), String> {
+    match &spec.kind {
+        JobKind::Select {
+            tokens,
+            hidden,
+            delta,
+            profile,
+        } => {
+            let profile = match profile.as_str() {
+                "cnn" => TokenProfile::cnn(),
+                "vit" => TokenProfile::vit(),
+                "bert" => TokenProfile::bert(),
+                "llm" => TokenProfile::llm(),
+                other => return Err(format!("unknown profile '{other}'")),
+            };
+            let data = profile
+                .generate(*tokens, *hidden, spec.seed)
+                .map_err(|e| e.to_string())?;
+            let policy = DriftPolicy::new(*delta).map_err(|e| e.to_string())?;
+            let run = run_policy(
+                &data,
+                &SubTensorScheme::token(*hidden),
+                Precision::INT8,
+                &policy,
+            )
+            .map_err(|e| e.to_string())?;
+            Ok((
+                JobOutcome::Select {
+                    low_subtensors: run.low_subtensors(),
+                    subtensors: run.decisions.len(),
+                    low_fraction: run.low_fraction(),
+                },
+                false,
+            ))
+        }
+        JobKind::Schedule { m, k, n, fa, fw } => {
+            let shape = GemmShape::new(*m, *k, *n).map_err(|e| e.to_string())?;
+            // Same truncation as `drift schedule`: fractions become
+            // prefix counts.
+            let key = ScheduleKey {
+                shape,
+                act_high: (*m as f64 * fa.clamp(0.0, 1.0)) as usize,
+                weight_high: (*n as f64 * fw.clamp(0.0, 1.0)) as usize,
+                act_precisions: (Precision::INT8, Precision::INT4),
+                weight_precisions: (Precision::INT8, Precision::INT4),
+                fabric: accel.fabric(),
+            };
+            let (schedule, hit) = cache.get_or_solve(key).map_err(|e| e.to_string())?;
+            Ok((
+                JobOutcome::Schedule {
+                    makespan: schedule.makespan,
+                    latencies: schedule.latencies,
+                },
+                hit,
+            ))
+        }
+        JobKind::Simulate { m, k, n, fa, fw } => {
+            let shape = GemmShape::new(*m, *k, *n).map_err(|e| e.to_string())?;
+            // Precision maps are Bernoulli draws from the job's private
+            // ChaCha stream — scattered like real selector output, yet
+            // reproducible from the spec alone.
+            let mut rng = seeded(derive_seed(spec.seed, "serve-simulate"));
+            let fa = fa.clamp(0.0, 1.0);
+            let fw = fw.clamp(0.0, 1.0);
+            let act_high: Vec<bool> = (0..*m).map(|_| rng.gen_bool(fa)).collect();
+            let weight_high: Vec<bool> = (0..*n).map(|_| rng.gen_bool(fw)).collect();
+            let workload =
+                GemmWorkload::new(format!("job-{}", spec.id), shape, act_high, weight_high)
+                    .map_err(|e| e.to_string())?;
+            let key = ScheduleKey::for_workload(&workload, accel.fabric());
+            let (schedule, hit) = cache.get_or_solve(key).map_err(|e| e.to_string())?;
+            let report = accel
+                .execute_with_schedule(&workload, schedule)
+                .map_err(|e| e.to_string())?;
+            Ok((
+                JobOutcome::Simulate {
+                    cycles: report.cycles,
+                    compute_cycles: report.compute_cycles,
+                    dram_cycles: report.dram_cycles,
+                    energy_pj: report.energy.total_pj(),
+                },
+                hit,
+            ))
+        }
+    }
+}
+
+/// One pool thread: pulls jobs until the queue closes, sending one
+/// result per job, and returns its counters.
+///
+/// The result channel only disconnects when the collector is gone —
+/// at that point nobody can observe further results, so the worker
+/// simply stops.
+pub(crate) fn worker_loop(
+    worker: usize,
+    jobs: WorkerHandle<JobSpec>,
+    results: Sender<JobResult>,
+    cache: &ScheduleCache,
+) -> WorkerStats {
+    let mut accel =
+        DriftAccelerator::paper_config().expect("the paper configuration always builds");
+    let mut stats = WorkerStats::new(worker);
+    while let Some(spec) = jobs.next_job() {
+        let start = Instant::now();
+        let (outcome, cache_hit) = execute_job(&spec, &mut accel, cache);
+        let is_error = matches!(outcome, JobOutcome::Error { .. });
+        stats.record(start.elapsed(), cache_hit, is_error);
+        if results
+            .send(JobResult {
+                id: spec.id,
+                outcome,
+            })
+            .is_err()
+        {
+            break;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accel() -> DriftAccelerator {
+        DriftAccelerator::paper_config().unwrap()
+    }
+
+    #[test]
+    fn simulate_jobs_are_reproducible_across_simulators() {
+        let cache = ScheduleCache::new(16, 2);
+        let spec = JobSpec {
+            id: 4,
+            seed: 99,
+            kind: JobKind::Simulate {
+                m: 96,
+                k: 256,
+                n: 128,
+                fa: 0.3,
+                fw: 0.4,
+            },
+        };
+        let (a, _) = execute_job(&spec, &mut accel(), &cache);
+        // A different simulator instance with prior history must agree.
+        let mut used = accel();
+        let warmup = JobSpec {
+            id: 0,
+            seed: 1,
+            kind: JobKind::Simulate {
+                m: 64,
+                k: 128,
+                n: 64,
+                fa: 0.9,
+                fw: 0.1,
+            },
+        };
+        execute_job(&warmup, &mut used, &cache);
+        let (b, _) = execute_job(&spec, &mut used, &cache);
+        assert_eq!(a, b);
+        assert!(matches!(a, JobOutcome::Simulate { cycles, .. } if cycles > 0));
+    }
+
+    #[test]
+    fn schedule_jobs_hit_the_cache_on_repeats() {
+        let cache = ScheduleCache::new(16, 2);
+        let spec = JobSpec {
+            id: 0,
+            seed: 0,
+            kind: JobKind::Schedule {
+                m: 128,
+                k: 256,
+                n: 128,
+                fa: 0.25,
+                fw: 0.5,
+            },
+        };
+        let (_, hit1) = execute_job(&spec, &mut accel(), &cache);
+        let (out2, hit2) = execute_job(&spec, &mut accel(), &cache);
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(matches!(out2, JobOutcome::Schedule { makespan, .. } if makespan > 0));
+    }
+
+    #[test]
+    fn select_jobs_report_conversion_statistics() {
+        let cache = ScheduleCache::new(4, 1);
+        let spec = JobSpec {
+            id: 1,
+            seed: 7,
+            kind: JobKind::Select {
+                tokens: 64,
+                hidden: 128,
+                delta: 0.05,
+                profile: "bert".to_string(),
+            },
+        };
+        let (out, hit) = execute_job(&spec, &mut accel(), &cache);
+        assert!(!hit);
+        match out {
+            JobOutcome::Select {
+                low_subtensors,
+                subtensors,
+                low_fraction,
+            } => {
+                assert_eq!(subtensors, 64);
+                assert!(low_subtensors <= subtensors);
+                assert!((0.0..=1.0).contains(&low_fraction));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_jobs_become_error_outcomes() {
+        let cache = ScheduleCache::new(4, 1);
+        let bad = JobSpec {
+            id: 2,
+            seed: 0,
+            kind: JobKind::Simulate {
+                m: 0,
+                k: 16,
+                n: 16,
+                fa: 0.5,
+                fw: 0.5,
+            },
+        };
+        let (out, _) = execute_job(&bad, &mut accel(), &cache);
+        assert!(matches!(out, JobOutcome::Error { .. }));
+        let bad_profile = JobSpec {
+            id: 3,
+            seed: 0,
+            kind: JobKind::Select {
+                tokens: 4,
+                hidden: 8,
+                delta: 0.1,
+                profile: "gpt".to_string(),
+            },
+        };
+        let (out, _) = execute_job(&bad_profile, &mut accel(), &cache);
+        assert!(matches!(out, JobOutcome::Error { message } if message.contains("gpt")));
+    }
+}

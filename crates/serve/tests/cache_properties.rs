@@ -1,0 +1,44 @@
+//! Property: a schedule served from the cache is byte-identical to one
+//! computed fresh, for arbitrary shapes and precision mixes.
+
+use drift_accel::gemm::GemmShape;
+use drift_accel::systolic::ArrayGeometry;
+use drift_core::schedule::ScheduleKey;
+use drift_quant::Precision;
+use drift_serve::ScheduleCache;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cached_schedule_is_byte_identical_to_fresh(
+        m in 1usize..512,
+        k in 1usize..2048,
+        n in 1usize..512,
+        fa in 0.0f64..1.0,
+        fw in 0.0f64..1.0,
+    ) {
+        let key = ScheduleKey {
+            shape: GemmShape::new(m, k, n).unwrap(),
+            act_high: (m as f64 * fa) as usize,
+            weight_high: (n as f64 * fw) as usize,
+            act_precisions: (Precision::INT8, Precision::INT4),
+            weight_precisions: (Precision::INT8, Precision::INT4),
+            fabric: ArrayGeometry::new(24, 33).unwrap(),
+        };
+        let fresh = key.solve().unwrap();
+
+        let cache = ScheduleCache::new(8, 2);
+        let (miss, hit1) = cache.get_or_solve(key).unwrap();
+        let (cached, hit2) = cache.get_or_solve(key).unwrap();
+        prop_assert!(!hit1);
+        prop_assert!(hit2);
+
+        // Structurally equal...
+        prop_assert_eq!(miss, fresh);
+        prop_assert_eq!(cached, fresh);
+        // ...and byte-identical on the wire.
+        let fresh_bytes = serde_json::to_string(&fresh).unwrap();
+        prop_assert_eq!(serde_json::to_string(&miss).unwrap(), fresh_bytes.clone());
+        prop_assert_eq!(serde_json::to_string(&cached).unwrap(), fresh_bytes);
+    }
+}

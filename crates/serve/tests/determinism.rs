@@ -1,0 +1,32 @@
+//! End-to-end determinism: one JSONL job stream must produce the
+//! identical result set at any worker count, byte-for-byte, including
+//! through the JSONL encode/decode round trip the CLI performs.
+
+use drift_serve::job::{read_jobs, result_line};
+use drift_serve::{serve, synthetic_jobs, ServeConfig};
+use std::io::Cursor;
+
+#[test]
+fn one_and_eight_workers_produce_identical_result_sets() {
+    // The stream leaves and re-enters through JSONL, exactly like
+    // `drift serve --jobs - < jobs.jsonl`.
+    let jsonl: String = synthetic_jobs(160, 8, 2024)
+        .iter()
+        .map(|j| serde_json::to_string(j).unwrap() + "\n")
+        .collect();
+
+    let run = |workers: usize| -> Vec<String> {
+        let jobs = read_jobs(Cursor::new(jsonl.clone())).unwrap();
+        let outcome = serve(jobs, &ServeConfig::with_workers(workers));
+        assert_eq!(outcome.results.len(), 160, "lost or duplicated results");
+        assert_eq!(outcome.report.errors, 0);
+        outcome.results.iter().map(result_line).collect()
+    };
+
+    let mut solo = run(1);
+    let mut pool = run(8);
+    // Order-insensitive comparison of the rendered JSONL lines.
+    solo.sort();
+    pool.sort();
+    assert_eq!(solo, pool);
+}

@@ -66,10 +66,16 @@ impl Laplace {
     /// parameters are finite.
     pub fn new(mu: f64, b: f64) -> Result<Self> {
         if !b.is_finite() || b <= 0.0 {
-            return Err(TensorError::InvalidParameter { name: "b", value: b });
+            return Err(TensorError::InvalidParameter {
+                name: "b",
+                value: b,
+            });
         }
         if !mu.is_finite() {
-            return Err(TensorError::InvalidParameter { name: "mu", value: mu });
+            return Err(TensorError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         Ok(Laplace { mu, b })
     }
@@ -124,10 +130,16 @@ impl Gaussian {
     /// both parameters are finite.
     pub fn new(mu: f64, sigma: f64) -> Result<Self> {
         if !sigma.is_finite() || sigma <= 0.0 {
-            return Err(TensorError::InvalidParameter { name: "sigma", value: sigma });
+            return Err(TensorError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+            });
         }
         if !mu.is_finite() {
-            return Err(TensorError::InvalidParameter { name: "mu", value: mu });
+            return Err(TensorError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
         }
         Ok(Gaussian { mu, sigma })
     }
@@ -173,7 +185,10 @@ impl Exponential {
     /// finite.
     pub fn new(lambda: f64) -> Result<Self> {
         if !lambda.is_finite() || lambda <= 0.0 {
-            return Err(TensorError::InvalidParameter { name: "lambda", value: lambda });
+            return Err(TensorError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+            });
         }
         Ok(Exponential { lambda })
     }
@@ -215,7 +230,10 @@ impl Uniform {
     /// are finite.
     pub fn new(lo: f64, hi: f64) -> Result<Self> {
         if !lo.is_finite() || !hi.is_finite() || lo >= hi {
-            return Err(TensorError::InvalidParameter { name: "hi", value: hi });
+            return Err(TensorError::InvalidParameter {
+                name: "hi",
+                value: hi,
+            });
         }
         Ok(Uniform { lo, hi })
     }
@@ -238,9 +256,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t
-            - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -353,12 +369,25 @@ impl Histogram {
     /// `bins > 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
         if !lo.is_finite() || !hi.is_finite() || lo >= hi {
-            return Err(TensorError::InvalidParameter { name: "hi", value: hi });
+            return Err(TensorError::InvalidParameter {
+                name: "hi",
+                value: hi,
+            });
         }
         if bins == 0 {
-            return Err(TensorError::InvalidParameter { name: "bins", value: 0.0 });
+            return Err(TensorError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins], total: 0, underflow: 0, overflow: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Adds one observation.
@@ -473,8 +502,7 @@ mod tests {
         let mut rng = seeded(2);
         let xs = g.sample_vec(&mut rng, 20_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / xs.len() as f64;
         assert!((mean - 1.0).abs() < 0.05);
         assert!((var - 4.0).abs() < 0.2);
     }
@@ -501,8 +529,11 @@ mod tests {
         let lap = Laplace::new(0.0, 0.5).unwrap();
         let exp = Exponential::new(2.0).unwrap();
         let mut rng = seeded(4);
-        let abs_samples: Vec<f64> =
-            lap.sample_vec(&mut rng, 5_000).into_iter().map(f64::abs).collect();
+        let abs_samples: Vec<f64> = lap
+            .sample_vec(&mut rng, 5_000)
+            .into_iter()
+            .map(f64::abs)
+            .collect();
         let d = ks_statistic(&abs_samples, |x| exp.cdf(x));
         assert!(d < 0.03, "KS statistic {d} too large");
     }

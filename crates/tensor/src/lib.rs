@@ -124,7 +124,10 @@ impl fmt::Display for TensorError {
                 write!(f, "invalid tensor shape {dims:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds for extent {bound}")

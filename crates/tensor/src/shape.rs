@@ -36,7 +36,7 @@ impl Shape {
     /// Returns [`TensorError::InvalidShape`] if `dims` is empty or any
     /// extent is zero.
     pub fn new(dims: Vec<usize>) -> Result<Self> {
-        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.contains(&0) {
             return Err(TensorError::InvalidShape { dims });
         }
         Ok(Shape { dims })
@@ -76,10 +76,13 @@ impl Shape {
     ///
     /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
     pub fn dim(&self, axis: usize) -> Result<usize> {
-        self.dims.get(axis).copied().ok_or(TensorError::IndexOutOfBounds {
-            index: axis,
-            bound: self.dims.len(),
-        })
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds {
+                index: axis,
+                bound: self.dims.len(),
+            })
     }
 
     /// Total number of elements.
@@ -114,7 +117,10 @@ impl Shape {
         let mut flat = 0usize;
         for (axis, (&i, &extent)) in index.iter().zip(&self.dims).enumerate() {
             if i >= extent {
-                return Err(TensorError::IndexOutOfBounds { index: i, bound: extent });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    bound: extent,
+                });
             }
             // Row-major accumulation avoids materialising the stride list.
             flat = flat * extent + i;
@@ -130,7 +136,10 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if `flat >= volume`.
     pub fn unflatten(&self, flat: usize) -> Result<Vec<usize>> {
         if flat >= self.volume() {
-            return Err(TensorError::IndexOutOfBounds { index: flat, bound: self.volume() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: flat,
+                bound: self.volume(),
+            });
         }
         let mut rem = flat;
         let mut index = vec![0usize; self.dims.len()];
@@ -183,12 +192,18 @@ mod tests {
 
     #[test]
     fn rejects_empty_shape() {
-        assert!(matches!(Shape::new(vec![]), Err(TensorError::InvalidShape { .. })));
+        assert!(matches!(
+            Shape::new(vec![]),
+            Err(TensorError::InvalidShape { .. })
+        ));
     }
 
     #[test]
     fn rejects_zero_extent() {
-        assert!(matches!(Shape::new(vec![3, 0]), Err(TensorError::InvalidShape { .. })));
+        assert!(matches!(
+            Shape::new(vec![3, 0]),
+            Err(TensorError::InvalidShape { .. })
+        ));
     }
 
     #[test]

@@ -127,7 +127,10 @@ impl SubTensorScheme {
 
     /// Region granularity: `tile_rows` × `tile_cols` tiles of a 2-D view.
     pub fn region(tile_rows: usize, tile_cols: usize) -> Self {
-        SubTensorScheme::Region { tile_rows, tile_cols }
+        SubTensorScheme::Region {
+            tile_rows,
+            tile_cols,
+        }
     }
 
     /// Splits `shape` into sub-tensor views.
@@ -141,12 +144,15 @@ impl SubTensorScheme {
     ///
     /// Returns [`TensorError::PartitionMismatch`] when a token length does
     /// not divide the tensor volume or a tile extent is zero.
+    // A view's range list legitimately holds a single `Range` for the
+    // contiguous schemes; the vec is a list of ranges, not a fill expr.
+    #[allow(clippy::single_range_in_vec_init)]
     pub fn partition(&self, shape: &Shape) -> Result<Vec<SubTensorView>> {
         let volume = shape.volume();
         match *self {
             SubTensorScheme::PerTensor => Ok(vec![SubTensorView::new(0, vec![0..volume])?]),
             SubTensorScheme::Token { len } => {
-                if len == 0 || volume % len != 0 {
+                if len == 0 || !volume.is_multiple_of(len) {
                     return Err(TensorError::PartitionMismatch {
                         detail: format!(
                             "token length {len} does not divide tensor volume {volume}"
@@ -157,7 +163,10 @@ impl SubTensorScheme {
                     .map(|i| SubTensorView::new(i, vec![i * len..(i + 1) * len]))
                     .collect()
             }
-            SubTensorScheme::Region { tile_rows, tile_cols } => {
+            SubTensorScheme::Region {
+                tile_rows,
+                tile_cols,
+            } => {
                 if tile_rows == 0 || tile_cols == 0 {
                     return Err(TensorError::PartitionMismatch {
                         detail: "region tiles must be non-empty".to_string(),
@@ -208,7 +217,7 @@ impl SubTensorScheme {
         match *self {
             SubTensorScheme::PerTensor => Ok(1),
             SubTensorScheme::Token { len } => {
-                if len == 0 || volume % len != 0 {
+                if len == 0 || !volume.is_multiple_of(len) {
                     return Err(TensorError::PartitionMismatch {
                         detail: format!(
                             "token length {len} does not divide tensor volume {volume}"
@@ -217,7 +226,10 @@ impl SubTensorScheme {
                 }
                 Ok(volume / len)
             }
-            SubTensorScheme::Region { tile_rows, tile_cols } => {
+            SubTensorScheme::Region {
+                tile_rows,
+                tile_cols,
+            } => {
                 if tile_rows == 0 || tile_cols == 0 {
                     return Err(TensorError::PartitionMismatch {
                         detail: "region tiles must be non-empty".to_string(),
@@ -234,6 +246,7 @@ impl SubTensorScheme {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // range lists, not fill exprs
 mod tests {
     use super::*;
 
@@ -287,7 +300,10 @@ mod tests {
         let s = Shape::new(vec![5, 7]).unwrap();
         let views = SubTensorScheme::region(2, 3).partition(&s).unwrap();
         covers_exactly(&views, 35);
-        assert_eq!(views.len(), SubTensorScheme::region(2, 3).count(&s).unwrap());
+        assert_eq!(
+            views.len(),
+            SubTensorScheme::region(2, 3).count(&s).unwrap()
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Tensor {
     pub fn zeros(dims: Vec<usize>) -> Result<Self> {
         let shape = Shape::new(dims)?;
         let volume = shape.volume();
-        Ok(Tensor { shape, data: vec![0.0; volume] })
+        Ok(Tensor {
+            shape,
+            data: vec![0.0; volume],
+        })
     }
 
     /// Creates a tensor filled with a constant.
@@ -53,7 +56,10 @@ impl Tensor {
     pub fn full(dims: Vec<usize>, value: f32) -> Result<Self> {
         let shape = Shape::new(dims)?;
         let volume = shape.volume();
-        Ok(Tensor { shape, data: vec![value; volume] })
+        Ok(Tensor {
+            shape,
+            data: vec![value; volume],
+        })
     }
 
     /// Creates a tensor from a flat row-major buffer.
@@ -150,7 +156,10 @@ impl Tensor {
                 right: new_shape.dims().to_vec(),
             });
         }
-        Ok(Tensor { shape: new_shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Applies `f` to every element, returning a new tensor.
@@ -229,10 +238,13 @@ impl Tensor {
     pub fn subtensor(&self, view: &SubTensorView) -> Result<Vec<f32>> {
         let mut out = Vec::with_capacity(view.len());
         for range in view.ranges() {
-            let slice = self.data.get(range.clone()).ok_or(TensorError::IndexOutOfBounds {
-                index: range.end,
-                bound: self.data.len(),
-            })?;
+            let slice = self
+                .data
+                .get(range.clone())
+                .ok_or(TensorError::IndexOutOfBounds {
+                    index: range.end,
+                    bound: self.data.len(),
+                })?;
             out.extend_from_slice(slice);
         }
         Ok(out)
@@ -255,13 +267,13 @@ impl Tensor {
         let mut cursor = 0usize;
         for range in view.ranges() {
             let len = range.len();
-            let slice =
-                self.data
-                    .get_mut(range.clone())
-                    .ok_or(TensorError::IndexOutOfBounds {
-                        index: range.end,
-                        bound: values.len(),
-                    })?;
+            let slice = self
+                .data
+                .get_mut(range.clone())
+                .ok_or(TensorError::IndexOutOfBounds {
+                    index: range.end,
+                    bound: values.len(),
+                })?;
             slice.copy_from_slice(&values[cursor..cursor + len]);
             cursor += len;
         }
@@ -277,8 +289,12 @@ impl Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{} (", self.shape)?;
-        let preview: Vec<String> =
-            self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 8 {
             write!(f, ", …")?;
@@ -350,8 +366,7 @@ mod tests {
 
     #[test]
     fn subtensor_gather_scatter_roundtrip() {
-        let mut t =
-            Tensor::from_vec(vec![4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
+        let mut t = Tensor::from_vec(vec![4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
         let scheme = SubTensorScheme::token(4);
         let views = scheme.partition(t.shape()).unwrap();
         assert_eq!(views.len(), 4);

@@ -14,8 +14,8 @@ use drift::accel::eyeriss::Eyeriss;
 use drift::accel::gemm::{GemmShape, GemmWorkload};
 use drift::core::accelerator::DriftAccelerator;
 use drift::core::selector::DriftPolicy;
-use drift::nn::lower::annotate;
 use drift::nn::datagen::TokenProfile;
+use drift::nn::lower::annotate;
 use drift::nn::lower::GemmOp;
 use drift::nn::zoo::ModelFamily;
 
@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         drift.execute(&dynamic)?,
     ];
     let base = reports[0].cycles as f64;
-    println!("{:<10} {:>10} {:>8} {:>8} {:>12}", "design", "cycles", "speedup", "stalls", "energy (nJ)");
+    println!(
+        "{:<10} {:>10} {:>8} {:>8} {:>12}",
+        "design", "cycles", "speedup", "stalls", "energy (nJ)"
+    );
     for r in &reports {
         println!(
             "{:<10} {:>10} {:>7.2}x {:>8} {:>12.1}",

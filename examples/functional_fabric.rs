@@ -7,10 +7,10 @@
 //! cargo run --release --example functional_fabric
 //! ```
 
+use drift::accel::gemm::{GemmShape, GemmWorkload};
 use drift::core::arch::dispatch::DispatchPlan;
 use drift::core::arch::functional::{run_split_gemm, FunctionalArray};
 use drift::core::selector::DriftPolicy;
-use drift::accel::gemm::{GemmShape, GemmWorkload};
 use drift::quant::intgemm::{int_gemm, CodedMatrix};
 use drift::quant::Precision;
 use drift::tensor::Tensor;
@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = GemmWorkload::new(
         "fabric",
         shape,
-        ca.precisions().iter().map(|p| *p == Precision::INT8).collect(),
-        cb.precisions().iter().map(|p| *p == Precision::INT8).collect(),
+        ca.precisions()
+            .iter()
+            .map(|p| *p == Precision::INT8)
+            .collect(),
+        cb.precisions()
+            .iter()
+            .map(|p| *p == Precision::INT8)
+            .collect(),
     )?;
     let plan = DispatchPlan::build(&workload, None)?;
 

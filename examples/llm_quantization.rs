@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("perplexity proxy (lower is better, anchored at GPT2-XL/Wiki):");
     println!("  fp32   {:.2}", fp32.perplexity);
-    println!("  int8   {:.2}  (ΔCE {:.4})", int8.perplexity, int8.delta_ce);
+    println!(
+        "  int8   {:.2}  (ΔCE {:.4})",
+        int8.perplexity, int8.delta_ce
+    );
     println!(
         "  drift  {:.2}  (ΔCE {:.4}) at {:.1}% 4-bit computation",
         drift.perplexity,

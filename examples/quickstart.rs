@@ -6,10 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use drift::core::accelerator::DriftAccelerator;
-use drift::core::selector::DriftPolicy;
 use drift::accel::accelerator::Accelerator;
 use drift::accel::gemm::{GemmShape, GemmWorkload};
+use drift::core::accelerator::DriftAccelerator;
+use drift::core::selector::DriftPolicy;
 use drift::quant::policy::run_policy;
 use drift::quant::Precision;
 use drift::tensor::dist::{Laplace, Sampler};
@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Run the Drift selection algorithm per token (Eqs. 5-6).
     let policy = DriftPolicy::new(0.3)?;
-    let run = run_policy(&acts, &SubTensorScheme::token(hidden), Precision::INT8, &policy)?;
+    let run = run_policy(
+        &acts,
+        &SubTensorScheme::token(hidden),
+        Precision::INT8,
+        &policy,
+    )?;
     println!(
         "drift selected {} of {} tokens for 4-bit ({:.1}% of elements)",
         run.low_subtensors(),
@@ -40,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Build the mixed-precision GEMM workload those decisions imply.
-    let act_high: Vec<bool> =
-        run.decisions.iter().map(|d| !d.decision.is_low()).collect();
+    let act_high: Vec<bool> = run.decisions.iter().map(|d| !d.decision.is_low()).collect();
     let shape = GemmShape::new(tokens, hidden, 512)?;
     let workload = GemmWorkload::new("quickstart", shape, act_high, vec![false; 512])?;
 

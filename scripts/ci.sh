@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full CI gate: formatting, lints (warnings are errors), the tier-1
+# build+test pass, and the workspace test suite. Run before every PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "ci: all green"

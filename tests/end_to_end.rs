@@ -19,7 +19,10 @@ fn bert_pipeline_orders_accelerators_correctly() {
     let desc = zoo::bert_base();
     let policy = DriftPolicy::new(0.027).unwrap();
     let workloads = model_workloads(&desc, &policy, 42).unwrap();
-    assert!(model_low_fraction(&workloads) > 0.6, "BERT should be mostly 4-bit");
+    assert!(
+        model_low_fraction(&workloads) > 0.6,
+        "BERT should be mostly 4-bit"
+    );
 
     let mut eyeriss = Eyeriss::paper_config().unwrap();
     let mut bitfusion = BitFusion::int8().unwrap();
@@ -36,7 +39,10 @@ fn bert_pipeline_orders_accelerators_correctly() {
         assert_eq!(rd.stall_cycles, 0, "{}: drift must not stall", op.name);
         t_d += rd.cycles * op.repeat;
     }
-    assert!(t_e > t_b, "eyeriss {t_e} should be slowest (bitfusion {t_b})");
+    assert!(
+        t_e > t_b,
+        "eyeriss {t_e} should be slowest (bitfusion {t_b})"
+    );
     assert!(t_b > t_q, "bitfusion {t_b} should trail drq {t_q}");
     assert!(t_q > t_d, "drq {t_q} should trail drift {t_d}");
     // The paper's headline factors, loosely: drift 5-15x over eyeriss,
@@ -44,8 +50,14 @@ fn bert_pipeline_orders_accelerators_correctly() {
     let over_eyeriss = t_e as f64 / t_d as f64;
     let over_bitfusion = t_b as f64 / t_d as f64;
     let over_drq = t_q as f64 / t_d as f64;
-    assert!((5.0..20.0).contains(&over_eyeriss), "vs eyeriss {over_eyeriss}");
-    assert!((1.5..3.5).contains(&over_bitfusion), "vs bitfusion {over_bitfusion}");
+    assert!(
+        (5.0..20.0).contains(&over_eyeriss),
+        "vs eyeriss {over_eyeriss}"
+    );
+    assert!(
+        (1.5..3.5).contains(&over_bitfusion),
+        "vs bitfusion {over_bitfusion}"
+    );
     assert!((1.2..2.5).contains(&over_drq), "vs drq {over_drq}");
 }
 
@@ -69,7 +81,10 @@ fn vit_energy_ordering() {
         assert!(f.iter().all(|&x| x > 0.0), "all energy components present");
         e_d += rd.energy.total_pj() * op.repeat as f64;
     }
-    assert!(e_e > e_b && e_b > e_d, "energy ordering: {e_e} > {e_b} > {e_d}");
+    assert!(
+        e_e > e_b && e_b > e_d,
+        "energy ordering: {e_e} > {e_b} > {e_d}"
+    );
 }
 
 /// The DRQ collapse on interleaved precisions (the ViT-B result): DRQ's

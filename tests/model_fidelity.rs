@@ -27,19 +27,17 @@ fn transformer_ordering_matches_fig6() {
     let inputs = bert_inputs(96, model.hidden(), 3_000);
 
     let int8 = classification_fidelity(&model, &inputs, &StaticHighPolicy, 100.0).unwrap();
-    let drift = classification_fidelity(
-        &model,
-        &inputs,
-        &DriftPolicy::new(0.3).unwrap(),
-        100.0,
-    )
-    .unwrap();
+    let drift =
+        classification_fidelity(&model, &inputs, &DriftPolicy::new(0.3).unwrap(), 100.0).unwrap();
     let drq =
-        classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 100.0)
-            .unwrap();
+        classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 100.0).unwrap();
 
     assert!(int8.agreement > 0.95, "int8 {}", int8.agreement);
-    assert!(drift.low_fraction > 0.8, "drift share {}", drift.low_fraction);
+    assert!(
+        drift.low_fraction > 0.8,
+        "drift share {}",
+        drift.low_fraction
+    );
     assert!(
         int8.agreement - drift.agreement < 0.06,
         "drift lost too much: {} vs {}",
@@ -66,21 +64,23 @@ fn transformer_ordering_matches_fig6() {
 fn cnn_both_schemes_hold_up() {
     let model = TinyCnn::resnet_like(11).unwrap();
     let inputs: Vec<Tensor> = (0..48)
-        .map(|i| ImageProfile::natural().generate(3, 16, 16, 2_000 + i as u64).unwrap())
+        .map(|i| {
+            ImageProfile::natural()
+                .generate(3, 16, 16, 2_000 + i as u64)
+                .unwrap()
+        })
         .collect();
     let drq =
-        classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 100.0)
-            .unwrap();
-    let drift = classification_fidelity(
-        &model,
-        &inputs,
-        &DriftPolicy::new(0.05).unwrap(),
-        100.0,
-    )
-    .unwrap();
+        classification_fidelity(&model, &inputs, &DrqPolicy::new(1.0).unwrap(), 100.0).unwrap();
+    let drift =
+        classification_fidelity(&model, &inputs, &DriftPolicy::new(0.05).unwrap(), 100.0).unwrap();
     assert!(drq.agreement > 0.9, "drq on cnn {}", drq.agreement);
     assert!(drift.agreement > 0.9, "drift on cnn {}", drift.agreement);
-    assert!(drift.low_fraction > 0.8, "drift share {}", drift.low_fraction);
+    assert!(
+        drift.low_fraction > 0.8,
+        "drift share {}",
+        drift.low_fraction
+    );
 }
 
 /// The Table 1 story: the LLM perplexity proxy stays within a modest
@@ -89,7 +89,11 @@ fn cnn_both_schemes_hold_up() {
 fn llm_perplexity_matches_table1_shape() {
     let model = TinyTransformer::llm_like(41, 48).unwrap();
     let inputs: Vec<Tensor> = (0..10)
-        .map(|i| TokenProfile::llm().generate(24, 64, 6_000 + i as u64).unwrap())
+        .map(|i| {
+            TokenProfile::llm()
+                .generate(24, 64, 6_000 + i as u64)
+                .unwrap()
+        })
         .collect();
     let anchor = 17.48;
     let fp32 = perplexity_proxy(&model, &inputs, None, anchor).unwrap();
@@ -127,9 +131,7 @@ fn hessian_calibration_integrates() {
                 name: format!("l{i}"),
                 activations: acts,
                 scheme: SubTensorScheme::token(64),
-                weights: Some(
-                    drift::nn::datagen::xavier_weights(64, 64, 8_000 + i).unwrap(),
-                ),
+                weights: Some(drift::nn::datagen::xavier_weights(64, 64, 8_000 + i).unwrap()),
             }
         })
         .collect();
@@ -137,7 +139,11 @@ fn hessian_calibration_integrates() {
     let mut rng = drift::tensor::rng::seeded(1);
     let result = calibrator.calibrate(&layers, 30.0, &mut rng).unwrap();
     assert!(result.delta > 0.0);
-    assert!(result.low_fraction > 0.0, "calibrated share {}", result.low_fraction);
+    assert!(
+        result.low_fraction > 0.0,
+        "calibrated share {}",
+        result.low_fraction
+    );
     assert_eq!(result.sweep.len(), calibrator.candidates.len());
     // A looser budget admits a smaller δ and at least as much 4-bit.
     let mut rng2 = drift::tensor::rng::seeded(1);

@@ -1,0 +1,422 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Reproduces the macro-and-strategy surface this workspace's property
+//! tests use: `proptest! { fn case(x in strategy, ..) { .. } }` with
+//! numeric range strategies, `any::<bool>()`, and
+//! `proptest::collection::vec`. Each test runs a fixed number of
+//! deterministic cases (seeded from the test name, overridable via
+//! `PROPTEST_CASES`); there is no shrinking — a failure reports the
+//! case index and seed so it can be replayed.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — try another input.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// The deterministic generator behind each test case (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_strategy {
+    ($($t:ty as $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add((rng.next_u64() % span) as $wide) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide).wrapping_add((rng.next_u64() % (span + 1)) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_strategy!(i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// An element-count specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The test-runner types (compatibility module).
+pub mod test_runner {
+    pub use super::{TestCaseError, TestRng};
+}
+
+/// Everything the `proptest!` test files import.
+pub mod prelude {
+    pub use super::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use super::{Arbitrary, Strategy, TestCaseError};
+}
+
+/// Number of cases per property (`PROPTEST_CASES` overrides).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(48)
+}
+
+/// Runs the generated cases for one property. Used by [`proptest!`].
+///
+/// # Panics
+///
+/// Panics when a case fails its assertions or too many cases are
+/// rejected by `prop_assume!`.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    // FNV-1a of the property name seeds the whole run: deterministic
+    // across processes, distinct across properties.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        seed ^= u64::from(*byte);
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    let target = cases();
+    let mut passed = 0u64;
+    let mut attempt = 0u64;
+    let max_attempts = target.saturating_mul(32);
+    while passed < target {
+        assert!(
+            attempt < max_attempts,
+            "property `{name}`: too many inputs rejected ({passed}/{target} accepted)"
+        );
+        let case_seed = seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::new(case_seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{name}` failed at case {attempt} (seed {case_seed:#x}): {message}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` running [`cases`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg =
+                            $crate::Strategy::generate(&($strategy), __proptest_rng);
+                    )*
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds (draws a fresh input).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_are_respected(x in 3usize..10, y in -2.0f64..2.0, flag in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            let _generated: bool = flag; // bool strategy produces a value
+        }
+
+        #[test]
+        fn vec_strategy_honours_size(
+            xs in crate::collection::vec(0u64..5, 2..6),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut first = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_context() {
+        crate::run_cases("always_fails", |_| Err(crate::TestCaseError::fail("nope")));
+    }
+}

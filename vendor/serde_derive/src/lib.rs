@@ -1,0 +1,407 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace actually declares — structs with named
+//! fields, and enums whose variants are unit, newtype, or struct-like —
+//! without `syn`/`quote` (unavailable offline). The input item is
+//! parsed directly from the `proc_macro` token trees, and the generated
+//! impls target the vendored `serde` value model, producing the same
+//! externally tagged layout real serde would.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed derive target.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    /// A tuple struct with `arity` unnamed fields. Arity 1 (newtype)
+    /// serializes transparently, as real serde does.
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+/// Skips `#[...]` attribute pairs (including rendered doc comments).
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the named fields of a brace-delimited body, returning the
+/// field names in declaration order.
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_visibility(&tokens, skip_attributes(&tokens, i));
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Expect `:`, then skip the type up to a comma at angle depth 0.
+        debug_assert!(matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'));
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses the derive input item (struct or enum with named shapes).
+fn parse_item(input: &TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = skip_visibility(&tokens, skip_attributes(&tokens, 0));
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("serde derive: expected item name, got {other}"),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream();
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+            {
+                return Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(&g.stream()),
+                };
+            }
+            Some(_) => i += 1, // generics/where are absent in this workspace; tolerate tokens
+            None => panic!("serde derive: `{name}` has no brace-delimited body"),
+        }
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Counts the unnamed fields of a tuple-struct body (top-level commas
+/// at angle depth 0 separate fields).
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let mut arity = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in body.clone() {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]`: renders the item into a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(&input) {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(entries)\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inner = if arity == 1 {
+                // Newtype structs are transparent, like real serde.
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: String = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),\n"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![\n{items}])")
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 {inner}\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n")
+                        }
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(inner) => ::serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::to_value(inner))]),\n"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "inner.push((\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                                 ::serde::Value::Map(inner))])\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    wrap_impl(&body)
+}
+
+/// `#[derive(Deserialize)]`: rebuilds the item from a `serde::Value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(&input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(entries, \"{f}\", \"{name}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let entries = v.as_map().ok_or_else(|| \
+                 ::serde::DeError::new(format!(\"expected map for {name}, got {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                 }}\n}}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                     }}\n}}"
+                )
+            } else {
+                let inits: String = (0..arity)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                             ::serde::DeError::new(\"tuple struct {name} too short\"))?)?,\n"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let items = v.as_seq().ok_or_else(|| \
+                     ::serde::DeError::new(\"expected sequence for tuple struct {name}\"))?;\n\
+                     ::std::result::Result::Ok({name}(\n{inits}))\n\
+                     }}\n}}"
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),\n")
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Newtype => Some(format!(
+                            "\"{vn}\" => return ::serde::Deserialize::from_value(payload)\
+                             .map({name}::{vn}),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::from_field(entries, \"{f}\", \
+                                         \"{name}::{vn}\")?,\n"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let entries = payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::new(\"expected map for {name}::{vn}\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vn} {{\n{inits}}});\n\
+                                 }}\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if let ::serde::Value::Str(tag) = v {{\n\
+                 match tag.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 if let ::serde::Value::Map(outer) = v {{\n\
+                 if outer.len() == 1 {{\n\
+                 let (tag, payload) = (&outer[0].0, &outer[0].1);\n\
+                 match tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::DeError::new(\
+                 format!(\"unrecognised {name} value: {{v:?}}\")))\n\
+                 }}\n}}"
+            )
+        }
+    };
+    wrap_impl(&body)
+}
+
+/// Wraps generated impls with lint silencing (generated code is exempt
+/// from the workspace's pedantic expectations).
+fn wrap_impl(body: &str) -> TokenStream {
+    format!("#[automatically_derived]\n#[allow(clippy::all, unused_mut)]\n{body}")
+        .parse()
+        .expect("serde derive emitted invalid Rust")
+}

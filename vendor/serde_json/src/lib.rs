@@ -1,0 +1,471 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Serializes the vendored [`serde::Value`] model to JSON text and
+//! parses JSON text back. Covers the full JSON grammar (escapes,
+//! `\uXXXX` including surrogate pairs, exponent-form numbers); floats
+//! print with `{:?}` so every finite value round-trips exactly.
+
+#![warn(missing_docs)]
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// A serialization or parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] for non-finite floats, which JSON cannot express.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] for non-finite floats, which JSON cannot express.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(
+    v: &Value,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::new("JSON cannot represent a non-finite float"));
+            }
+            // `{:?}` is the shortest representation that round-trips.
+            out.push_str(&format!("{x:?}"));
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i| {
+                write_value(&items[i], out, indent, depth + 1)
+            })?;
+        }
+        Value::Map(entries) => {
+            write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i| {
+                write_string(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&entries[i].1, out, indent, depth + 1)
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn write_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return Ok(());
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        write_item(out, i)?;
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::new(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast-forward over the plain UTF-8 run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.parse_escape()?);
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, Error> {
+        let b = self.peek().ok_or_else(|| Error::new("truncated escape"))?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: expect `\uXXXX` low half.
+                    if !(self.eat_literal("\\u")) {
+                        return Err(Error::new("unpaired surrogate"));
+                    }
+                    let lo = self.parse_hex4()?;
+                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00))
+                } else {
+                    hi
+                };
+                char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?
+            }
+            other => {
+                return Err(Error::new(format!("invalid escape `\\{}`", other as char)));
+            }
+        })
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number chars");
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let v = Value::Map(vec![
+            ("name".to_string(), Value::Str("drift".to_string())),
+            ("cycles".to_string(), Value::I64(12345)),
+            ("util".to_string(), Value::F64(0.875)),
+            (
+                "tags".to_string(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        struct Raw(Value);
+        impl Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let compact = to_string(&Raw(v.clone())).unwrap();
+        assert_eq!(
+            compact,
+            r#"{"name":"drift","cycles":12345,"util":0.875,"tags":[true,null]}"#
+        );
+        let pretty = to_string_pretty(&Raw(v)).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"drift\""));
+    }
+
+    #[test]
+    fn parses_nested_json() {
+        let parsed: Vec<Vec<u64>> = from_str("[[1,2],[3]]").unwrap();
+        assert_eq!(parsed, vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\none\ttab \"quoted\" back\\slash \u{1F600} \u{7}".to_string();
+        let json = to_string(&original).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let back: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(back, "\u{1F600}");
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        #[allow(clippy::excessive_precision)]
+        // deliberately over-precise: asserts round-tripping truncates
+        for x in [0.1f64, 1e-300, -2.5e17, 123456789.123456789] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<u64>("[1,").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+    }
+}
