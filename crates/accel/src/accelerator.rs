@@ -12,6 +12,7 @@ use crate::energy::{EnergyBreakdown, EnergyModel};
 use crate::gemm::GemmWorkload;
 use crate::memory::BufferSet;
 use crate::Result;
+use drift_obs::Recorder;
 use serde::{Deserialize, Serialize};
 
 /// The result of executing one workload on one accelerator.
@@ -97,6 +98,8 @@ pub struct MemorySubsystem {
     pub dram: DramSim,
     /// The buffer hierarchy.
     pub buffers: BufferSet,
+    /// Metrics sink for DRAM/buffer counters (disabled by default).
+    recorder: Recorder,
 }
 
 impl MemorySubsystem {
@@ -109,7 +112,16 @@ impl MemorySubsystem {
         Ok(MemorySubsystem {
             dram: DramSim::new(DramConfig::default())?,
             buffers: BufferSet::drift_default(),
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Routes this subsystem's DRAM and energy counters (row hits and
+    /// conflicts, read/write bytes, per-stage energy) to `recorder`.
+    /// Recording never changes simulated traffic or timings; with the
+    /// default disabled recorder every metric call is a no-op.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Returns the subsystem to its just-constructed state (DRAM rows
@@ -142,7 +154,8 @@ impl MemorySubsystem {
         act_reread: u64,
     ) -> TrafficReport {
         let buffer_pj_before = self.buffers.energy_pj();
-        let dram_pj_before = self.dram.stats().energy_pj;
+        let stats_before = self.dram.stats();
+        let dram_pj_before = stats_before.energy_pj;
 
         let weight_tiles = self.buffers.weight.refetch_factor(weight_bytes);
         let act_dram_rounds = if act_bytes <= self.buffers.global.capacity_bytes() {
@@ -180,11 +193,45 @@ impl MemorySubsystem {
         let out_addr = self.dram.allocate(output_bytes);
         dram_cycles += self.dram.stream(out_addr, output_bytes, true);
 
-        TrafficReport {
+        let report = TrafficReport {
             dram_cycles,
             dram_pj: self.dram.stats().energy_pj - dram_pj_before,
             buffer_pj: self.buffers.energy_pj() - buffer_pj_before,
+        };
+        if self.recorder.is_enabled() {
+            let after = self.dram.stats();
+            self.recorder.counter_add(
+                "drift_dram_row_hits_total",
+                &[],
+                after.row_hits - stats_before.row_hits,
+            );
+            self.recorder.counter_add(
+                "drift_dram_row_conflicts_total",
+                &[],
+                after.row_misses - stats_before.row_misses,
+            );
+            self.recorder.counter_add(
+                "drift_dram_bytes_total",
+                &[("dir", "read")],
+                after.read_bytes - stats_before.read_bytes,
+            );
+            self.recorder.counter_add(
+                "drift_dram_bytes_total",
+                &[("dir", "write")],
+                after.write_bytes - stats_before.write_bytes,
+            );
+            self.recorder.fcounter_add(
+                "drift_energy_picojoules_total",
+                &[("stage", "dram")],
+                report.dram_pj,
+            );
+            self.recorder.fcounter_add(
+                "drift_energy_picojoules_total",
+                &[("stage", "buffer")],
+                report.buffer_pj,
+            );
         }
+        report
     }
 
     /// The standard traffic of a quantized workload: byte counts from the

@@ -236,7 +236,30 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         cache_capacity,
         ..drift_serve::ServeConfig::default()
     };
-    let outcome = drift_serve::serve(jobs, &config);
+
+    // Observability is opt-in: either flag enables the recorder; the
+    // default path runs with the no-op recorder (bit-identical results
+    // either way, see docs/OBSERVABILITY.md).
+    let metrics_addr = opts.get("metrics-addr");
+    let metrics_out = opts.get("metrics-out");
+    let recorder = if metrics_addr.is_some() || metrics_out.is_some() {
+        drift_obs::Recorder::enabled()
+    } else {
+        drift_obs::Recorder::disabled()
+    };
+    let server = match metrics_addr {
+        Some(addr) => {
+            let registry = recorder.registry().expect("recorder enabled above");
+            let server =
+                drift_obs::http::MetricsServer::start(addr, std::sync::Arc::clone(registry))
+                    .map_err(|e| format!("cannot bind metrics server on {addr}: {e}"))?;
+            eprintln!("metrics: http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+
+    let outcome = drift_serve::serve_with_recorder(jobs, &config, recorder.clone());
 
     // Results as JSONL on stdout; the report goes to stderr so the
     // stream stays pipeable.
@@ -249,7 +272,146 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     out.flush()
         .map_err(|e| format!("cannot write results: {e}"))?;
     eprint!("{}", outcome.report.render());
+
+    if let (Some(path), Some(registry)) = (metrics_out, recorder.registry()) {
+        std::fs::write(path, registry.snapshot().to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("metrics: snapshot written to {path} (render with `drift report {path}`)");
+    }
+    drop(server);
     Ok(())
+}
+
+/// `drift report` — renders a `--metrics-out` JSON snapshot as the
+/// human table (counters with units, histogram quantiles, stage tree).
+pub fn report(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("usage: drift report FILE|-".to_string());
+    };
+    let text = if path == "-" {
+        use std::io::Read;
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
+    print!("{}", parse_snapshot(&text)?.render_table());
+    Ok(())
+}
+
+/// Parses the `Snapshot::to_json` schema back into a [`Snapshot`].
+///
+/// Lives here rather than in `drift-obs` so the obs crate stays
+/// dependency-free; the CLI already carries `serde_json`.
+fn parse_snapshot(text: &str) -> Result<drift_obs::Snapshot, String> {
+    use drift_obs::export::{HistogramSample, Sample, StageSample};
+    use drift_obs::registry::MetricId;
+    use serde_json::Value;
+
+    fn v_str(v: &Value) -> Option<&str> {
+        match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+    fn v_u64(v: &Value) -> Option<u64> {
+        match v {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+    fn v_i64(v: &Value) -> Option<i64> {
+        match v {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+    fn v_f64(v: &Value) -> Option<f64> {
+        match v {
+            Value::F64(x) => Some(*x),
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    let root: Value =
+        serde_json::from_str(text).map_err(|e| format!("invalid metrics JSON: {e}"))?;
+    let section = |name: &str| -> Vec<Value> {
+        root.get(name)
+            .and_then(Value::as_seq)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default()
+    };
+    let id_of = |entry: &Value| -> Result<MetricId, String> {
+        let name = entry
+            .get("name")
+            .and_then(v_str)
+            .ok_or("metric sample missing \"name\"")?;
+        let labels: Vec<(&str, &str)> = entry
+            .get("labels")
+            .and_then(Value::as_map)
+            .map(|m| {
+                m.iter()
+                    .filter_map(|(k, v)| v_str(v).map(|v| (k.as_str(), v)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(MetricId::new(name, &labels))
+    };
+    let u64s = |entry: &Value, field: &str| -> Vec<u64> {
+        entry
+            .get(field)
+            .and_then(Value::as_seq)
+            .map(|a| a.iter().filter_map(v_u64).collect())
+            .unwrap_or_default()
+    };
+
+    let mut snapshot = drift_obs::Snapshot::default();
+    for entry in section("counters") {
+        snapshot.counters.push(Sample {
+            id: id_of(&entry)?,
+            value: entry.get("value").and_then(v_u64).unwrap_or(0),
+        });
+    }
+    for entry in section("fcounters") {
+        snapshot.fcounters.push(Sample {
+            id: id_of(&entry)?,
+            value: entry.get("value").and_then(v_f64).unwrap_or(0.0),
+        });
+    }
+    for entry in section("gauges") {
+        snapshot.gauges.push(Sample {
+            id: id_of(&entry)?,
+            value: entry.get("value").and_then(v_i64).unwrap_or(0),
+        });
+    }
+    for entry in section("histograms") {
+        snapshot.histograms.push(HistogramSample {
+            id: id_of(&entry)?,
+            bounds: u64s(&entry, "bounds"),
+            counts: u64s(&entry, "counts"),
+            sum: entry.get("sum").and_then(v_u64).unwrap_or(0),
+        });
+    }
+    for entry in section("stages") {
+        snapshot.stages.push(StageSample {
+            stage: entry
+                .get("stage")
+                .and_then(v_str)
+                .ok_or("stage sample missing \"stage\"")?
+                .to_string(),
+            calls: entry.get("calls").and_then(v_u64).unwrap_or(0),
+            wall_ns: entry.get("wall_ns").and_then(v_u64).unwrap_or(0),
+            sim_cycles: entry.get("sim_cycles").and_then(v_u64).unwrap_or(0),
+        });
+    }
+    Ok(snapshot)
 }
 
 /// `drift bench-serve`

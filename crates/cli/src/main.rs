@@ -5,8 +5,10 @@
 //! drift select  [--profile bert] [--tokens 64] [--hidden 256] [--delta 0.3] [--seed 7]
 //! drift schedule [--m 512] [--k 768] [--n 768] [--fa 0.2] [--fw 0.1]
 //! drift simulate [--model BERT] [--accel drift] [--delta 0.027] [--seed 42]
-//! drift serve    [--jobs jobs.jsonl|-] [--workers 8]
+//! drift serve    [--jobs jobs.jsonl|-] [--workers 8] [--metrics-addr 127.0.0.1:9109]
+//!                [--metrics-out run.json]
 //! drift bench-serve [--jobs 1000] [--workers "1,2,4,8"]
+//! drift report   run.json
 //! drift area
 //! ```
 //!
@@ -24,27 +26,32 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let opts = match parse_opts(rest) {
-        Ok(opts) => opts,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("{}", usage());
-            return ExitCode::FAILURE;
+    // `report` takes a positional file path, not `--key value` pairs.
+    let result = if command == "report" {
+        commands::report(rest)
+    } else {
+        let opts = match parse_opts(rest) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        match command.as_str() {
+            "models" => commands::models(),
+            "select" => commands::select(&opts),
+            "schedule" => commands::schedule(&opts),
+            "simulate" => commands::simulate(&opts),
+            "serve" => commands::serve(&opts),
+            "bench-serve" => commands::bench_serve(&opts),
+            "area" => commands::area(),
+            "help" | "--help" | "-h" => {
+                println!("{}", usage());
+                Ok(())
+            }
+            other => Err(format!("unknown command '{other}'")),
         }
-    };
-    let result = match command.as_str() {
-        "models" => commands::models(),
-        "select" => commands::select(&opts),
-        "schedule" => commands::schedule(&opts),
-        "simulate" => commands::simulate(&opts),
-        "serve" => commands::serve(&opts),
-        "bench-serve" => commands::bench_serve(&opts),
-        "area" => commands::area(),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
-        }
-        other => Err(format!("unknown command '{other}'")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -66,11 +73,15 @@ fn usage() -> String {
      \x20                                 balance the fabric for a precision mix (Eq. 8)\n\
      \x20 simulate [--model NAME] [--accel drift|bitfusion|drq|eyeriss]\n\
      \x20          [--delta D] [--seed S] per-layer cycles for a zoo model\n\
+     \x20          [--trace FILE]         write the per-layer trace as JSON\n\
      \x20 serve    [--jobs FILE|-] [--workers N] [--queue-depth Q]\n\
      \x20          [--cache-capacity C]   run a JSONL job stream on a worker pool;\n\
      \x20                                 results to stdout, report to stderr\n\
+     \x20          [--metrics-addr A]     serve Prometheus text on http://A/metrics\n\
+     \x20          [--metrics-out FILE]   write the final metrics snapshot as JSON\n\
      \x20 bench-serve [--jobs N] [--shapes S] [--workers \"1,2,4,8\"] [--seed S]\n\
      \x20                                 throughput of the serve runtime per worker count\n\
+     \x20 report   FILE|-                render a --metrics-out JSON snapshot as a table\n\
      \x20 area                           the 40 nm area breakdown"
         .to_string()
 }

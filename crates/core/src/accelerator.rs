@@ -24,6 +24,7 @@ use drift_accel::energy::EnergyModel;
 use drift_accel::gemm::GemmWorkload;
 use drift_accel::systolic::{pass_count, simulate_stream, ArrayGeometry, BG_WEIGHT_BIT_LANES};
 use drift_accel::{AccelError, Result};
+use drift_obs::{span, Recorder};
 use drift_quant::convert::ConversionChoice;
 use drift_quant::policy::Decision;
 use drift_quant::precision::Precision;
@@ -57,6 +58,7 @@ pub struct DriftAccelerator {
     energy: EnergyModel,
     memory: MemorySubsystem,
     last_schedule: Option<Schedule>,
+    recorder: Recorder,
 }
 
 impl DriftAccelerator {
@@ -89,7 +91,20 @@ impl DriftAccelerator {
             energy: EnergyModel::default(),
             memory: MemorySubsystem::new()?,
             last_schedule: None,
+            recorder: Recorder::disabled(),
         })
+    }
+
+    /// Routes this simulator's metrics — per-array busy/idle cycles,
+    /// layer cycle totals, reconfigurations, per-stage energy, and the
+    /// memory subsystem's DRAM counters — to `recorder`.
+    ///
+    /// Recording is strictly write-only: reports are bit-identical with
+    /// the recorder enabled, disabled (the default), or replaced
+    /// mid-run.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.memory.set_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// The schedule chosen for the most recently executed layer
@@ -208,13 +223,17 @@ impl DriftAccelerator {
         let mut compute_cycles = 0u64;
         let mut act_reread_weighted = 0u64;
         let mut act_bytes_total = 0u64;
-        for (q, geo) in quadrants.iter().zip(geos) {
+        let mut array_busy = [0u64; 4];
+        let mut array_units = [0u64; 4];
+        for (slot, (q, geo)) in quadrants.iter().zip(geos).enumerate() {
             let (Some(shape), Some(geo)) = (q.shape(), geo) else {
                 continue;
             };
+            array_units[slot] = geo.units() as u64;
             let passes = pass_count(shape, q.pair.activation, q.pair.weight, geo);
             let report = simulate_stream(&vec![1u32; shape.m], geo, passes);
             debug_assert_eq!(report.stall_cycles, 0);
+            array_busy[slot] = report.busy_bg_cycles;
             busy_bg_cycles += report.busy_bg_cycles;
             compute_cycles = compute_cycles.max(report.total_cycles);
 
@@ -247,7 +266,7 @@ impl DriftAccelerator {
 
         let core_pj = busy_bg_cycles as f64 * self.energy.e_bg_cycle_pj;
         self.last_schedule = Some(schedule);
-        Ok(finish_report(
+        let report = finish_report(
             "drift",
             workload,
             compute_cycles,
@@ -257,7 +276,47 @@ impl DriftAccelerator {
             traffic,
             self.fabric.units(),
             self.energy.static_pj_per_unit_cycle,
-        ))
+        );
+        if self.recorder.is_enabled() {
+            const ARRAYS: [&str; 4] = ["hh", "hl", "lh", "ll"];
+            for (slot, name) in ARRAYS.iter().enumerate() {
+                if array_units[slot] == 0 {
+                    continue;
+                }
+                let span_cycles = array_units[slot] * compute_cycles;
+                self.recorder.counter_add(
+                    "drift_array_busy_cycles_total",
+                    &[("array", name)],
+                    array_busy[slot],
+                );
+                self.recorder.counter_add(
+                    "drift_array_idle_cycles_total",
+                    &[("array", name)],
+                    span_cycles.saturating_sub(array_busy[slot]),
+                );
+            }
+            self.recorder
+                .counter_add("drift_compute_cycles_total", &[], report.compute_cycles);
+            self.recorder
+                .counter_add("drift_dram_cycles_total", &[], report.dram_cycles);
+            self.recorder
+                .counter_add("drift_layers_executed_total", &[], 1);
+            if reconfigures {
+                self.recorder
+                    .counter_add("drift_reconfigurations_total", &[], 1);
+            }
+            self.recorder.fcounter_add(
+                "drift_energy_picojoules_total",
+                &[("stage", "core")],
+                report.energy.core_pj,
+            );
+            self.recorder.fcounter_add(
+                "drift_energy_picojoules_total",
+                &[("stage", "static")],
+                report.energy.static_pj,
+            );
+        }
+        Ok(report)
     }
 
     /// The controller (precision selector + index buffer) model.
@@ -286,14 +345,28 @@ impl Accelerator for DriftAccelerator {
         // streams from it (Section 4.1); the scheduler then solves
         // Eq. 8 for the quadrant mix.
         let plan = self.dispatch(workload)?;
-        let schedule = match self.scheduler {
-            SchedulerKind::Balanced => balanced_schedule(self.fabric, &workload.quadrants()),
-            SchedulerKind::EqualStatic => equal_schedule(self.fabric, &workload.quadrants()),
+        let solve_start = self.recorder.is_enabled().then(std::time::Instant::now);
+        let schedule = {
+            let _solve = span!(self.recorder, "schedule_solve");
+            match self.scheduler {
+                SchedulerKind::Balanced => balanced_schedule(self.fabric, &workload.quadrants()),
+                SchedulerKind::EqualStatic => equal_schedule(self.fabric, &workload.quadrants()),
+            }
+            .map_err(|e| AccelError::InvalidConfig {
+                name: "schedule",
+                detail: e.to_string(),
+            })?
+        };
+        if let Some(start) = solve_start {
+            self.recorder
+                .counter_add("drift_schedule_solves_total", &[], 1);
+            self.recorder.observe(
+                "drift_schedule_solve_nanoseconds",
+                &[],
+                drift_obs::contract::SOLVE_NS_BUCKETS,
+                start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            );
         }
-        .map_err(|e| AccelError::InvalidConfig {
-            name: "schedule",
-            detail: e.to_string(),
-        })?;
         self.simulate(workload, &plan, schedule)
     }
 }
@@ -440,6 +513,35 @@ mod tests {
             .unwrap();
         let mut drift = DriftAccelerator::paper_config().unwrap();
         assert!(drift.execute_with_schedule(&w, schedule).is_err());
+    }
+
+    #[test]
+    fn recorder_does_not_change_reports() {
+        // The acceptance bar: with observability enabled, simulation
+        // results are bit-identical to a run with it disabled.
+        let w = mixed_workload(512, 512, 0.25, 0.25);
+        let mut plain = DriftAccelerator::paper_config().unwrap();
+        let want = [plain.execute(&w).unwrap(), plain.execute(&w).unwrap()];
+
+        let rec = Recorder::enabled();
+        let mut observed = DriftAccelerator::paper_config().unwrap();
+        observed.set_recorder(rec.clone());
+        let got = [observed.execute(&w).unwrap(), observed.execute(&w).unwrap()];
+        assert_eq!(want, got);
+
+        // ...and the run actually produced metrics.
+        let snap = rec.registry().unwrap().snapshot();
+        assert_eq!(snap.counter_sum("drift_layers_executed_total"), 2);
+        assert_eq!(snap.counter_sum("drift_reconfigurations_total"), 1);
+        assert_eq!(snap.counter_sum("drift_schedule_solves_total"), 2);
+        assert!(snap.counter_sum("drift_array_busy_cycles_total") > 0);
+        assert!(snap.counter_sum("drift_array_idle_cycles_total") > 0);
+        assert!(snap.counter_sum("drift_dram_row_hits_total") > 0);
+        assert!(rec
+            .registry()
+            .unwrap()
+            .stages()
+            .contains_key("schedule_solve"));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod accelerator;
 pub mod arch;

@@ -30,10 +30,11 @@
 //! is why the paper claims zero additional compute/area overhead.
 
 use crate::{CoreError, Result};
+use drift_obs::Recorder;
 use drift_quant::capability::RepresentationCapability;
 use drift_quant::convert::ConversionChoice;
 use drift_quant::linear::QuantParams;
-use drift_quant::policy::{Decision, PrecisionPolicy, TensorContext};
+use drift_quant::policy::{Decision, PolicyRun, PrecisionPolicy, TensorContext};
 use drift_quant::precision::Precision;
 use drift_tensor::stats::SummaryStats;
 
@@ -150,6 +151,52 @@ impl DriftPolicy {
         let capability = RepresentationCapability::of(choice, params);
         let laplace_variance = 2.0 * mean_abs * mean_abs;
         capability.density_ratio(laplace_variance) >= self.delta
+    }
+}
+
+/// Records a selector run's per-sub-tensor outcomes into `recorder`:
+/// `drift_selector_decisions_total{decision=keep|convert}` and, for
+/// conversions, the Eq. 5 high-clip distribution
+/// `drift_selector_convert_hc_total{hc}`.
+///
+/// A no-op on a disabled recorder; never changes the run itself.
+pub fn record_policy_run(recorder: &Recorder, run: &PolicyRun) {
+    if !recorder.is_enabled() {
+        return;
+    }
+    let mut keep = 0u64;
+    let mut convert = 0u64;
+    // hc ≤ hp − lp ≤ 7 for the INT8 family; one spare slot guards the
+    // label table against future wider pairs.
+    const HC_LABELS: [&str; 9] = ["0", "1", "2", "3", "4", "5", "6", "7", "8"];
+    let mut by_hc = [0u64; HC_LABELS.len()];
+    for d in &run.decisions {
+        match &d.decision {
+            Decision::Keep => keep += 1,
+            Decision::Convert(choice) => {
+                convert += 1;
+                by_hc[usize::from(choice.hc()).min(HC_LABELS.len() - 1)] += 1;
+            }
+        }
+    }
+    recorder.counter_add(
+        "drift_selector_decisions_total",
+        &[("decision", "keep")],
+        keep,
+    );
+    recorder.counter_add(
+        "drift_selector_decisions_total",
+        &[("decision", "convert")],
+        convert,
+    );
+    for (hc, &n) in by_hc.iter().enumerate() {
+        if n > 0 {
+            recorder.counter_add(
+                "drift_selector_convert_hc_total",
+                &[("hc", HC_LABELS[hc])],
+                n,
+            );
+        }
     }
 }
 
@@ -343,6 +390,30 @@ mod tests {
             assert_eq!(choice.lp(), lp);
             assert_eq!(choice.hc() + choice.lc(), free);
         }
+    }
+
+    #[test]
+    fn policy_run_metrics_match_decisions() {
+        let policy = DriftPolicy::new(1.0).unwrap();
+        let t = Tensor::from_fn(vec![4, 32], |i| {
+            let scale = [2.0f32, 0.5, 0.1, 0.01][i / 32];
+            scale * (((i * 7) % 11) as f32 - 5.0) / 5.0
+        })
+        .unwrap();
+        let run = run_policy(&t, &SubTensorScheme::token(32), Precision::INT8, &policy).unwrap();
+        let rec = Recorder::enabled();
+        record_policy_run(&rec, &run);
+        let snap = rec.registry().unwrap().snapshot();
+        assert_eq!(
+            snap.counter_sum("drift_selector_decisions_total"),
+            run.decisions.len() as u64
+        );
+        assert_eq!(
+            snap.counter_sum("drift_selector_convert_hc_total"),
+            run.low_subtensors() as u64
+        );
+        // A disabled recorder records nothing and does not panic.
+        record_policy_run(&Recorder::disabled(), &run);
     }
 
     #[test]

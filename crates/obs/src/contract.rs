@@ -1,0 +1,281 @@
+//! The stable metrics contract.
+//!
+//! Every metric the Drift workspace exports is declared here — name,
+//! kind, unit, labels, and help text — and documented prose-side in
+//! `docs/OBSERVABILITY.md`. A test in this crate asserts the two stay
+//! in sync, so adding a metric without documenting it fails CI.
+//!
+//! Naming follows Prometheus conventions: `drift_` prefix, snake case,
+//! base unit in the name (`_cycles`, `_nanoseconds`, `_picojoules`),
+//! `_total` suffix on counters.
+
+/// How a metric behaves over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Point-in-time value, may go down.
+    Gauge,
+    /// Fixed-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One metric's contract entry.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// The exported name.
+    pub name: &'static str,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// The unit of the value (or of histogram observations).
+    pub unit: &'static str,
+    /// Label keys this metric carries (empty = unlabelled).
+    pub labels: &'static [&'static str],
+    /// One-line help text (exported as Prometheus `# HELP`).
+    pub help: &'static str,
+}
+
+/// Buckets for per-job serve latency, microseconds.
+pub const LATENCY_US_BUCKETS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// Buckets for Eq. 8 solve wall time, nanoseconds.
+pub const SOLVE_NS_BUCKETS: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// Buckets for sampled queue depth, jobs.
+pub const QUEUE_DEPTH_BUCKETS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Every metric the workspace exports, sorted by name.
+pub const METRICS: &[MetricSpec] = &[
+    MetricSpec {
+        name: "drift_array_busy_cycles_total",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        labels: &["array"],
+        help: "BitGroup-cycles each systolic sub-array (hh/hl/lh/ll) spent computing",
+    },
+    MetricSpec {
+        name: "drift_array_idle_cycles_total",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        labels: &["array"],
+        help: "BitGroup-cycles each sub-array sat idle inside the layer's compute span",
+    },
+    MetricSpec {
+        name: "drift_compute_cycles_total",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        labels: &[],
+        help: "Compute-side cycles across executed layers (Eq. 7 makespans plus reconfiguration)",
+    },
+    MetricSpec {
+        name: "drift_dram_bytes_total",
+        kind: MetricKind::Counter,
+        unit: "bytes",
+        labels: &["dir"],
+        help: "Bytes moved to (dir=write) and from (dir=read) DRAM",
+    },
+    MetricSpec {
+        name: "drift_dram_cycles_total",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        labels: &[],
+        help: "DRAM-side cycles across executed layers",
+    },
+    MetricSpec {
+        name: "drift_dram_row_conflicts_total",
+        kind: MetricKind::Counter,
+        unit: "bursts",
+        labels: &[],
+        help: "DRAM bursts that required a row precharge and/or activate",
+    },
+    MetricSpec {
+        name: "drift_dram_row_hits_total",
+        kind: MetricKind::Counter,
+        unit: "bursts",
+        labels: &[],
+        help: "DRAM bursts served from an already-open row",
+    },
+    MetricSpec {
+        name: "drift_energy_picojoules_total",
+        kind: MetricKind::Counter,
+        unit: "picojoules",
+        labels: &["stage"],
+        help: "Energy by stage: core, static, dram, buffer",
+    },
+    MetricSpec {
+        name: "drift_layers_executed_total",
+        kind: MetricKind::Counter,
+        unit: "layers",
+        labels: &[],
+        help: "GEMM layers executed on the Drift accelerator model",
+    },
+    MetricSpec {
+        name: "drift_reconfigurations_total",
+        kind: MetricKind::Counter,
+        unit: "events",
+        labels: &[],
+        help: "Fabric repartitions actually charged (elided repeats are not counted)",
+    },
+    MetricSpec {
+        name: "drift_schedule_cache_entries",
+        kind: MetricKind::Gauge,
+        unit: "schedules",
+        labels: &[],
+        help: "Schedules resident in the shared schedule cache",
+    },
+    MetricSpec {
+        name: "drift_schedule_cache_hits_total",
+        kind: MetricKind::Counter,
+        unit: "lookups",
+        labels: &[],
+        help: "Schedule-cache lookups answered without solving Eq. 8",
+    },
+    MetricSpec {
+        name: "drift_schedule_cache_misses_total",
+        kind: MetricKind::Counter,
+        unit: "lookups",
+        labels: &[],
+        help: "Schedule-cache lookups that ran the Eq. 8 sweep",
+    },
+    MetricSpec {
+        name: "drift_schedule_solve_nanoseconds",
+        kind: MetricKind::Histogram,
+        unit: "nanoseconds",
+        labels: &[],
+        help: "Wall time of individual Eq. 8 balanced-schedule sweeps",
+    },
+    MetricSpec {
+        name: "drift_schedule_solves_total",
+        kind: MetricKind::Counter,
+        unit: "solves",
+        labels: &[],
+        help: "Eq. 8 balanced-schedule sweeps executed",
+    },
+    MetricSpec {
+        name: "drift_selector_convert_hc_total",
+        kind: MetricKind::Counter,
+        unit: "subtensors",
+        labels: &["hc"],
+        help: "Converted sub-tensors by high-clip choice hc (Eq. 5 outcome)",
+    },
+    MetricSpec {
+        name: "drift_selector_decisions_total",
+        kind: MetricKind::Counter,
+        unit: "subtensors",
+        labels: &["decision"],
+        help: "Precision-selector decisions (decision=keep|convert)",
+    },
+    MetricSpec {
+        name: "drift_serve_backpressure_stalls_total",
+        kind: MetricKind::Counter,
+        unit: "submissions",
+        labels: &[],
+        help: "Job submissions that blocked because the queue was full",
+    },
+    MetricSpec {
+        name: "drift_serve_job_latency_microseconds",
+        kind: MetricKind::Histogram,
+        unit: "microseconds",
+        labels: &["worker"],
+        help: "Per-job wall latency, one histogram per worker",
+    },
+    MetricSpec {
+        name: "drift_serve_jobs_total",
+        kind: MetricKind::Counter,
+        unit: "jobs",
+        labels: &["kind", "outcome"],
+        help: "Jobs completed, by kind (select|schedule|simulate) and outcome (ok|error)",
+    },
+    MetricSpec {
+        name: "drift_serve_queue_depth",
+        kind: MetricKind::Gauge,
+        unit: "jobs",
+        labels: &[],
+        help: "Jobs waiting in the bounded queue right now",
+    },
+    MetricSpec {
+        name: "drift_serve_queue_depth_sampled",
+        kind: MetricKind::Histogram,
+        unit: "jobs",
+        labels: &[],
+        help: "Queue depth sampled at each submission (drives the queue-depth percentiles)",
+    },
+    MetricSpec {
+        name: "drift_serve_workers",
+        kind: MetricKind::Gauge,
+        unit: "threads",
+        labels: &[],
+        help: "Worker threads in the serving pool",
+    },
+    MetricSpec {
+        name: "drift_stage_calls_total",
+        kind: MetricKind::Counter,
+        unit: "spans",
+        labels: &["stage"],
+        help: "Completed spans per hierarchical stage path",
+    },
+    MetricSpec {
+        name: "drift_stage_sim_cycles_total",
+        kind: MetricKind::Counter,
+        unit: "cycles",
+        labels: &["stage"],
+        help: "Simulated cycles attributed to each stage path",
+    },
+    MetricSpec {
+        name: "drift_stage_wall_nanoseconds_total",
+        kind: MetricKind::Counter,
+        unit: "nanoseconds",
+        labels: &["stage"],
+        help: "Wall time spent inside each stage path",
+    },
+];
+
+/// Looks up the contract entry for `name`.
+pub fn spec_for(name: &str) -> Option<&'static MetricSpec> {
+    METRICS.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_is_sorted_and_unique() {
+        let names: Vec<&str> = METRICS.iter().map(|m| m.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "contract entries must be sorted and unique");
+    }
+
+    #[test]
+    fn counters_end_in_total() {
+        for m in METRICS {
+            if m.kind == MetricKind::Counter {
+                assert!(m.name.ends_with("_total"), "{} missing _total", m.name);
+            } else {
+                assert!(!m.name.ends_with("_total"), "{} is not a counter", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_sets_are_strictly_increasing() {
+        for bounds in [LATENCY_US_BUCKETS, SOLVE_NS_BUCKETS, QUEUE_DEPTH_BUCKETS] {
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! A minimal `/metrics` HTTP endpoint over `std::net` — enough for a
+//! Prometheus scrape, with no dependency on an async runtime or HTTP
+//! stack.
+//!
+//! ```rust,no_run
+//! use drift_obs::{http::MetricsServer, Recorder};
+//! use std::sync::Arc;
+//!
+//! let rec = Recorder::enabled();
+//! let server = MetricsServer::start(
+//!     "127.0.0.1:9109",
+//!     Arc::clone(rec.registry().unwrap()),
+//! ).unwrap();
+//! println!("scrape http://{}/metrics", server.local_addr());
+//! // ... run the workload ...
+//! server.stop();
+//! ```
+
+use crate::registry::MetricsRegistry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A background thread serving Prometheus text on `GET /metrics`.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9109`; port 0 picks a free port)
+    /// and starts the serving thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(addr: &str, registry: Arc<MetricsRegistry>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("drift-metrics".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Serve inline: scrapes are rare and tiny, a
+                            // slow client should not pin the simulator.
+                            let _ = handle_connection(stream, &registry);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read up to the end of the request head (or 8 KiB); only the
+    // request line matters.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&buf);
+    let path = request_line
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", registry.snapshot().to_prometheus())
+    } else {
+        ("404 Not Found", "not found; try /metrics\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_prometheus_text() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter_add(
+            "drift_serve_jobs_total",
+            &[("kind", "simulate"), ("outcome", "ok")],
+            3,
+        );
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let response = scrape(server.local_addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("drift_serve_jobs_total{kind=\"simulate\",outcome=\"ok\"} 3"));
+        // Scrapes see live updates.
+        registry.counter_add(
+            "drift_serve_jobs_total",
+            &[("kind", "simulate"), ("outcome", "ok")],
+            2,
+        );
+        assert!(scrape(server.local_addr(), "/").contains("} 5"));
+        assert!(scrape(server.local_addr(), "/nope").starts_with("HTTP/1.1 404"));
+        server.stop();
+    }
+}

@@ -1,0 +1,55 @@
+//! `drift-obs` — the observability core of the Drift workspace.
+//!
+//! A dependency-free metrics and tracing layer the simulator crates
+//! (`drift-accel`, `drift-core`) and the serving runtime
+//! (`drift-serve`) record into, behind a [`Recorder`] handle that costs
+//! nothing when disabled:
+//!
+//! * [`registry`] — [`MetricsRegistry`]: atomic counters, float
+//!   counters, gauges, and fixed-bucket histograms, keyed by
+//!   `(name, labels)`;
+//! * [`mod@span`] — [`Recorder`] and the [`span!`] guard macro: wall-time
+//!   and simulated-cycle durations folded into hierarchical stage
+//!   timings (`serve_job/schedule_solve`);
+//! * [`contract`] — the declared list of every exported metric (name,
+//!   kind, unit, labels, help), kept in sync with
+//!   `docs/OBSERVABILITY.md` by test;
+//! * [`export`] — [`Snapshot`] plus the three renderers: Prometheus
+//!   text format, JSON, and the human `drift report` table;
+//! * [`http`] — a std-only `GET /metrics` endpoint for Prometheus
+//!   scrapes (`drift serve --metrics-addr`).
+//!
+//! # Example
+//!
+//! ```rust
+//! use drift_obs::{span, Recorder};
+//!
+//! let rec = Recorder::enabled();
+//! rec.counter_add("drift_serve_jobs_total", &[("kind", "simulate"), ("outcome", "ok")], 1);
+//! {
+//!     let solve = span!(rec, "schedule_solve");
+//!     solve.add_cycles(512);
+//! }
+//! let snapshot = rec.registry().unwrap().snapshot();
+//! assert!(snapshot.to_prometheus().contains("drift_serve_jobs_total"));
+//! assert_eq!(snapshot.stages[0].sim_cycles, 512);
+//!
+//! // The disabled recorder accepts the same calls and does nothing:
+//! let off = Recorder::disabled();
+//! off.counter_add("drift_serve_jobs_total", &[], 1);
+//! assert!(off.registry().is_none());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod contract;
+pub mod export;
+pub mod http;
+pub mod registry;
+pub mod span;
+
+pub use export::Snapshot;
+pub use registry::{Histogram, MetricsRegistry, StageTiming};
+pub use span::{Recorder, SpanGuard};

@@ -1,0 +1,244 @@
+//! The [`Recorder`] handle and the span API.
+//!
+//! Every instrumented crate takes a `Recorder` — a cheap, cloneable
+//! handle that is either **enabled** (wrapping an
+//! [`Arc<MetricsRegistry>`]) or **disabled** (a `None`, the default).
+//! Disabled recorders make every operation an early-returning no-op:
+//! no clock reads, no atomics, no allocation, which is what keeps
+//! single-run simulation results bit-identical whether or not
+//! observability is compiled in the call path.
+//!
+//! Spans measure stages. A [`SpanGuard`] starts timing at creation and
+//! folds its wall time (and any simulated cycles attributed with
+//! [`SpanGuard::add_cycles`]) into the registry's stage table when
+//! dropped. Nested spans build slash-separated hierarchical paths via a
+//! thread-local stack, so `serve_job` → `schedule_solve` is recorded as
+//! `serve_job/schedule_solve`:
+//!
+//! ```rust
+//! use drift_obs::{span, Recorder};
+//!
+//! let rec = Recorder::enabled();
+//! {
+//!     let _job = span!(rec, "serve_job");
+//!     {
+//!         let solve = span!(rec, "schedule_solve");
+//!         solve.add_cycles(1234);
+//!     }
+//! }
+//! let stages = rec.registry().unwrap().stages();
+//! assert_eq!(stages["serve_job"].calls, 1);
+//! assert_eq!(stages["serve_job/schedule_solve"].sim_cycles, 1234);
+//! ```
+
+use crate::registry::MetricsRegistry;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// The active span names on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A cloneable on/off handle to a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct Recorder(Option<Arc<MetricsRegistry>>);
+
+impl Recorder {
+    /// The no-op recorder: every operation returns immediately.
+    pub fn disabled() -> Self {
+        Recorder(None)
+    }
+
+    /// A recorder over a fresh registry.
+    pub fn enabled() -> Self {
+        Recorder(Some(Arc::new(MetricsRegistry::new())))
+    }
+
+    /// A recorder over an existing (possibly shared) registry.
+    pub fn from_registry(registry: Arc<MetricsRegistry>) -> Self {
+        Recorder(Some(registry))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The underlying registry, when enabled.
+    pub fn registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.0.as_ref()
+    }
+
+    /// Adds `v` to a counter (no-op when disabled).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        if let Some(reg) = &self.0 {
+            reg.counter_add(name, labels, v);
+        }
+    }
+
+    /// Adds `v` to a float counter (no-op when disabled).
+    pub fn fcounter_add(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        if let Some(reg) = &self.0 {
+            reg.fcounter_add(name, labels, v);
+        }
+    }
+
+    /// Sets a gauge (no-op when disabled).
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: i64) {
+        if let Some(reg) = &self.0 {
+            reg.gauge_set(name, labels, v);
+        }
+    }
+
+    /// Adds `v` (possibly negative) to a gauge (no-op when disabled).
+    pub fn gauge_add(&self, name: &str, labels: &[(&str, &str)], v: i64) {
+        if let Some(reg) = &self.0 {
+            reg.gauge_add(name, labels, v);
+        }
+    }
+
+    /// Observes `v` into a fixed-bucket histogram (no-op when
+    /// disabled). The first observation of `(name, labels)` fixes the
+    /// bounds.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64], v: u64) {
+        if let Some(reg) = &self.0 {
+            reg.observe(name, labels, bounds, v);
+        }
+    }
+
+    /// Opens a span named `name`. Prefer the [`span!`](crate::span!)
+    /// macro, which reads more like a statement.
+    ///
+    /// The returned guard records wall time between now and its drop
+    /// under the hierarchical path of every span open on this thread.
+    /// On a disabled recorder the guard is inert (the clock is never
+    /// read).
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.0 {
+            None => SpanGuard {
+                registry: None,
+                start: None,
+                cycles: AtomicU64::new(0),
+            },
+            Some(reg) => {
+                SPAN_STACK.with(|stack| stack.borrow_mut().push(name));
+                SpanGuard {
+                    registry: Some(Arc::clone(reg)),
+                    start: Some(Instant::now()),
+                    cycles: AtomicU64::new(0),
+                }
+            }
+        }
+    }
+}
+
+/// The RAII guard produced by [`Recorder::span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    registry: Option<Arc<MetricsRegistry>>,
+    start: Option<Instant>,
+    cycles: AtomicU64,
+}
+
+impl SpanGuard {
+    /// Attributes `cycles` simulated cycles to this span, so stage
+    /// timings carry both wall time (how long the simulator took) and
+    /// simulated time (how long the modelled hardware took).
+    pub fn add_cycles(&self, cycles: u64) {
+        if self.registry.is_some() {
+            self.cycles.fetch_add(cycles, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let (Some(reg), Some(start)) = (&self.registry, self.start) else {
+            return;
+        };
+        let wall_ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        reg.record_stage(&path, wall_ns, self.cycles.load(Ordering::Relaxed));
+    }
+}
+
+/// Opens a span on a [`Recorder`]: `let _g = span!(rec, "stage");`.
+///
+/// Expands to [`Recorder::span`]; exists so call sites read as
+/// annotations rather than method plumbing.
+#[macro_export]
+macro_rules! span {
+    ($recorder:expr, $name:literal) => {
+        $crate::Recorder::span(&$recorder, $name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.counter_add("c", &[], 1);
+        rec.gauge_set("g", &[], 1);
+        rec.observe("h", &[], &[1, 2], 1);
+        let g = rec.span("nothing");
+        g.add_cycles(99);
+        drop(g);
+        assert!(rec.registry().is_none());
+    }
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let rec = Recorder::enabled();
+        {
+            let _outer = rec.span("outer");
+            let _inner = rec.span("inner");
+        }
+        {
+            let _outer = rec.span("outer");
+        }
+        let stages = rec.registry().unwrap().stages();
+        assert_eq!(stages["outer"].calls, 2);
+        assert_eq!(stages["outer/inner"].calls, 1);
+        assert!(stages["outer"].wall_ns >= stages["outer/inner"].wall_ns);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_stacks() {
+        let rec = Recorder::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _a = rec.span("worker");
+                    let _b = rec.span("job");
+                });
+            }
+        });
+        let stages = rec.registry().unwrap().stages();
+        assert_eq!(stages["worker"].calls, 4);
+        assert_eq!(stages["worker/job"].calls, 4);
+        assert!(!stages.contains_key("worker/worker/job"));
+    }
+
+    #[test]
+    fn cycles_attribute_to_the_span() {
+        let rec = Recorder::enabled();
+        {
+            let g = rec.span("sim");
+            g.add_cycles(40);
+            g.add_cycles(2);
+        }
+        assert_eq!(rec.registry().unwrap().stages()["sim"].sim_cycles, 42);
+    }
+}

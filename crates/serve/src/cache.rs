@@ -14,6 +14,7 @@
 //! capacity slice.
 
 use drift_core::schedule::{Schedule, ScheduleKey};
+use drift_obs::{span, Recorder};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -60,6 +61,7 @@ pub struct ScheduleCache {
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for ScheduleCache {
@@ -77,6 +79,12 @@ impl ScheduleCache {
     /// Creates a cache holding at most `capacity` schedules across
     /// `shards` shards (both clamped to at least 1).
     pub fn new(capacity: usize, shards: usize) -> Self {
+        ScheduleCache::with_recorder(capacity, shards, Recorder::disabled())
+    }
+
+    /// Like [`ScheduleCache::new`], but mirroring hit/miss/residency
+    /// counters and Eq. 8 solve timings into `recorder`.
+    pub fn with_recorder(capacity: usize, shards: usize, recorder: Recorder) -> Self {
         let shards = shards.clamp(1, capacity.max(1));
         ScheduleCache {
             shards: (0..shards)
@@ -90,6 +98,7 @@ impl ScheduleCache {
             per_shard_capacity: capacity.max(1).div_ceil(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            recorder,
         }
     }
 
@@ -108,10 +117,14 @@ impl ScheduleCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.recorder
+                    .counter_add("drift_schedule_cache_hits_total", &[], 1);
                 Some(entry.schedule)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.recorder
+                    .counter_add("drift_schedule_cache_misses_total", &[], 1);
                 None
             }
         }
@@ -120,28 +133,40 @@ impl ScheduleCache {
     /// Inserts a schedule, evicting the shard's least-recently-used
     /// entry when the shard is full.
     pub fn insert(&self, key: ScheduleKey, schedule: Schedule) {
-        let mut shard = self.shard_for(&key).lock();
-        shard.tick += 1;
-        let tick = shard.tick;
-        if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
-            // O(shard) scan: shards are small (capacity / shard count),
-            // and eviction only runs when a full shard takes a new key.
-            if let Some(evict) = shard
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
-                shard.entries.remove(&evict);
+        let grew;
+        {
+            let mut shard = self.shard_for(&key).lock();
+            shard.tick += 1;
+            let tick = shard.tick;
+            if shard.entries.len() >= self.per_shard_capacity && !shard.entries.contains_key(&key) {
+                // O(shard) scan: shards are small (capacity / shard count),
+                // and eviction only runs when a full shard takes a new key.
+                if let Some(evict) = shard
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                {
+                    shard.entries.remove(&evict);
+                }
             }
+            let before = shard.entries.len();
+            shard.entries.insert(
+                key,
+                Entry {
+                    schedule,
+                    last_used: tick,
+                },
+            );
+            grew = shard.entries.len() > before;
         }
-        shard.entries.insert(
-            key,
-            Entry {
-                schedule,
-                last_used: tick,
-            },
-        );
+        if grew {
+            // Only net growth moves the residency gauge; an insert that
+            // evicted (or replaced an existing key) is a wash. Tracking
+            // the delta here keeps `snapshot` from locking every shard.
+            self.recorder
+                .gauge_add("drift_schedule_cache_entries", &[], 1);
+        }
     }
 
     /// Returns `key`'s schedule, running the Eq. 8 sweep on a miss.
@@ -157,7 +182,21 @@ impl ScheduleCache {
         if let Some(schedule) = self.get(&key) {
             return Ok((schedule, true));
         }
-        let schedule = key.solve()?;
+        let solve_start = self.recorder.is_enabled().then(std::time::Instant::now);
+        let schedule = {
+            let _solve = span!(self.recorder, "schedule_solve");
+            key.solve()?
+        };
+        if let Some(start) = solve_start {
+            self.recorder
+                .counter_add("drift_schedule_solves_total", &[], 1);
+            self.recorder.observe(
+                "drift_schedule_solve_nanoseconds",
+                &[],
+                drift_obs::contract::SOLVE_NS_BUCKETS,
+                start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            );
+        }
         self.insert(key, schedule);
         Ok((schedule, false))
     }

@@ -16,6 +16,12 @@
 //! * **statistics** ([`stats`]) — per-worker job counts, cache hits,
 //!   and p50/p99 latencies, aggregated into a [`stats::ServeReport`].
 //!
+//! With [`runtime::serve_with_recorder`], every stage additionally
+//! records into a [`drift_obs::Recorder`] — queue depth, cache
+//! hits/misses, per-worker latency histograms, per-array cycle counters
+//! — without changing any result (`docs/OBSERVABILITY.md` documents the
+//! full metric contract).
+//!
 //! Jobs and results travel as JSONL ([`job`]), one JSON object per
 //! line, so streams pipe through the `drift serve` CLI:
 //!
@@ -48,6 +54,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cache;
 pub mod job;
@@ -58,5 +65,5 @@ pub mod worker;
 
 pub use cache::{CacheStats, ScheduleCache};
 pub use job::{synthetic_jobs, JobKind, JobOutcome, JobResult, JobSpec};
-pub use runtime::{serve, ServeConfig, ServeOutcome};
+pub use runtime::{serve, serve_with_recorder, ServeConfig, ServeOutcome};
 pub use stats::ServeReport;

@@ -13,7 +13,7 @@
 //!   queued, then [`WorkerHandle::next_job`] returns `None` and the
 //!   worker exits. No job is lost or cut short.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 /// The producer side of the queue. Owning it keeps the job stream open.
 #[derive(Debug)]
@@ -44,6 +44,22 @@ impl<T> JobQueue<T> {
     /// dropped — there is no one left to run it.
     pub fn submit(&self, job: T) -> Result<(), T> {
         self.tx.send(job).map_err(|e| e.into_inner())
+    }
+
+    /// Enqueues a job without blocking: the producer's way of detecting
+    /// a backpressure stall before committing to a blocking
+    /// [`JobQueue::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the queue is full right now, or when
+    /// every [`WorkerHandle`] has been dropped (a follow-up blocking
+    /// `submit` distinguishes the two: it fails only in the latter
+    /// case).
+    pub fn try_submit(&self, job: T) -> Result<(), T> {
+        self.tx.try_send(job).map_err(|e| match e {
+            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+        })
     }
 
     /// Jobs currently waiting in the queue.
@@ -132,6 +148,15 @@ mod tests {
         let drained: Vec<i32> = std::iter::from_fn(|| handle.next_job()).collect();
         assert_eq!(drained, vec![0, 1, 2, 3, 4]);
         assert_eq!(handle.next_job(), None);
+    }
+
+    #[test]
+    fn try_submit_reports_a_full_queue_without_blocking() {
+        let (queue, handle) = job_queue(1);
+        assert_eq!(queue.try_submit(1), Ok(()));
+        assert_eq!(queue.try_submit(2), Err(2));
+        assert_eq!(handle.next_job(), Some(1));
+        assert_eq!(queue.try_submit(2), Ok(()));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::queue::job_queue;
 use crate::stats::ServeReport;
 use crate::worker::worker_loop;
 use crossbeam::channel::unbounded;
+use drift_obs::Recorder;
 use std::time::Instant;
 
 /// Tunables for one serve run.
@@ -60,8 +61,27 @@ pub struct ServeOutcome {
 /// by id before returning so equal job streams compare equal across
 /// configurations.
 pub fn serve(jobs: Vec<JobSpec>, config: &ServeConfig) -> ServeOutcome {
-    let cache = ScheduleCache::new(config.cache_capacity.max(1), config.cache_shards.max(1));
+    serve_with_recorder(jobs, config, Recorder::disabled())
+}
+
+/// [`serve`] with observability: every stage of the pipeline — queue,
+/// cache, workers, and each worker's simulator — records into
+/// `recorder` (see `docs/OBSERVABILITY.md` for the metric contract).
+///
+/// Results and the report are identical to [`serve`] for the same job
+/// stream: recording is strictly write-only.
+pub fn serve_with_recorder(
+    jobs: Vec<JobSpec>,
+    config: &ServeConfig,
+    recorder: Recorder,
+) -> ServeOutcome {
+    let cache = ScheduleCache::with_recorder(
+        config.cache_capacity.max(1),
+        config.cache_shards.max(1),
+        recorder.clone(),
+    );
     let workers = config.workers.max(1);
+    recorder.gauge_set("drift_serve_workers", &[], workers as i64);
     let (queue, worker_handle) = job_queue(config.queue_depth);
     let (result_tx, result_rx) = unbounded();
 
@@ -72,7 +92,8 @@ pub fn serve(jobs: Vec<JobSpec>, config: &ServeConfig) -> ServeOutcome {
                 let handle = worker_handle.clone();
                 let tx = result_tx.clone();
                 let cache = &cache;
-                scope.spawn(move || worker_loop(i, handle, tx, cache))
+                let recorder = recorder.clone();
+                scope.spawn(move || worker_loop(i, handle, tx, cache, recorder))
             })
             .collect();
         // The scope keeps only the workers' clones alive: when the last
@@ -82,11 +103,29 @@ pub fn serve(jobs: Vec<JobSpec>, config: &ServeConfig) -> ServeOutcome {
         drop(result_tx);
 
         for job in jobs {
+            let job = if recorder.is_enabled() {
+                // Probe without blocking first so a full queue is
+                // visible as a backpressure stall before we commit to
+                // the blocking submit.
+                match queue.try_submit(job) {
+                    Ok(()) => {
+                        record_queue_depth(&recorder, &queue);
+                        continue;
+                    }
+                    Err(job) => {
+                        recorder.counter_add("drift_serve_backpressure_stalls_total", &[], 1);
+                        job
+                    }
+                }
+            } else {
+                job
+            };
             if queue.submit(job).is_err() {
                 // Every worker died (only possible via a panic, which
                 // the scope will re-raise on join); stop feeding.
                 break;
             }
+            record_queue_depth(&recorder, &queue);
         }
         queue.close();
 
@@ -98,11 +137,28 @@ pub fn serve(jobs: Vec<JobSpec>, config: &ServeConfig) -> ServeOutcome {
         (results, stats)
     });
     let wall = start.elapsed();
+    // Every job has drained by now.
+    recorder.gauge_set("drift_serve_queue_depth", &[], 0);
 
     results.sort_by_key(|r| r.id);
     ServeOutcome {
         results,
         report: ServeReport::aggregate(&worker_stats, cache.stats(), wall),
+    }
+}
+
+/// Samples the queue backlog after a submit: the live gauge plus a
+/// histogram of observed depths (for the p99 in `EXPERIMENTS.md`).
+fn record_queue_depth(recorder: &Recorder, queue: &crate::queue::JobQueue<JobSpec>) {
+    if recorder.is_enabled() {
+        let depth = queue.backlog() as u64;
+        recorder.gauge_set("drift_serve_queue_depth", &[], depth as i64);
+        recorder.observe(
+            "drift_serve_queue_depth_sampled",
+            &[],
+            drift_obs::contract::QUEUE_DEPTH_BUCKETS,
+            depth,
+        );
     }
 }
 
@@ -141,6 +197,60 @@ mod tests {
             "expected cache hits on a 2-shape stream: {:?}",
             outcome.report.cache
         );
+    }
+
+    #[test]
+    fn recorder_does_not_change_serve_results() {
+        // The acceptance bar: observability on vs. off is invisible in
+        // the result stream.
+        let jobs = synthetic_jobs(80, 5, 31);
+        let config = ServeConfig::with_workers(3);
+        let plain = serve(jobs.clone(), &config);
+        let rec = Recorder::enabled();
+        let observed = serve_with_recorder(jobs, &config, rec.clone());
+        assert_eq!(plain.results, observed.results);
+        assert_eq!(plain.report.jobs, observed.report.jobs);
+        assert_eq!(plain.report.cache.hits, observed.report.cache.hits);
+        assert_eq!(plain.report.cache.misses, observed.report.cache.misses);
+
+        // The recorder saw the run end to end.
+        let snap = rec.registry().unwrap().snapshot();
+        assert_eq!(snap.counter_sum("drift_serve_jobs_total"), 80);
+        assert_eq!(
+            snap.counter_sum("drift_schedule_cache_hits_total"),
+            observed.report.cache.hits
+        );
+        assert_eq!(
+            snap.counter_sum("drift_schedule_cache_misses_total"),
+            observed.report.cache.misses
+        );
+        let latency = snap
+            .histogram_merged("drift_serve_job_latency_microseconds")
+            .expect("latency histogram present");
+        assert_eq!(latency.count(), 80);
+        let stages = rec.registry().unwrap().stages();
+        assert_eq!(stages["serve_job"].calls, 80);
+        assert!(stages.contains_key("serve_job/schedule_solve"));
+    }
+
+    #[test]
+    fn prometheus_export_covers_the_serve_pipeline() {
+        let jobs = synthetic_jobs(60, 4, 17);
+        let rec = Recorder::enabled();
+        serve_with_recorder(jobs, &ServeConfig::with_workers(2), rec.clone());
+        let text = rec.registry().unwrap().snapshot().to_prometheus();
+        // The acceptance criteria's minimum exported set.
+        for needle in [
+            "drift_serve_queue_depth",
+            "drift_schedule_cache_hits_total",
+            "drift_schedule_cache_misses_total",
+            "drift_array_busy_cycles_total{array=\"",
+            "drift_serve_job_latency_microseconds_bucket{",
+            "drift_serve_workers 2",
+            "drift_selector_decisions_total{decision=\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
     }
 
     #[test]

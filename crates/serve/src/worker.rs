@@ -18,8 +18,9 @@ use crossbeam::channel::Sender;
 use drift_accel::gemm::{GemmShape, GemmWorkload};
 use drift_core::accelerator::DriftAccelerator;
 use drift_core::schedule::ScheduleKey;
-use drift_core::selector::DriftPolicy;
+use drift_core::selector::{record_policy_run, DriftPolicy};
 use drift_nn::datagen::TokenProfile;
+use drift_obs::{span, Recorder};
 use drift_quant::policy::run_policy;
 use drift_quant::Precision;
 use drift_tensor::rng::{derive_seed, seeded};
@@ -38,8 +39,21 @@ pub fn execute_job(
     accel: &mut DriftAccelerator,
     cache: &ScheduleCache,
 ) -> (JobOutcome, bool) {
+    execute_job_recorded(spec, accel, cache, &Recorder::disabled())
+}
+
+/// [`execute_job`] with selector metrics: a Select job's per-sub-tensor
+/// decisions are folded into `recorder` (the accelerator and cache
+/// carry their own recorders). Outcomes are identical to
+/// [`execute_job`] for any recorder state.
+pub fn execute_job_recorded(
+    spec: &JobSpec,
+    accel: &mut DriftAccelerator,
+    cache: &ScheduleCache,
+    recorder: &Recorder,
+) -> (JobOutcome, bool) {
     accel.reset();
-    match run_job(spec, accel, cache) {
+    match run_job(spec, accel, cache, recorder) {
         Ok(pair) => pair,
         Err(message) => (JobOutcome::Error { message }, false),
     }
@@ -49,6 +63,7 @@ fn run_job(
     spec: &JobSpec,
     accel: &mut DriftAccelerator,
     cache: &ScheduleCache,
+    recorder: &Recorder,
 ) -> Result<(JobOutcome, bool), String> {
     match &spec.kind {
         JobKind::Select {
@@ -75,6 +90,7 @@ fn run_job(
                 &policy,
             )
             .map_err(|e| e.to_string())?;
+            record_policy_run(recorder, &run);
             Ok((
                 JobOutcome::Select {
                     low_subtensors: run.low_subtensors(),
@@ -147,15 +163,42 @@ pub(crate) fn worker_loop(
     jobs: WorkerHandle<JobSpec>,
     results: Sender<JobResult>,
     cache: &ScheduleCache,
+    recorder: Recorder,
 ) -> WorkerStats {
     let mut accel =
         DriftAccelerator::paper_config().expect("the paper configuration always builds");
+    accel.set_recorder(recorder.clone());
+    let worker_label = worker.to_string();
     let mut stats = WorkerStats::new(worker);
     while let Some(spec) = jobs.next_job() {
         let start = Instant::now();
-        let (outcome, cache_hit) = execute_job(&spec, &mut accel, cache);
+        let (outcome, cache_hit) = {
+            let job_span = span!(recorder, "serve_job");
+            let (outcome, cache_hit) = execute_job_recorded(&spec, &mut accel, cache, &recorder);
+            if let JobOutcome::Simulate { cycles, .. } = &outcome {
+                job_span.add_cycles(*cycles);
+            }
+            (outcome, cache_hit)
+        };
+        let latency = start.elapsed();
         let is_error = matches!(outcome, JobOutcome::Error { .. });
-        stats.record(start.elapsed(), cache_hit, is_error);
+        if recorder.is_enabled() {
+            recorder.counter_add(
+                "drift_serve_jobs_total",
+                &[
+                    ("kind", spec.kind.label()),
+                    ("outcome", if is_error { "error" } else { "ok" }),
+                ],
+                1,
+            );
+            recorder.observe(
+                "drift_serve_job_latency_microseconds",
+                &[("worker", &worker_label)],
+                drift_obs::contract::LATENCY_US_BUCKETS,
+                latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            );
+        }
+        stats.record(latency, cache_hit, is_error);
         if results
             .send(JobResult {
                 id: spec.id,

@@ -17,4 +17,12 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== rustdoc (drift crates, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p drift -p drift-obs -p drift-tensor -p drift-quant -p drift-accel \
+  -p drift-core -p drift-nn -p drift-serve -p drift-bench -p drift-cli
+
+echo "== doc tests =="
+cargo test -q --workspace --doc
+
 echo "ci: all green"

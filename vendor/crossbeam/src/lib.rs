@@ -57,6 +57,33 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message is returned.
+        Full(T),
+        /// Every receiver is gone; the message is returned.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Returns the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(message) | TrySendError::Disconnected(message) => message,
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty
     /// and every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +153,31 @@ pub mod channel {
                         state = shared.not_full.wait(state).expect("channel lock poisoned");
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(message);
+            drop(state);
+            shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Delivers a message only if it fits right now, never
+        /// blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when the channel is at capacity;
+        /// [`TrySendError::Disconnected`] when every [`Receiver`] has
+        /// been dropped. Both return the message.
+        pub fn try_send(&self, message: T) -> Result<(), TrySendError<T>> {
+            let shared = &*self.shared;
+            let mut state = shared.state.lock().expect("channel lock poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(message));
+            }
+            if let Some(cap) = shared.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(message));
                 }
             }
             state.queue.push_back(message);
@@ -328,6 +380,17 @@ mod tests {
         blocked.join().unwrap();
         assert_eq!(rx.recv().unwrap(), 2);
         assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn try_send_never_blocks() {
+        let (tx, rx) = channel::bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(2), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Disconnected(3)));
     }
 
     #[test]

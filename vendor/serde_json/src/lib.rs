@@ -7,8 +7,10 @@
 
 #![warn(missing_docs)]
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
 use std::fmt;
+
+pub use serde::Value;
 
 /// A serialization or parse error.
 #[derive(Debug, Clone, PartialEq)]
