@@ -211,38 +211,20 @@ pub fn simulate(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// `drift serve`
-pub fn serve(opts: &Opts) -> Result<(), String> {
-    use std::io::Write;
+/// The `--metrics-addr` / `--metrics-out` wiring `serve` and `gateway`
+/// share. Observability is opt-in: either flag enables the recorder;
+/// the default path runs with the no-op recorder (bit-identical
+/// results either way, see docs/OBSERVABILITY.md).
+struct MetricsWiring {
+    recorder: drift_obs::Recorder,
+    server: Option<drift_obs::http::MetricsServer>,
+    out: Option<String>,
+}
 
-    let workers: usize = opt_parse(opts, "workers", 4)?;
-    let queue_depth: usize = opt_parse(opts, "queue-depth", 256)?;
-    let cache_capacity: usize = opt_parse(opts, "cache-capacity", 4096)?;
-    let source = opt_str(opts, "jobs", "-");
-    let jobs = if source == "-" {
-        drift_serve::job::read_jobs(std::io::stdin().lock())?
-    } else {
-        let file = std::fs::File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
-        drift_serve::job::read_jobs(std::io::BufReader::new(file))
-            .map_err(|e| format!("{source}: {e}"))?
-    };
-    if jobs.is_empty() {
-        return Err("no jobs in the input stream".to_string());
-    }
-
-    let config = drift_serve::ServeConfig {
-        workers,
-        queue_depth,
-        cache_capacity,
-        ..drift_serve::ServeConfig::default()
-    };
-
-    // Observability is opt-in: either flag enables the recorder; the
-    // default path runs with the no-op recorder (bit-identical results
-    // either way, see docs/OBSERVABILITY.md).
+fn metrics_wiring(opts: &Opts) -> Result<MetricsWiring, String> {
     let metrics_addr = opts.get("metrics-addr");
-    let metrics_out = opts.get("metrics-out");
-    let recorder = if metrics_addr.is_some() || metrics_out.is_some() {
+    let out = opts.get("metrics-out").cloned();
+    let recorder = if metrics_addr.is_some() || out.is_some() {
         drift_obs::Recorder::enabled()
     } else {
         drift_obs::Recorder::disabled()
@@ -258,8 +240,72 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         }
         None => None,
     };
+    Ok(MetricsWiring {
+        recorder,
+        server,
+        out,
+    })
+}
 
-    let outcome = drift_serve::serve_with_recorder(jobs, &config, recorder.clone());
+impl MetricsWiring {
+    /// Writes the `--metrics-out` snapshot (if requested) and stops the
+    /// metrics server.
+    fn finish(self) -> Result<(), String> {
+        if let (Some(path), Some(registry)) = (&self.out, self.recorder.registry()) {
+            std::fs::write(path, registry.snapshot().to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("metrics: snapshot written to {path} (render with `drift report {path}`)");
+        }
+        drop(self.server);
+        Ok(())
+    }
+}
+
+/// `drift serve`
+pub fn serve(opts: &Opts) -> Result<(), String> {
+    use std::io::Write;
+
+    let workers: usize = opt_parse(opts, "workers", 4)?;
+    let queue_depth: usize = opt_parse(opts, "queue-depth", 256)?;
+    let cache_capacity: usize = opt_parse(opts, "cache-capacity", 4096)?;
+    let lenient: bool = opt_parse(opts, "lenient", false)?;
+    let metrics = metrics_wiring(opts)?;
+
+    let source = opt_str(opts, "jobs", "-");
+    let read = |reader: &mut dyn std::io::BufRead| -> Result<Vec<drift_serve::JobSpec>, String> {
+        if lenient {
+            let ingest = drift_serve::read_jobs_lenient(reader, &metrics.recorder)?;
+            for (line, err) in &ingest.skipped {
+                eprintln!("serve: skipped malformed line {line}: {err}");
+            }
+            if !ingest.skipped.is_empty() {
+                eprintln!(
+                    "serve: {} malformed line(s) skipped (counted in drift_serve_jobs_rejected_total)",
+                    ingest.skipped.len()
+                );
+            }
+            Ok(ingest.jobs)
+        } else {
+            drift_serve::read_jobs(reader)
+        }
+    };
+    let jobs = if source == "-" {
+        read(&mut std::io::stdin().lock())?
+    } else {
+        let file = std::fs::File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+        read(&mut std::io::BufReader::new(file)).map_err(|e| format!("{source}: {e}"))?
+    };
+    if jobs.is_empty() {
+        return Err("no jobs in the input stream".to_string());
+    }
+
+    let config = drift_serve::ServeConfig {
+        workers,
+        queue_depth,
+        cache_capacity,
+        ..drift_serve::ServeConfig::default()
+    };
+    let outcome = drift_serve::serve_with_recorder(jobs, &config, metrics.recorder.clone());
 
     // Results as JSONL on stdout; the report goes to stderr so the
     // stream stays pipeable.
@@ -273,13 +319,92 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         .map_err(|e| format!("cannot write results: {e}"))?;
     eprint!("{}", outcome.report.render());
 
-    if let (Some(path), Some(registry)) = (metrics_out, recorder.registry()) {
-        std::fs::write(path, registry.snapshot().to_json())
+    metrics.finish()
+}
+
+/// `drift gateway`
+pub fn gateway(opts: &Opts) -> Result<(), String> {
+    let addr = opt_str(opts, "addr", "127.0.0.1:7077");
+    let config = drift_gateway::GatewayConfig {
+        workers: opt_parse(opts, "workers", 4)?,
+        queue_depth: opt_parse(opts, "queue-depth", 256)?,
+        cache_capacity: opt_parse(opts, "cache-capacity", 4096)?,
+        default_deadline_ms: opt_parse(opts, "deadline-ms", 0u64)?,
+        idle_timeout_ms: opt_parse(opts, "idle-timeout-ms", 30_000u64)?,
+        ..drift_gateway::GatewayConfig::default()
+    };
+    let metrics = metrics_wiring(opts)?;
+
+    let gw = drift_gateway::Gateway::start(addr, config, metrics.recorder.clone())
+        .map_err(|e| format!("cannot bind gateway on {addr}: {e}"))?;
+    eprintln!(
+        "gateway: listening on {} ({} workers, queue depth {}); \
+         stop with `drift gateway-stop --addr {}`",
+        gw.local_addr(),
+        config.workers,
+        config.queue_depth,
+        gw.local_addr()
+    );
+    if let Some(path) = opts.get("port-file") {
+        // Written after bind so a script can wait on the file to learn
+        // the port chosen by `--addr host:0`.
+        std::fs::write(path, gw.local_addr().to_string())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("metrics: snapshot written to {path} (render with `drift report {path}`)");
     }
-    drop(server);
-    Ok(())
+
+    // No signal handling within the dependency budget: the drain
+    // request arrives over the wire as {"control":"shutdown"}.
+    while !gw.draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let summary = gw.shutdown();
+    eprintln!("{}", summary.render());
+    metrics.finish()
+}
+
+/// `drift loadgen`
+pub fn loadgen(opts: &Opts) -> Result<(), String> {
+    use std::io::Write;
+
+    let addr = opt_str(opts, "addr", "127.0.0.1:7077");
+    let deadline_ms: u64 = opt_parse(opts, "deadline-ms", 0u64)?;
+    let open_loop: f64 = opt_parse(opts, "open-loop", 0.0f64)?;
+    let config = drift_gateway::LoadGenConfig {
+        clients: opt_parse(opts, "clients", 4)?,
+        jobs: opt_parse(opts, "jobs", 200)?,
+        shapes: opt_parse(opts, "shapes", 4)?,
+        seed: opt_parse(opts, "seed", 42u64)?,
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        open_loop_rps: (open_loop > 0.0).then_some(open_loop),
+        retry: drift_gateway::RetryPolicy::default(),
+    };
+    let report = drift_gateway::loadgen::run(addr, &config)?;
+
+    // Results as JSONL on stdout (pipeable, like `drift serve`); the
+    // measurement summary goes to stderr.
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for result in &report.results {
+        writeln!(out, "{}", drift_serve::job::result_line(result))
+            .map_err(|e| format!("cannot write results: {e}"))?;
+    }
+    out.flush()
+        .map_err(|e| format!("cannot write results: {e}"))?;
+    eprintln!("{}", report.render());
+    report.verify_complete()
+}
+
+/// `drift gateway-stop`
+pub fn gateway_stop(opts: &Opts) -> Result<(), String> {
+    let addr = opt_str(opts, "addr", "127.0.0.1:7077");
+    let mut client = drift_gateway::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to gateway at {addr}: {e}"))?;
+    if client.shutdown_server()? {
+        eprintln!("gateway at {addr} acknowledged the drain");
+        Ok(())
+    } else {
+        Err(format!("gateway at {addr} refused the shutdown"))
+    }
 }
 
 /// `drift report` — renders a `--metrics-out` JSON snapshot as the

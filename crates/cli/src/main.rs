@@ -5,9 +5,12 @@
 //! drift select  [--profile bert] [--tokens 64] [--hidden 256] [--delta 0.3] [--seed 7]
 //! drift schedule [--m 512] [--k 768] [--n 768] [--fa 0.2] [--fw 0.1]
 //! drift simulate [--model BERT] [--accel drift] [--delta 0.027] [--seed 42]
-//! drift serve    [--jobs jobs.jsonl|-] [--workers 8] [--metrics-addr 127.0.0.1:9109]
-//!                [--metrics-out run.json]
+//! drift serve    [--jobs jobs.jsonl|-] [--workers 8] [--lenient]
+//!                [--metrics-addr 127.0.0.1:9109] [--metrics-out run.json]
 //! drift bench-serve [--jobs 1000] [--workers "1,2,4,8"]
+//! drift gateway  [--addr 127.0.0.1:7077] [--workers 8] [--deadline-ms 250]
+//! drift loadgen  [--addr 127.0.0.1:7077] [--clients 4] [--jobs 200] [--open-loop 500]
+//! drift gateway-stop [--addr 127.0.0.1:7077]
 //! drift report   run.json
 //! drift area
 //! ```
@@ -45,6 +48,9 @@ fn main() -> ExitCode {
             "simulate" => commands::simulate(&opts),
             "serve" => commands::serve(&opts),
             "bench-serve" => commands::bench_serve(&opts),
+            "gateway" => commands::gateway(&opts),
+            "loadgen" => commands::loadgen(&opts),
+            "gateway-stop" => commands::gateway_stop(&opts),
             "area" => commands::area(),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
@@ -77,27 +83,41 @@ fn usage() -> String {
      \x20 serve    [--jobs FILE|-] [--workers N] [--queue-depth Q]\n\
      \x20          [--cache-capacity C]   run a JSONL job stream on a worker pool;\n\
      \x20                                 results to stdout, report to stderr\n\
+     \x20          [--lenient]            skip malformed job lines instead of aborting\n\
      \x20          [--metrics-addr A]     serve Prometheus text on http://A/metrics\n\
      \x20          [--metrics-out FILE]   write the final metrics snapshot as JSON\n\
      \x20 bench-serve [--jobs N] [--shapes S] [--workers \"1,2,4,8\"] [--seed S]\n\
      \x20                                 throughput of the serve runtime per worker count\n\
+     \x20 gateway  [--addr A] [--workers N] [--queue-depth Q] [--deadline-ms D]\n\
+     \x20          [--idle-timeout-ms T]  serve jobs over TCP (newline-delimited JSON,\n\
+     \x20                                 see docs/SERVING.md); drains on\n\
+     \x20                                 {\"control\":\"shutdown\"}\n\
+     \x20          [--port-file FILE]     write the bound address (for --addr with port 0)\n\
+     \x20          [--metrics-addr A] [--metrics-out FILE]   as for serve\n\
+     \x20 loadgen  [--addr A] [--clients C] [--jobs N] [--shapes S] [--seed S]\n\
+     \x20          [--deadline-ms D] [--open-loop RPS]\n\
+     \x20                                 drive a gateway; throughput + p50/p99 on stderr\n\
+     \x20 gateway-stop [--addr A]        ask a gateway to drain and exit\n\
      \x20 report   FILE|-                render a --metrics-out JSON snapshot as a table\n\
      \x20 area                           the 40 nm area breakdown"
         .to_string()
 }
 
-/// Parses `--key value` pairs.
+/// Parses `--key value` pairs. A `--flag` followed by another option
+/// (or by nothing) is a boolean flag and stored as `"true"`, so
+/// value-less switches like `--lenient` parse without a sentinel.
 fn parse_opts(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut opts = HashMap::new();
-    let mut iter = args.iter();
+    let mut iter = args.iter().peekable();
     while let Some(key) = iter.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --option, got '{key}'"));
         };
-        let Some(value) = iter.next() else {
-            return Err(format!("--{name} needs a value"));
+        let value = match iter.peek() {
+            Some(next) if !next.starts_with("--") => iter.next().expect("peeked").clone(),
+            _ => "true".to_string(),
         };
-        opts.insert(name.to_string(), value.clone());
+        opts.insert(name.to_string(), value);
     }
     Ok(opts)
 }

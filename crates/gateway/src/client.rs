@@ -1,0 +1,270 @@
+//! A blocking gateway client: connect, submit, retry-on-shed.
+//!
+//! One [`Client`] wraps one TCP connection. [`Client::submit`] is the
+//! simple request/response path; [`Client::send`] / [`Client::recv`]
+//! split the two halves for pipelining (responses then arrive in any
+//! order and must be correlated by `id`). [`Client::submit_with_retry`]
+//! turns the gateway's `overloaded` shed responses into capped
+//! exponential backoff, the cooperative half of the admission-control
+//! contract (see `docs/SERVING.md`).
+
+use crate::protocol::{self, ControlOp, Response, ERR_OVERLOADED};
+use drift_serve::job::JobSpec;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How a client waits between retries of a shed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = give up immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based): `base *
+    /// 2^attempt`, capped at [`RetryPolicy::cap`].
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+/// The outcome of a [`Client::submit_with_retry`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// The final response (a result, or the last shed if retries ran
+    /// out, or another gateway error).
+    pub response: Response,
+    /// Shed responses absorbed by backoff along the way.
+    pub retries: u32,
+}
+
+/// One connection to a gateway.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7077`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one job request without waiting for the response
+    /// (pipelining). Pair with [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error on a failed write.
+    pub fn send(&mut self, spec: &JobSpec, deadline_ms: Option<u64>) -> Result<(), String> {
+        self.send_raw(&protocol::request_line(spec, deadline_ms))
+    }
+
+    /// Sends one raw line (exposed for protocol tests and tooling).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error on a failed write.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), String> {
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        self.writer
+            .write_all(&bytes)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("gateway send failed: {e}"))
+    }
+
+    /// Blocks for the next response line.
+    ///
+    /// # Errors
+    ///
+    /// Reports a closed connection or an unparseable response.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("gateway recv failed: {e}"))?;
+        if n == 0 {
+            return Err("gateway closed the connection".to_string());
+        }
+        protocol::parse_response(line.trim_end())
+    }
+
+    /// Sends one job and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures; gateway-level refusals come back
+    /// as [`Response::Error`], not `Err`.
+    pub fn submit(&mut self, spec: &JobSpec, deadline_ms: Option<u64>) -> Result<Response, String> {
+        self.send(spec, deadline_ms)?;
+        self.recv()
+    }
+
+    /// [`Client::submit`], retrying shed (`overloaded`) responses with
+    /// capped exponential backoff. Other responses — results, deadline
+    /// errors — return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &JobSpec,
+        deadline_ms: Option<u64>,
+        policy: &RetryPolicy,
+    ) -> Result<Submission, String> {
+        let mut retries = 0;
+        loop {
+            let response = self.submit(spec, deadline_ms)?;
+            let shed =
+                matches!(&response, Response::Error { error, .. } if error == ERR_OVERLOADED);
+            if !shed || retries >= policy.max_retries {
+                return Ok(Submission { response, retries });
+            }
+            std::thread::sleep(policy.delay(retries));
+            retries += 1;
+        }
+    }
+
+    /// Probes the gateway with a `ping` control line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures or a non-control response.
+    pub fn ping(&mut self) -> Result<bool, String> {
+        self.control(ControlOp::Ping)
+    }
+
+    /// Asks the gateway to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures or a non-control response.
+    pub fn shutdown_server(&mut self) -> Result<bool, String> {
+        self.control(ControlOp::Shutdown)
+    }
+
+    fn control(&mut self, op: ControlOp) -> Result<bool, String> {
+        self.send_raw(&protocol::control_line(op))?;
+        match self.recv()? {
+            Response::Control { op: echoed, ok } if echoed == op.name() => Ok(ok),
+            other => Err(format!("expected a {} ack, got {other:?}", op.name())),
+        }
+    }
+
+    /// Splits the connection into independent send and receive halves
+    /// so one thread can keep pipelining requests while another reaps
+    /// responses (the open-loop load generator's mode of operation).
+    pub fn split(self) -> (ClientReader, ClientWriter) {
+        (
+            ClientReader {
+                reader: self.reader,
+            },
+            ClientWriter {
+                writer: self.writer,
+            },
+        )
+    }
+}
+
+/// The receive half of a split [`Client`].
+#[derive(Debug)]
+pub struct ClientReader {
+    reader: BufReader<TcpStream>,
+}
+
+impl ClientReader {
+    /// Blocks for the next response line (see [`Client::recv`]).
+    ///
+    /// # Errors
+    ///
+    /// Reports a closed connection or an unparseable response.
+    pub fn recv(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("gateway recv failed: {e}"))?;
+        if n == 0 {
+            return Err("gateway closed the connection".to_string());
+        }
+        protocol::parse_response(line.trim_end())
+    }
+}
+
+/// The send half of a split [`Client`].
+#[derive(Debug)]
+pub struct ClientWriter {
+    writer: TcpStream,
+}
+
+impl ClientWriter {
+    /// Sends one job request without waiting for the response (see
+    /// [`Client::send`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error on a failed write.
+    pub fn send(&mut self, spec: &JobSpec, deadline_ms: Option<u64>) -> Result<(), String> {
+        let line = protocol::request_line(spec, deadline_ms);
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        self.writer
+            .write_all(&bytes)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("gateway send failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(20),
+        };
+        assert_eq!(policy.delay(0), Duration::from_millis(2));
+        assert_eq!(policy.delay(1), Duration::from_millis(4));
+        assert_eq!(policy.delay(2), Duration::from_millis(8));
+        assert_eq!(policy.delay(3), Duration::from_millis(16));
+        assert_eq!(policy.delay(4), Duration::from_millis(20));
+        assert_eq!(policy.delay(31), Duration::from_millis(20));
+        // Shift overflow saturates instead of wrapping.
+        assert_eq!(policy.delay(40), Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,302 @@
+//! A closed-loop load generator for the gateway.
+//!
+//! `drift loadgen` drives a running gateway with `clients` concurrent
+//! connections sharing one deterministic synthetic job stream
+//! ([`drift_serve::job::synthetic_jobs`], split round-robin so job ids
+//! stay unique). The default mode is **closed-loop**: each client
+//! submits its next job as soon as the previous response arrives,
+//! absorbing shed responses with the client library's capped
+//! exponential backoff — so measured throughput is the gateway's
+//! sustainable service rate. With `open_loop_rps` set, clients instead
+//! pace request *sends* at a fixed aggregate rate with no retries,
+//! pipelining into the connection while a reaper thread drains
+//! responses — offered load stays fixed no matter how slow the gateway
+//! gets, which exposes the shed rate of the admission queue.
+
+use crate::client::{Client, RetryPolicy};
+use crate::protocol::{Response, ERR_DEADLINE, ERR_OVERLOADED};
+use drift_serve::job::{synthetic_jobs, JobOutcome, JobResult, JobSpec};
+use drift_serve::stats::percentile_ns;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tunables for one load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadGenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total jobs across all clients.
+    pub jobs: usize,
+    /// Distinct GEMM shapes in the synthetic stream.
+    pub shapes: usize,
+    /// Master seed of the synthetic stream.
+    pub seed: u64,
+    /// Per-request deadline budget sent with every job.
+    pub deadline_ms: Option<u64>,
+    /// Open-loop mode: pace request starts at this aggregate rate and
+    /// do not retry sheds. `None` = closed loop with retry.
+    pub open_loop_rps: Option<f64>,
+    /// Backoff policy for closed-loop shed retries.
+    pub retry: RetryPolicy,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 4,
+            jobs: 200,
+            shapes: 4,
+            seed: 42,
+            deadline_ms: None,
+            open_loop_rps: None,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What one load-generation run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Jobs offered.
+    pub jobs: usize,
+    /// Requests answered with a result.
+    pub ok: u64,
+    /// Requests that ended shed (after retries ran out, or on first
+    /// shed in open-loop mode).
+    pub shed: u64,
+    /// Requests answered `deadline_exceeded`.
+    pub expired: u64,
+    /// Of the `ok` responses, how many carried a job-level error
+    /// outcome (the job ran and failed).
+    pub job_errors: u64,
+    /// Shed responses absorbed by closed-loop backoff.
+    pub retries: u64,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Completed (ok) responses per wall-clock second.
+    pub throughput: f64,
+    /// Median end-to-end request latency, µs (including retry time).
+    pub p50_us: f64,
+    /// 99th-percentile end-to-end request latency, µs.
+    pub p99_us: f64,
+    /// Every result received, sorted by job id.
+    pub results: Vec<JobResult>,
+}
+
+impl LoadReport {
+    /// Checks the run lost or duplicated nothing: every offered job is
+    /// accounted for exactly once (ok, shed, or expired), and no result
+    /// id repeats.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first imbalance found.
+    pub fn verify_complete(&self) -> Result<(), String> {
+        let answered = self.ok + self.shed + self.expired;
+        if answered != self.jobs as u64 {
+            return Err(format!(
+                "offered {} jobs but accounted for {answered} ({} ok, {} shed, {} expired)",
+                self.jobs, self.ok, self.shed, self.expired
+            ));
+        }
+        for pair in self.results.windows(2) {
+            if pair[0].id == pair[1].id {
+                return Err(format!("duplicated result id {}", pair[0].id));
+            }
+        }
+        Ok(())
+    }
+
+    /// A short human rendering for the CLI.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} jobs in {:.1} ms — {:.0} ok/s, {} ok ({} job errors), {} shed, \
+             {} expired, {} retries, p50 {:.0} µs, p99 {:.0} µs",
+            self.jobs,
+            self.wall.as_secs_f64() * 1e3,
+            self.throughput,
+            self.ok,
+            self.job_errors,
+            self.shed,
+            self.expired,
+            self.retries,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+}
+
+#[derive(Default)]
+struct ClientTally {
+    ok: u64,
+    shed: u64,
+    expired: u64,
+    job_errors: u64,
+    retries: u64,
+    latencies_ns: Vec<u64>,
+    results: Vec<JobResult>,
+}
+
+/// Runs one load-generation pass against the gateway at `addr`.
+///
+/// # Errors
+///
+/// Reports connection failures, transport errors, and unexpected
+/// responses (e.g. `bad_request` for a stream the generator itself
+/// produced).
+pub fn run(addr: &str, config: &LoadGenConfig) -> Result<LoadReport, String> {
+    let clients = config.clients.max(1);
+    let jobs = synthetic_jobs(config.jobs, config.shapes, config.seed);
+    // Round-robin partition: ids stay unique across clients and every
+    // client sees the same kind mix.
+    let mut slices: Vec<Vec<JobSpec>> = vec![Vec::new(); clients];
+    for (i, job) in jobs.into_iter().enumerate() {
+        slices[i % clients].push(job);
+    }
+    // Pace per client so the aggregate request-start rate is the
+    // configured RPS.
+    let pace = config
+        .open_loop_rps
+        .and_then(|rps| (rps > 0.0).then(|| Duration::from_secs_f64(clients as f64 / rps)));
+
+    let start = Instant::now();
+    let tallies: Vec<Result<ClientTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .into_iter()
+            .filter(|slice| !slice.is_empty())
+            .map(|slice| scope.spawn(move || drive_client(addr, &slice, config, pace)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen client panicked"))
+            .collect()
+    });
+    let wall = start.elapsed();
+
+    let mut total = ClientTally::default();
+    for tally in tallies {
+        let tally = tally?;
+        total.ok += tally.ok;
+        total.shed += tally.shed;
+        total.expired += tally.expired;
+        total.job_errors += tally.job_errors;
+        total.retries += tally.retries;
+        total.latencies_ns.extend(tally.latencies_ns);
+        total.results.extend(tally.results);
+    }
+    total.latencies_ns.sort_unstable();
+    total.results.sort_by_key(|r| r.id);
+    let secs = wall.as_secs_f64();
+    Ok(LoadReport {
+        jobs: config.jobs,
+        ok: total.ok,
+        shed: total.shed,
+        expired: total.expired,
+        job_errors: total.job_errors,
+        retries: total.retries,
+        wall,
+        throughput: if secs > 0.0 {
+            total.ok as f64 / secs
+        } else {
+            0.0
+        },
+        p50_us: percentile_ns(&total.latencies_ns, 50.0) as f64 / 1_000.0,
+        p99_us: percentile_ns(&total.latencies_ns, 99.0) as f64 / 1_000.0,
+        results: total.results,
+    })
+}
+
+fn drive_client(
+    addr: &str,
+    slice: &[JobSpec],
+    config: &LoadGenConfig,
+    pace: Option<Duration>,
+) -> Result<ClientTally, String> {
+    let client =
+        Client::connect(addr).map_err(|e| format!("cannot connect to gateway at {addr}: {e}"))?;
+    if let Some(interval) = pace {
+        return drive_open_loop(client, slice, config, interval);
+    }
+    let mut client = client;
+    let mut tally = ClientTally::default();
+    for spec in slice {
+        let begin = Instant::now();
+        let sub = client.submit_with_retry(spec, config.deadline_ms, &config.retry)?;
+        let latency = begin.elapsed();
+        tally.retries += u64::from(sub.retries);
+        tally.account(sub.response, latency)?;
+    }
+    Ok(tally)
+}
+
+/// Open-loop driving: request *sends* are paced on this thread while a
+/// reaper thread drains responses concurrently, so a slow gateway
+/// cannot push back on the offered rate — the requests pipeline and the
+/// bounded queue (not the client) decides what gets shed. A blocking
+/// submit-then-wait loop here would silently turn the run into a
+/// closed loop capped at `clients` in-flight requests.
+fn drive_open_loop(
+    client: Client,
+    slice: &[JobSpec],
+    config: &LoadGenConfig,
+    interval: Duration,
+) -> Result<ClientTally, String> {
+    let (mut reader, mut writer) = client.split();
+    // Send instants by job id, written by the pacer before each send
+    // and consumed by the reaper to measure send-to-response latency.
+    let sent: Mutex<HashMap<u64, Instant>> = Mutex::new(HashMap::with_capacity(slice.len()));
+    let expected = slice.len();
+
+    std::thread::scope(|scope| {
+        let pacer = scope.spawn(|| -> Result<(), String> {
+            let mut next_start = Instant::now();
+            for spec in slice {
+                let now = Instant::now();
+                if next_start > now {
+                    std::thread::sleep(next_start - now);
+                }
+                next_start += interval;
+                sent.lock()
+                    .expect("send-time map")
+                    .insert(spec.id, Instant::now());
+                writer.send(spec, config.deadline_ms)?;
+            }
+            Ok(())
+        });
+
+        let mut tally = ClientTally::default();
+        for _ in 0..expected {
+            let response = reader.recv()?;
+            let begin = match &response {
+                Response::Result(result) => sent.lock().expect("send-time map").remove(&result.id),
+                Response::Error { id: Some(id), .. } => {
+                    sent.lock().expect("send-time map").remove(id)
+                }
+                _ => None,
+            };
+            let latency = begin.map_or(Duration::ZERO, |b| b.elapsed());
+            tally.account(response, latency)?;
+        }
+        pacer.join().expect("loadgen pacer panicked")?;
+        Ok(tally)
+    })
+}
+
+impl ClientTally {
+    fn account(&mut self, response: Response, latency: Duration) -> Result<(), String> {
+        match response {
+            Response::Result(result) => {
+                self.ok += 1;
+                self.latencies_ns
+                    .push(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+                self.job_errors += u64::from(matches!(result.outcome, JobOutcome::Error { .. }));
+                self.results.push(result);
+            }
+            Response::Error { error, .. } if error == ERR_OVERLOADED => self.shed += 1,
+            Response::Error { error, .. } if error == ERR_DEADLINE => self.expired += 1,
+            other => return Err(format!("unexpected gateway response {other:?}")),
+        }
+        Ok(())
+    }
+}

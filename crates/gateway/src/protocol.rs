@@ -1,0 +1,310 @@
+//! The gateway wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line in, one response per line out. The request
+//! format is a strict superset of the [`JobSpec`] JSONL format
+//! `drift serve` reads — a plain job line is a valid request — plus an
+//! optional `deadline_ms` budget and a `control` escape hatch:
+//!
+//! ```text
+//! {"id":0,"seed":7,"kind":{"Schedule":{"m":512,"k":768,"n":768,"fa":0.2,"fw":0.1}}}
+//! {"id":1,"seed":9,"kind":{"Simulate":{...}},"deadline_ms":250}
+//! {"control":"ping"}
+//! {"control":"shutdown"}
+//! ```
+//!
+//! Success responses are [`JobResult`] lines, byte-identical to the
+//! offline `drift serve` output for the same job. Failure responses are
+//! flat error objects (`{"id":N,"error":"overloaded"}`); control lines
+//! are acknowledged as `{"control":"ping","ok":true}`. Responses to
+//! pipelined requests may arrive out of order — clients correlate by
+//! `id`. The full contract lives in `docs/SERVING.md`.
+
+use drift_serve::job::{JobResult, JobSpec};
+use serde::{Deserialize, Serialize, Value};
+
+/// Error code: the queue was full and the request was shed.
+pub const ERR_OVERLOADED: &str = "overloaded";
+/// Error code: the request's deadline passed before its response.
+pub const ERR_DEADLINE: &str = "deadline_exceeded";
+/// Error code: the request line did not parse as a job or control line.
+pub const ERR_BAD_REQUEST: &str = "bad_request";
+
+/// A control operation carried on a `{"control":...}` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Liveness probe; acknowledged immediately.
+    Ping,
+    /// Begin a graceful drain: stop accepting, flush in-flight work,
+    /// then exit.
+    Shutdown,
+}
+
+impl ControlOp {
+    /// The wire name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlOp::Ping => "ping",
+            ControlOp::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A job submission, with an optional per-request deadline budget
+    /// in milliseconds (measured from admission).
+    Job {
+        /// The job to run, in the `drift serve` JSONL format.
+        spec: JobSpec,
+        /// Overrides the server's default deadline when present.
+        deadline_ms: Option<u64>,
+    },
+    /// A control line.
+    Control(ControlOp),
+}
+
+/// One parsed response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job completed; the payload is the same [`JobResult`] the
+    /// offline runtime would produce.
+    Result(JobResult),
+    /// The gateway refused or failed the request.
+    Error {
+        /// The request's id, when the gateway could recover it.
+        id: Option<u64>,
+        /// One of [`ERR_OVERLOADED`], [`ERR_DEADLINE`],
+        /// [`ERR_BAD_REQUEST`].
+        error: String,
+    },
+    /// A control acknowledgement.
+    Control {
+        /// The acknowledged operation name.
+        op: String,
+        /// Whether the gateway accepted the operation.
+        ok: bool,
+    },
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, unknown control
+/// operations, bad `deadline_ms` values, or job specs that do not
+/// match the [`JobSpec`] schema.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    if let Some(op) = value.get("control") {
+        let op = match op {
+            Value::Str(s) => s.as_str(),
+            other => return Err(format!("control must be a string, got {}", other.kind())),
+        };
+        return match op {
+            "ping" => Ok(Request::Control(ControlOp::Ping)),
+            "shutdown" => Ok(Request::Control(ControlOp::Shutdown)),
+            other => Err(format!("unknown control operation '{other}'")),
+        };
+    }
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Value::Null) => None,
+        Some(v) => Some(u64::from_value(v).map_err(|e| format!("deadline_ms: {e}"))?),
+    };
+    let spec = JobSpec::from_value(&value).map_err(|e| e.to_string())?;
+    Ok(Request::Job { spec, deadline_ms })
+}
+
+/// Renders a job request line (no trailing newline). Without a
+/// deadline the line is byte-identical to the `drift serve` JobSpec
+/// JSONL format.
+pub fn request_line(spec: &JobSpec, deadline_ms: Option<u64>) -> String {
+    let mut value = spec.to_value();
+    if let (Value::Map(entries), Some(ms)) = (&mut value, deadline_ms) {
+        entries.push(("deadline_ms".to_string(), ms.to_value()));
+    }
+    render(&value)
+}
+
+/// Renders a protocol value tree; the protocol's values never contain
+/// non-finite floats, so serialization cannot fail.
+fn render(value: &Value) -> String {
+    serde_json::to_string(value).expect("protocol lines contain only finite numbers")
+}
+
+/// Renders a control request line.
+pub fn control_line(op: ControlOp) -> String {
+    render(&Value::Map(vec![(
+        "control".to_string(),
+        Value::Str(op.name().to_string()),
+    )]))
+}
+
+/// Renders an error response line, e.g. `{"id":3,"error":"overloaded"}`.
+pub fn error_line(id: Option<u64>, error: &str) -> String {
+    let mut entries = Vec::with_capacity(2);
+    if let Some(id) = id {
+        entries.push(("id".to_string(), id.to_value()));
+    }
+    entries.push(("error".to_string(), Value::Str(error.to_string())));
+    render(&Value::Map(entries))
+}
+
+/// Renders a control acknowledgement line.
+pub fn control_ack_line(op: ControlOp, ok: bool) -> String {
+    render(&Value::Map(vec![
+        ("control".to_string(), Value::Str(op.name().to_string())),
+        ("ok".to_string(), Value::Bool(ok)),
+    ]))
+}
+
+/// Parses one response line into a [`Response`].
+///
+/// # Errors
+///
+/// Returns a message when the line is not valid JSON or matches none of
+/// the three response shapes.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    if let Some(op) = value.get("control") {
+        let op = match op {
+            Value::Str(s) => s.clone(),
+            other => return Err(format!("control must be a string, got {}", other.kind())),
+        };
+        let ok = matches!(value.get("ok"), Some(Value::Bool(true)));
+        return Ok(Response::Control { op, ok });
+    }
+    if let Some(err) = value.get("error") {
+        let error = match err {
+            Value::Str(s) => s.clone(),
+            other => return Err(format!("error must be a string, got {}", other.kind())),
+        };
+        let id = match value.get("id") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(u64::from_value(v).map_err(|e| format!("id: {e}"))?),
+        };
+        return Ok(Response::Error { id, error });
+    }
+    JobResult::from_value(&value)
+        .map(Response::Result)
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drift_serve::job::{result_line, JobKind, JobOutcome};
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: 7,
+            seed: 3,
+            kind: JobKind::Schedule {
+                m: 64,
+                k: 128,
+                n: 64,
+                fa: 0.25,
+                fw: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn job_requests_round_trip_with_and_without_deadline() {
+        let plain = request_line(&spec(), None);
+        // Without a deadline the request is exactly the serve format.
+        assert_eq!(plain, serde_json::to_string(&spec()).unwrap());
+        assert_eq!(
+            parse_request(&plain).unwrap(),
+            Request::Job {
+                spec: spec(),
+                deadline_ms: None
+            }
+        );
+        let budgeted = request_line(&spec(), Some(250));
+        assert!(budgeted.contains("\"deadline_ms\":250"));
+        assert_eq!(
+            parse_request(&budgeted).unwrap(),
+            Request::Job {
+                spec: spec(),
+                deadline_ms: Some(250)
+            }
+        );
+    }
+
+    #[test]
+    fn control_lines_round_trip() {
+        for op in [ControlOp::Ping, ControlOp::Shutdown] {
+            let req = parse_request(&control_line(op)).unwrap();
+            assert_eq!(req, Request::Control(op));
+            let ack = parse_response(&control_ack_line(op, true)).unwrap();
+            assert_eq!(
+                ack,
+                Response::Control {
+                    op: op.name().to_string(),
+                    ok: true
+                }
+            );
+        }
+        assert!(parse_request("{\"control\":\"reboot\"}").is_err());
+    }
+
+    #[test]
+    fn error_lines_round_trip() {
+        let line = error_line(Some(9), ERR_OVERLOADED);
+        assert_eq!(line, "{\"id\":9,\"error\":\"overloaded\"}");
+        assert_eq!(
+            parse_response(&line).unwrap(),
+            Response::Error {
+                id: Some(9),
+                error: ERR_OVERLOADED.to_string()
+            }
+        );
+        let anon = error_line(None, ERR_BAD_REQUEST);
+        assert_eq!(
+            parse_response(&anon).unwrap(),
+            Response::Error {
+                id: None,
+                error: ERR_BAD_REQUEST.to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn result_responses_parse_as_results() {
+        let result = JobResult {
+            id: 4,
+            outcome: JobOutcome::Schedule {
+                makespan: 100,
+                latencies: [1, 2, 3, 4],
+            },
+        };
+        assert_eq!(
+            parse_response(&result_line(&result)).unwrap(),
+            Response::Result(result)
+        );
+        // A job-level error outcome is still a Result, not a gateway
+        // error: the job ran, its payload says it failed.
+        let failed = JobResult {
+            id: 5,
+            outcome: JobOutcome::Error {
+                message: "bad shape".to_string(),
+            },
+        };
+        assert!(matches!(
+            parse_response(&result_line(&failed)).unwrap(),
+            Response::Result(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"id\":1}").is_err());
+        assert!(parse_request("{\"id\":1,\"seed\":2,\"kind\":{\"Nope\":{}}}").is_err());
+        let err =
+            parse_request("{\"id\":1,\"seed\":2,\"kind\":{\"Select\":{\"tokens\":4,\"hidden\":8,\"delta\":0.1,\"profile\":\"bert\"}},\"deadline_ms\":\"soon\"}")
+                .unwrap_err();
+        assert!(err.contains("deadline_ms"), "{err}");
+    }
+}

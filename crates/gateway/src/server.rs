@@ -1,0 +1,708 @@
+//! The gateway server: a multi-threaded TCP front-end over the
+//! `drift-serve` runtime.
+//!
+//! ```text
+//!            acceptor thread (non-blocking listener)
+//!                 │ spawns one reader per connection
+//!   reader ──try_submit──▶ bounded JobQueue ──▶ worker pool (one
+//!     │  shed: {"error":"overloaded"}            DriftAccelerator each,
+//!     │                                          shared schedule cache)
+//!     └─▶ writer thread ◀──reply channel──────────┘
+//! ```
+//!
+//! Three properties the batch runtime does not need become load-bearing
+//! here and are owned by this module:
+//!
+//! * **admission control** — submission uses the queue's non-blocking
+//!   [`JobQueue::try_submit`]; a full queue sheds the request with a
+//!   structured `overloaded` response instead of blocking the socket;
+//! * **deadlines** — each request carries a millisecond budget from
+//!   admission; workers check it when they dequeue the job *and* again
+//!   after executing it, answering `deadline_exceeded` for expired
+//!   work;
+//! * **graceful drain** — [`Gateway::shutdown`] stops the acceptor,
+//!   lets readers wind down, flushes every accepted job's response
+//!   through its connection writer, and only then closes the queue and
+//!   joins the workers. No accepted job is lost.
+//!
+//! Stalled clients cannot pin threads: reads tick on a short timeout
+//! (so readers notice shutdown and idle expiry), and writes time out
+//! and degrade to discarding responses for that connection only.
+
+use crate::protocol::{self, ControlOp, Request, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_OVERLOADED};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use drift_core::accelerator::DriftAccelerator;
+use drift_obs::Recorder;
+use drift_serve::cache::ScheduleCache;
+use drift_serve::job::{result_line, JobOutcome, JobResult, JobSpec};
+use drift_serve::queue::{job_queue, JobQueue, WorkerHandle};
+use drift_serve::worker::execute_job_recorded;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check shutdown and idle expiry.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Longest request line the server will buffer before dropping the
+/// connection.
+const MAX_LINE_BYTES: usize = 1 << 20;
+/// A connection writer gives a slow client this long per response
+/// before treating the connection as stalled and discarding the rest.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Tunables for one gateway instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Worker threads executing jobs (at least 1).
+    pub workers: usize,
+    /// Maximum admitted jobs waiting in the queue; beyond this,
+    /// requests are shed with `overloaded`.
+    pub queue_depth: usize,
+    /// Total schedules the shared cache may hold.
+    pub cache_capacity: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Default per-request deadline budget in milliseconds, applied
+    /// when a request carries no `deadline_ms` field. `0` disables the
+    /// default (requests without a field get no deadline).
+    pub default_deadline_ms: u64,
+    /// Close a connection after this long without a complete request
+    /// line. `0` disables idle expiry.
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            workers: 4,
+            queue_depth: 256,
+            cache_capacity: 4096,
+            cache_shards: 16,
+            default_deadline_ms: 0,
+            idle_timeout_ms: 30_000,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// The default configuration with `workers` threads.
+    pub fn with_workers(workers: usize) -> Self {
+        GatewayConfig {
+            workers,
+            ..GatewayConfig::default()
+        }
+    }
+}
+
+/// Request totals over a gateway's lifetime, returned by
+/// [`Gateway::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GatewaySummary {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests refused with `overloaded` (queue full).
+    pub shed: u64,
+    /// Requests answered `deadline_exceeded`.
+    pub expired: u64,
+    /// Lines that parsed as neither a job nor a control request.
+    pub rejected: u64,
+    /// Completed responses dropped because the client was gone or
+    /// stalled past the write timeout.
+    pub dropped: u64,
+    /// Connections accepted over the lifetime.
+    pub connections: u64,
+}
+
+impl GatewaySummary {
+    /// One-line human rendering for the CLI's exit report.
+    pub fn render(&self) -> String {
+        format!(
+            "gateway: {} connections, {} accepted, {} shed, {} expired, {} rejected, {} responses dropped",
+            self.connections, self.accepted, self.shed, self.expired, self.rejected, self.dropped
+        )
+    }
+}
+
+/// Lifetime counters, kept as plain atomics so the exit summary works
+/// even with the recorder disabled.
+#[derive(Debug, Default)]
+struct Tally {
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    rejected: AtomicU64,
+    dropped: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Tally {
+    fn summary(&self) -> GatewaySummary {
+        GatewaySummary {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted request travelling from a connection reader to a
+/// worker and back (as a rendered response line) to the writer.
+#[derive(Debug, Clone)]
+struct GatewayJob {
+    spec: JobSpec,
+    deadline: Option<Instant>,
+    admitted: Instant,
+    reply: Sender<String>,
+}
+
+impl GatewayJob {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: GatewayConfig,
+    recorder: Recorder,
+    cache: ScheduleCache,
+    /// Hard stop: acceptor and readers exit at their next tick.
+    stop: AtomicBool,
+    /// A client requested a drain (`{"control":"shutdown"}`); the
+    /// gateway's owner observes this via [`Gateway::draining`] and
+    /// calls [`Gateway::shutdown`].
+    drain: AtomicBool,
+    tally: Tally,
+}
+
+impl Shared {
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.drain.load(Ordering::Relaxed)
+    }
+}
+
+/// A running gateway: acceptor, connection threads, and worker pool.
+///
+/// Dropping the gateway performs the same graceful drain as
+/// [`Gateway::shutdown`].
+#[derive(Debug)]
+pub struct Gateway {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    /// The submit side of the queue. Connection readers hold clones of
+    /// this `Arc`; after they are joined, dropping the slot here drops
+    /// the final strong reference, which closes the queue and lets the
+    /// workers drain out.
+    queue: Option<Arc<JobQueue<GatewayJob>>>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds `addr` (port 0 picks a free port) and starts the acceptor
+    /// and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(addr: &str, config: GatewayConfig, recorder: Recorder) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let config = GatewayConfig {
+            workers: config.workers.max(1),
+            queue_depth: config.queue_depth.max(1),
+            cache_capacity: config.cache_capacity.max(1),
+            cache_shards: config.cache_shards.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            cache: ScheduleCache::with_recorder(
+                config.cache_capacity,
+                config.cache_shards,
+                recorder.clone(),
+            ),
+            recorder,
+            config,
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            tally: Tally::default(),
+        });
+        shared
+            .recorder
+            .gauge_set("drift_serve_workers", &[], config.workers as i64);
+
+        let (queue, handle) = job_queue::<GatewayJob>(config.queue_depth);
+        let queue = Arc::new(queue);
+        let workers = (0..config.workers)
+            .map(|i| {
+                let handle = handle.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gateway-worker-{i}"))
+                    .spawn(move || worker_loop(handle, &shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        drop(handle);
+
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&queue);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("gateway-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &shared, &queue, &conns))?
+        };
+
+        Ok(Gateway {
+            addr,
+            shared,
+            queue: Some(queue),
+            acceptor: Some(acceptor),
+            conns,
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a client has requested a drain via
+    /// `{"control":"shutdown"}`. The owner should then call
+    /// [`Gateway::shutdown`].
+    pub fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime request totals so far.
+    pub fn summary(&self) -> GatewaySummary {
+        self.shared.tally.summary()
+    }
+
+    /// Gracefully drains the gateway: stop accepting, flush every
+    /// accepted job's response, close the queue, join all threads.
+    /// Returns the lifetime totals.
+    pub fn shutdown(mut self) -> GatewaySummary {
+        self.shutdown_in_place()
+    }
+
+    fn shutdown_in_place(&mut self) -> GatewaySummary {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Readers notice the stop flag at their next read tick and
+        // exit; each joins its writer, which flushes the responses of
+        // every job that connection had in flight (workers are still
+        // running here, so those jobs finish).
+        let conns = std::mem::take(&mut *self.conns.lock().expect("connection registry"));
+        for conn in conns {
+            let _ = conn.join();
+        }
+        // All submitters are gone: dropping the last queue handle
+        // closes it, workers drain whatever is still buffered and exit.
+        self.queue.take();
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.join();
+        }
+        self.shared.tally.summary()
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    queue: &Arc<JobQueue<GatewayJob>>,
+    conns: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    while !shared.should_stop() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let queue = Arc::clone(queue);
+                let handle = std::thread::Builder::new()
+                    .name("gateway-conn".to_string())
+                    .spawn(move || connection(stream, &shared, &queue));
+                if let Ok(handle) = handle {
+                    let mut conns = conns.lock().expect("connection registry");
+                    // Reap finished connections so a long-lived gateway
+                    // does not accumulate dead handles.
+                    conns.retain(|h| !h.is_finished());
+                    conns.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(READ_TICK),
+            Err(_) => std::thread::sleep(READ_TICK),
+        }
+    }
+}
+
+/// One connection's reader: parses request lines, admits jobs, and
+/// owns the paired writer thread's lifetime.
+fn connection(stream: TcpStream, shared: &Arc<Shared>, queue: &JobQueue<GatewayJob>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    shared.tally.connections.fetch_add(1, Ordering::Relaxed);
+    shared
+        .recorder
+        .gauge_add("drift_gateway_connections", &[], 1);
+
+    let (reply_tx, reply_rx) = unbounded::<String>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("gateway-writer".to_string())
+            .spawn(move || writer_loop(write_half, &reply_rx, &shared))
+    };
+
+    let mut lines = LineReader::new(stream);
+    let mut last_activity = Instant::now();
+    let idle = shared.config.idle_timeout_ms;
+    while !shared.should_stop() {
+        match lines.next_line() {
+            LineEvent::Line(line) => {
+                last_activity = Instant::now();
+                if !handle_line(&line, shared, queue, &reply_tx) {
+                    break;
+                }
+            }
+            LineEvent::TimedOut => {
+                if idle > 0 && last_activity.elapsed() >= Duration::from_millis(idle) {
+                    break;
+                }
+            }
+            LineEvent::Eof | LineEvent::Failed => break,
+        }
+    }
+    // Dropping our sender lets the writer exit once every in-flight
+    // job's clone is gone — i.e. after all accepted work is answered.
+    drop(reply_tx);
+    if let Ok(writer) = writer {
+        let _ = writer.join();
+    }
+    shared
+        .recorder
+        .gauge_add("drift_gateway_connections", &[], -1);
+}
+
+/// Handles one request line. Returns `false` when the connection
+/// should stop reading (a shutdown control).
+fn handle_line(
+    line: &str,
+    shared: &Shared,
+    queue: &JobQueue<GatewayJob>,
+    reply: &Sender<String>,
+) -> bool {
+    if line.trim().is_empty() {
+        return true;
+    }
+    match protocol::parse_request(line) {
+        Err(_) => {
+            // Lenient by design: a malformed request is answered and
+            // counted, never a reason to abort the stream.
+            shared.tally.rejected.fetch_add(1, Ordering::Relaxed);
+            shared
+                .recorder
+                .counter_add("drift_serve_jobs_rejected_total", &[], 1);
+            let _ = reply.send(protocol::error_line(None, ERR_BAD_REQUEST));
+            true
+        }
+        Ok(Request::Control(ControlOp::Ping)) => {
+            let _ = reply.send(protocol::control_ack_line(ControlOp::Ping, true));
+            true
+        }
+        Ok(Request::Control(ControlOp::Shutdown)) => {
+            let _ = reply.send(protocol::control_ack_line(ControlOp::Shutdown, true));
+            shared.drain.store(true, Ordering::SeqCst);
+            false
+        }
+        Ok(Request::Job { spec, deadline_ms }) => {
+            let admitted = Instant::now();
+            let budget = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
+            let deadline = (budget > 0).then(|| admitted + Duration::from_millis(budget));
+            let id = spec.id;
+            let job = GatewayJob {
+                spec,
+                deadline,
+                admitted,
+                reply: reply.clone(),
+            };
+            match queue.try_submit(job) {
+                Ok(()) => {
+                    shared.tally.accepted.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .recorder
+                        .counter_add("drift_gateway_requests_accepted_total", &[], 1);
+                    shared
+                        .recorder
+                        .gauge_add("drift_gateway_inflight_requests", &[], 1);
+                }
+                Err(_job) => {
+                    shared.tally.shed.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .recorder
+                        .counter_add("drift_gateway_requests_shed_total", &[], 1);
+                    let _ = reply.send(protocol::error_line(Some(id), ERR_OVERLOADED));
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Writes response lines until every sender is gone. A write failure
+/// (client gone or stalled past [`WRITE_TIMEOUT`]) flips the writer
+/// into discard mode: remaining responses are drained and counted as
+/// dropped so in-flight senders never block on a dead peer.
+fn writer_loop(mut stream: TcpStream, replies: &Receiver<String>, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut dead = false;
+    for line in replies.iter() {
+        if !dead {
+            let mut bytes = line.into_bytes();
+            bytes.push(b'\n');
+            dead = stream.write_all(&bytes).is_err() || stream.flush().is_err();
+            if !dead {
+                continue;
+            }
+        }
+        shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
+        shared
+            .recorder
+            .counter_add("drift_gateway_responses_dropped_total", &[], 1);
+    }
+}
+
+/// One worker: pulls admitted jobs until the queue closes, enforcing
+/// the deadline at dequeue and again at response time.
+fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
+    let mut accel =
+        DriftAccelerator::paper_config().expect("the paper configuration always builds");
+    accel.set_recorder(shared.recorder.clone());
+    while let Some(job) = jobs.next_job() {
+        if job.expired(Instant::now()) {
+            respond_expired(shared, &job);
+            continue;
+        }
+        let (outcome, _cache_hit) =
+            execute_job_recorded(&job.spec, &mut accel, &shared.cache, &shared.recorder);
+        if shared.recorder.is_enabled() {
+            let is_error = matches!(outcome, JobOutcome::Error { .. });
+            shared.recorder.counter_add(
+                "drift_serve_jobs_total",
+                &[
+                    ("kind", job.spec.kind.label()),
+                    ("outcome", if is_error { "error" } else { "ok" }),
+                ],
+                1,
+            );
+        }
+        if job.expired(Instant::now()) {
+            respond_expired(shared, &job);
+            continue;
+        }
+        let line = result_line(&JobResult {
+            id: job.spec.id,
+            outcome,
+        });
+        respond(shared, &job, line);
+    }
+}
+
+fn respond_expired(shared: &Shared, job: &GatewayJob) {
+    shared.tally.expired.fetch_add(1, Ordering::Relaxed);
+    shared
+        .recorder
+        .counter_add("drift_gateway_requests_expired_total", &[], 1);
+    respond(
+        shared,
+        job,
+        protocol::error_line(Some(job.spec.id), ERR_DEADLINE),
+    );
+}
+
+/// Enqueues a response on the job's connection writer and settles the
+/// request's accounting (in-flight gauge, end-to-end latency).
+fn respond(shared: &Shared, job: &GatewayJob, line: String) {
+    let recorder = &shared.recorder;
+    recorder.gauge_add("drift_gateway_inflight_requests", &[], -1);
+    if recorder.is_enabled() {
+        recorder.observe(
+            "drift_gateway_request_latency_microseconds",
+            &[],
+            drift_obs::contract::LATENCY_US_BUCKETS,
+            job.admitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+    }
+    if job.reply.send(line).is_err() {
+        // The connection is fully gone (reader and writer exited).
+        shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
+        recorder.counter_add("drift_gateway_responses_dropped_total", &[], 1);
+    }
+}
+
+enum LineEvent {
+    Line(String),
+    TimedOut,
+    Eof,
+    Failed,
+}
+
+/// A newline-framed reader over a socket with a read timeout, keeping
+/// partial lines buffered across timeout ticks (a `BufRead::read_line`
+/// would lose them).
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn next_line(&mut self) -> LineEvent {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return LineEvent::Failed;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return LineEvent::TimedOut;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return LineEvent::Failed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use drift_serve::job::JobKind;
+
+    fn small_spec(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            seed: id + 1,
+            kind: JobKind::Schedule {
+                m: 64,
+                k: 128,
+                n: 64,
+                fa: 0.25,
+                fw: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn serves_jobs_and_pings_over_tcp() {
+        let gw = Gateway::start(
+            "127.0.0.1:0",
+            GatewayConfig::with_workers(2),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let mut client = Client::connect(&gw.local_addr().to_string()).unwrap();
+        assert!(client.ping().unwrap());
+        for id in 0..10 {
+            let resp = client.submit(&small_spec(id), None).unwrap();
+            match resp {
+                protocol::Response::Result(r) => assert_eq!(r.id, id),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        let summary = gw.shutdown();
+        assert_eq!(summary.accepted, 10);
+        assert_eq!(summary.shed, 0);
+        assert_eq!(summary.connections, 1);
+    }
+
+    #[test]
+    fn bad_lines_get_bad_request_responses_and_the_stream_continues() {
+        let gw = Gateway::start(
+            "127.0.0.1:0",
+            GatewayConfig::with_workers(1),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        let mut client = Client::connect(&gw.local_addr().to_string()).unwrap();
+        client.send_raw("this is not json").unwrap();
+        match client.recv().unwrap() {
+            protocol::Response::Error { id, error } => {
+                assert_eq!(id, None);
+                assert_eq!(error, ERR_BAD_REQUEST);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The connection is still usable afterwards.
+        assert!(matches!(
+            client.submit(&small_spec(1), None).unwrap(),
+            protocol::Response::Result(_)
+        ));
+        assert_eq!(gw.shutdown().rejected, 1);
+    }
+
+    #[test]
+    fn drain_flag_is_set_by_the_shutdown_control() {
+        let gw = Gateway::start(
+            "127.0.0.1:0",
+            GatewayConfig::with_workers(1),
+            Recorder::disabled(),
+        )
+        .unwrap();
+        assert!(!gw.draining());
+        let mut client = Client::connect(&gw.local_addr().to_string()).unwrap();
+        assert!(client.shutdown_server().unwrap());
+        // The reader observes the flag on its next tick.
+        let start = Instant::now();
+        while !gw.draining() && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(gw.draining());
+        gw.shutdown();
+    }
+}

@@ -1,0 +1,51 @@
+//! The gateway is a transport, not a transform: the same job stream
+//! must yield byte-identical results whether it arrives over TCP
+//! through eight concurrent clients or through the offline
+//! `drift serve` batch path.
+
+use drift_gateway::loadgen::{self, LoadGenConfig};
+use drift_gateway::server::{Gateway, GatewayConfig};
+use drift_obs::Recorder;
+use drift_serve::job::{result_line, synthetic_jobs};
+use drift_serve::runtime::{serve, ServeConfig};
+
+#[test]
+fn gateway_results_match_offline_serve_byte_for_byte() {
+    const JOBS: usize = 500;
+    const SHAPES: usize = 4;
+    const SEED: u64 = 42;
+
+    let mut config = GatewayConfig::with_workers(8);
+    // Deep enough that nothing sheds: every job must come back.
+    config.queue_depth = JOBS;
+    let gw = Gateway::start("127.0.0.1:0", config, Recorder::disabled()).unwrap();
+    let addr = gw.local_addr().to_string();
+
+    let load = LoadGenConfig {
+        clients: 8,
+        jobs: JOBS,
+        shapes: SHAPES,
+        seed: SEED,
+        ..LoadGenConfig::default()
+    };
+    let report = loadgen::run(&addr, &load).unwrap();
+    report.verify_complete().unwrap();
+    assert_eq!(report.ok, JOBS as u64, "{}", report.render());
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.expired, 0);
+
+    let summary = gw.shutdown();
+    assert_eq!(summary.accepted, JOBS as u64);
+    assert_eq!(summary.dropped, 0);
+
+    let offline = serve(
+        synthetic_jobs(JOBS, SHAPES, SEED),
+        &ServeConfig::with_workers(8),
+    );
+    let mut offline_results = offline.results;
+    offline_results.sort_by_key(|r| r.id);
+
+    let online_lines: Vec<String> = report.results.iter().map(result_line).collect();
+    let offline_lines: Vec<String> = offline_results.iter().map(result_line).collect();
+    assert_eq!(online_lines, offline_lines);
+}

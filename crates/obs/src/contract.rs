@@ -116,6 +116,56 @@ pub const METRICS: &[MetricSpec] = &[
         help: "Energy by stage: core, static, dram, buffer",
     },
     MetricSpec {
+        name: "drift_gateway_connections",
+        kind: MetricKind::Gauge,
+        unit: "connections",
+        labels: &[],
+        help: "Client connections currently open on the gateway",
+    },
+    MetricSpec {
+        name: "drift_gateway_inflight_requests",
+        kind: MetricKind::Gauge,
+        unit: "requests",
+        labels: &[],
+        help: "Requests admitted into the gateway queue and not yet answered",
+    },
+    MetricSpec {
+        name: "drift_gateway_request_latency_microseconds",
+        kind: MetricKind::Histogram,
+        unit: "microseconds",
+        labels: &[],
+        help: "End-to-end request latency from admission to response enqueue",
+    },
+    MetricSpec {
+        name: "drift_gateway_requests_accepted_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &[],
+        help: "Requests admitted into the gateway's bounded queue",
+    },
+    MetricSpec {
+        name: "drift_gateway_requests_expired_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &[],
+        help: "Requests answered deadline_exceeded (expired at dequeue or at response time)",
+    },
+    MetricSpec {
+        name: "drift_gateway_requests_shed_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &[],
+        help: "Requests refused with overloaded because the queue was full",
+    },
+    MetricSpec {
+        name: "drift_gateway_responses_dropped_total",
+        kind: MetricKind::Counter,
+        unit: "responses",
+        labels: &[],
+        help:
+            "Responses discarded because the client disconnected or stalled past the write timeout",
+    },
+    MetricSpec {
         name: "drift_layers_executed_total",
         kind: MetricKind::Counter,
         unit: "layers",
@@ -191,6 +241,14 @@ pub const METRICS: &[MetricSpec] = &[
         unit: "microseconds",
         labels: &["worker"],
         help: "Per-job wall latency, one histogram per worker",
+    },
+    MetricSpec {
+        name: "drift_serve_jobs_rejected_total",
+        kind: MetricKind::Counter,
+        unit: "lines",
+        labels: &[],
+        help:
+            "Ingest lines rejected as malformed (lenient file ingest and gateway bad_request lines)",
     },
     MetricSpec {
         name: "drift_serve_jobs_total",

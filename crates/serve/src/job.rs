@@ -13,7 +13,32 @@
 //! seeded RNG — never from scheduling accidents like which worker ran
 //! it or whether the schedule cache happened to hit — so a job stream
 //! produces the same result set at any worker count.
+//!
+//! # Duplicate job ids
+//!
+//! Ids are caller-chosen correlation tokens, not keys: the runtime
+//! never deduplicates on them. A stream that submits the same id twice
+//! gets **two** results, each echoing that id, and the result order is
+//! **sequence-stable** — results sort by `(id, submission order)`, so
+//! duplicates come back in the order their jobs were submitted,
+//! identically at any worker count. Callers that need to tell
+//! duplicates apart should simply use distinct ids ([`synthetic_jobs`]
+//! issues the `0..count` sequence); the networked gateway inherits the
+//! same echo-both semantics, but responses there are correlated per
+//! connection, so pipelined duplicates within one connection are
+//! indistinguishable to that client.
+//!
+//! # Strict vs. lenient ingest
+//!
+//! [`read_jobs`] is strict — the first malformed line aborts the read
+//! with its line number, which is what an offline batch wants (fail
+//! fast, fix the file). [`read_jobs_lenient`] instead skips malformed
+//! lines, reporting each with its line number and counting them into
+//! the `drift_serve_jobs_rejected_total` metric — what a long-lived
+//! ingest wants (one bad producer must not poison the stream). Both
+//! skip blank lines.
 
+use drift_obs::Recorder;
 use serde::{Deserialize, Serialize};
 use std::io::BufRead;
 
@@ -154,6 +179,44 @@ pub fn read_jobs(reader: impl BufRead) -> Result<Vec<JobSpec>, String> {
     Ok(jobs)
 }
 
+/// What a lenient JSONL read produced: the good jobs plus a record of
+/// every line that was skipped.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LenientIngest {
+    /// The jobs that parsed, in stream order.
+    pub jobs: Vec<JobSpec>,
+    /// `(1-based line number, parse error)` for each skipped line.
+    pub skipped: Vec<(usize, String)>,
+}
+
+/// Reads a JSONL job stream, skipping malformed lines instead of
+/// aborting. Each skipped line is recorded with its 1-based line number
+/// and counted into `drift_serve_jobs_rejected_total` on `recorder`.
+///
+/// # Errors
+///
+/// Only I/O failures abort the read; parse failures never do.
+pub fn read_jobs_lenient(
+    reader: impl BufRead,
+    recorder: &Recorder,
+) -> Result<LenientIngest, String> {
+    let mut ingest = LenientIngest::default();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", idx + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_job(&line) {
+            Ok(job) => ingest.jobs.push(job),
+            Err(e) => {
+                recorder.counter_add("drift_serve_jobs_rejected_total", &[], 1);
+                ingest.skipped.push((idx + 1, e));
+            }
+        }
+    }
+    Ok(ingest)
+}
+
 /// Renders a result as one JSONL line (no trailing newline).
 pub fn result_line(result: &JobResult) -> String {
     serde_json::to_string(result).expect("job results contain only finite numbers")
@@ -233,6 +296,27 @@ mod tests {
         .unwrap();
         assert_eq!(ok.len(), 1);
         assert_eq!(ok[0].kind.label(), "select");
+    }
+
+    #[test]
+    fn lenient_read_skips_bad_lines_and_counts_them() {
+        let text = "\n{\"id\":0,\"seed\":1,\"kind\":{\"Schedule\":{\"m\":8,\"k\":8,\"n\":8,\"fa\":0.5,\"fw\":0.5}}}\nnot json\n{\"id\":7}\n{\"id\":1,\"seed\":2,\"kind\":{\"Select\":{\"tokens\":4,\"hidden\":8,\"delta\":0.1,\"profile\":\"bert\"}}}\n";
+        let recorder = Recorder::enabled();
+        let ingest = read_jobs_lenient(Cursor::new(text), &recorder).unwrap();
+        assert_eq!(
+            ingest.jobs.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let skipped_lines: Vec<usize> = ingest.skipped.iter().map(|(n, _)| *n).collect();
+        assert_eq!(skipped_lines, vec![3, 4]);
+        let snap = recorder.registry().unwrap().snapshot();
+        assert_eq!(snap.counter_sum("drift_serve_jobs_rejected_total"), 2);
+        // Strict and lenient agree on a clean stream.
+        let clean = "{\"id\":3,\"seed\":1,\"kind\":{\"Select\":{\"tokens\":4,\"hidden\":8,\"delta\":0.1,\"profile\":\"bert\"}}}\n";
+        let strict = read_jobs(Cursor::new(clean)).unwrap();
+        let lenient = read_jobs_lenient(Cursor::new(clean), &Recorder::disabled()).unwrap();
+        assert_eq!(strict, lenient.jobs);
+        assert!(lenient.skipped.is_empty());
     }
 
     #[test]

@@ -64,6 +64,9 @@ pub mod stats;
 pub mod worker;
 
 pub use cache::{CacheStats, ScheduleCache};
-pub use job::{synthetic_jobs, JobKind, JobOutcome, JobResult, JobSpec};
+pub use job::{
+    read_jobs, read_jobs_lenient, synthetic_jobs, JobKind, JobOutcome, JobResult, JobSpec,
+    LenientIngest,
+};
 pub use runtime::{serve, serve_with_recorder, ServeConfig, ServeOutcome};
 pub use stats::ServeReport;

@@ -102,7 +102,10 @@ pub fn serve_with_recorder(
         drop(worker_handle);
         drop(result_tx);
 
-        for job in jobs {
+        // Tag each job with its submission sequence number so results
+        // for duplicate ids stay in submission order (see the
+        // `crate::job` module docs on duplicate-id semantics).
+        for job in jobs.into_iter().enumerate().map(|(seq, j)| (seq as u64, j)) {
             let job = if recorder.is_enabled() {
                 // Probe without blocking first so a full queue is
                 // visible as a backpressure stall before we commit to
@@ -129,7 +132,7 @@ pub fn serve_with_recorder(
         }
         queue.close();
 
-        let results: Vec<JobResult> = result_rx.iter().collect();
+        let results: Vec<(u64, JobResult)> = result_rx.iter().collect();
         let stats = threads
             .into_iter()
             .map(|t| t.join().expect("worker panicked"))
@@ -140,16 +143,18 @@ pub fn serve_with_recorder(
     // Every job has drained by now.
     recorder.gauge_set("drift_serve_queue_depth", &[], 0);
 
-    results.sort_by_key(|r| r.id);
+    // Sequence-stable order: by id, then by submission order, so
+    // duplicate ids come back deterministically at any worker count.
+    results.sort_by_key(|(seq, r)| (r.id, *seq));
     ServeOutcome {
-        results,
+        results: results.into_iter().map(|(_, r)| r).collect(),
         report: ServeReport::aggregate(&worker_stats, cache.stats(), wall),
     }
 }
 
 /// Samples the queue backlog after a submit: the live gauge plus a
 /// histogram of observed depths (for the p99 in `EXPERIMENTS.md`).
-fn record_queue_depth(recorder: &Recorder, queue: &crate::queue::JobQueue<JobSpec>) {
+fn record_queue_depth(recorder: &Recorder, queue: &crate::queue::JobQueue<(u64, JobSpec)>) {
     if recorder.is_enabled() {
         let depth = queue.backlog() as u64;
         recorder.gauge_set("drift_serve_queue_depth", &[], depth as i64);
@@ -185,6 +190,63 @@ mod tests {
         let jobs = synthetic_jobs(60, 4, 23);
         let solo = serve(jobs.clone(), &ServeConfig::with_workers(1));
         let pool = serve(jobs, &ServeConfig::with_workers(4));
+        assert_eq!(solo.results, pool.results);
+    }
+
+    #[test]
+    fn duplicate_ids_are_echoed_both_and_sequence_stable() {
+        use crate::job::{JobKind, JobOutcome};
+        // Two distinct jobs sharing id 7, interleaved with normal jobs.
+        let jobs = vec![
+            JobSpec {
+                id: 7,
+                seed: 1,
+                kind: JobKind::Schedule {
+                    m: 64,
+                    k: 128,
+                    n: 64,
+                    fa: 0.25,
+                    fw: 0.5,
+                },
+            },
+            JobSpec {
+                id: 3,
+                seed: 2,
+                kind: JobKind::Schedule {
+                    m: 128,
+                    k: 128,
+                    n: 128,
+                    fa: 0.5,
+                    fw: 0.5,
+                },
+            },
+            JobSpec {
+                id: 7,
+                seed: 9,
+                kind: JobKind::Select {
+                    tokens: 16,
+                    hidden: 32,
+                    delta: 0.05,
+                    profile: "bert".to_string(),
+                },
+            },
+        ];
+        let solo = serve(jobs.clone(), &ServeConfig::with_workers(1));
+        let pool = serve(jobs, &ServeConfig::with_workers(4));
+        // Both id-7 jobs come back, in submission order: the Schedule
+        // outcome (submitted first) before the Select outcome.
+        for outcome in [&solo, &pool] {
+            let ids: Vec<u64> = outcome.results.iter().map(|r| r.id).collect();
+            assert_eq!(ids, vec![3, 7, 7]);
+            assert!(matches!(
+                outcome.results[1].outcome,
+                JobOutcome::Schedule { .. }
+            ));
+            assert!(matches!(
+                outcome.results[2].outcome,
+                JobOutcome::Select { .. }
+            ));
+        }
         assert_eq!(solo.results, pool.results);
     }
 

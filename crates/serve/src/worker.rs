@@ -155,13 +155,17 @@ fn run_job(
 /// One pool thread: pulls jobs until the queue closes, sending one
 /// result per job, and returns its counters.
 ///
+/// Jobs arrive tagged with their submission sequence number, which is
+/// echoed alongside the result so the runtime can keep duplicate job
+/// ids sequence-stable (see the [`crate::job`] module docs).
+///
 /// The result channel only disconnects when the collector is gone —
 /// at that point nobody can observe further results, so the worker
 /// simply stops.
 pub(crate) fn worker_loop(
     worker: usize,
-    jobs: WorkerHandle<JobSpec>,
-    results: Sender<JobResult>,
+    jobs: WorkerHandle<(u64, JobSpec)>,
+    results: Sender<(u64, JobResult)>,
     cache: &ScheduleCache,
     recorder: Recorder,
 ) -> WorkerStats {
@@ -170,7 +174,7 @@ pub(crate) fn worker_loop(
     accel.set_recorder(recorder.clone());
     let worker_label = worker.to_string();
     let mut stats = WorkerStats::new(worker);
-    while let Some(spec) = jobs.next_job() {
+    while let Some((seq, spec)) = jobs.next_job() {
         let start = Instant::now();
         let (outcome, cache_hit) = {
             let job_span = span!(recorder, "serve_job");
@@ -200,10 +204,13 @@ pub(crate) fn worker_loop(
         }
         stats.record(latency, cache_hit, is_error);
         if results
-            .send(JobResult {
-                id: spec.id,
-                outcome,
-            })
+            .send((
+                seq,
+                JobResult {
+                    id: spec.id,
+                    outcome,
+                },
+            ))
             .is_err()
         {
             break;

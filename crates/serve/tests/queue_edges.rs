@@ -1,0 +1,117 @@
+//! Shutdown and backpressure edge cases of the job queue — the
+//! behaviours the gateway's admission control leans on.
+
+use drift_serve::queue::job_queue;
+use drift_serve::runtime::{serve, ServeConfig};
+use drift_serve::synthetic_jobs;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+#[test]
+fn try_submit_racing_shutdown_never_panics_and_never_loses_delivered_jobs() {
+    // Producers hammer try_submit while the consumer side shuts down at
+    // an arbitrary moment. Every Ok(()) must correspond to a delivered
+    // job until the close; afterwards try_submit must keep returning
+    // Err instead of panicking.
+    const PRODUCERS: usize = 4;
+    const CONSUMED: usize = 64;
+
+    let (queue, handle) = job_queue::<usize>(2);
+    let queue = Arc::new(queue);
+    let submitted = Arc::new(AtomicUsize::new(0));
+    let delivered = Arc::new(AtomicUsize::new(0));
+    // Producers run until the consumer has quit; a fixed attempt count
+    // could end before the consumer's quota and deadlock it in
+    // next_job() (the queue sender stays alive for the whole test).
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(PRODUCERS + 2));
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let queue = Arc::clone(&queue);
+            let submitted = Arc::clone(&submitted);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            scope.spawn(move || {
+                start.wait();
+                for i in 0.. {
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if queue.try_submit(p * 1_000_000 + i).is_ok() {
+                        submitted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+        let consumer = {
+            let delivered = Arc::clone(&delivered);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            scope.spawn(move || {
+                start.wait();
+                // Take a handful of jobs, then quit mid-stream: from the
+                // producers' side this is an abrupt shutdown.
+                for _ in 0..CONSUMED {
+                    if handle.next_job().is_none() {
+                        break;
+                    }
+                    delivered.fetch_add(1, Ordering::SeqCst);
+                }
+                drop(handle);
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        start.wait();
+        consumer.join().unwrap();
+    });
+
+    // The consumer stopped early, so some accepted jobs may still sit
+    // in the (now closed) queue's buffer — but never more than its
+    // depth, and nothing was double-counted.
+    let submitted = submitted.load(Ordering::SeqCst);
+    let delivered = delivered.load(Ordering::SeqCst);
+    assert!(delivered <= submitted);
+    assert!(
+        submitted - delivered <= 2,
+        "at most queue_depth accepted jobs may be stranded by an abrupt \
+         consumer shutdown: submitted {submitted}, delivered {delivered}"
+    );
+
+    // The queue is closed: submission fails cleanly from here on.
+    assert_eq!(queue.try_submit(99), Err(99));
+    assert_eq!(queue.try_submit(99), Err(99));
+}
+
+#[test]
+fn submit_after_shutdown_returns_the_job_instead_of_panicking() {
+    let (queue, handle) = job_queue::<u32>(4);
+    queue.try_submit(1).unwrap();
+    drop(handle);
+    // Both the blocking and non-blocking paths must hand the job back.
+    assert_eq!(queue.submit(2), Err(2));
+    assert_eq!(queue.try_submit(3), Err(3));
+    // And stay in that state on repeated calls.
+    assert_eq!(queue.submit(2), Err(2));
+}
+
+#[test]
+fn draining_through_a_depth_one_queue_loses_zero_results() {
+    // The tightest possible queue forces a backpressure stall on nearly
+    // every submit; the run must still produce exactly one result per
+    // job.
+    let jobs = synthetic_jobs(64, 4, 13);
+    let outcome = serve(
+        jobs.clone(),
+        &ServeConfig {
+            workers: 3,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(outcome.results.len(), jobs.len());
+    let ids: HashSet<u64> = outcome.results.iter().map(|r| r.id).collect();
+    assert_eq!(ids.len(), jobs.len(), "duplicated or lost ids");
+    assert_eq!(outcome.report.jobs, jobs.len() as u64);
+}

@@ -17,10 +17,48 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== gateway smoke test =="
+# End-to-end over a real socket: start the gateway on an ephemeral port,
+# drive it with the closed-loop load generator (which fails on any lost,
+# shed-without-retry-success, or duplicated response), then drain it and
+# require a clean exit within a bounded wait.
+cargo build --release -p drift-cli
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 4 \
+  --port-file "$PORT_FILE" &
+GW_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$PORT_FILE" ]; then
+  echo "gateway smoke: server never wrote its port file" >&2
+  kill "$GW_PID" 2>/dev/null || true
+  exit 1
+fi
+GW_ADDR="$(cat "$PORT_FILE")"
+./target/release/drift loadgen --addr "$GW_ADDR" --clients 4 --jobs 200 \
+  > /dev/null
+./target/release/drift gateway-stop --addr "$GW_ADDR"
+for _ in $(seq 1 100); do
+  kill -0 "$GW_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$GW_PID" 2>/dev/null; then
+  echo "gateway smoke: server did not exit within 10s of the drain" >&2
+  kill "$GW_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$GW_PID"
+rm -f "$PORT_FILE"
+echo "gateway smoke: ok"
+
 echo "== rustdoc (drift crates, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p drift -p drift-obs -p drift-tensor -p drift-quant -p drift-accel \
-  -p drift-core -p drift-nn -p drift-serve -p drift-bench -p drift-cli
+  -p drift-core -p drift-nn -p drift-serve -p drift-gateway \
+  -p drift-bench -p drift-cli
 
 echo "== doc tests =="
 cargo test -q --workspace --doc
