@@ -322,6 +322,36 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
     metrics.finish()
 }
 
+/// Writes `addr` to `path` atomically: a temp file in the same
+/// directory, flushed, then renamed over the target. Scripts polling
+/// the port file therefore never observe a partially written address.
+fn write_port_file(path: &str, addr: std::net::SocketAddr) -> Result<(), String> {
+    use std::io::Write;
+
+    let target = std::path::Path::new(path);
+    let dir = target.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = dir
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join(format!(
+            ".{}.tmp-{}",
+            target
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("port"),
+            std::process::id()
+        ));
+    let write = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(addr.to_string().as_bytes())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, target)
+    };
+    write().map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot write {path}: {e}")
+    })
+}
+
 /// `drift gateway`
 pub fn gateway(opts: &Opts) -> Result<(), String> {
     let addr = opt_str(opts, "addr", "127.0.0.1:7077");
@@ -348,8 +378,7 @@ pub fn gateway(opts: &Opts) -> Result<(), String> {
     if let Some(path) = opts.get("port-file") {
         // Written after bind so a script can wait on the file to learn
         // the port chosen by `--addr host:0`.
-        std::fs::write(path, gw.local_addr().to_string())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        write_port_file(path, gw.local_addr())?;
     }
 
     // No signal handling within the dependency budget: the drain
@@ -377,6 +406,7 @@ pub fn loadgen(opts: &Opts) -> Result<(), String> {
         deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
         open_loop_rps: (open_loop > 0.0).then_some(open_loop),
         retry: drift_gateway::RetryPolicy::default(),
+        connect_per_request: opt_parse(opts, "connect-per-request", false)?,
     };
     let report = drift_gateway::loadgen::run(addr, &config)?;
 
@@ -404,6 +434,63 @@ pub fn gateway_stop(opts: &Opts) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("gateway at {addr} refused the shutdown"))
+    }
+}
+
+/// `drift router`
+pub fn router(opts: &Opts) -> Result<(), String> {
+    let addr = opt_str(opts, "addr", "127.0.0.1:7177");
+    let shards: Vec<String> = opts
+        .get("shards")
+        .ok_or("router needs --shards addr1,addr2,... (backend gateway addresses)")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let config = drift_router::RouterConfig {
+        vnodes: opt_parse(opts, "vnodes", 64usize)?,
+        max_hops: opt_parse(opts, "max-hops", 3u32)?,
+        probe_interval_ms: opt_parse(opts, "probe-interval-ms", 500u64)?,
+        connect_timeout_ms: opt_parse(opts, "connect-timeout-ms", 500u64)?,
+        idle_timeout_ms: opt_parse(opts, "idle-timeout-ms", 30_000u64)?,
+    };
+    let metrics = metrics_wiring(opts)?;
+
+    let router = drift_router::Router::start(addr, &shards, config, metrics.recorder.clone())
+        .map_err(|e| format!("cannot start router on {addr}: {e}"))?;
+    eprintln!(
+        "router: listening on {} over {} shard(s) [{}] ({} vnodes/shard); \
+         stop with `drift router-stop --addr {}`",
+        router.local_addr(),
+        shards.len(),
+        shards.join(", "),
+        config.vnodes,
+        router.local_addr()
+    );
+    if let Some(path) = opts.get("port-file") {
+        write_port_file(path, router.local_addr())?;
+    }
+
+    // As with the gateway: no signal handling, the drain request
+    // arrives over the wire as {"control":"shutdown"}.
+    while !router.draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let summary = router.shutdown();
+    eprintln!("{}", summary.render());
+    metrics.finish()
+}
+
+/// `drift router-stop`
+pub fn router_stop(opts: &Opts) -> Result<(), String> {
+    let addr = opt_str(opts, "addr", "127.0.0.1:7177");
+    let mut client = drift_gateway::Client::connect(addr)
+        .map_err(|e| format!("cannot connect to router at {addr}: {e}"))?;
+    if client.shutdown_server()? {
+        eprintln!("router at {addr} acknowledged the drain");
+        Ok(())
+    } else {
+        Err(format!("router at {addr} refused the shutdown"))
     }
 }
 

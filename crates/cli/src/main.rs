@@ -9,8 +9,10 @@
 //!                [--metrics-addr 127.0.0.1:9109] [--metrics-out run.json]
 //! drift bench-serve [--jobs 1000] [--workers "1,2,4,8"]
 //! drift gateway  [--addr 127.0.0.1:7077] [--workers 8] [--deadline-ms 250]
+//! drift router   --shards addr1,addr2,... [--addr 127.0.0.1:7177] [--vnodes 64]
 //! drift loadgen  [--addr 127.0.0.1:7077] [--clients 4] [--jobs 200] [--open-loop 500]
 //! drift gateway-stop [--addr 127.0.0.1:7077]
+//! drift router-stop  [--addr 127.0.0.1:7177]
 //! drift report   run.json
 //! drift area
 //! ```
@@ -49,8 +51,10 @@ fn main() -> ExitCode {
             "serve" => commands::serve(&opts),
             "bench-serve" => commands::bench_serve(&opts),
             "gateway" => commands::gateway(&opts),
+            "router" => commands::router(&opts),
             "loadgen" => commands::loadgen(&opts),
             "gateway-stop" => commands::gateway_stop(&opts),
+            "router-stop" => commands::router_stop(&opts),
             "area" => commands::area(),
             "help" | "--help" | "-h" => {
                 println!("{}", usage());
@@ -94,10 +98,16 @@ fn usage() -> String {
      \x20                                 {\"control\":\"shutdown\"}\n\
      \x20          [--port-file FILE]     write the bound address (for --addr with port 0)\n\
      \x20          [--metrics-addr A] [--metrics-out FILE]   as for serve\n\
+     \x20 router   --shards A1,A2,...    consistent-hash front tier over gateways\n\
+     \x20          [--addr A] [--vnodes K] [--max-hops H] [--probe-interval-ms P]\n\
+     \x20          [--connect-timeout-ms T] [--idle-timeout-ms T] [--port-file FILE]\n\
+     \x20          [--metrics-addr A] [--metrics-out FILE]   as for serve; reshards\n\
+     \x20                                 live on {\"control\":\"reshard\",...} (docs/SERVING.md)\n\
      \x20 loadgen  [--addr A] [--clients C] [--jobs N] [--shapes S] [--seed S]\n\
-     \x20          [--deadline-ms D] [--open-loop RPS]\n\
+     \x20          [--deadline-ms D] [--open-loop RPS] [--connect-per-request]\n\
      \x20                                 drive a gateway; throughput + p50/p99 on stderr\n\
      \x20 gateway-stop [--addr A]        ask a gateway to drain and exit\n\
+     \x20 router-stop  [--addr A]        ask a router to drain and exit\n\
      \x20 report   FILE|-                render a --metrics-out JSON snapshot as a table\n\
      \x20 area                           the 40 nm area breakdown"
         .to_string()

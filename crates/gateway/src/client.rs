@@ -68,13 +68,43 @@ impl Client {
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: &str) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects to `addr` with a bound on the connect time, so callers
+    /// probing a possibly-dead peer (the router's health checks) are
+    /// never stuck in a long kernel connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-resolution and connect failures; an
+    /// unresolvable `addr` is an `InvalidInput` error.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> io::Result<Client> {
+        use std::net::ToSocketAddrs;
+        let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+        })?;
+        Client::from_stream(TcpStream::connect_timeout(&sockaddr, timeout)?)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// A handle onto the underlying socket, so an owner pooling
+    /// split-half connections can force a blocked reader out of `recv`
+    /// (via [`TcpStream::shutdown`]) without waiting for the peer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `try_clone` failure.
+    pub fn try_clone_stream(&self) -> io::Result<TcpStream> {
+        self.reader.get_ref().try_clone()
     }
 
     /// Sends one job request without waiting for the response
@@ -236,7 +266,16 @@ impl ClientWriter {
     ///
     /// Returns the socket error on a failed write.
     pub fn send(&mut self, spec: &JobSpec, deadline_ms: Option<u64>) -> Result<(), String> {
-        let line = protocol::request_line(spec, deadline_ms);
+        self.send_raw(&protocol::request_line(spec, deadline_ms))
+    }
+
+    /// Sends one raw line (see [`Client::send_raw`]) — what a proxy
+    /// tier forwarding rewritten request lines needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error on a failed write.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), String> {
         let mut bytes = Vec::with_capacity(line.len() + 1);
         bytes.extend_from_slice(line.as_bytes());
         bytes.push(b'\n');
@@ -250,6 +289,106 @@ impl ClientWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{error_line, ERR_DEADLINE};
+    use drift_serve::job::{result_line, JobKind, JobOutcome, JobResult};
+    use std::net::TcpListener;
+
+    /// A stub gateway that sheds the first `sheds` job lines with
+    /// `overloaded` and then answers each line via `answer`. Returns
+    /// the address to connect to.
+    fn stub_server(
+        sheds: usize,
+        answer: impl Fn(u64) -> String + Send + 'static,
+    ) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut writer = stream.try_clone().unwrap();
+            let reader = BufReader::new(stream);
+            for (seen, line) in reader.lines().enumerate() {
+                let Ok(line) = line else { break };
+                let spec: JobSpec = serde_json::from_str(&line).unwrap();
+                let response = if seen < sheds {
+                    error_line(Some(spec.id), ERR_OVERLOADED)
+                } else {
+                    answer(spec.id)
+                };
+                if writer.write_all((response + "\n").as_bytes()).is_err() {
+                    break;
+                }
+            }
+        });
+        addr
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: 7,
+            seed: 1,
+            kind: JobKind::Schedule {
+                m: 64,
+                k: 128,
+                n: 64,
+                fa: 0.25,
+                fw: 0.5,
+            },
+        }
+    }
+
+    fn fast_policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(100),
+        }
+    }
+
+    #[test]
+    fn submit_with_retry_absorbs_sheds_until_a_result() {
+        let addr = stub_server(2, |id| {
+            result_line(&JobResult {
+                id,
+                outcome: JobOutcome::Schedule {
+                    makespan: 1,
+                    latencies: [1, 1, 1, 1],
+                },
+            })
+        });
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let sub = client
+            .submit_with_retry(&spec(), None, &fast_policy(8))
+            .unwrap();
+        assert_eq!(sub.retries, 2);
+        assert!(matches!(sub.response, Response::Result(r) if r.id == 7));
+    }
+
+    #[test]
+    fn submit_with_retry_surfaces_the_last_shed_when_retries_run_out() {
+        // A server that always sheds: the caller gets the shed back
+        // after `max_retries` attempts and can fail over elsewhere —
+        // the router's shed-then-failover path builds on exactly this.
+        let addr = stub_server(usize::MAX, |_| unreachable!());
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let sub = client
+            .submit_with_retry(&spec(), None, &fast_policy(3))
+            .unwrap();
+        assert_eq!(sub.retries, 3);
+        assert!(
+            matches!(&sub.response, Response::Error { id: Some(7), error } if error == ERR_OVERLOADED)
+        );
+    }
+
+    #[test]
+    fn submit_with_retry_returns_non_shed_errors_immediately() {
+        let addr = stub_server(0, |id| error_line(Some(id), ERR_DEADLINE));
+        let mut client = Client::connect(&addr.to_string()).unwrap();
+        let sub = client
+            .submit_with_retry(&spec(), Some(5), &fast_policy(8))
+            .unwrap();
+        assert_eq!(sub.retries, 0);
+        assert!(matches!(&sub.response, Response::Error { error, .. } if error == ERR_DEADLINE));
+    }
 
     #[test]
     fn backoff_doubles_and_caps() {

@@ -1,0 +1,81 @@
+//! Newline framing over a socket with a read timeout.
+//!
+//! Both the gateway server and the router front tier read
+//! newline-delimited JSON off sockets whose reads tick on a short
+//! timeout (so the owning thread can notice shutdown and idle expiry).
+//! A plain `BufRead::read_line` would lose a partial line at each
+//! timeout tick; [`LineReader`] keeps the partial line buffered across
+//! ticks and yields complete lines only.
+
+use std::io::{self, Read};
+use std::net::TcpStream;
+
+/// Longest request line a [`LineReader`] will buffer before reporting
+/// the connection as failed.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// What one [`LineReader::next_line`] call produced.
+#[derive(Debug)]
+pub enum LineEvent {
+    /// A complete line (newline stripped; a preceding `\r` too).
+    Line(String),
+    /// The read timed out with no complete line; partial input stays
+    /// buffered. The caller typically checks shutdown/idle state and
+    /// calls again.
+    TimedOut,
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// The connection failed (socket error or an over-long line).
+    Failed,
+}
+
+/// A newline-framed reader over a socket with a read timeout, keeping
+/// partial lines buffered across timeout ticks.
+#[derive(Debug)]
+pub struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    /// Wraps `stream`. The caller is responsible for having set a read
+    /// timeout if it wants [`LineEvent::TimedOut`] ticks.
+    pub fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Blocks until the next complete line, a timeout tick, EOF, or a
+    /// failure.
+    pub fn next_line(&mut self) -> LineEvent {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+            }
+            if self.buf.len() > MAX_LINE_BYTES {
+                return LineEvent::Failed;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineEvent::Eof,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return LineEvent::TimedOut;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return LineEvent::Failed,
+            }
+        }
+    }
+}

@@ -65,6 +65,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod client;
+pub mod framing;
 pub mod loadgen;
 pub mod protocol;
 pub mod server;

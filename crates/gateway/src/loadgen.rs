@@ -37,6 +37,11 @@ pub struct LoadGenConfig {
     /// Open-loop mode: pace request starts at this aggregate rate and
     /// do not retry sheds. `None` = closed loop with retry.
     pub open_loop_rps: Option<f64>,
+    /// Closed-loop only: open a fresh TCP connection for every request
+    /// and tear it down after the response, instead of holding one
+    /// persistent connection per client. Measures connection-churn cost
+    /// (see the connection-reuse guidance in `docs/SERVING.md`).
+    pub connect_per_request: bool,
     /// Backoff policy for closed-loop shed retries.
     pub retry: RetryPolicy,
 }
@@ -50,6 +55,7 @@ impl Default for LoadGenConfig {
             seed: 42,
             deadline_ms: None,
             open_loop_rps: None,
+            connect_per_request: false,
             retry: RetryPolicy::default(),
         }
     }
@@ -213,6 +219,9 @@ fn drive_client(
     config: &LoadGenConfig,
     pace: Option<Duration>,
 ) -> Result<ClientTally, String> {
+    if config.connect_per_request && pace.is_none() {
+        return drive_churning(addr, slice, config);
+    }
     let client =
         Client::connect(addr).map_err(|e| format!("cannot connect to gateway at {addr}: {e}"))?;
     if let Some(interval) = pace {
@@ -223,6 +232,30 @@ fn drive_client(
     for spec in slice {
         let begin = Instant::now();
         let sub = client.submit_with_retry(spec, config.deadline_ms, &config.retry)?;
+        let latency = begin.elapsed();
+        tally.retries += u64::from(sub.retries);
+        tally.account(sub.response, latency)?;
+    }
+    Ok(tally)
+}
+
+/// Closed-loop driving with one short-lived connection per request:
+/// connect, submit (with the standard shed retries on that same
+/// connection), read the response, drop the socket. The measured
+/// latency includes the TCP setup and teardown — exactly the cost the
+/// persistent-connection default amortises away.
+fn drive_churning(
+    addr: &str,
+    slice: &[JobSpec],
+    config: &LoadGenConfig,
+) -> Result<ClientTally, String> {
+    let mut tally = ClientTally::default();
+    for spec in slice {
+        let begin = Instant::now();
+        let mut client = Client::connect(addr)
+            .map_err(|e| format!("cannot connect to gateway at {addr}: {e}"))?;
+        let sub = client.submit_with_retry(spec, config.deadline_ms, &config.retry)?;
+        drop(client);
         let latency = begin.elapsed();
         tally.retries += u64::from(sub.retries);
         tally.account(sub.response, latency)?;

@@ -29,6 +29,7 @@
 //! (so readers notice shutdown and idle expiry), and writes time out
 //! and degrade to discarding responses for that connection only.
 
+use crate::framing::{LineEvent, LineReader};
 use crate::protocol::{self, ControlOp, Request, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_OVERLOADED};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use drift_core::accelerator::DriftAccelerator;
@@ -37,7 +38,7 @@ use drift_serve::cache::ScheduleCache;
 use drift_serve::job::{result_line, JobOutcome, JobResult, JobSpec};
 use drift_serve::queue::{job_queue, JobQueue, WorkerHandle};
 use drift_serve::worker::execute_job_recorded;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,9 +47,6 @@ use std::time::{Duration, Instant};
 
 /// How often blocked reads wake up to check shutdown and idle expiry.
 const READ_TICK: Duration = Duration::from_millis(100);
-/// Longest request line the server will buffer before dropping the
-/// connection.
-const MAX_LINE_BYTES: usize = 1 << 20;
 /// A connection writer gives a slow client this long per response
 /// before treating the connection as stalled and discarding the rest.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
@@ -561,60 +559,6 @@ fn respond(shared: &Shared, job: &GatewayJob, line: String) {
         // The connection is fully gone (reader and writer exited).
         shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
         recorder.counter_add("drift_gateway_responses_dropped_total", &[], 1);
-    }
-}
-
-enum LineEvent {
-    Line(String),
-    TimedOut,
-    Eof,
-    Failed,
-}
-
-/// A newline-framed reader over a socket with a read timeout, keeping
-/// partial lines buffered across timeout ticks (a `BufRead::read_line`
-/// would lose them).
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-impl LineReader {
-    fn new(stream: TcpStream) -> Self {
-        LineReader {
-            stream,
-            buf: Vec::new(),
-        }
-    }
-
-    fn next_line(&mut self) -> LineEvent {
-        loop {
-            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                let rest = self.buf.split_off(pos + 1);
-                let mut line = std::mem::replace(&mut self.buf, rest);
-                line.pop(); // the newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
-            }
-            if self.buf.len() > MAX_LINE_BYTES {
-                return LineEvent::Failed;
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return LineEvent::Eof,
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    return LineEvent::TimedOut;
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return LineEvent::Failed,
-            }
-        }
     }
 }
 

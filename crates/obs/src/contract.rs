@@ -180,6 +180,70 @@ pub const METRICS: &[MetricSpec] = &[
         help: "Fabric repartitions actually charged (elided repeats are not counted)",
     },
     MetricSpec {
+        name: "drift_router_connections",
+        kind: MetricKind::Gauge,
+        unit: "connections",
+        labels: &[],
+        help: "Client connections currently open on the router front tier",
+    },
+    MetricSpec {
+        name: "drift_router_failovers_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &[],
+        help:
+            "Jobs re-dispatched to a ring successor after a shed, a dead shard, or a failed write",
+    },
+    MetricSpec {
+        name: "drift_router_hop_latency_microseconds",
+        kind: MetricKind::Histogram,
+        unit: "microseconds",
+        labels: &[],
+        help: "Forward-to-response latency of individual backend hops",
+    },
+    MetricSpec {
+        name: "drift_router_inflight_requests",
+        kind: MetricKind::Gauge,
+        unit: "requests",
+        labels: &[],
+        help: "Jobs admitted by the router and not yet answered",
+    },
+    MetricSpec {
+        name: "drift_router_requests_routed_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &["shard"],
+        help: "Successful dispatches to each backend shard (failover hops count separately)",
+    },
+    MetricSpec {
+        name: "drift_router_reshard_moved_keys_total",
+        kind: MetricKind::Counter,
+        unit: "keys",
+        labels: &[],
+        help: "Tracked schedule keys whose owning shard changed across reshard operations",
+    },
+    MetricSpec {
+        name: "drift_router_shard_ejections_total",
+        kind: MetricKind::Counter,
+        unit: "events",
+        labels: &["shard"],
+        help: "Times each shard was marked unhealthy (dead connection or failed probe)",
+    },
+    MetricSpec {
+        name: "drift_router_shard_readmissions_total",
+        kind: MetricKind::Counter,
+        unit: "events",
+        labels: &["shard"],
+        help: "Times each shard was re-admitted after answering health probes again",
+    },
+    MetricSpec {
+        name: "drift_router_shards_healthy",
+        kind: MetricKind::Gauge,
+        unit: "shards",
+        labels: &[],
+        help: "Backend shards currently healthy in the routing table",
+    },
+    MetricSpec {
         name: "drift_schedule_cache_entries",
         kind: MetricKind::Gauge,
         unit: "schedules",

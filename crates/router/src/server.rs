@@ -1,0 +1,1080 @@
+//! The router server: a consistent-hash sharding tier over gateways.
+//!
+//! ```text
+//!  clients ──▶ acceptor ──▶ conn reader ──route by schedule key──┐
+//!                │                │ rewrite id, forward          │
+//!                │                ▼                              ▼
+//!                │        pending table ◀─────────── shard links (one
+//!                │                │  settle / fail over  persistent,
+//!                │                ▼                      pipelined conn
+//!                └──────▶ conn writer ◀── response      per gateway)
+//! ```
+//!
+//! The router speaks the gateway wire protocol on both sides: clients
+//! talk to it exactly as they would to one gateway, and it holds one
+//! persistent pipelined [`drift_gateway::client::Client`] connection to
+//! each backend. Each job is routed by [`crate::ring::route_key`] —
+//! the hash of the exact schedule-cache key its execution will look up
+//! — so every distinct cache entry lives on exactly one shard.
+//!
+//! Client job ids are only unique per client connection, so the router
+//! rewrites each forwarded job to a router-unique internal id and maps
+//! the response back. Responses are byte-identical to a direct gateway
+//! because both sides serialise the same [`drift_serve::job::JobResult`]
+//! the same way.
+//!
+//! The unhappy paths are first-class:
+//!
+//! * **shed failover** — a backend `overloaded` answer re-dispatches
+//!   the job to the next distinct shard on its ring walk, up to
+//!   [`RouterConfig::max_hops`] distinct shards; only when the walk is
+//!   exhausted does the client see `overloaded`.
+//! * **ejection and re-admission** — a dead connection (or failed
+//!   probe) marks the shard unhealthy, force-closes its socket, and
+//!   re-dispatches every job that was in flight on it (orphan
+//!   failover); a background probe re-connects and re-admits the shard
+//!   once it answers pings again. Re-execution is safe because results
+//!   are pure functions of the spec, and the client still sees exactly
+//!   one response per request: whichever copy settles the pending entry
+//!   first wins, and both carry identical bytes.
+//! * **deadlines across hops** — the budget is pinned to an absolute
+//!   deadline at admission and each hop forwards only the remainder.
+//! * **live reshard** — `{"control":"reshard","shards":[...]}`
+//!   quiesces admissions, waits for in-flight work to drain, swaps the
+//!   ring (reusing connections to retained shards), and acks with how
+//!   many tracked schedule keys changed owner.
+//! * **graceful drain** — like the gateway: stop accepting, answer
+//!   everything in flight, then tear down.
+
+use crate::ring::{route_key, HashRing};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use drift_accel::systolic::ArrayGeometry;
+use drift_core::arch::paper_fabric;
+use drift_gateway::client::{Client, ClientReader, ClientWriter};
+use drift_gateway::framing::{LineEvent, LineReader};
+use drift_gateway::protocol::{
+    self, ControlOp, Request, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_OVERLOADED,
+};
+use drift_gateway::Response;
+use drift_obs::Recorder;
+use drift_serve::job::{result_line, JobSpec};
+use serde::Value;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads wake up to check shutdown and idle expiry.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// A connection writer gives a slow client this long per response
+/// before treating the connection as stalled and discarding the rest.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Bounded wait for in-flight jobs to drain during a reshard quiesce.
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Cap on the distinct-key set tracked for reshard moved-key counts.
+/// Past the cap the count is over the tracked sample only.
+const SEEN_KEYS_CAP: usize = 65_536;
+
+/// Tunables for one router instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Maximum distinct shards one job may be dispatched to (first
+    /// attempt included) before the client sees `overloaded`.
+    pub max_hops: u32,
+    /// Health-probe period in milliseconds.
+    pub probe_interval_ms: u64,
+    /// Bound on any single backend connect attempt, milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Close a client connection after this long without a complete
+    /// request line. `0` disables idle expiry.
+    pub idle_timeout_ms: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            vnodes: 64,
+            max_hops: 3,
+            probe_interval_ms: 500,
+            connect_timeout_ms: 500,
+            idle_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Request totals over a router's lifetime, returned by
+/// [`Router::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterSummary {
+    /// Client connections accepted over the lifetime.
+    pub connections: u64,
+    /// Job requests admitted (routable or not).
+    pub accepted: u64,
+    /// Dispatches to backends (counts each failover hop).
+    pub routed: u64,
+    /// Re-dispatches after a shed or a dead shard.
+    pub failovers: u64,
+    /// Shards marked unhealthy.
+    pub ejections: u64,
+    /// Shards marked healthy again after an ejection.
+    pub readmissions: u64,
+    /// Jobs answered `overloaded` because every permitted hop was
+    /// shed, dead, or there was no healthy shard at all.
+    pub unrouted: u64,
+    /// Jobs answered `deadline_exceeded` by the router itself (budget
+    /// exhausted between hops).
+    pub expired: u64,
+    /// Lines that parsed as neither a job nor a control request.
+    pub rejected: u64,
+    /// Completed reshard operations.
+    pub reshards: u64,
+    /// Responses dropped because the client was gone or stalled.
+    pub dropped: u64,
+}
+
+impl RouterSummary {
+    /// One-line human rendering for the CLI's exit report.
+    pub fn render(&self) -> String {
+        format!(
+            "router: {} connections, {} accepted, {} routed, {} failovers, {} ejections, \
+             {} readmissions, {} unrouted, {} expired, {} rejected, {} reshards, {} dropped",
+            self.connections,
+            self.accepted,
+            self.routed,
+            self.failovers,
+            self.ejections,
+            self.readmissions,
+            self.unrouted,
+            self.expired,
+            self.rejected,
+            self.reshards,
+            self.dropped,
+        )
+    }
+}
+
+/// Lifetime counters as plain atomics so the exit summary works even
+/// with the recorder disabled.
+#[derive(Debug, Default)]
+struct Tally {
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    routed: AtomicU64,
+    failovers: AtomicU64,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+    unrouted: AtomicU64,
+    expired: AtomicU64,
+    rejected: AtomicU64,
+    reshards: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Tally {
+    fn summary(&self) -> RouterSummary {
+        RouterSummary {
+            connections: self.connections.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            routed: self.routed.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            ejections: self.ejections.load(Ordering::Relaxed),
+            readmissions: self.readmissions.load(Ordering::Relaxed),
+            unrouted: self.unrouted.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            reshards: self.reshards.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One backend gateway: address, health, and the write half plus raw
+/// handle of its persistent connection (the read half lives in a
+/// dedicated reader thread). Identity is the `Arc` itself — pending
+/// entries reference their shard by pointer, which stays valid across
+/// reshards because retained shards keep their link (and connection).
+#[derive(Debug)]
+struct ShardLink {
+    addr: String,
+    healthy: AtomicBool,
+    /// Set when a reshard removes the shard: its reader exits without
+    /// ejection accounting and the probe stops touching it.
+    retired: AtomicBool,
+    writer: Mutex<Option<ClientWriter>>,
+    raw: Mutex<Option<TcpStream>>,
+}
+
+impl ShardLink {
+    fn unconnected(addr: &str) -> Arc<ShardLink> {
+        Arc::new(ShardLink {
+            addr: addr.to_string(),
+            healthy: AtomicBool::new(false),
+            retired: AtomicBool::new(false),
+            writer: Mutex::new(None),
+            raw: Mutex::new(None),
+        })
+    }
+}
+
+/// One admitted job waiting for a backend response.
+#[derive(Debug)]
+struct PendingEntry {
+    /// The id the client used (what the response must carry back).
+    orig_id: u64,
+    /// The spec with its id rewritten to the router-unique internal id.
+    spec: JobSpec,
+    /// Routing key (cached so failover re-walks the same ring chain).
+    key: u64,
+    deadline: Option<Instant>,
+    /// When the current hop was forwarded (hop latency basis).
+    sent: Instant,
+    /// Dispatch attempts so far.
+    hops: u32,
+    /// Addresses already tried, so failover never revisits a shard.
+    tried: Vec<String>,
+    /// The shard currently executing this job.
+    shard: Option<Arc<ShardLink>>,
+    reply: Sender<String>,
+}
+
+/// The routing table: the ring and the index-aligned shard links.
+#[derive(Debug)]
+struct Table {
+    ring: HashRing,
+    links: Vec<Arc<ShardLink>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: RouterConfig,
+    recorder: Recorder,
+    fabric: ArrayGeometry,
+    stop: AtomicBool,
+    drain: AtomicBool,
+    /// Blocks new admissions while a reshard quiesces.
+    resharding: AtomicBool,
+    /// Serialises reshard operations across client connections.
+    reshard_gate: Mutex<()>,
+    table: RwLock<Table>,
+    pending: Mutex<HashMap<u64, PendingEntry>>,
+    next_internal_id: AtomicU64,
+    /// Sample of distinct routing keys seen, for moved-key accounting.
+    seen_keys: Mutex<HashSet<u64>>,
+    tally: Tally,
+    /// Reader threads of shard connections (every generation).
+    shard_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.drain.load(Ordering::Relaxed)
+    }
+
+    fn healthy_count(&self) -> i64 {
+        let table = self.table.read().expect("routing table");
+        table
+            .links
+            .iter()
+            .filter(|l| l.healthy.load(Ordering::Relaxed))
+            .count() as i64
+    }
+
+    fn refresh_healthy_gauge(&self) {
+        self.recorder
+            .gauge_set("drift_router_shards_healthy", &[], self.healthy_count());
+    }
+}
+
+/// A running router: acceptor, client connection threads, one reader
+/// thread per backend connection, and a health-probe thread.
+///
+/// Dropping the router performs the same graceful drain as
+/// [`Router::shutdown`].
+#[derive(Debug)]
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    probe: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `addr` (port 0 picks a free port), connects to every
+    /// shard, and starts the acceptor and probe threads. Shards that
+    /// refuse the initial connection start unhealthy and are picked up
+    /// by the probe once they come up.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty shard list or a bind failure.
+    pub fn start(
+        addr: &str,
+        shards: &[String],
+        config: RouterConfig,
+        recorder: Recorder,
+    ) -> io::Result<Router> {
+        let mut unique: Vec<String> = Vec::new();
+        for shard in shards {
+            if !shard.is_empty() && !unique.contains(shard) {
+                unique.push(shard.clone());
+            }
+        }
+        if unique.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one shard address",
+            ));
+        }
+        let config = RouterConfig {
+            vnodes: config.vnodes.max(1),
+            max_hops: config.max_hops.max(1),
+            probe_interval_ms: config.probe_interval_ms.max(10),
+            connect_timeout_ms: config.connect_timeout_ms.max(10),
+            ..config
+        };
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let links: Vec<Arc<ShardLink>> = unique.iter().map(|a| ShardLink::unconnected(a)).collect();
+        let shared = Arc::new(Shared {
+            config,
+            recorder,
+            fabric: paper_fabric(),
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(false),
+            resharding: AtomicBool::new(false),
+            reshard_gate: Mutex::new(()),
+            table: RwLock::new(Table {
+                ring: HashRing::new(&unique, config.vnodes),
+                links,
+            }),
+            pending: Mutex::new(HashMap::new()),
+            next_internal_id: AtomicU64::new(1),
+            seen_keys: Mutex::new(HashSet::new()),
+            tally: Tally::default(),
+            shard_threads: Mutex::new(Vec::new()),
+        });
+        {
+            let links = shared.table.read().expect("routing table").links.clone();
+            for link in links {
+                let _ = connect_shard(&shared, &link);
+            }
+        }
+        shared.refresh_healthy_gauge();
+
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("router-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &shared, &conns))?
+        };
+        let probe = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("router-probe".to_string())
+                .spawn(move || probe_loop(&shared))?
+        };
+
+        Ok(Router {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            conns,
+            probe: Some(probe),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a client has requested a drain via
+    /// `{"control":"shutdown"}`. The owner should then call
+    /// [`Router::shutdown`].
+    pub fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime request totals so far.
+    pub fn summary(&self) -> RouterSummary {
+        self.shared.tally.summary()
+    }
+
+    /// Gracefully drains the router: stop accepting, answer every
+    /// in-flight job, then join all threads. Returns lifetime totals.
+    pub fn shutdown(mut self) -> RouterSummary {
+        self.shutdown_in_place()
+    }
+
+    fn shutdown_in_place(&mut self) -> RouterSummary {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Client readers exit at their next tick; each then joins its
+        // writer, which only finishes after every pending entry from
+        // that connection has been settled by the shard readers (the
+        // entries hold the writer's senders). So after this loop the
+        // pending table is empty: accepted work has been answered.
+        let conns = std::mem::take(&mut *self.conns.lock().expect("connection registry"));
+        for conn in conns {
+            let _ = conn.join();
+        }
+        // Now the backend connections can go: close the sockets so the
+        // shard readers unblock and exit (the stop flag suppresses
+        // their ejection/failover accounting).
+        {
+            let table = self.shared.table.read().expect("routing table");
+            for link in &table.links {
+                *link.writer.lock().expect("shard writer") = None;
+                if let Some(stream) = link.raw.lock().expect("shard stream").take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        let readers =
+            std::mem::take(&mut *self.shared.shard_threads.lock().expect("shard threads"));
+        for reader in readers {
+            let _ = reader.join();
+        }
+        if let Some(probe) = self.probe.take() {
+            let _ = probe.join();
+        }
+        self.shared.tally.summary()
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || self.probe.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+/// Connects the persistent data connection for `link`, installs the
+/// write half, and spawns the reader thread. On success the shard is
+/// healthy.
+fn connect_shard(shared: &Arc<Shared>, link: &Arc<ShardLink>) -> Result<(), String> {
+    let timeout = Duration::from_millis(shared.config.connect_timeout_ms);
+    let client = Client::connect_with_timeout(&link.addr, timeout)
+        .map_err(|e| format!("connect {}: {e}", link.addr))?;
+    let raw = client
+        .try_clone_stream()
+        .map_err(|e| format!("clone stream for {}: {e}", link.addr))?;
+    let (reader, writer) = client.split();
+    *link.raw.lock().expect("shard stream") = Some(raw);
+    *link.writer.lock().expect("shard writer") = Some(writer);
+    link.healthy.store(true, Ordering::SeqCst);
+    let handle = {
+        let shared = Arc::clone(shared);
+        let reader_link = Arc::clone(link);
+        std::thread::Builder::new()
+            .name("router-shard-reader".to_string())
+            .spawn(move || shard_reader(&shared, &reader_link, reader))
+            .map_err(|e| format!("spawn reader for {}: {e}", link.addr))?
+    };
+    let mut threads = shared.shard_threads.lock().expect("shard threads");
+    threads.retain(|h| !h.is_finished());
+    threads.push(handle);
+    Ok(())
+}
+
+/// Marks `link` unhealthy and force-closes its connection. Exactly one
+/// caller wins the transition and does the accounting; the closed
+/// socket wakes the shard's reader, whose exit path re-dispatches the
+/// orphaned jobs.
+fn eject(shared: &Shared, link: &ShardLink) {
+    if link.healthy.swap(false, Ordering::SeqCst) {
+        shared.tally.ejections.fetch_add(1, Ordering::Relaxed);
+        shared.recorder.counter_add(
+            "drift_router_shard_ejections_total",
+            &[("shard", &link.addr)],
+            1,
+        );
+        shared.refresh_healthy_gauge();
+    }
+    *link.writer.lock().expect("shard writer") = None;
+    if let Some(stream) = link.raw.lock().expect("shard stream").take() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The reader thread of one backend connection: settles responses until
+/// the connection dies, then (unless the router is stopping or the
+/// shard was retired by a reshard) ejects the shard and fails over
+/// everything that was in flight on it.
+fn shard_reader(shared: &Arc<Shared>, link: &Arc<ShardLink>, mut reader: ClientReader) {
+    while let Ok(response) = reader.recv() {
+        on_backend_response(shared, link, response);
+    }
+    if !shared.stop.load(Ordering::Relaxed) && !link.retired.load(Ordering::Relaxed) {
+        eject(shared, link);
+        orphan_failover(shared, link);
+    }
+}
+
+/// Re-dispatches every pending entry assigned to `link` (which just
+/// died). At-least-once execution is safe — results are pure functions
+/// of the spec — and the pending table still guarantees exactly one
+/// response per accepted id.
+fn orphan_failover(shared: &Arc<Shared>, link: &Arc<ShardLink>) {
+    let orphans: Vec<(u64, PendingEntry)> = {
+        let mut pending = shared.pending.lock().expect("pending table");
+        let ids: Vec<u64> = pending
+            .iter()
+            .filter(|(_, e)| e.shard.as_ref().is_some_and(|s| Arc::ptr_eq(s, link)))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| pending.remove(&id).map(|e| (id, e)))
+            .collect()
+    };
+    for (internal_id, entry) in orphans {
+        count_failover(shared);
+        dispatch(shared, internal_id, entry);
+    }
+}
+
+fn count_failover(shared: &Shared) {
+    shared.tally.failovers.fetch_add(1, Ordering::Relaxed);
+    shared
+        .recorder
+        .counter_add("drift_router_failovers_total", &[], 1);
+}
+
+/// Handles one response line from a backend.
+fn on_backend_response(shared: &Arc<Shared>, link: &Arc<ShardLink>, response: Response) {
+    match response {
+        Response::Result(mut result) => {
+            let Some(entry) = shared
+                .pending
+                .lock()
+                .expect("pending table")
+                .remove(&result.id)
+            else {
+                // Already settled by a failover copy; identical bytes
+                // either way, so dropping the duplicate is safe.
+                return;
+            };
+            observe_hop(shared, &entry);
+            result.id = entry.orig_id;
+            settle(shared, &entry, result_line(&result));
+        }
+        Response::Error {
+            id: Some(id),
+            error,
+        } => {
+            let Some(entry) = shared.pending.lock().expect("pending table").remove(&id) else {
+                return;
+            };
+            observe_hop(shared, &entry);
+            if error == ERR_OVERLOADED {
+                // The shard shed the job: walk on to the next shard.
+                count_failover(shared);
+                dispatch(shared, id, entry);
+            } else {
+                settle(
+                    shared,
+                    &entry,
+                    protocol::error_line(Some(entry.orig_id), &error),
+                );
+            }
+        }
+        // Un-correlatable: a control ack or an id-less error. The
+        // router never sends controls on data connections, so there is
+        // nothing to settle.
+        _ => {
+            let _ = link;
+        }
+    }
+}
+
+fn observe_hop(shared: &Shared, entry: &PendingEntry) {
+    if shared.recorder.is_enabled() {
+        shared.recorder.observe(
+            "drift_router_hop_latency_microseconds",
+            &[],
+            drift_obs::contract::LATENCY_US_BUCKETS,
+            entry.sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+    }
+}
+
+/// Sends the final response line for `entry` back to its client and
+/// settles the request's accounting.
+fn settle(shared: &Shared, entry: &PendingEntry, line: String) {
+    shared
+        .recorder
+        .gauge_add("drift_router_inflight_requests", &[], -1);
+    if entry.reply.send(line).is_err() {
+        shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Routes and forwards one job (`entry` must not be in the pending
+/// table). Tries ring successors until a healthy untried shard accepts
+/// the write; exhausting the deadline, the hop budget, or the shard set
+/// answers the client directly.
+fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
+    loop {
+        let now = Instant::now();
+        if entry.deadline.is_some_and(|d| now >= d) {
+            shared.tally.expired.fetch_add(1, Ordering::Relaxed);
+            settle(
+                shared,
+                &entry,
+                protocol::error_line(Some(entry.orig_id), ERR_DEADLINE),
+            );
+            return;
+        }
+        if entry.hops >= shared.config.max_hops {
+            shared.tally.unrouted.fetch_add(1, Ordering::Relaxed);
+            settle(
+                shared,
+                &entry,
+                protocol::error_line(Some(entry.orig_id), ERR_OVERLOADED),
+            );
+            return;
+        }
+        let choice: Option<Arc<ShardLink>> = {
+            let table = shared.table.read().expect("routing table");
+            table
+                .ring
+                .owners(entry.key)
+                .into_iter()
+                .map(|i| &table.links[i])
+                .find(|l| l.healthy.load(Ordering::SeqCst) && !entry.tried.contains(&l.addr))
+                .cloned()
+        };
+        let Some(link) = choice else {
+            shared.tally.unrouted.fetch_add(1, Ordering::Relaxed);
+            settle(
+                shared,
+                &entry,
+                protocol::error_line(Some(entry.orig_id), ERR_OVERLOADED),
+            );
+            return;
+        };
+        entry.hops += 1;
+        entry.tried.push(link.addr.clone());
+        entry.sent = now;
+        entry.shard = Some(Arc::clone(&link));
+        // Forward only the remaining budget so hops and failover waits
+        // are charged against the client's original deadline.
+        let remaining_ms = entry
+            .deadline
+            .map(|d| (d.saturating_duration_since(now).as_millis().max(1)) as u64);
+        let line = protocol::request_line(&entry.spec, remaining_ms);
+        let addr = link.addr.clone();
+        // Insert before sending: the response must never race an
+        // absent entry.
+        shared
+            .pending
+            .lock()
+            .expect("pending table")
+            .insert(internal_id, entry);
+        let sent = {
+            let mut writer = link.writer.lock().expect("shard writer");
+            match writer.as_mut() {
+                Some(w) => w.send_raw(&line).is_ok(),
+                None => false,
+            }
+        };
+        if sent {
+            shared.tally.routed.fetch_add(1, Ordering::Relaxed);
+            shared.recorder.counter_add(
+                "drift_router_requests_routed_total",
+                &[("shard", &addr)],
+                1,
+            );
+            return;
+        }
+        // The write failed before a complete line reached the shard
+        // (write_all only errors short), so no response is coming:
+        // take the entry back, kill the connection, walk on.
+        let Some(reclaimed) = shared
+            .pending
+            .lock()
+            .expect("pending table")
+            .remove(&internal_id)
+        else {
+            return;
+        };
+        entry = reclaimed;
+        eject(shared, &link);
+        count_failover(shared);
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Mutex<Vec<JoinHandle<()>>>) {
+    while !shared.should_stop() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("router-conn".to_string())
+                    .spawn(move || connection(stream, &shared));
+                if let Ok(handle) = handle {
+                    let mut conns = conns.lock().expect("connection registry");
+                    conns.retain(|h| !h.is_finished());
+                    conns.push(handle);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(READ_TICK),
+            Err(_) => std::thread::sleep(READ_TICK),
+        }
+    }
+}
+
+/// One client connection's reader: parses request lines, admits and
+/// dispatches jobs, and owns the paired writer thread's lifetime.
+fn connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    shared.tally.connections.fetch_add(1, Ordering::Relaxed);
+    shared
+        .recorder
+        .gauge_add("drift_router_connections", &[], 1);
+
+    let (reply_tx, reply_rx) = unbounded::<String>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("router-writer".to_string())
+            .spawn(move || writer_loop(write_half, &reply_rx, &shared))
+    };
+
+    let mut lines = LineReader::new(stream);
+    let mut last_activity = Instant::now();
+    let idle = shared.config.idle_timeout_ms;
+    while !shared.should_stop() {
+        match lines.next_line() {
+            LineEvent::Line(line) => {
+                last_activity = Instant::now();
+                if !handle_client_line(&line, shared, &reply_tx) {
+                    break;
+                }
+            }
+            LineEvent::TimedOut => {
+                if idle > 0 && last_activity.elapsed() >= Duration::from_millis(idle) {
+                    break;
+                }
+            }
+            LineEvent::Eof | LineEvent::Failed => break,
+        }
+    }
+    // Dropping our sender lets the writer exit once every in-flight
+    // job's clone is gone — i.e. after all accepted work is answered.
+    drop(reply_tx);
+    if let Ok(writer) = writer {
+        let _ = writer.join();
+    }
+    shared
+        .recorder
+        .gauge_add("drift_router_connections", &[], -1);
+}
+
+/// Handles one request line from a client. Returns `false` when the
+/// connection should stop reading (a shutdown control).
+fn handle_client_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>) -> bool {
+    if line.trim().is_empty() {
+        return true;
+    }
+    // The router understands one control the gateway protocol does
+    // not — reshard — so controls are intercepted before parse_request
+    // (which would reject the unknown op).
+    if let Ok(value) = serde_json::from_str::<Value>(line) {
+        if let Some(Value::Str(op)) = value.get("control") {
+            let op = op.as_str();
+            return match op {
+                "ping" => {
+                    let _ = reply.send(protocol::control_ack_line(ControlOp::Ping, true));
+                    true
+                }
+                "shutdown" => {
+                    let _ = reply.send(protocol::control_ack_line(ControlOp::Shutdown, true));
+                    shared.drain.store(true, Ordering::SeqCst);
+                    false
+                }
+                "reshard" => {
+                    let ack = reshard(shared, &value);
+                    let _ = reply.send(ack);
+                    true
+                }
+                _ => {
+                    shared.tally.rejected.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply.send(protocol::error_line(None, ERR_BAD_REQUEST));
+                    true
+                }
+            };
+        }
+    }
+    match protocol::parse_request(line) {
+        Err(_) => {
+            shared.tally.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(protocol::error_line(None, ERR_BAD_REQUEST));
+            true
+        }
+        // Controls were handled above; this arm is unreachable but
+        // keeps the match total if the protocol grows.
+        Ok(Request::Control(op)) => {
+            let _ = reply.send(protocol::control_ack_line(op, true));
+            !matches!(op, ControlOp::Shutdown)
+        }
+        Ok(Request::Job { spec, deadline_ms }) => {
+            // A reshard quiesce holds admissions at the door; jobs
+            // already in flight drain unhindered.
+            while shared.resharding.load(Ordering::SeqCst) {
+                if shared.should_stop() {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            admit(shared, spec, deadline_ms, reply);
+            true
+        }
+    }
+}
+
+/// Admits one job: assigns the internal id, computes the routing key,
+/// and dispatches.
+fn admit(shared: &Arc<Shared>, spec: JobSpec, deadline_ms: Option<u64>, reply: &Sender<String>) {
+    let admitted = Instant::now();
+    let deadline = deadline_ms
+        .filter(|&budget| budget > 0)
+        .map(|budget| admitted + Duration::from_millis(budget));
+    let internal_id = shared.next_internal_id.fetch_add(1, Ordering::Relaxed);
+    let orig_id = spec.id;
+    let mut spec = spec;
+    spec.id = internal_id;
+    let key = route_key(&spec, shared.fabric);
+    {
+        let mut seen = shared.seen_keys.lock().expect("seen keys");
+        if seen.len() < SEEN_KEYS_CAP {
+            seen.insert(key);
+        }
+    }
+    shared.tally.accepted.fetch_add(1, Ordering::Relaxed);
+    shared
+        .recorder
+        .gauge_add("drift_router_inflight_requests", &[], 1);
+    let entry = PendingEntry {
+        orig_id,
+        spec,
+        key,
+        deadline,
+        sent: admitted,
+        hops: 0,
+        tried: Vec::new(),
+        shard: None,
+        reply: reply.clone(),
+    };
+    dispatch(shared, internal_id, entry);
+}
+
+/// Executes a `{"control":"reshard","shards":[...],"vnodes":K}`
+/// operation: quiesce admissions, wait for in-flight work to drain,
+/// swap the ring (reusing live connections to retained shards), and
+/// report how many tracked keys changed owner. Returns the ack line.
+fn reshard(shared: &Arc<Shared>, value: &Value) -> String {
+    // Every nack reason below is a fixed ASCII literal, so plain
+    // quoting is valid JSON.
+    let nack =
+        |reason: &str| format!("{{\"control\":\"reshard\",\"ok\":false,\"error\":\"{reason}\"}}");
+    let Some(shards) = value.get("shards").and_then(Value::as_seq) else {
+        return nack("reshard needs a shards array");
+    };
+    let mut unique: Vec<String> = Vec::new();
+    for shard in shards {
+        let Value::Str(addr) = shard else {
+            return nack("shard addresses must be strings");
+        };
+        if addr.is_empty() {
+            return nack("shard addresses must be non-empty");
+        }
+        if !unique.contains(addr) {
+            unique.push(addr.clone());
+        }
+    }
+    if unique.is_empty() {
+        return nack("reshard needs at least one shard");
+    }
+    let _gate = shared.reshard_gate.lock().expect("reshard gate");
+    if shared.should_stop() {
+        return nack("router is stopping");
+    }
+    let vnodes = match value.get("vnodes") {
+        Some(Value::U64(v)) => (*v as usize).max(1),
+        Some(Value::I64(v)) if *v > 0 => *v as usize,
+        _ => shared.config.vnodes,
+    };
+
+    // Quiesce: block new admissions, then wait for in-flight work to
+    // drain through the shard readers.
+    shared.resharding.store(true, Ordering::SeqCst);
+    let quiesce_start = Instant::now();
+    loop {
+        if shared.pending.lock().expect("pending table").is_empty() {
+            break;
+        }
+        if quiesce_start.elapsed() > QUIESCE_TIMEOUT {
+            shared.resharding.store(false, Ordering::SeqCst);
+            return nack("quiesce timed out with jobs still in flight");
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            shared.resharding.store(false, Ordering::SeqCst);
+            return nack("router is stopping");
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let (moved, tracked, retired, added) = {
+        let mut table = shared.table.write().expect("routing table");
+        let new_ring = HashRing::new(&unique, vnodes);
+        let seen = shared.seen_keys.lock().expect("seen keys");
+        let moved = seen
+            .iter()
+            .filter(|&&key| {
+                let old = table
+                    .ring
+                    .primary(key)
+                    .map(|i| table.ring.shards()[i].as_str());
+                let new = new_ring.primary(key).map(|i| new_ring.shards()[i].as_str());
+                old != new
+            })
+            .count() as u64;
+        let tracked = seen.len() as u64;
+        drop(seen);
+        let mut added = 0u64;
+        let new_links: Vec<Arc<ShardLink>> = new_ring
+            .shards()
+            .iter()
+            .map(|addr| {
+                if let Some(existing) = table.links.iter().find(|l| &l.addr == addr) {
+                    Arc::clone(existing)
+                } else {
+                    added += 1;
+                    ShardLink::unconnected(addr)
+                }
+            })
+            .collect();
+        let mut retired = 0u64;
+        for old in &table.links {
+            if !new_ring.shards().contains(&old.addr) {
+                retired += 1;
+                old.retired.store(true, Ordering::SeqCst);
+                old.healthy.store(false, Ordering::SeqCst);
+                *old.writer.lock().expect("shard writer") = None;
+                if let Some(stream) = old.raw.lock().expect("shard stream").take() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+        *table = Table {
+            ring: new_ring,
+            links: new_links,
+        };
+        (moved, tracked, retired, added)
+    };
+    // Connect newly added shards outside the table write lock.
+    {
+        let links = shared.table.read().expect("routing table").links.clone();
+        for link in links {
+            if !link.healthy.load(Ordering::SeqCst) && !link.retired.load(Ordering::SeqCst) {
+                let _ = connect_shard(shared, &link);
+            }
+        }
+    }
+    shared.refresh_healthy_gauge();
+    shared.tally.reshards.fetch_add(1, Ordering::Relaxed);
+    shared
+        .recorder
+        .counter_add("drift_router_reshard_moved_keys_total", &[], moved);
+    shared.resharding.store(false, Ordering::SeqCst);
+    format!(
+        "{{\"control\":\"reshard\",\"ok\":true,\"shards\":{},\"added\":{added},\"retired\":{retired},\
+         \"moved_keys\":{moved},\"tracked_keys\":{tracked}}}",
+        unique.len()
+    )
+}
+
+/// Writes response lines until every sender is gone; a write failure
+/// flips to discard mode so in-flight senders never block on a dead
+/// peer (same contract as the gateway's writer).
+fn writer_loop(mut stream: TcpStream, replies: &Receiver<String>, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut dead = false;
+    for line in replies.iter() {
+        if !dead {
+            let mut bytes = line.into_bytes();
+            bytes.push(b'\n');
+            dead = stream.write_all(&bytes).is_err() || stream.flush().is_err();
+            if !dead {
+                continue;
+            }
+        }
+        shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The health-probe thread: pings healthy shards over a fresh
+/// short-lived connection (catching processes that hang without
+/// closing the data socket) and re-connects unhealthy ones, re-admitting
+/// them once they answer again.
+fn probe_loop(shared: &Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.probe_interval_ms);
+    let timeout = Duration::from_millis(shared.config.connect_timeout_ms);
+    let mut last = Instant::now();
+    while !shared.stop.load(Ordering::Relaxed) {
+        if last.elapsed() < interval {
+            std::thread::sleep(READ_TICK.min(interval));
+            continue;
+        }
+        last = Instant::now();
+        let links = shared.table.read().expect("routing table").links.clone();
+        for link in links {
+            if shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if link.retired.load(Ordering::Relaxed) {
+                continue;
+            }
+            if link.healthy.load(Ordering::SeqCst) {
+                let alive = Client::connect_with_timeout(&link.addr, timeout)
+                    .ok()
+                    .and_then(|mut c| c.ping().ok())
+                    .unwrap_or(false);
+                if !alive {
+                    // Ejection closes the data socket, which wakes the
+                    // shard reader; its exit path fails the in-flight
+                    // jobs over to the ring successors.
+                    eject(shared, &link);
+                }
+            } else if connect_shard(shared, &link).is_ok() {
+                shared.tally.readmissions.fetch_add(1, Ordering::Relaxed);
+                shared.recorder.counter_add(
+                    "drift_router_shard_readmissions_total",
+                    &[("shard", &link.addr)],
+                    1,
+                );
+                shared.refresh_healthy_gauge();
+            }
+        }
+    }
+}

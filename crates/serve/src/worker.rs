@@ -16,6 +16,7 @@ use crate::queue::WorkerHandle;
 use crate::stats::WorkerStats;
 use crossbeam::channel::Sender;
 use drift_accel::gemm::{GemmShape, GemmWorkload};
+use drift_accel::systolic::ArrayGeometry;
 use drift_core::accelerator::DriftAccelerator;
 use drift_core::schedule::ScheduleKey;
 use drift_core::selector::{record_policy_run, DriftPolicy};
@@ -56,6 +57,59 @@ pub fn execute_job_recorded(
     match run_job(spec, accel, cache, recorder) {
         Ok(pair) => pair,
         Err(message) => (JobOutcome::Error { message }, false),
+    }
+}
+
+/// The Bernoulli precision maps a Simulate job draws from its private
+/// ChaCha stream — shared between execution ([`execute_job`]) and
+/// routing ([`schedule_key_for`]) so both always agree on the counts.
+fn simulate_precision_maps(
+    seed: u64,
+    m: usize,
+    n: usize,
+    fa: f64,
+    fw: f64,
+) -> (Vec<bool>, Vec<bool>) {
+    let mut rng = seeded(derive_seed(seed, "serve-simulate"));
+    let fa = fa.clamp(0.0, 1.0);
+    let fw = fw.clamp(0.0, 1.0);
+    let act_high: Vec<bool> = (0..m).map(|_| rng.gen_bool(fa)).collect();
+    let weight_high: Vec<bool> = (0..n).map(|_| rng.gen_bool(fw)).collect();
+    (act_high, weight_high)
+}
+
+/// The exact [`ScheduleKey`] executing `spec` on `fabric` will look up,
+/// or `None` for jobs without a schedule (Select) and for invalid
+/// shapes (which execution reports as a job-level error anyway).
+///
+/// This is the single source of truth the router tier shards by: a
+/// front tier that routes every job by this key sends each distinct
+/// schedule-cache entry to exactly one backend, so per-shard key sets
+/// are disjoint and each shard's LRU holds only its own slice. For
+/// Simulate jobs the key re-derives the seeded Bernoulli precision
+/// maps, so it costs `O(m + n)` RNG draws — microseconds against a
+/// millisecond-scale simulation.
+pub fn schedule_key_for(spec: &JobSpec, fabric: ArrayGeometry) -> Option<ScheduleKey> {
+    match &spec.kind {
+        JobKind::Select { .. } => None,
+        JobKind::Schedule { m, k, n, fa, fw } => {
+            let shape = GemmShape::new(*m, *k, *n).ok()?;
+            Some(ScheduleKey {
+                shape,
+                act_high: (*m as f64 * fa.clamp(0.0, 1.0)) as usize,
+                weight_high: (*n as f64 * fw.clamp(0.0, 1.0)) as usize,
+                act_precisions: (Precision::INT8, Precision::INT4),
+                weight_precisions: (Precision::INT8, Precision::INT4),
+                fabric,
+            })
+        }
+        JobKind::Simulate { m, k, n, fa, fw } => {
+            let shape = GemmShape::new(*m, *k, *n).ok()?;
+            let (act_high, weight_high) = simulate_precision_maps(spec.seed, *m, *n, *fa, *fw);
+            let workload =
+                GemmWorkload::new(format!("job-{}", spec.id), shape, act_high, weight_high).ok()?;
+            Some(ScheduleKey::for_workload(&workload, fabric))
+        }
     }
 }
 
@@ -100,18 +154,13 @@ fn run_job(
                 false,
             ))
         }
-        JobKind::Schedule { m, k, n, fa, fw } => {
-            let shape = GemmShape::new(*m, *k, *n).map_err(|e| e.to_string())?;
+        JobKind::Schedule { m, k, n, .. } => {
+            GemmShape::new(*m, *k, *n).map_err(|e| e.to_string())?;
             // Same truncation as `drift schedule`: fractions become
-            // prefix counts.
-            let key = ScheduleKey {
-                shape,
-                act_high: (*m as f64 * fa.clamp(0.0, 1.0)) as usize,
-                weight_high: (*n as f64 * fw.clamp(0.0, 1.0)) as usize,
-                act_precisions: (Precision::INT8, Precision::INT4),
-                weight_precisions: (Precision::INT8, Precision::INT4),
-                fabric: accel.fabric(),
-            };
+            // prefix counts (built inside `schedule_key_for`, the one
+            // place the spec → key mapping lives).
+            let key = schedule_key_for(spec, accel.fabric())
+                .ok_or_else(|| "schedule job has no schedule key".to_string())?;
             let (schedule, hit) = cache.get_or_solve(key).map_err(|e| e.to_string())?;
             Ok((
                 JobOutcome::Schedule {
@@ -126,11 +175,7 @@ fn run_job(
             // Precision maps are Bernoulli draws from the job's private
             // ChaCha stream — scattered like real selector output, yet
             // reproducible from the spec alone.
-            let mut rng = seeded(derive_seed(spec.seed, "serve-simulate"));
-            let fa = fa.clamp(0.0, 1.0);
-            let fw = fw.clamp(0.0, 1.0);
-            let act_high: Vec<bool> = (0..*m).map(|_| rng.gen_bool(fa)).collect();
-            let weight_high: Vec<bool> = (0..*n).map(|_| rng.gen_bool(fw)).collect();
+            let (act_high, weight_high) = simulate_precision_maps(spec.seed, *m, *n, *fa, *fw);
             let workload =
                 GemmWorkload::new(format!("job-{}", spec.id), shape, act_high, weight_high)
                     .map_err(|e| e.to_string())?;
@@ -309,6 +354,53 @@ mod tests {
             }
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn schedule_key_for_matches_execution() {
+        // Pre-seeding the cache at `schedule_key_for`'s key must turn
+        // the job's own lookup into a hit, for both kinds that
+        // schedule. This is the property the router's key-sharding
+        // relies on: the routing key IS the execution key.
+        for kind in [
+            JobKind::Schedule {
+                m: 96,
+                k: 192,
+                n: 80,
+                fa: 0.31,
+                fw: 0.47,
+            },
+            JobKind::Simulate {
+                m: 72,
+                k: 128,
+                n: 64,
+                fa: 0.4,
+                fw: 0.2,
+            },
+        ] {
+            let spec = JobSpec {
+                id: 9,
+                seed: 13,
+                kind,
+            };
+            let cache = ScheduleCache::new(16, 2);
+            let mut accel = accel();
+            let key = schedule_key_for(&spec, accel.fabric()).expect("both kinds schedule");
+            cache.get_or_solve(key).unwrap();
+            let (_, hit) = execute_job(&spec, &mut accel, &cache);
+            assert!(hit, "execution missed the pre-seeded routing key");
+        }
+        let select = JobSpec {
+            id: 0,
+            seed: 0,
+            kind: JobKind::Select {
+                tokens: 8,
+                hidden: 16,
+                delta: 0.1,
+                profile: "bert".to_string(),
+            },
+        };
+        assert!(schedule_key_for(&select, accel().fabric()).is_none());
     }
 
     #[test]

@@ -54,11 +54,94 @@ wait "$GW_PID"
 rm -f "$PORT_FILE"
 echo "gateway smoke: ok"
 
+echo "== router smoke test =="
+# Two gateway shards plus the consistent-hash router, all on ephemeral
+# ports: drive the router with the closed-loop load generator (which
+# fails on any lost or duplicated response), check both shards actually
+# received traffic, then drain everything within a bounded wait.
+GW1_PORT_FILE="$(mktemp)"; rm -f "$GW1_PORT_FILE"
+GW2_PORT_FILE="$(mktemp)"; rm -f "$GW2_PORT_FILE"
+RT_PORT_FILE="$(mktemp)";  rm -f "$RT_PORT_FILE"
+RT_METRICS="$(mktemp)"
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 2 \
+  --port-file "$GW1_PORT_FILE" &
+GW1_PID=$!
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 2 \
+  --port-file "$GW2_PORT_FILE" &
+GW2_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$GW1_PORT_FILE" ] && [ -s "$GW2_PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$GW1_PORT_FILE" ] || ! [ -s "$GW2_PORT_FILE" ]; then
+  echo "router smoke: a shard gateway never wrote its port file" >&2
+  kill "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+GW1_ADDR="$(cat "$GW1_PORT_FILE")"
+GW2_ADDR="$(cat "$GW2_PORT_FILE")"
+./target/release/drift router --addr 127.0.0.1:0 \
+  --shards "$GW1_ADDR,$GW2_ADDR" \
+  --port-file "$RT_PORT_FILE" --metrics-out "$RT_METRICS" &
+RT_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$RT_PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$RT_PORT_FILE" ]; then
+  echo "router smoke: router never wrote its port file" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+RT_ADDR="$(cat "$RT_PORT_FILE")"
+./target/release/drift loadgen --addr "$RT_ADDR" --clients 4 --jobs 200 \
+  > /dev/null
+./target/release/drift router-stop --addr "$RT_ADDR"
+for _ in $(seq 1 100); do
+  kill -0 "$RT_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$RT_PID" 2>/dev/null; then
+  echo "router smoke: router did not exit within 10s of the drain" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$RT_PID"
+# The drained router's snapshot must show every shard took traffic.
+ROUTED_SERIES="$(grep -c 'drift_router_requests_routed_total' "$RT_METRICS" || true)"
+if [ "$ROUTED_SERIES" -ne 2 ]; then
+  echo "router smoke: expected 2 per-shard routed series, got $ROUTED_SERIES" >&2
+  kill "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+if grep 'drift_router_requests_routed_total' "$RT_METRICS" \
+  | grep -q '"value": 0'; then
+  echo "router smoke: a shard received zero routed requests" >&2
+  kill "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+./target/release/drift gateway-stop --addr "$GW1_ADDR"
+./target/release/drift gateway-stop --addr "$GW2_ADDR"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$GW1_PID" 2>/dev/null && ! kill -0 "$GW2_PID" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+if kill -0 "$GW1_PID" 2>/dev/null || kill -0 "$GW2_PID" 2>/dev/null; then
+  echo "router smoke: a shard gateway did not exit within 10s of the drain" >&2
+  kill "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$GW1_PID" "$GW2_PID"
+rm -f "$GW1_PORT_FILE" "$GW2_PORT_FILE" "$RT_PORT_FILE" "$RT_METRICS"
+echo "router smoke: ok"
+
 echo "== rustdoc (drift crates, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p drift -p drift-obs -p drift-tensor -p drift-quant -p drift-accel \
   -p drift-core -p drift-nn -p drift-serve -p drift-gateway \
-  -p drift-bench -p drift-cli
+  -p drift-router -p drift-bench -p drift-cli
 
 echo "== doc tests =="
 cargo test -q --workspace --doc
