@@ -303,6 +303,7 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         workers,
         queue_depth,
         cache_capacity,
+        queue: opt_parse(opts, "queue", drift_serve::QueuePolicy::Fifo)?,
         ..drift_serve::ServeConfig::default()
     };
     let outcome = drift_serve::serve_with_recorder(jobs, &config, metrics.recorder.clone());
@@ -361,6 +362,7 @@ pub fn gateway(opts: &Opts) -> Result<(), String> {
         cache_capacity: opt_parse(opts, "cache-capacity", 4096)?,
         default_deadline_ms: opt_parse(opts, "deadline-ms", 0u64)?,
         idle_timeout_ms: opt_parse(opts, "idle-timeout-ms", 30_000u64)?,
+        queue: opt_parse(opts, "queue", drift_serve::QueuePolicy::Fifo)?,
         ..drift_gateway::GatewayConfig::default()
     };
     let metrics = metrics_wiring(opts)?;
@@ -368,11 +370,12 @@ pub fn gateway(opts: &Opts) -> Result<(), String> {
     let gw = drift_gateway::Gateway::start(addr, config, metrics.recorder.clone())
         .map_err(|e| format!("cannot bind gateway on {addr}: {e}"))?;
     eprintln!(
-        "gateway: listening on {} ({} workers, queue depth {}); \
+        "gateway: listening on {} ({} workers, queue depth {}, {} queue); \
          stop with `drift gateway-stop --addr {}`",
         gw.local_addr(),
         config.workers,
         config.queue_depth,
+        config.queue,
         gw.local_addr()
     );
     if let Some(path) = opts.get("port-file") {
@@ -397,14 +400,18 @@ pub fn loadgen(opts: &Opts) -> Result<(), String> {
 
     let addr = opt_str(opts, "addr", "127.0.0.1:7077");
     let deadline_ms: u64 = opt_parse(opts, "deadline-ms", 0u64)?;
+    let jitter_ms: u64 = opt_parse(opts, "deadline-jitter-ms", 0u64)?;
     let open_loop: f64 = opt_parse(opts, "open-loop", 0.0f64)?;
+    let burst_ms: u64 = opt_parse(opts, "burst-ms", 0u64)?;
     let config = drift_gateway::LoadGenConfig {
         clients: opt_parse(opts, "clients", 4)?,
         jobs: opt_parse(opts, "jobs", 200)?,
         shapes: opt_parse(opts, "shapes", 4)?,
         seed: opt_parse(opts, "seed", 42u64)?,
         deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        deadline_jitter_ms: (jitter_ms > 0).then_some(jitter_ms),
         open_loop_rps: (open_loop > 0.0).then_some(open_loop),
+        burst_ms: (burst_ms > 0).then_some(burst_ms),
         retry: drift_gateway::RetryPolicy::default(),
         connect_per_request: opt_parse(opts, "connect-per-request", false)?,
     };

@@ -5,12 +5,13 @@
 //! drift select  [--profile bert] [--tokens 64] [--hidden 256] [--delta 0.3] [--seed 7]
 //! drift schedule [--m 512] [--k 768] [--n 768] [--fa 0.2] [--fw 0.1]
 //! drift simulate [--model BERT] [--accel drift] [--delta 0.027] [--seed 42]
-//! drift serve    [--jobs jobs.jsonl|-] [--workers 8] [--lenient]
+//! drift serve    [--jobs jobs.jsonl|-] [--workers 8] [--queue fifo|edf] [--lenient]
 //!                [--metrics-addr 127.0.0.1:9109] [--metrics-out run.json]
 //! drift bench-serve [--jobs 1000] [--workers "1,2,4,8"]
-//! drift gateway  [--addr 127.0.0.1:7077] [--workers 8] [--deadline-ms 250]
+//! drift gateway  [--addr 127.0.0.1:7077] [--workers 8] [--deadline-ms 250] [--queue edf]
 //! drift router   --shards addr1,addr2,... [--addr 127.0.0.1:7177] [--vnodes 64]
 //! drift loadgen  [--addr 127.0.0.1:7077] [--clients 4] [--jobs 200] [--open-loop 500]
+//!                [--deadline-ms 50] [--deadline-jitter-ms 50]
 //! drift gateway-stop [--addr 127.0.0.1:7077]
 //! drift router-stop  [--addr 127.0.0.1:7177]
 //! drift report   run.json
@@ -87,6 +88,7 @@ fn usage() -> String {
      \x20 serve    [--jobs FILE|-] [--workers N] [--queue-depth Q]\n\
      \x20          [--cache-capacity C]   run a JSONL job stream on a worker pool;\n\
      \x20                                 results to stdout, report to stderr\n\
+     \x20          [--queue fifo|edf]     queue discipline (docs/SCHEDULING.md)\n\
      \x20          [--lenient]            skip malformed job lines instead of aborting\n\
      \x20          [--metrics-addr A]     serve Prometheus text on http://A/metrics\n\
      \x20          [--metrics-out FILE]   write the final metrics snapshot as JSON\n\
@@ -96,6 +98,7 @@ fn usage() -> String {
      \x20          [--idle-timeout-ms T]  serve jobs over TCP (newline-delimited JSON,\n\
      \x20                                 see docs/SERVING.md); drains on\n\
      \x20                                 {\"control\":\"shutdown\"}\n\
+     \x20          [--queue fifo|edf]     queue discipline (docs/SCHEDULING.md)\n\
      \x20          [--port-file FILE]     write the bound address (for --addr with port 0)\n\
      \x20          [--metrics-addr A] [--metrics-out FILE]   as for serve\n\
      \x20 router   --shards A1,A2,...    consistent-hash front tier over gateways\n\
@@ -104,8 +107,10 @@ fn usage() -> String {
      \x20          [--metrics-addr A] [--metrics-out FILE]   as for serve; reshards\n\
      \x20                                 live on {\"control\":\"reshard\",...} (docs/SERVING.md)\n\
      \x20 loadgen  [--addr A] [--clients C] [--jobs N] [--shapes S] [--seed S]\n\
-     \x20          [--deadline-ms D] [--open-loop RPS] [--connect-per-request]\n\
-     \x20                                 drive a gateway; throughput + p50/p99 on stderr\n\
+     \x20          [--deadline-ms D] [--deadline-jitter-ms J] [--open-loop RPS]\n\
+     \x20          [--burst-ms W] [--connect-per-request]\n\
+     \x20                                 drive a gateway; throughput + p50/p99 +\n\
+     \x20                                 deadline-met rate on stderr\n\
      \x20 gateway-stop [--addr A]        ask a gateway to drain and exit\n\
      \x20 router-stop  [--addr A]        ask a router to drain and exit\n\
      \x20 report   FILE|-                render a --metrics-out JSON snapshot as a table\n\

@@ -192,6 +192,17 @@ impl Client {
     ///
     /// Propagates send/recv failures or a non-control response.
     pub fn ping(&mut self) -> Result<bool, String> {
+        self.control(ControlOp::Ping).map(|(ok, _)| ok)
+    }
+
+    /// Probes the gateway with a `ping` and returns its advertised
+    /// queue discipline alongside the ack (`None` when the peer
+    /// predates, or — like the router — does not expose, a policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures or a non-control response.
+    pub fn ping_queue(&mut self) -> Result<(bool, Option<String>), String> {
         self.control(ControlOp::Ping)
     }
 
@@ -201,13 +212,17 @@ impl Client {
     ///
     /// Propagates send/recv failures or a non-control response.
     pub fn shutdown_server(&mut self) -> Result<bool, String> {
-        self.control(ControlOp::Shutdown)
+        self.control(ControlOp::Shutdown).map(|(ok, _)| ok)
     }
 
-    fn control(&mut self, op: ControlOp) -> Result<bool, String> {
+    fn control(&mut self, op: ControlOp) -> Result<(bool, Option<String>), String> {
         self.send_raw(&protocol::control_line(op))?;
         match self.recv()? {
-            Response::Control { op: echoed, ok } if echoed == op.name() => Ok(ok),
+            Response::Control {
+                op: echoed,
+                ok,
+                queue,
+            } if echoed == op.name() => Ok((ok, queue)),
             other => Err(format!("expected a {} ack, got {other:?}", op.name())),
         }
     }

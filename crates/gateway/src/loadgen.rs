@@ -14,7 +14,7 @@
 //! gets, which exposes the shed rate of the admission queue.
 
 use crate::client::{Client, RetryPolicy};
-use crate::protocol::{Response, ERR_DEADLINE, ERR_OVERLOADED};
+use crate::protocol::{Response, ERR_DEADLINE, ERR_OVERLOADED, ERR_UNMEETABLE};
 use drift_serve::job::{synthetic_jobs, JobOutcome, JobResult, JobSpec};
 use drift_serve::stats::percentile_ns;
 use std::collections::HashMap;
@@ -34,9 +34,24 @@ pub struct LoadGenConfig {
     pub seed: u64,
     /// Per-request deadline budget sent with every job.
     pub deadline_ms: Option<u64>,
+    /// Adds a deterministic uniform jitter in `[0, J]` ms to each job's
+    /// deadline budget (derived from `seed` and the job id), so budgets
+    /// span `[D, D+J]` — the spread EDF exploits and FIFO cannot.
+    /// Ignored without `deadline_ms`.
+    pub deadline_jitter_ms: Option<u64>,
     /// Open-loop mode: pace request starts at this aggregate rate and
     /// do not retry sheds. `None` = closed loop with retry.
     pub open_loop_rps: Option<f64>,
+    /// Open-loop only: send in on/off bursts instead of a steady
+    /// stream. Requests are offered at `open_loop_rps` for the first
+    /// half of every window of this many milliseconds and not at all
+    /// for the second half (average rate = `open_loop_rps / 2`). This
+    /// is the regime where queue ordering matters: a steady stream
+    /// above capacity saturates the queue permanently, making the
+    /// deadline-met count capacity-bound under *any* discipline, while
+    /// bursts leave drain slack that EDF can exploit and FIFO cannot
+    /// (docs/SCHEDULING.md). Ignored in closed-loop mode.
+    pub burst_ms: Option<u64>,
     /// Closed-loop only: open a fresh TCP connection for every request
     /// and tear it down after the response, instead of holding one
     /// persistent connection per client. Measures connection-churn cost
@@ -54,7 +69,9 @@ impl Default for LoadGenConfig {
             shapes: 4,
             seed: 42,
             deadline_ms: None,
+            deadline_jitter_ms: None,
             open_loop_rps: None,
+            burst_ms: None,
             connect_per_request: false,
             retry: RetryPolicy::default(),
         }
@@ -73,6 +90,11 @@ pub struct LoadReport {
     pub shed: u64,
     /// Requests answered `deadline_exceeded`.
     pub expired: u64,
+    /// Requests refused at admission as `deadline_unmeetable`.
+    pub unmeetable: u64,
+    /// Of deadlined runs, the fraction of offered jobs answered with a
+    /// result (`ok / jobs`); `None` when no deadline was configured.
+    pub deadline_met_rate: Option<f64>,
     /// Of the `ok` responses, how many carried a job-level error
     /// outcome (the job ran and failed).
     pub job_errors: u64,
@@ -99,11 +121,11 @@ impl LoadReport {
     ///
     /// Describes the first imbalance found.
     pub fn verify_complete(&self) -> Result<(), String> {
-        let answered = self.ok + self.shed + self.expired;
+        let answered = self.ok + self.shed + self.expired + self.unmeetable;
         if answered != self.jobs as u64 {
             return Err(format!(
-                "offered {} jobs but accounted for {answered} ({} ok, {} shed, {} expired)",
-                self.jobs, self.ok, self.shed, self.expired
+                "offered {} jobs but accounted for {answered} ({} ok, {} shed, {} expired, {} unmeetable)",
+                self.jobs, self.ok, self.shed, self.expired, self.unmeetable
             ));
         }
         for pair in self.results.windows(2) {
@@ -116,9 +138,13 @@ impl LoadReport {
 
     /// A short human rendering for the CLI.
     pub fn render(&self) -> String {
+        let met = self
+            .deadline_met_rate
+            .map(|rate| format!(", deadline met {:.1}%", rate * 100.0))
+            .unwrap_or_default();
         format!(
             "loadgen: {} jobs in {:.1} ms — {:.0} ok/s, {} ok ({} job errors), {} shed, \
-             {} expired, {} retries, p50 {:.0} µs, p99 {:.0} µs",
+             {} expired, {} unmeetable, {} retries, p50 {:.0} µs, p99 {:.0} µs{met}",
             self.jobs,
             self.wall.as_secs_f64() * 1e3,
             self.throughput,
@@ -126,6 +152,7 @@ impl LoadReport {
             self.job_errors,
             self.shed,
             self.expired,
+            self.unmeetable,
             self.retries,
             self.p50_us,
             self.p99_us,
@@ -138,10 +165,51 @@ struct ClientTally {
     ok: u64,
     shed: u64,
     expired: u64,
+    unmeetable: u64,
     job_errors: u64,
     retries: u64,
     latencies_ns: Vec<u64>,
     results: Vec<JobResult>,
+}
+
+/// SplitMix64: the per-job deadline jitter's hash, so budgets are
+/// reproducible from `(seed, id)` alone with no RNG dependency.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl LoadGenConfig {
+    /// The deadline budget for job `id`: `deadline_ms` plus this job's
+    /// deterministic jitter draw from `[0, deadline_jitter_ms]`.
+    pub fn budget_for(&self, id: u64) -> Option<u64> {
+        let base = self.deadline_ms?;
+        let jitter = match self.deadline_jitter_ms {
+            Some(j) if j > 0 => {
+                splitmix64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (j + 1)
+            }
+            _ => 0,
+        };
+        Some(base.saturating_add(jitter))
+    }
+
+    /// When (relative to the pacer's start) this client's `index`-th
+    /// open-loop send should happen. Steady pacing spaces sends by
+    /// `interval`; with `burst_ms` set, sends keep that spacing but
+    /// come in windows — the first half of every `burst_ms` window
+    /// offers load, the second half is silent.
+    fn send_offset(&self, index: u64, interval: Duration) -> Duration {
+        let Some(window_ms) = self.burst_ms.filter(|&w| w > 0) else {
+            return interval.mul_f64(index as f64);
+        };
+        let window = Duration::from_millis(window_ms);
+        let per_window = ((window.as_secs_f64() / 2.0) / interval.as_secs_f64())
+            .floor()
+            .max(1.0) as u64;
+        window.mul_f64((index / per_window) as f64) + interval.mul_f64((index % per_window) as f64)
+    }
 }
 
 /// Runs one load-generation pass against the gateway at `addr`.
@@ -186,6 +254,7 @@ pub fn run(addr: &str, config: &LoadGenConfig) -> Result<LoadReport, String> {
         total.ok += tally.ok;
         total.shed += tally.shed;
         total.expired += tally.expired;
+        total.unmeetable += tally.unmeetable;
         total.job_errors += tally.job_errors;
         total.retries += tally.retries;
         total.latencies_ns.extend(tally.latencies_ns);
@@ -199,6 +268,9 @@ pub fn run(addr: &str, config: &LoadGenConfig) -> Result<LoadReport, String> {
         ok: total.ok,
         shed: total.shed,
         expired: total.expired,
+        unmeetable: total.unmeetable,
+        deadline_met_rate: (config.deadline_ms.is_some() && config.jobs > 0)
+            .then(|| total.ok as f64 / config.jobs as f64),
         job_errors: total.job_errors,
         retries: total.retries,
         wall,
@@ -231,7 +303,7 @@ fn drive_client(
     let mut tally = ClientTally::default();
     for spec in slice {
         let begin = Instant::now();
-        let sub = client.submit_with_retry(spec, config.deadline_ms, &config.retry)?;
+        let sub = client.submit_with_retry(spec, config.budget_for(spec.id), &config.retry)?;
         let latency = begin.elapsed();
         tally.retries += u64::from(sub.retries);
         tally.account(sub.response, latency)?;
@@ -254,7 +326,7 @@ fn drive_churning(
         let begin = Instant::now();
         let mut client = Client::connect(addr)
             .map_err(|e| format!("cannot connect to gateway at {addr}: {e}"))?;
-        let sub = client.submit_with_retry(spec, config.deadline_ms, &config.retry)?;
+        let sub = client.submit_with_retry(spec, config.budget_for(spec.id), &config.retry)?;
         drop(client);
         let latency = begin.elapsed();
         tally.retries += u64::from(sub.retries);
@@ -283,17 +355,17 @@ fn drive_open_loop(
 
     std::thread::scope(|scope| {
         let pacer = scope.spawn(|| -> Result<(), String> {
-            let mut next_start = Instant::now();
-            for spec in slice {
+            let start = Instant::now();
+            for (index, spec) in slice.iter().enumerate() {
+                let next_start = start + config.send_offset(index as u64, interval);
                 let now = Instant::now();
                 if next_start > now {
                     std::thread::sleep(next_start - now);
                 }
-                next_start += interval;
                 sent.lock()
                     .expect("send-time map")
                     .insert(spec.id, Instant::now());
-                writer.send(spec, config.deadline_ms)?;
+                writer.send(spec, config.budget_for(spec.id))?;
             }
             Ok(())
         });
@@ -328,6 +400,7 @@ impl ClientTally {
             }
             Response::Error { error, .. } if error == ERR_OVERLOADED => self.shed += 1,
             Response::Error { error, .. } if error == ERR_DEADLINE => self.expired += 1,
+            Response::Error { error, .. } if error == ERR_UNMEETABLE => self.unmeetable += 1,
             other => return Err(format!("unexpected gateway response {other:?}")),
         }
         Ok(())

@@ -28,6 +28,10 @@ pub const ERR_OVERLOADED: &str = "overloaded";
 pub const ERR_DEADLINE: &str = "deadline_exceeded";
 /// Error code: the request line did not parse as a job or control line.
 pub const ERR_BAD_REQUEST: &str = "bad_request";
+/// Error code: the request was shed at admission because its deadline
+/// budget was below the gateway's current service-time estimate — it
+/// could not have met its deadline even with an empty queue.
+pub const ERR_UNMEETABLE: &str = "deadline_unmeetable";
 
 /// A control operation carried on a `{"control":...}` line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,7 +79,7 @@ pub enum Response {
         /// The request's id, when the gateway could recover it.
         id: Option<u64>,
         /// One of [`ERR_OVERLOADED`], [`ERR_DEADLINE`],
-        /// [`ERR_BAD_REQUEST`].
+        /// [`ERR_UNMEETABLE`], [`ERR_BAD_REQUEST`].
         error: String,
     },
     /// A control acknowledgement.
@@ -84,6 +88,11 @@ pub enum Response {
         op: String,
         /// Whether the gateway accepted the operation.
         ok: bool,
+        /// The server's queue discipline (`"fifo"` / `"edf"`), carried
+        /// on gateway ping acks so the router's health probes learn
+        /// each shard's policy. Absent on other acks and on routers'
+        /// own ping acks.
+        queue: Option<String>,
     },
 }
 
@@ -158,6 +167,19 @@ pub fn control_ack_line(op: ControlOp, ok: bool) -> String {
     ]))
 }
 
+/// Renders a gateway ping acknowledgement advertising the server's
+/// queue discipline, e.g. `{"control":"ping","ok":true,"queue":"edf"}`.
+pub fn ping_ack_line(ok: bool, queue: &str) -> String {
+    render(&Value::Map(vec![
+        (
+            "control".to_string(),
+            Value::Str(ControlOp::Ping.name().to_string()),
+        ),
+        ("ok".to_string(), Value::Bool(ok)),
+        ("queue".to_string(), Value::Str(queue.to_string())),
+    ]))
+}
+
 /// Parses one response line into a [`Response`].
 ///
 /// # Errors
@@ -172,7 +194,11 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             other => return Err(format!("control must be a string, got {}", other.kind())),
         };
         let ok = matches!(value.get("ok"), Some(Value::Bool(true)));
-        return Ok(Response::Control { op, ok });
+        let queue = match value.get("queue") {
+            Some(Value::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        return Ok(Response::Control { op, ok, queue });
     }
     if let Some(err) = value.get("error") {
         let error = match err {
@@ -242,11 +268,35 @@ mod tests {
                 ack,
                 Response::Control {
                     op: op.name().to_string(),
-                    ok: true
+                    ok: true,
+                    queue: None
                 }
             );
         }
         assert!(parse_request("{\"control\":\"reboot\"}").is_err());
+    }
+
+    #[test]
+    fn ping_acks_advertise_the_queue_policy() {
+        let line = ping_ack_line(true, "edf");
+        assert_eq!(line, "{\"control\":\"ping\",\"ok\":true,\"queue\":\"edf\"}");
+        assert_eq!(
+            parse_response(&line).unwrap(),
+            Response::Control {
+                op: "ping".to_string(),
+                ok: true,
+                queue: Some("edf".to_string())
+            }
+        );
+        // Plain acks (and pre-queue servers) parse with no policy.
+        assert_eq!(
+            parse_response(&control_ack_line(ControlOp::Ping, true)).unwrap(),
+            Response::Control {
+                op: "ping".to_string(),
+                ok: true,
+                queue: None
+            }
+        );
     }
 
     #[test]

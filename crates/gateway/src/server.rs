@@ -15,11 +15,14 @@
 //!
 //! * **admission control** — submission uses the queue's non-blocking
 //!   [`JobQueue::try_submit`]; a full queue sheds the request with a
-//!   structured `overloaded` response instead of blocking the socket;
+//!   structured `overloaded` response instead of blocking the socket,
+//!   and a deadline budget below the observed service-time estimate is
+//!   shed as `deadline_unmeetable` before it can occupy a slot;
 //! * **deadlines** — each request carries a millisecond budget from
 //!   admission; workers check it when they dequeue the job *and* again
 //!   after executing it, answering `deadline_exceeded` for expired
-//!   work;
+//!   work. With `--queue edf` the queue drains
+//!   earliest-deadline-first instead of FIFO (`docs/SCHEDULING.md`);
 //! * **graceful drain** — [`Gateway::shutdown`] stops the acceptor,
 //!   lets readers wind down, flushes every accepted job's response
 //!   through its connection writer, and only then closes the queue and
@@ -30,13 +33,15 @@
 //! and degrade to discarding responses for that connection only.
 
 use crate::framing::{LineEvent, LineReader};
-use crate::protocol::{self, ControlOp, Request, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_OVERLOADED};
+use crate::protocol::{
+    self, ControlOp, Request, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_OVERLOADED, ERR_UNMEETABLE,
+};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use drift_core::accelerator::DriftAccelerator;
 use drift_obs::Recorder;
 use drift_serve::cache::ScheduleCache;
 use drift_serve::job::{result_line, JobOutcome, JobResult, JobSpec};
-use drift_serve::queue::{job_queue, JobQueue, WorkerHandle};
+use drift_serve::queue::{job_queue_with_policy, Deadlined, JobQueue, QueuePolicy, WorkerHandle};
 use drift_serve::worker::execute_job_recorded;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,6 +75,9 @@ pub struct GatewayConfig {
     /// Close a connection after this long without a complete request
     /// line. `0` disables idle expiry.
     pub idle_timeout_ms: u64,
+    /// Queue discipline for admitted jobs: FIFO (default) or
+    /// earliest-deadline-first (see `docs/SCHEDULING.md`).
+    pub queue: QueuePolicy,
 }
 
 impl Default for GatewayConfig {
@@ -81,6 +89,7 @@ impl Default for GatewayConfig {
             cache_shards: 16,
             default_deadline_ms: 0,
             idle_timeout_ms: 30_000,
+            queue: QueuePolicy::Fifo,
         }
     }
 }
@@ -105,6 +114,9 @@ pub struct GatewaySummary {
     pub shed: u64,
     /// Requests answered `deadline_exceeded`.
     pub expired: u64,
+    /// Requests refused at admission with `deadline_unmeetable`: their
+    /// budget was below the gateway's service-time estimate.
+    pub unmeetable: u64,
     /// Lines that parsed as neither a job nor a control request.
     pub rejected: u64,
     /// Completed responses dropped because the client was gone or
@@ -118,8 +130,14 @@ impl GatewaySummary {
     /// One-line human rendering for the CLI's exit report.
     pub fn render(&self) -> String {
         format!(
-            "gateway: {} connections, {} accepted, {} shed, {} expired, {} rejected, {} responses dropped",
-            self.connections, self.accepted, self.shed, self.expired, self.rejected, self.dropped
+            "gateway: {} connections, {} accepted, {} shed, {} expired, {} unmeetable, {} rejected, {} responses dropped",
+            self.connections,
+            self.accepted,
+            self.shed,
+            self.expired,
+            self.unmeetable,
+            self.rejected,
+            self.dropped
         )
     }
 }
@@ -131,6 +149,7 @@ struct Tally {
     accepted: AtomicU64,
     shed: AtomicU64,
     expired: AtomicU64,
+    unmeetable: AtomicU64,
     rejected: AtomicU64,
     dropped: AtomicU64,
     connections: AtomicU64,
@@ -142,10 +161,42 @@ impl Tally {
             accepted: self.accepted.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            unmeetable: self.unmeetable.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// An exponentially-weighted moving average of observed job service
+/// times, in microseconds. Admission uses it to shed requests whose
+/// deadline budget could not be met even from an empty queue.
+///
+/// `0` means "no samples yet": the gateway never sheds as unmeetable
+/// before at least one job has completed, so cold starts and tests
+/// with no completed work keep the pre-estimator behaviour.
+#[derive(Debug, Default)]
+struct ServiceEstimator {
+    ewma_us: AtomicU64,
+}
+
+impl ServiceEstimator {
+    /// Folds one observed service time into the average (new/8 + old*7/8).
+    fn observe(&self, service: Duration) {
+        let sample = service.as_micros().min(u128::from(u64::MAX)) as u64;
+        let prev = self.ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            sample.max(1)
+        } else {
+            (prev - prev / 8 + sample / 8).max(1)
+        };
+        self.ewma_us.store(next, Ordering::Relaxed);
+    }
+
+    /// The current estimate in microseconds; `0` until the first sample.
+    fn estimate_us(&self) -> u64 {
+        self.ewma_us.load(Ordering::Relaxed)
     }
 }
 
@@ -163,6 +214,25 @@ impl GatewayJob {
     fn expired(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now >= d)
     }
+
+    /// True when the job cannot be answered in budget: already expired,
+    /// or the remaining slack is smaller than the estimated service
+    /// time (`estimate_us`, 0 = no estimate). Executing such a job can
+    /// only produce a late result, so the worker discards it instead —
+    /// without this predictive check EDF degrades under overload,
+    /// because the earliest-deadline job is by construction the one
+    /// most likely to expire mid-execution (docs/SCHEDULING.md).
+    fn doomed(&self, now: Instant, estimate_us: u64) -> bool {
+        self.deadline.is_some_and(|d| {
+            d.saturating_duration_since(now).as_micros() <= u128::from(estimate_us)
+        })
+    }
+}
+
+impl Deadlined for GatewayJob {
+    fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
 }
 
 #[derive(Debug)]
@@ -177,6 +247,7 @@ struct Shared {
     /// calls [`Gateway::shutdown`].
     drain: AtomicBool,
     tally: Tally,
+    estimator: ServiceEstimator,
 }
 
 impl Shared {
@@ -232,12 +303,13 @@ impl Gateway {
             stop: AtomicBool::new(false),
             drain: AtomicBool::new(false),
             tally: Tally::default(),
+            estimator: ServiceEstimator::default(),
         });
         shared
             .recorder
             .gauge_set("drift_serve_workers", &[], config.workers as i64);
 
-        let (queue, handle) = job_queue::<GatewayJob>(config.queue_depth);
+        let (queue, handle) = job_queue_with_policy::<GatewayJob>(config.queue, config.queue_depth);
         let queue = Arc::new(queue);
         let workers = (0..config.workers)
             .map(|i| {
@@ -429,7 +501,9 @@ fn handle_line(
             true
         }
         Ok(Request::Control(ControlOp::Ping)) => {
-            let _ = reply.send(protocol::control_ack_line(ControlOp::Ping, true));
+            // The ack advertises the queue discipline so router health
+            // probes learn each shard's policy (docs/SCHEDULING.md).
+            let _ = reply.send(protocol::ping_ack_line(true, shared.config.queue.as_str()));
             true
         }
         Ok(Request::Control(ControlOp::Shutdown)) => {
@@ -442,6 +516,21 @@ fn handle_line(
             let budget = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
             let deadline = (budget > 0).then(|| admitted + Duration::from_millis(budget));
             let id = spec.id;
+            // Infeasibility shed: once at least one job has completed,
+            // a budget below the observed service-time estimate cannot
+            // be met even from an empty queue — refuse it immediately
+            // instead of letting it occupy a slot and expire later.
+            let estimate_us = shared.estimator.estimate_us();
+            if deadline.is_some() && estimate_us > 0 && budget.saturating_mul(1000) < estimate_us {
+                shared.tally.unmeetable.fetch_add(1, Ordering::Relaxed);
+                shared.recorder.counter_add(
+                    "drift_gateway_deadline_outcomes_total",
+                    &[("outcome", "unmeetable")],
+                    1,
+                );
+                let _ = reply.send(protocol::error_line(Some(id), ERR_UNMEETABLE));
+                return true;
+            }
             let job = GatewayJob {
                 spec,
                 deadline,
@@ -501,12 +590,16 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
         DriftAccelerator::paper_config().expect("the paper configuration always builds");
     accel.set_recorder(shared.recorder.clone());
     while let Some(job) = jobs.next_job() {
-        if job.expired(Instant::now()) {
+        let dequeued = Instant::now();
+        if job.doomed(dequeued, shared.estimator.estimate_us()) {
+            record_queue_wait(shared, &job, dequeued, "expired");
             respond_expired(shared, &job);
             continue;
         }
+        record_queue_wait(shared, &job, dequeued, "ok");
         let (outcome, _cache_hit) =
             execute_job_recorded(&job.spec, &mut accel, &shared.cache, &shared.recorder);
+        shared.estimator.observe(dequeued.elapsed());
         if shared.recorder.is_enabled() {
             let is_error = matches!(outcome, JobOutcome::Error { .. });
             shared.recorder.counter_add(
@@ -522,6 +615,13 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
             respond_expired(shared, &job);
             continue;
         }
+        if job.deadline.is_some() {
+            shared.recorder.counter_add(
+                "drift_gateway_deadline_outcomes_total",
+                &[("outcome", "met")],
+                1,
+            );
+        }
         let line = result_line(&JobResult {
             id: job.spec.id,
             outcome,
@@ -530,11 +630,33 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
     }
 }
 
+/// Observes how long an admitted job sat in the queue, labelled by what
+/// happened at dequeue (`ok` = handed to a worker, `expired` = its
+/// deadline had already passed).
+fn record_queue_wait(shared: &Shared, job: &GatewayJob, dequeued: Instant, outcome: &str) {
+    if shared.recorder.is_enabled() {
+        shared.recorder.observe(
+            "drift_gateway_queue_wait_microseconds",
+            &[("outcome", outcome)],
+            drift_obs::contract::LATENCY_US_BUCKETS,
+            dequeued
+                .duration_since(job.admitted)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
+        );
+    }
+}
+
 fn respond_expired(shared: &Shared, job: &GatewayJob) {
     shared.tally.expired.fetch_add(1, Ordering::Relaxed);
     shared
         .recorder
         .counter_add("drift_gateway_requests_expired_total", &[], 1);
+    shared.recorder.counter_add(
+        "drift_gateway_deadline_outcomes_total",
+        &[("outcome", "missed")],
+        1,
+    );
     respond(
         shared,
         job,

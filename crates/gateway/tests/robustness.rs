@@ -153,7 +153,7 @@ fn graceful_drain_answers_every_accepted_job() {
     let mut results = BTreeSet::new();
     loop {
         match client.recv().unwrap() {
-            Response::Control { op, ok } => {
+            Response::Control { op, ok, .. } => {
                 assert_eq!(op, "ping");
                 assert!(ok);
                 break;

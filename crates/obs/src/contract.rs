@@ -123,11 +123,25 @@ pub const METRICS: &[MetricSpec] = &[
         help: "Client connections currently open on the gateway",
     },
     MetricSpec {
+        name: "drift_gateway_deadline_outcomes_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &["outcome"],
+        help: "Deadlined requests by fate: met, missed (expired), or unmeetable (shed at admission)",
+    },
+    MetricSpec {
         name: "drift_gateway_inflight_requests",
         kind: MetricKind::Gauge,
         unit: "requests",
         labels: &[],
         help: "Requests admitted into the gateway queue and not yet answered",
+    },
+    MetricSpec {
+        name: "drift_gateway_queue_wait_microseconds",
+        kind: MetricKind::Histogram,
+        unit: "microseconds",
+        labels: &["outcome"],
+        help: "Admission-to-dequeue wait, labelled ok or expired at dequeue",
     },
     MetricSpec {
         name: "drift_gateway_request_latency_microseconds",
@@ -235,6 +249,13 @@ pub const METRICS: &[MetricSpec] = &[
         unit: "events",
         labels: &["shard"],
         help: "Times each shard was re-admitted after answering health probes again",
+    },
+    MetricSpec {
+        name: "drift_router_shards_by_queue",
+        kind: MetricKind::Gauge,
+        unit: "shards",
+        labels: &["queue"],
+        help: "Healthy shards by advertised queue discipline: fifo, edf, or unknown before the first probe",
     },
     MetricSpec {
         name: "drift_router_shards_healthy",

@@ -205,6 +205,9 @@ struct ShardLink {
     /// Set when a reshard removes the shard: its reader exits without
     /// ejection accounting and the probe stops touching it.
     retired: AtomicBool,
+    /// The queue discipline the shard advertised on its last health
+    /// probe ping (`None` until the first successful probe).
+    queue: Mutex<Option<String>>,
     writer: Mutex<Option<ClientWriter>>,
     raw: Mutex<Option<TcpStream>>,
 }
@@ -215,6 +218,7 @@ impl ShardLink {
             addr: addr.to_string(),
             healthy: AtomicBool::new(false),
             retired: AtomicBool::new(false),
+            queue: Mutex::new(None),
             writer: Mutex::new(None),
             raw: Mutex::new(None),
         })
@@ -287,6 +291,26 @@ impl Shared {
     fn refresh_healthy_gauge(&self) {
         self.recorder
             .gauge_set("drift_router_shards_healthy", &[], self.healthy_count());
+        // Per-policy breakdown of the healthy shards: "unknown" covers
+        // shards whose first health probe has not answered yet.
+        let (mut fifo, mut edf, mut unknown) = (0i64, 0i64, 0i64);
+        {
+            let table = self.table.read().expect("routing table");
+            for link in &table.links {
+                if !link.healthy.load(Ordering::Relaxed) {
+                    continue;
+                }
+                match link.queue.lock().expect("shard queue policy").as_deref() {
+                    Some("fifo") => fifo += 1,
+                    Some("edf") => edf += 1,
+                    _ => unknown += 1,
+                }
+            }
+        }
+        for (policy, count) in [("fifo", fifo), ("edf", edf), ("unknown", unknown)] {
+            self.recorder
+                .gauge_set("drift_router_shards_by_queue", &[("queue", policy)], count);
+        }
     }
 }
 
@@ -622,6 +646,21 @@ fn settle(shared: &Shared, entry: &PendingEntry, line: String) {
     }
 }
 
+/// The budget until `deadline` in whole milliseconds, rounded *up* and
+/// at least 1.
+///
+/// Rounding down here (the old `as_millis()` behaviour) silently
+/// donated up to 1 ms of the client's budget to the floor on every
+/// hop: a job with 2.5 ms remaining was forwarded as `deadline_ms:2`,
+/// so the backend's re-derived deadline could expire while the
+/// client's original one still had slack. Ceil keeps the forwarded
+/// budget a (tight) upper bound that the dispatch-time expiry check —
+/// which compares exact `Instant`s — already enforces.
+fn remaining_budget_ms(deadline: Instant, now: Instant) -> u64 {
+    let nanos = deadline.saturating_duration_since(now).as_nanos();
+    (nanos.div_ceil(1_000_000).max(1)).min(u128::from(u64::MAX)) as u64
+}
+
 /// Routes and forwards one job (`entry` must not be in the pending
 /// table). Tries ring successors until a healthy untried shard accepts
 /// the write; exhausting the deadline, the hop budget, or the shard set
@@ -672,9 +711,7 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
         entry.shard = Some(Arc::clone(&link));
         // Forward only the remaining budget so hops and failover waits
         // are charged against the client's original deadline.
-        let remaining_ms = entry
-            .deadline
-            .map(|d| (d.saturating_duration_since(now).as_millis().max(1)) as u64);
+        let remaining_ms = entry.deadline.map(|d| remaining_budget_ms(d, now));
         let line = protocol::request_line(&entry.spec, remaining_ms);
         let addr = link.addr.clone();
         // Insert before sending: the response must never race an
@@ -1056,15 +1093,29 @@ fn probe_loop(shared: &Arc<Shared>) {
                 continue;
             }
             if link.healthy.load(Ordering::SeqCst) {
-                let alive = Client::connect_with_timeout(&link.addr, timeout)
+                let ack = Client::connect_with_timeout(&link.addr, timeout)
                     .ok()
-                    .and_then(|mut c| c.ping().ok())
-                    .unwrap_or(false);
-                if !alive {
-                    // Ejection closes the data socket, which wakes the
-                    // shard reader; its exit path fails the in-flight
-                    // jobs over to the ring successors.
-                    eject(shared, &link);
+                    .and_then(|mut c| c.ping_queue().ok());
+                match ack {
+                    Some((true, queue)) => {
+                        // Record the shard's advertised discipline so
+                        // health/stats can break shards down by policy.
+                        let changed = {
+                            let mut slot = link.queue.lock().expect("shard queue policy");
+                            let changed = *slot != queue;
+                            *slot = queue;
+                            changed
+                        };
+                        if changed {
+                            shared.refresh_healthy_gauge();
+                        }
+                    }
+                    _ => {
+                        // Ejection closes the data socket, which wakes
+                        // the shard reader; its exit path fails the
+                        // in-flight jobs over to the ring successors.
+                        eject(shared, &link);
+                    }
                 }
             } else if connect_shard(shared, &link).is_ok() {
                 shared.tally.readmissions.fetch_add(1, Ordering::Relaxed);
@@ -1076,5 +1127,33 @@ fn probe_loop(shared: &Arc<Shared>) {
                 shared.refresh_healthy_gauge();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_budget_rounds_up_instead_of_truncating() {
+        let now = Instant::now();
+        // 2.5 ms of slack must forward as 3 ms, not 2: truncation made
+        // the backend's re-derived deadline tighter than the client's,
+        // so sub-millisecond slack expired spuriously downstream.
+        assert_eq!(
+            remaining_budget_ms(now + Duration::from_micros(2_500), now),
+            3
+        );
+        // Whole milliseconds are untouched.
+        assert_eq!(remaining_budget_ms(now + Duration::from_millis(7), now), 7);
+        // Sub-millisecond slack is still a live budget: 1, never 0
+        // (deadline_ms:0 would mean "no deadline" on the wire).
+        assert_eq!(
+            remaining_budget_ms(now + Duration::from_micros(300), now),
+            1
+        );
+        // An already-passed deadline saturates to the minimum; the
+        // caller's expiry check on exact Instants fires first anyway.
+        assert_eq!(remaining_budget_ms(now, now), 1);
     }
 }

@@ -68,5 +68,6 @@ pub use job::{
     read_jobs, read_jobs_lenient, synthetic_jobs, JobKind, JobOutcome, JobResult, JobSpec,
     LenientIngest,
 };
+pub use queue::{Deadlined, QueuePolicy};
 pub use runtime::{serve, serve_with_recorder, ServeConfig, ServeOutcome};
 pub use stats::ServeReport;

@@ -1,7 +1,17 @@
 //! The bounded job queue feeding the worker pool.
 //!
-//! A thin typed facade over a crossbeam bounded MPMC channel that fixes
-//! the three behaviours the runtime relies on:
+//! Two interchangeable disciplines behind one facade (see
+//! `docs/SCHEDULING.md` for the full contract):
+//!
+//! * [`QueuePolicy::Fifo`] — a thin typed facade over a crossbeam
+//!   bounded MPMC channel; jobs are delivered in submission order.
+//! * [`QueuePolicy::Edf`] — earliest-deadline-first: a binary heap
+//!   keyed by each job's absolute deadline (via the [`Deadlined`]
+//!   trait). Jobs without deadlines sort behind every deadlined job
+//!   and drain FIFO among themselves; ties on deadline break by
+//!   submission order.
+//!
+//! Both disciplines fix the three behaviours the runtime relies on:
 //!
 //! * **backpressure** — [`JobQueue::submit`] blocks while the queue is
 //!   at capacity, so a fast producer cannot buffer an unbounded job
@@ -14,25 +24,147 @@
 //!   worker exits. No job is lost or cut short.
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which discipline orders jobs waiting in the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QueuePolicy {
+    /// Submission order — the default, and the only order that existed
+    /// before deadlines did.
+    #[default]
+    Fifo,
+    /// Earliest absolute deadline first; deadline-less jobs drain FIFO
+    /// behind every deadlined job (they can starve under sustained
+    /// deadlined load — see `docs/SCHEDULING.md`).
+    Edf,
+}
+
+impl QueuePolicy {
+    /// The lowercase wire/CLI spelling (`"fifo"` / `"edf"`), also used
+    /// as a metrics label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueuePolicy::Fifo => "fifo",
+            QueuePolicy::Edf => "edf",
+        }
+    }
+}
+
+impl std::fmt::Display for QueuePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for QueuePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(QueuePolicy::Fifo),
+            "edf" => Ok(QueuePolicy::Edf),
+            other => Err(format!("unknown queue policy '{other}' (fifo|edf)")),
+        }
+    }
+}
+
+/// Exposes a job's absolute deadline to the EDF discipline.
+///
+/// The default implementation reports no deadline, which under EDF
+/// means "after every deadlined job, FIFO among peers" — so a type
+/// only needs a real implementation when its jobs can carry deadlines.
+pub trait Deadlined {
+    /// The absolute instant this job must complete by, if any.
+    fn deadline(&self) -> Option<Instant> {
+        None
+    }
+}
+
+// Offline serve jobs and the queue tests' integer payloads never carry
+// deadlines; under EDF they degenerate to FIFO by construction.
+impl Deadlined for usize {}
+impl Deadlined for i32 {}
+impl Deadlined for u32 {}
+impl Deadlined for (u64, crate::job::JobSpec) {}
 
 /// The producer side of the queue. Owning it keeps the job stream open.
 #[derive(Debug)]
 pub struct JobQueue<T> {
-    tx: Sender<T>,
+    inner: QueueInner<T>,
+}
+
+#[derive(Debug)]
+enum QueueInner<T> {
+    Fifo(Sender<T>),
+    Edf(Arc<EdfShared<T>>),
 }
 
 /// A worker's pull handle on the queue. Cloning shares the same queue;
 /// when every handle is gone, [`JobQueue::submit`] fails.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct WorkerHandle<T> {
-    rx: Receiver<T>,
+    inner: HandleInner<T>,
 }
 
-/// Creates a queue holding at most `depth` pending jobs (`depth >= 1`
-/// enforced), returning the producer side and the first worker handle.
+#[derive(Debug)]
+enum HandleInner<T> {
+    Fifo(Receiver<T>),
+    Edf(Arc<EdfShared<T>>),
+}
+
+/// Creates a FIFO queue holding at most `depth` pending jobs
+/// (`depth >= 1` enforced), returning the producer side and the first
+/// worker handle. Shorthand for [`job_queue_with_policy`] with
+/// [`QueuePolicy::Fifo`].
 pub fn job_queue<T>(depth: usize) -> (JobQueue<T>, WorkerHandle<T>) {
     let (tx, rx) = bounded(depth.max(1));
-    (JobQueue { tx }, WorkerHandle { rx })
+    (
+        JobQueue {
+            inner: QueueInner::Fifo(tx),
+        },
+        WorkerHandle {
+            inner: HandleInner::Fifo(rx),
+        },
+    )
+}
+
+/// [`job_queue`] with a selectable discipline: `Fifo` delivers in
+/// submission order, `Edf` delivers earliest-absolute-deadline first
+/// (deadline-less jobs FIFO behind deadlined ones). Capacity,
+/// backpressure, and shutdown semantics are identical across policies.
+pub fn job_queue_with_policy<T>(
+    policy: QueuePolicy,
+    depth: usize,
+) -> (JobQueue<T>, WorkerHandle<T>) {
+    match policy {
+        QueuePolicy::Fifo => job_queue(depth),
+        QueuePolicy::Edf => {
+            let shared = Arc::new(EdfShared {
+                depth: depth.max(1),
+                state: Mutex::new(EdfState {
+                    heap: BinaryHeap::new(),
+                    seq: 0,
+                    closed: false,
+                    handles: 1,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            });
+            (
+                JobQueue {
+                    inner: QueueInner::Edf(Arc::clone(&shared)),
+                },
+                WorkerHandle {
+                    inner: HandleInner::Edf(shared),
+                },
+            )
+        }
+    }
 }
 
 impl<T> JobQueue<T> {
@@ -42,8 +174,14 @@ impl<T> JobQueue<T> {
     ///
     /// Returns the job back when every [`WorkerHandle`] has been
     /// dropped — there is no one left to run it.
-    pub fn submit(&self, job: T) -> Result<(), T> {
-        self.tx.send(job).map_err(|e| e.into_inner())
+    pub fn submit(&self, job: T) -> Result<(), T>
+    where
+        T: Deadlined,
+    {
+        match &self.inner {
+            QueueInner::Fifo(tx) => tx.send(job).map_err(|e| e.into_inner()),
+            QueueInner::Edf(shared) => shared.submit(job, true),
+        }
     }
 
     /// Enqueues a job without blocking: the producer's way of detecting
@@ -56,15 +194,24 @@ impl<T> JobQueue<T> {
     /// every [`WorkerHandle`] has been dropped (a follow-up blocking
     /// `submit` distinguishes the two: it fails only in the latter
     /// case).
-    pub fn try_submit(&self, job: T) -> Result<(), T> {
-        self.tx.try_send(job).map_err(|e| match e {
-            TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
-        })
+    pub fn try_submit(&self, job: T) -> Result<(), T>
+    where
+        T: Deadlined,
+    {
+        match &self.inner {
+            QueueInner::Fifo(tx) => tx.try_send(job).map_err(|e| match e {
+                TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
+            }),
+            QueueInner::Edf(shared) => shared.submit(job, false),
+        }
     }
 
     /// Jobs currently waiting in the queue.
     pub fn backlog(&self) -> usize {
-        self.tx.len()
+        match &self.inner {
+            QueueInner::Fifo(tx) => tx.len(),
+            QueueInner::Edf(shared) => shared.state.lock().heap.len(),
+        }
     }
 
     /// Closes the queue. Queued jobs are still delivered; afterwards
@@ -73,11 +220,152 @@ impl<T> JobQueue<T> {
     pub fn close(self) {}
 }
 
+impl<T> Drop for JobQueue<T> {
+    fn drop(&mut self) {
+        if let QueueInner::Edf(shared) = &self.inner {
+            shared.state.lock().closed = true;
+            shared.not_empty.notify_all();
+        }
+    }
+}
+
 impl<T> WorkerHandle<T> {
     /// Blocks for the next job; `None` once the queue is closed *and*
     /// drained.
     pub fn next_job(&self) -> Option<T> {
-        self.rx.recv().ok()
+        match &self.inner {
+            HandleInner::Fifo(rx) => rx.recv().ok(),
+            HandleInner::Edf(shared) => shared.next_job(),
+        }
+    }
+}
+
+impl<T> Clone for WorkerHandle<T> {
+    fn clone(&self) -> Self {
+        let inner = match &self.inner {
+            HandleInner::Fifo(rx) => HandleInner::Fifo(rx.clone()),
+            HandleInner::Edf(shared) => {
+                shared.state.lock().handles += 1;
+                HandleInner::Edf(Arc::clone(shared))
+            }
+        };
+        WorkerHandle { inner }
+    }
+}
+
+impl<T> Drop for WorkerHandle<T> {
+    fn drop(&mut self) {
+        if let HandleInner::Edf(shared) = &self.inner {
+            let mut state = shared.state.lock();
+            state.handles -= 1;
+            if state.handles == 0 {
+                // Blocked submitters must fail now, exactly as a
+                // disconnected channel send would.
+                drop(state);
+                shared.not_full.notify_all();
+            }
+        }
+    }
+}
+
+/// The EDF discipline: a `depth`-bounded binary min-heap on
+/// `(deadline, submission seq)` behind a mutex, with condvars standing
+/// in for the channel's blocking send/recv.
+#[derive(Debug)]
+struct EdfShared<T> {
+    depth: usize,
+    state: Mutex<EdfState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+#[derive(Debug)]
+struct EdfState<T> {
+    heap: BinaryHeap<Reverse<EdfItem<T>>>,
+    seq: u64,
+    closed: bool,
+    handles: usize,
+}
+
+#[derive(Debug)]
+struct EdfItem<T> {
+    deadline: Option<Instant>,
+    seq: u64,
+    job: T,
+}
+
+impl<T> EdfItem<T> {
+    /// `None` deadlines sort *after* every `Some`: a deadline-less job
+    /// never preempts one with a real deadline, and among themselves
+    /// deadline-less jobs keep submission order. Equal deadlines also
+    /// break by submission order, so EDF is a stable refinement of
+    /// FIFO.
+    fn rank(&self) -> (bool, Option<Instant>, u64) {
+        (self.deadline.is_none(), self.deadline, self.seq)
+    }
+}
+
+impl<T> Ord for EdfItem<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+impl<T> PartialOrd for EdfItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> PartialEq for EdfItem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+
+impl<T> Eq for EdfItem<T> {}
+
+impl<T: Deadlined> EdfShared<T> {
+    fn submit(&self, job: T, block: bool) -> Result<(), T> {
+        let mut state = self.state.lock();
+        loop {
+            if state.handles == 0 {
+                return Err(job);
+            }
+            if state.heap.len() < self.depth {
+                let seq = state.seq;
+                state.seq += 1;
+                state.heap.push(Reverse(EdfItem {
+                    deadline: job.deadline(),
+                    seq,
+                    job,
+                }));
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            if !block {
+                return Err(job);
+            }
+            self.not_full.wait(&mut state);
+        }
+    }
+}
+
+impl<T> EdfShared<T> {
+    fn next_job(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(Reverse(item)) = state.heap.pop() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item.job);
+            }
+            if state.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut state);
+        }
     }
 }
 
@@ -90,79 +378,163 @@ mod tests {
 
     #[test]
     fn every_job_is_delivered_exactly_once() {
-        let (queue, handle) = job_queue(4);
-        let delivered = Arc::new(AtomicUsize::new(0));
-        let workers: Vec<_> = (0..3)
-            .map(|_| {
-                let handle = handle.clone();
-                let delivered = Arc::clone(&delivered);
-                std::thread::spawn(move || {
-                    while let Some(v) = handle.next_job() {
-                        let _: usize = v;
-                        delivered.fetch_add(1, Ordering::Relaxed);
-                    }
+        for policy in [QueuePolicy::Fifo, QueuePolicy::Edf] {
+            let (queue, handle) = job_queue_with_policy(policy, 4);
+            let delivered = Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let handle = handle.clone();
+                    let delivered = Arc::clone(&delivered);
+                    std::thread::spawn(move || {
+                        while let Some(v) = handle.next_job() {
+                            let _: usize = v;
+                            delivered.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
                 })
-            })
-            .collect();
-        drop(handle);
-        for i in 0..100 {
-            queue.submit(i).unwrap();
+                .collect();
+            drop(handle);
+            for i in 0..100 {
+                queue.submit(i).unwrap();
+            }
+            queue.close();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(delivered.load(Ordering::Relaxed), 100, "{policy}");
         }
-        queue.close();
-        for w in workers {
-            w.join().unwrap();
-        }
-        assert_eq!(delivered.load(Ordering::Relaxed), 100);
     }
 
     #[test]
     fn submit_applies_backpressure() {
-        let (queue, handle) = job_queue(2);
-        queue.submit(1).unwrap();
-        queue.submit(2).unwrap();
-        // The queue is full: a third submit blocks until a worker takes
-        // a job. Prove it by unblocking from another thread.
-        let consumer = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(30));
-            // Return the handle too: dropping it here would close the
-            // queue before the blocked submit gets its freed slot.
-            (handle.next_job(), handle)
-        });
-        let start = std::time::Instant::now();
-        queue.submit(3).unwrap();
-        assert!(
-            start.elapsed() >= Duration::from_millis(20),
-            "submit did not block"
-        );
-        assert_eq!(consumer.join().unwrap().0, Some(1));
+        for policy in [QueuePolicy::Fifo, QueuePolicy::Edf] {
+            let (queue, handle) = job_queue_with_policy(policy, 2);
+            queue.submit(1).unwrap();
+            queue.submit(2).unwrap();
+            // The queue is full: a third submit blocks until a worker
+            // takes a job. Prove it by unblocking from another thread.
+            let consumer = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                // Return the handle too: dropping it here would close
+                // the queue before the blocked submit gets its slot.
+                (handle.next_job(), handle)
+            });
+            let start = std::time::Instant::now();
+            queue.submit(3).unwrap();
+            assert!(
+                start.elapsed() >= Duration::from_millis(20),
+                "{policy}: submit did not block"
+            );
+            assert_eq!(consumer.join().unwrap().0, Some(1));
+        }
     }
 
     #[test]
     fn close_drains_queued_jobs_first() {
-        let (queue, handle) = job_queue(8);
-        for i in 0..5 {
-            queue.submit(i).unwrap();
+        for policy in [QueuePolicy::Fifo, QueuePolicy::Edf] {
+            let (queue, handle) = job_queue_with_policy(policy, 8);
+            for i in 0..5 {
+                queue.submit(i).unwrap();
+            }
+            assert_eq!(queue.backlog(), 5);
+            queue.close();
+            let drained: Vec<i32> = std::iter::from_fn(|| handle.next_job()).collect();
+            // Deadline-less jobs keep submission order under both
+            // disciplines.
+            assert_eq!(drained, vec![0, 1, 2, 3, 4], "{policy}");
+            assert_eq!(handle.next_job(), None);
         }
-        assert_eq!(queue.backlog(), 5);
-        queue.close();
-        let drained: Vec<i32> = std::iter::from_fn(|| handle.next_job()).collect();
-        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
-        assert_eq!(handle.next_job(), None);
     }
 
     #[test]
     fn try_submit_reports_a_full_queue_without_blocking() {
-        let (queue, handle) = job_queue(1);
-        assert_eq!(queue.try_submit(1), Ok(()));
-        assert_eq!(queue.try_submit(2), Err(2));
-        assert_eq!(handle.next_job(), Some(1));
-        assert_eq!(queue.try_submit(2), Ok(()));
+        for policy in [QueuePolicy::Fifo, QueuePolicy::Edf] {
+            let (queue, handle) = job_queue_with_policy(policy, 1);
+            assert_eq!(queue.try_submit(1), Ok(()), "{policy}");
+            assert_eq!(queue.try_submit(2), Err(2), "{policy}");
+            assert_eq!(handle.next_job(), Some(1));
+            assert_eq!(queue.try_submit(2), Ok(()), "{policy}");
+        }
     }
 
     #[test]
     fn submit_fails_once_all_workers_quit() {
-        let (queue, handle) = job_queue(2);
-        drop(handle);
-        assert_eq!(queue.submit(7), Err(7));
+        for policy in [QueuePolicy::Fifo, QueuePolicy::Edf] {
+            let (queue, handle) = job_queue_with_policy(policy, 2);
+            drop(handle);
+            assert_eq!(queue.submit(7), Err(7), "{policy}");
+        }
+    }
+
+    /// A payload whose deadline is set per item, for ordering tests.
+    #[derive(Debug, PartialEq, Eq)]
+    struct Timed(u64, Option<Instant>);
+
+    impl Deadlined for Timed {
+        fn deadline(&self) -> Option<Instant> {
+            self.1
+        }
+    }
+
+    #[test]
+    fn edf_delivers_earliest_deadline_first() {
+        let (queue, handle) = job_queue_with_policy(QueuePolicy::Edf, 8);
+        let base = Instant::now() + Duration::from_secs(10);
+        queue
+            .submit(Timed(0, Some(base + Duration::from_millis(300))))
+            .unwrap();
+        queue
+            .submit(Timed(1, Some(base + Duration::from_millis(100))))
+            .unwrap();
+        queue
+            .submit(Timed(2, Some(base + Duration::from_millis(200))))
+            .unwrap();
+        queue.close();
+        let order: Vec<u64> = std::iter::from_fn(|| handle.next_job())
+            .map(|t| t.0)
+            .collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn edf_orders_deadline_less_jobs_fifo_behind_deadlined_ones() {
+        let (queue, handle) = job_queue_with_policy(QueuePolicy::Edf, 8);
+        let soon = Instant::now() + Duration::from_secs(5);
+        queue.submit(Timed(0, None)).unwrap();
+        queue
+            .submit(Timed(1, Some(soon + Duration::from_secs(1))))
+            .unwrap();
+        queue.submit(Timed(2, None)).unwrap();
+        queue.submit(Timed(3, Some(soon))).unwrap();
+        queue.close();
+        let order: Vec<u64> = std::iter::from_fn(|| handle.next_job())
+            .map(|t| t.0)
+            .collect();
+        // Deadlined jobs first (earliest first), then the deadline-less
+        // ones in submission order.
+        assert_eq!(order, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn edf_breaks_deadline_ties_by_submission_order() {
+        let (queue, handle) = job_queue_with_policy(QueuePolicy::Edf, 8);
+        let tie = Instant::now() + Duration::from_secs(3);
+        for id in 0..4 {
+            queue.submit(Timed(id, Some(tie))).unwrap();
+        }
+        queue.close();
+        let order: Vec<u64> = std::iter::from_fn(|| handle.next_job())
+            .map(|t| t.0)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn queue_policy_parses_and_prints_its_wire_spelling() {
+        assert_eq!("fifo".parse::<QueuePolicy>(), Ok(QueuePolicy::Fifo));
+        assert_eq!("edf".parse::<QueuePolicy>(), Ok(QueuePolicy::Edf));
+        assert!("lifo".parse::<QueuePolicy>().is_err());
+        assert_eq!(QueuePolicy::Edf.to_string(), "edf");
+        assert_eq!(QueuePolicy::default(), QueuePolicy::Fifo);
     }
 }

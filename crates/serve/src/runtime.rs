@@ -2,7 +2,7 @@
 
 use crate::cache::ScheduleCache;
 use crate::job::{JobResult, JobSpec};
-use crate::queue::job_queue;
+use crate::queue::{job_queue_with_policy, QueuePolicy};
 use crate::stats::ServeReport;
 use crate::worker::worker_loop;
 use crossbeam::channel::unbounded;
@@ -20,6 +20,11 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Cache shard count (more shards, less lock contention).
     pub cache_shards: usize,
+    /// Queue discipline. Offline serve jobs carry no deadlines, so
+    /// [`QueuePolicy::Edf`] degenerates to FIFO here; the field exists
+    /// so `drift serve --queue edf` exercises the same heap the
+    /// gateway runs (see `docs/SCHEDULING.md`).
+    pub queue: QueuePolicy,
 }
 
 impl Default for ServeConfig {
@@ -29,6 +34,7 @@ impl Default for ServeConfig {
             queue_depth: 256,
             cache_capacity: 4096,
             cache_shards: 16,
+            queue: QueuePolicy::Fifo,
         }
     }
 }
@@ -82,7 +88,7 @@ pub fn serve_with_recorder(
     );
     let workers = config.workers.max(1);
     recorder.gauge_set("drift_serve_workers", &[], workers as i64);
-    let (queue, worker_handle) = job_queue(config.queue_depth);
+    let (queue, worker_handle) = job_queue_with_policy(config.queue, config.queue_depth);
     let (result_tx, result_rx) = unbounded();
 
     let start = Instant::now();

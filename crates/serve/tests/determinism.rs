@@ -3,7 +3,7 @@
 //! through the JSONL encode/decode round trip the CLI performs.
 
 use drift_serve::job::{read_jobs, result_line};
-use drift_serve::{serve, synthetic_jobs, ServeConfig};
+use drift_serve::{serve, synthetic_jobs, QueuePolicy, ServeConfig};
 use std::io::Cursor;
 
 #[test]
@@ -29,4 +29,41 @@ fn one_and_eight_workers_produce_identical_result_sets() {
     solo.sort();
     pool.sort();
     assert_eq!(solo, pool);
+}
+
+#[test]
+fn queue_policy_does_not_change_the_result_set() {
+    // EDF reorders *when* jobs run, never *what* they compute: for any
+    // worker count, both disciplines must deliver the identical result
+    // set. Offline serve jobs carry no deadlines, so EDF degenerates to
+    // its FIFO tie-break here — this pins down that the heap path is a
+    // pure reordering layer with no effect on results.
+    let jobs = synthetic_jobs(120, 6, 77);
+
+    let run = |workers: usize, queue: QueuePolicy| -> Vec<String> {
+        let outcome = serve(
+            jobs.clone(),
+            &ServeConfig {
+                workers,
+                queue,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(
+            outcome.results.len(),
+            jobs.len(),
+            "[{queue} x{workers}] lost or duplicated results"
+        );
+        assert_eq!(outcome.report.errors, 0);
+        let mut lines: Vec<String> = outcome.results.iter().map(result_line).collect();
+        lines.sort();
+        lines
+    };
+
+    let baseline = run(1, QueuePolicy::Fifo);
+    for workers in [1, 8] {
+        for queue in [QueuePolicy::Fifo, QueuePolicy::Edf] {
+            assert_eq!(run(workers, queue), baseline, "[{queue} x{workers}]");
+        }
+    }
 }

@@ -1,15 +1,20 @@
 //! Shutdown and backpressure edge cases of the job queue — the
-//! behaviours the gateway's admission control leans on.
+//! behaviours the gateway's admission control leans on. Every scenario
+//! runs under both queue disciplines (FIFO and EDF), since the
+//! shutdown/backpressure contract is policy-independent
+//! (docs/SCHEDULING.md).
 
-use drift_serve::queue::job_queue;
+use drift_serve::queue::{job_queue_with_policy, Deadlined, QueuePolicy};
 use drift_serve::runtime::{serve, ServeConfig};
 use drift_serve::synthetic_jobs;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
-#[test]
-fn try_submit_racing_shutdown_never_panics_and_never_loses_delivered_jobs() {
+const POLICIES: [QueuePolicy; 2] = [QueuePolicy::Fifo, QueuePolicy::Edf];
+
+fn try_submit_racing_shutdown(policy: QueuePolicy) {
     // Producers hammer try_submit while the consumer side shuts down at
     // an arbitrary moment. Every Ok(()) must correspond to a delivered
     // job until the close; afterwards try_submit must keep returning
@@ -17,7 +22,7 @@ fn try_submit_racing_shutdown_never_panics_and_never_loses_delivered_jobs() {
     const PRODUCERS: usize = 4;
     const CONSUMED: usize = 64;
 
-    let (queue, handle) = job_queue::<usize>(2);
+    let (queue, handle) = job_queue_with_policy::<usize>(policy, 2);
     let queue = Arc::new(queue);
     let submitted = Arc::new(AtomicUsize::new(0));
     let delivered = Arc::new(AtomicUsize::new(0));
@@ -75,8 +80,8 @@ fn try_submit_racing_shutdown_never_panics_and_never_loses_delivered_jobs() {
     assert!(delivered <= submitted);
     assert!(
         submitted - delivered <= 2,
-        "at most queue_depth accepted jobs may be stranded by an abrupt \
-         consumer shutdown: submitted {submitted}, delivered {delivered}"
+        "[{policy}] at most queue_depth accepted jobs may be stranded by an \
+         abrupt consumer shutdown: submitted {submitted}, delivered {delivered}"
     );
 
     // The queue is closed: submission fails cleanly from here on.
@@ -85,33 +90,115 @@ fn try_submit_racing_shutdown_never_panics_and_never_loses_delivered_jobs() {
 }
 
 #[test]
+fn try_submit_racing_shutdown_never_panics_and_never_loses_delivered_jobs() {
+    for policy in POLICIES {
+        try_submit_racing_shutdown(policy);
+    }
+}
+
+#[test]
 fn submit_after_shutdown_returns_the_job_instead_of_panicking() {
-    let (queue, handle) = job_queue::<u32>(4);
-    queue.try_submit(1).unwrap();
-    drop(handle);
-    // Both the blocking and non-blocking paths must hand the job back.
-    assert_eq!(queue.submit(2), Err(2));
-    assert_eq!(queue.try_submit(3), Err(3));
-    // And stay in that state on repeated calls.
-    assert_eq!(queue.submit(2), Err(2));
+    for policy in POLICIES {
+        let (queue, handle) = job_queue_with_policy::<u32>(policy, 4);
+        queue.try_submit(1).unwrap();
+        drop(handle);
+        // Both the blocking and non-blocking paths must hand the job back.
+        assert_eq!(queue.submit(2), Err(2), "[{policy}]");
+        assert_eq!(queue.try_submit(3), Err(3), "[{policy}]");
+        // And stay in that state on repeated calls.
+        assert_eq!(queue.submit(2), Err(2), "[{policy}]");
+    }
+}
+
+/// A queue payload carrying an absolute deadline.
+#[derive(Debug, Clone)]
+struct Timed {
+    budget_ticks: u64,
+    deadline: Instant,
+}
+
+impl Deadlined for Timed {
+    fn deadline(&self) -> Option<Instant> {
+        Some(self.deadline)
+    }
+}
+
+#[test]
+fn edf_meets_strictly_more_deadlines_than_fifo_on_a_backlogged_burst() {
+    // The deterministic core of the EXPERIMENTS.md overload sweep: an
+    // overload burst lands a backlog of jobs with uniform random
+    // deadline budgets on the queue all at once, and a single worker
+    // then drains it at one job per tick. A job dequeued at position p
+    // completes at tick p + 1 and meets its deadline iff
+    // p + 1 <= budget. FIFO drains in arrival order, so tight-budget
+    // jobs deep in the backlog expire while loose ones ahead of them
+    // waste their slack; EDF drains in deadline order and must meet
+    // strictly more (docs/SCHEDULING.md). Virtual time only — nothing
+    // sleeps, so the assertion is exact and single-core-safe.
+    const BURST: u64 = 64;
+
+    let base = Instant::now() + Duration::from_secs(3600);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let budgets: Vec<u64> = (0..BURST)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state % BURST + 1
+        })
+        .collect();
+
+    let met = |policy: QueuePolicy| -> u64 {
+        let (queue, handle) = job_queue_with_policy::<Timed>(policy, BURST as usize);
+        for budget_ticks in budgets.iter().copied() {
+            queue
+                .try_submit(Timed {
+                    budget_ticks,
+                    deadline: base + Duration::from_millis(budget_ticks),
+                })
+                .expect("the queue is deep enough for the whole burst");
+        }
+        drop(queue);
+        let mut met = 0;
+        let mut tick = 0;
+        while let Some(job) = handle.next_job() {
+            tick += 1;
+            if job.budget_ticks >= tick {
+                met += 1;
+            }
+        }
+        assert_eq!(tick, BURST, "the drain must deliver the whole burst");
+        met
+    };
+
+    let fifo = met(QueuePolicy::Fifo);
+    let edf = met(QueuePolicy::Edf);
+    assert!(
+        edf > fifo,
+        "EDF must meet strictly more deadlines than FIFO on a random \
+         backlog: edf {edf}, fifo {fifo}"
+    );
 }
 
 #[test]
 fn draining_through_a_depth_one_queue_loses_zero_results() {
     // The tightest possible queue forces a backpressure stall on nearly
     // every submit; the run must still produce exactly one result per
-    // job.
+    // job, under either discipline.
     let jobs = synthetic_jobs(64, 4, 13);
-    let outcome = serve(
-        jobs.clone(),
-        &ServeConfig {
-            workers: 3,
-            queue_depth: 1,
-            ..ServeConfig::default()
-        },
-    );
-    assert_eq!(outcome.results.len(), jobs.len());
-    let ids: HashSet<u64> = outcome.results.iter().map(|r| r.id).collect();
-    assert_eq!(ids.len(), jobs.len(), "duplicated or lost ids");
-    assert_eq!(outcome.report.jobs, jobs.len() as u64);
+    for policy in POLICIES {
+        let outcome = serve(
+            jobs.clone(),
+            &ServeConfig {
+                workers: 3,
+                queue_depth: 1,
+                queue: policy,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(outcome.results.len(), jobs.len(), "[{policy}]");
+        let ids: HashSet<u64> = outcome.results.iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), jobs.len(), "[{policy}] duplicated or lost ids");
+        assert_eq!(outcome.report.jobs, jobs.len() as u64, "[{policy}]");
+    }
 }

@@ -54,6 +54,41 @@ wait "$GW_PID"
 rm -f "$PORT_FILE"
 echo "gateway smoke: ok"
 
+echo "== gateway smoke test (EDF queue) =="
+# Same end-to-end pass with the earliest-deadline-first discipline and
+# jittered per-job deadlines: verifies --queue edf admission, ordering,
+# and drain over a real socket (docs/SCHEDULING.md).
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 4 \
+  --queue edf --port-file "$PORT_FILE" &
+GW_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$PORT_FILE" ]; then
+  echo "gateway EDF smoke: server never wrote its port file" >&2
+  kill "$GW_PID" 2>/dev/null || true
+  exit 1
+fi
+GW_ADDR="$(cat "$PORT_FILE")"
+./target/release/drift loadgen --addr "$GW_ADDR" --clients 4 --jobs 200 \
+  --deadline-ms 2000 --deadline-jitter-ms 2000 > /dev/null
+./target/release/drift gateway-stop --addr "$GW_ADDR"
+for _ in $(seq 1 100); do
+  kill -0 "$GW_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$GW_PID" 2>/dev/null; then
+  echo "gateway EDF smoke: server did not exit within 10s of the drain" >&2
+  kill "$GW_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$GW_PID"
+rm -f "$PORT_FILE"
+echo "gateway EDF smoke: ok"
+
 echo "== router smoke test =="
 # Two gateway shards plus the consistent-hash router, all on ephemeral
 # ports: drive the router with the closed-loop load generator (which
@@ -136,6 +171,29 @@ fi
 wait "$GW1_PID" "$GW2_PID"
 rm -f "$GW1_PORT_FILE" "$GW2_PORT_FILE" "$RT_PORT_FILE" "$RT_METRICS"
 echo "router smoke: ok"
+
+echo "== doc links =="
+# Every relative markdown link in README.md and docs/*.md must point at
+# a file that exists (anchors are stripped; absolute URLs are skipped).
+DOC_LINK_FAILURES=0
+for doc in README.md docs/*.md; do
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if ! [ -e "$(dirname "$doc")/$path" ] && ! [ -e "$path" ]; then
+      echo "doc links: $doc -> $target (missing)" >&2
+      DOC_LINK_FAILURES=$((DOC_LINK_FAILURES + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//')
+done
+if [ "$DOC_LINK_FAILURES" -ne 0 ]; then
+  echo "doc links: $DOC_LINK_FAILURES broken relative link(s)" >&2
+  exit 1
+fi
+echo "doc links: ok"
 
 echo "== rustdoc (drift crates, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
