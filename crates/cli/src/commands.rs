@@ -247,6 +247,50 @@ fn metrics_wiring(opts: &Opts) -> Result<MetricsWiring, String> {
     })
 }
 
+/// The `--trace-out` / `--trace-sample` / `--trace-seed` wiring
+/// `serve`, `gateway`, and `router` share. Tracing is opt-in:
+/// `--trace-out FILE` enables the JSONL span sink; without it the
+/// disabled tracer is returned and behaviour (results, wire bytes) is
+/// bit-identical to a tracing-free run (docs/OBSERVABILITY.md).
+fn trace_wiring(
+    opts: &Opts,
+    service: &str,
+    recorder: &drift_obs::Recorder,
+) -> Result<drift_obs::Tracer, String> {
+    let Some(path) = opts.get("trace-out") else {
+        if opts.contains_key("trace-sample") || opts.contains_key("trace-seed") {
+            return Err("--trace-sample/--trace-seed need --trace-out FILE".to_string());
+        }
+        return Ok(drift_obs::Tracer::disabled());
+    };
+    let sample_every = parse_trace_sample(opt_str(opts, "trace-sample", "1/1"))?;
+    let seed: u64 = opt_parse(opts, "trace-seed", 0u64)?;
+    let tracer = drift_obs::Tracer::to_file(
+        std::path::Path::new(path),
+        service,
+        sample_every,
+        seed,
+        recorder.clone(),
+    )
+    .map_err(|e| format!("cannot open trace sink {path}: {e}"))?;
+    eprintln!("trace: {service} spans to {path} (sample 1/{sample_every}, seed {seed})");
+    Ok(tracer)
+}
+
+/// Parses `--trace-sample`: `1/N` (the documented spelling) or a bare
+/// `N` both mean "sample 1 in N requests at the ingress edge".
+fn parse_trace_sample(raw: &str) -> Result<u64, String> {
+    let every: u64 = raw
+        .strip_prefix("1/")
+        .unwrap_or(raw)
+        .parse()
+        .map_err(|_| format!("--trace-sample: expected 1/N or N, got '{raw}'"))?;
+    if every == 0 {
+        return Err("--trace-sample: N must be at least 1".to_string());
+    }
+    Ok(every)
+}
+
 impl MetricsWiring {
     /// Writes the `--metrics-out` snapshot (if requested) and stops the
     /// metrics server.
@@ -306,7 +350,10 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         queue: opt_parse(opts, "queue", drift_serve::QueuePolicy::Fifo)?,
         ..drift_serve::ServeConfig::default()
     };
-    let outcome = drift_serve::serve_with_recorder(jobs, &config, metrics.recorder.clone());
+    let tracer = trace_wiring(opts, "serve", &metrics.recorder)?;
+    let outcome =
+        drift_serve::serve_traced(jobs, &config, metrics.recorder.clone(), tracer.clone());
+    tracer.close();
 
     // Results as JSONL on stdout; the report goes to stderr so the
     // stream stays pipeable.
@@ -366,9 +413,15 @@ pub fn gateway(opts: &Opts) -> Result<(), String> {
         ..drift_gateway::GatewayConfig::default()
     };
     let metrics = metrics_wiring(opts)?;
+    let tracer = trace_wiring(opts, "gateway", &metrics.recorder)?;
 
-    let gw = drift_gateway::Gateway::start(addr, config, metrics.recorder.clone())
-        .map_err(|e| format!("cannot bind gateway on {addr}: {e}"))?;
+    let gw = drift_gateway::Gateway::start_traced(
+        addr,
+        config,
+        metrics.recorder.clone(),
+        tracer.clone(),
+    )
+    .map_err(|e| format!("cannot bind gateway on {addr}: {e}"))?;
     eprintln!(
         "gateway: listening on {} ({} workers, queue depth {}, {} queue); \
          stop with `drift gateway-stop --addr {}`",
@@ -391,6 +444,7 @@ pub fn gateway(opts: &Opts) -> Result<(), String> {
     }
     let summary = gw.shutdown();
     eprintln!("{}", summary.render());
+    tracer.close();
     metrics.finish()
 }
 
@@ -428,6 +482,11 @@ pub fn loadgen(opts: &Opts) -> Result<(), String> {
     out.flush()
         .map_err(|e| format!("cannot write results: {e}"))?;
     eprintln!("{}", report.render());
+    if opt_parse(opts, "json", false)? {
+        // Machine-readable summary as the final stdout line, after the
+        // per-result JSONL stream (distinguishable by its "jobs" key).
+        println!("{}", report.json_line());
+    }
     report.verify_complete()
 }
 
@@ -462,9 +521,16 @@ pub fn router(opts: &Opts) -> Result<(), String> {
         idle_timeout_ms: opt_parse(opts, "idle-timeout-ms", 30_000u64)?,
     };
     let metrics = metrics_wiring(opts)?;
+    let tracer = trace_wiring(opts, "router", &metrics.recorder)?;
 
-    let router = drift_router::Router::start(addr, &shards, config, metrics.recorder.clone())
-        .map_err(|e| format!("cannot start router on {addr}: {e}"))?;
+    let router = drift_router::Router::start_traced(
+        addr,
+        &shards,
+        config,
+        metrics.recorder.clone(),
+        tracer.clone(),
+    )
+    .map_err(|e| format!("cannot start router on {addr}: {e}"))?;
     eprintln!(
         "router: listening on {} over {} shard(s) [{}] ({} vnodes/shard); \
          stop with `drift router-stop --addr {}`",
@@ -485,6 +551,7 @@ pub fn router(opts: &Opts) -> Result<(), String> {
     }
     let summary = router.shutdown();
     eprintln!("{}", summary.render());
+    tracer.close();
     metrics.finish()
 }
 

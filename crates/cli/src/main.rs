@@ -15,6 +15,7 @@
 //! drift gateway-stop [--addr 127.0.0.1:7077]
 //! drift router-stop  [--addr 127.0.0.1:7177]
 //! drift report   run.json
+//! drift trace    router.jsonl gw0.jsonl gw1.jsonl [--top 3]
 //! drift area
 //! ```
 //!
@@ -22,6 +23,7 @@
 //! the workspace's dependency budget.
 
 mod commands;
+mod trace_cmd;
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -32,9 +34,12 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    // `report` takes a positional file path, not `--key value` pairs.
+    // `report` and `trace` take positional file paths, not pure
+    // `--key value` pairs.
     let result = if command == "report" {
         commands::report(rest)
+    } else if command == "trace" {
+        trace_cmd::trace(rest)
     } else {
         let opts = match parse_opts(rest) {
             Ok(opts) => opts,
@@ -111,10 +116,23 @@ fn usage() -> String {
      \x20          [--burst-ms W] [--connect-per-request]\n\
      \x20                                 drive a gateway; throughput + p50/p99 +\n\
      \x20                                 deadline-met rate on stderr\n\
+     \x20          [--json]               append a machine-readable summary JSON line\n\
+     \x20                                 to stdout after the results\n\
      \x20 gateway-stop [--addr A]        ask a gateway to drain and exit\n\
      \x20 router-stop  [--addr A]        ask a router to drain and exit\n\
      \x20 report   FILE|-                render a --metrics-out JSON snapshot as a table\n\
-     \x20 area                           the 40 nm area breakdown"
+     \x20 trace    FILE...               merge --trace-out span files by trace id:\n\
+     \x20          [--top K]             timelines, per-stage p50/p99, critical path,\n\
+     \x20          [--check-services S1,S2] [--check-hops svc.stage,...]\n\
+     \x20          [--expect-traces N] [--allow-orphans]   smoke-test assertions\n\
+     \x20 area                           the 40 nm area breakdown\n\
+     \n\
+     serve, gateway, and router also accept distributed-tracing flags\n\
+     (docs/OBSERVABILITY.md):\n\
+     \x20 --trace-out FILE               append spans as JSONL to FILE\n\
+     \x20 --trace-sample 1/N             head-sample 1 in N requests at the ingress\n\
+     \x20                                edge (downstream tiers honor the decision)\n\
+     \x20 --trace-seed S                 make the sampled trace-id set reproducible"
         .to_string()
 }
 

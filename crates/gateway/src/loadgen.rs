@@ -136,6 +136,32 @@ impl LoadReport {
         Ok(())
     }
 
+    /// A one-line machine-readable JSON rendering of the summary for
+    /// `drift loadgen --json`. Every field is numeric (or `null` for
+    /// an unconfigured deadline-met rate), so the line needs no string
+    /// escaping; the per-result payload is deliberately omitted.
+    pub fn json_line(&self) -> String {
+        let met = self
+            .deadline_met_rate
+            .map_or_else(|| "null".to_string(), |rate| format!("{rate:.6}"));
+        format!(
+            "{{\"jobs\":{},\"ok\":{},\"job_errors\":{},\"shed\":{},\"expired\":{},\
+             \"unmeetable\":{},\"retries\":{},\"deadline_met_rate\":{met},\
+             \"wall_ms\":{:.3},\"throughput_rps\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1}}}",
+            self.jobs,
+            self.ok,
+            self.job_errors,
+            self.shed,
+            self.expired,
+            self.unmeetable,
+            self.retries,
+            self.wall.as_secs_f64() * 1e3,
+            self.throughput,
+            self.p50_us,
+            self.p99_us,
+        )
+    }
+
     /// A short human rendering for the CLI.
     pub fn render(&self) -> String {
         let met = self
@@ -404,5 +430,72 @@ impl ClientTally {
             other => return Err(format!("unexpected gateway response {other:?}")),
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn json_line_parses_and_carries_every_counter() {
+        let report = LoadReport {
+            jobs: 10,
+            ok: 7,
+            shed: 1,
+            expired: 1,
+            unmeetable: 1,
+            deadline_met_rate: Some(0.7),
+            job_errors: 2,
+            retries: 3,
+            wall: Duration::from_millis(250),
+            throughput: 28.0,
+            p50_us: 1234.5,
+            p99_us: 9876.5,
+            results: Vec::new(),
+        };
+        let value: Value =
+            serde_json::from_str(&report.json_line()).expect("json_line must be valid JSON");
+        let num = |key: &str| match value.get(key) {
+            Some(Value::U64(v)) => *v as f64,
+            Some(Value::I64(v)) => *v as f64,
+            Some(Value::F64(v)) => *v,
+            other => panic!("field {key} missing or non-numeric: {other:?}"),
+        };
+        assert_eq!(num("jobs"), 10.0);
+        assert_eq!(num("ok"), 7.0);
+        assert_eq!(num("job_errors"), 2.0);
+        assert_eq!(num("shed"), 1.0);
+        assert_eq!(num("expired"), 1.0);
+        assert_eq!(num("unmeetable"), 1.0);
+        assert_eq!(num("retries"), 3.0);
+        assert!((num("deadline_met_rate") - 0.7).abs() < 1e-9);
+        assert!((num("wall_ms") - 250.0).abs() < 1e-6);
+        assert!((num("throughput_rps") - 28.0).abs() < 1e-6);
+        assert!((num("p50_us") - 1234.5).abs() < 1e-6);
+        assert!((num("p99_us") - 9876.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_line_renders_missing_deadline_rate_as_null() {
+        let report = LoadReport {
+            jobs: 0,
+            ok: 0,
+            shed: 0,
+            expired: 0,
+            unmeetable: 0,
+            deadline_met_rate: None,
+            job_errors: 0,
+            retries: 0,
+            wall: Duration::ZERO,
+            throughput: 0.0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            results: Vec::new(),
+        };
+        let value: Value =
+            serde_json::from_str(&report.json_line()).expect("json_line must be valid JSON");
+        assert_eq!(value.get("deadline_met_rate"), Some(&Value::Null));
     }
 }

@@ -18,7 +18,18 @@
 //! are acknowledged as `{"control":"ping","ok":true}`. Responses to
 //! pipelined requests may arrive out of order — clients correlate by
 //! `id`. The full contract lives in `docs/SERVING.md`.
+//!
+//! Requests may additionally carry distributed-tracing fields: a
+//! `trace_id` of 32 hex digits plus an optional `trace_span` (the
+//! sender's 16-hex span id, the parent of work done here) mark the
+//! request as head-sampled; an **empty** `trace_id` (`"trace_id":""`)
+//! records that an upstream edge decided *not* to sample, so receivers
+//! must not re-decide; absent fields leave the decision to the
+//! receiver. Untraced request lines are byte-identical to the
+//! pre-tracing format. See `docs/OBSERVABILITY.md` § Tracing.
 
+use drift_obs::trace::{parse_span_id, span_id_hex};
+use drift_obs::{TraceContext, TraceDecision, TraceId};
 use drift_serve::job::{JobResult, JobSpec};
 use serde::{Deserialize, Serialize, Value};
 
@@ -63,6 +74,9 @@ pub enum Request {
         spec: JobSpec,
         /// Overrides the server's default deadline when present.
         deadline_ms: Option<u64>,
+        /// The upstream head-sampling decision carried on the wire
+        /// (`trace_id`/`trace_span` fields; absent → `Undecided`).
+        trace: TraceDecision,
     },
     /// A control line.
     Control(ControlOp),
@@ -120,17 +134,76 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         None | Some(Value::Null) => None,
         Some(v) => Some(u64::from_value(v).map_err(|e| format!("deadline_ms: {e}"))?),
     };
+    let trace = parse_trace_fields(&value)?;
     let spec = JobSpec::from_value(&value).map_err(|e| e.to_string())?;
-    Ok(Request::Job { spec, deadline_ms })
+    Ok(Request::Job {
+        spec,
+        deadline_ms,
+        trace,
+    })
+}
+
+/// Decodes the optional `trace_id`/`trace_span` request fields into a
+/// [`TraceDecision`].
+fn parse_trace_fields(value: &Value) -> Result<TraceDecision, String> {
+    let id = match value.get("trace_id") {
+        None | Some(Value::Null) => return Ok(TraceDecision::Undecided),
+        Some(Value::Str(s)) => s.as_str(),
+        Some(other) => return Err(format!("trace_id must be a string, got {}", other.kind())),
+    };
+    if id.is_empty() {
+        return Ok(TraceDecision::Unsampled);
+    }
+    let trace_id =
+        TraceId::parse(id).ok_or_else(|| format!("trace_id must be 32 hex digits, got '{id}'"))?;
+    let parent_span = match value.get("trace_span") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(s)) => Some(
+            parse_span_id(s)
+                .ok_or_else(|| format!("trace_span must be 16 hex digits, got '{s}'"))?,
+        ),
+        Some(other) => return Err(format!("trace_span must be a string, got {}", other.kind())),
+    };
+    Ok(TraceDecision::Sampled(TraceContext {
+        trace_id,
+        parent_span,
+    }))
 }
 
 /// Renders a job request line (no trailing newline). Without a
 /// deadline the line is byte-identical to the `drift serve` JobSpec
 /// JSONL format.
 pub fn request_line(spec: &JobSpec, deadline_ms: Option<u64>) -> String {
+    request_line_traced(spec, deadline_ms, &TraceDecision::Undecided)
+}
+
+/// Renders a job request line carrying a sampling decision. An
+/// `Undecided` decision adds no fields (the line is identical to
+/// [`request_line`]); `Unsampled` adds `"trace_id":""`; `Sampled` adds
+/// the hex `trace_id` and, when the context has a parent, the sender's
+/// `trace_span`.
+pub fn request_line_traced(
+    spec: &JobSpec,
+    deadline_ms: Option<u64>,
+    trace: &TraceDecision,
+) -> String {
     let mut value = spec.to_value();
-    if let (Value::Map(entries), Some(ms)) = (&mut value, deadline_ms) {
-        entries.push(("deadline_ms".to_string(), ms.to_value()));
+    if let Value::Map(entries) = &mut value {
+        if let Some(ms) = deadline_ms {
+            entries.push(("deadline_ms".to_string(), ms.to_value()));
+        }
+        match trace {
+            TraceDecision::Undecided => {}
+            TraceDecision::Unsampled => {
+                entries.push(("trace_id".to_string(), Value::Str(String::new())));
+            }
+            TraceDecision::Sampled(ctx) => {
+                entries.push(("trace_id".to_string(), Value::Str(ctx.trace_id.to_string())));
+                if let Some(parent) = ctx.parent_span {
+                    entries.push(("trace_span".to_string(), Value::Str(span_id_hex(parent))));
+                }
+            }
+        }
     }
     render(&value)
 }
@@ -244,7 +317,8 @@ mod tests {
             parse_request(&plain).unwrap(),
             Request::Job {
                 spec: spec(),
-                deadline_ms: None
+                deadline_ms: None,
+                trace: TraceDecision::Undecided
             }
         );
         let budgeted = request_line(&spec(), Some(250));
@@ -253,9 +327,55 @@ mod tests {
             parse_request(&budgeted).unwrap(),
             Request::Job {
                 spec: spec(),
-                deadline_ms: Some(250)
+                deadline_ms: Some(250),
+                trace: TraceDecision::Undecided
             }
         );
+    }
+
+    #[test]
+    fn trace_fields_round_trip() {
+        // Undecided adds nothing: byte-identical to the plain line.
+        assert_eq!(
+            request_line_traced(&spec(), None, &TraceDecision::Undecided),
+            request_line(&spec(), None)
+        );
+        // Decided-unsampled is the empty trace id.
+        let unsampled = request_line_traced(&spec(), Some(100), &TraceDecision::Unsampled);
+        assert!(unsampled.contains("\"trace_id\":\"\""));
+        assert!(matches!(
+            parse_request(&unsampled).unwrap(),
+            Request::Job {
+                trace: TraceDecision::Unsampled,
+                ..
+            }
+        ));
+        // Sampled carries the trace id and the sender's span id.
+        let ctx = TraceContext {
+            trace_id: TraceId(0xabcd_0123),
+            parent_span: Some(0xfeed),
+        };
+        let sampled = request_line_traced(&spec(), None, &TraceDecision::Sampled(ctx));
+        assert!(sampled.contains(&format!("\"trace_id\":\"{}\"", ctx.trace_id)));
+        assert!(sampled.contains(&format!("\"trace_span\":\"{}\"", span_id_hex(0xfeed))));
+        match parse_request(&sampled).unwrap() {
+            Request::Job { trace, .. } => assert_eq!(trace, TraceDecision::Sampled(ctx)),
+            other => panic!("expected a job, got {other:?}"),
+        }
+        // A sampled root (no parent yet) omits trace_span.
+        let root = request_line_traced(
+            &spec(),
+            None,
+            &TraceDecision::Sampled(TraceContext {
+                trace_id: TraceId(5),
+                parent_span: None,
+            }),
+        );
+        assert!(!root.contains("trace_span"));
+        // Malformed hex is rejected with a pointed message.
+        let err = parse_request("{\"id\":1,\"seed\":2,\"kind\":{\"Select\":{\"tokens\":4,\"hidden\":8,\"delta\":0.1,\"profile\":\"bert\"}},\"trace_id\":\"zz\"}")
+            .unwrap_err();
+        assert!(err.contains("trace_id"), "{err}");
     }
 
     #[test]

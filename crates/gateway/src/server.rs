@@ -38,11 +38,11 @@ use crate::protocol::{
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use drift_core::accelerator::DriftAccelerator;
-use drift_obs::Recorder;
+use drift_obs::{Recorder, SpanRecord, TraceDecision, TraceId, Tracer};
 use drift_serve::cache::ScheduleCache;
 use drift_serve::job::{result_line, JobOutcome, JobResult, JobSpec};
 use drift_serve::queue::{job_queue_with_policy, Deadlined, JobQueue, QueuePolicy, WorkerHandle};
-use drift_serve::worker::execute_job_recorded;
+use drift_serve::worker::execute_job_traced;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -200,6 +200,31 @@ impl ServiceEstimator {
     }
 }
 
+/// The sampled-trace state of an admitted job: which trace it belongs
+/// to, the upstream parent span, and this gateway's request span id
+/// (the parent of every span the gateway records for the job).
+#[derive(Debug, Clone, Copy)]
+struct JobTrace {
+    trace: TraceId,
+    parent: Option<u64>,
+    req_span: u64,
+}
+
+/// One queued response line plus the trace info the connection writer
+/// needs to record a `response_write` span (`None` for control acks
+/// and untraced requests).
+#[derive(Debug, Clone)]
+struct Reply {
+    line: String,
+    trace: Option<(TraceId, u64)>,
+}
+
+impl Reply {
+    fn plain(line: String) -> Reply {
+        Reply { line, trace: None }
+    }
+}
+
 /// One admitted request travelling from a connection reader to a
 /// worker and back (as a rendered response line) to the writer.
 #[derive(Debug, Clone)]
@@ -207,7 +232,8 @@ struct GatewayJob {
     spec: JobSpec,
     deadline: Option<Instant>,
     admitted: Instant,
-    reply: Sender<String>,
+    trace: Option<JobTrace>,
+    reply: Sender<Reply>,
 }
 
 impl GatewayJob {
@@ -239,6 +265,10 @@ impl Deadlined for GatewayJob {
 struct Shared {
     config: GatewayConfig,
     recorder: Recorder,
+    tracer: Tracer,
+    /// Arrival sequence of accepted job requests, the head-sampling
+    /// input when this gateway is the ingress edge.
+    trace_seq: AtomicU64,
     cache: ScheduleCache,
     /// Hard stop: acceptor and readers exit at their next tick.
     stop: AtomicBool,
@@ -282,6 +312,18 @@ impl Gateway {
     ///
     /// Propagates the bind failure.
     pub fn start(addr: &str, config: GatewayConfig, recorder: Recorder) -> io::Result<Gateway> {
+        Self::start_traced(addr, config, recorder, Tracer::disabled())
+    }
+
+    /// Like [`Gateway::start`], additionally recording distributed
+    /// trace spans through `tracer`. With a disabled tracer the
+    /// behaviour (and every response byte) is identical to `start`.
+    pub fn start_traced(
+        addr: &str,
+        config: GatewayConfig,
+        recorder: Recorder,
+        tracer: Tracer,
+    ) -> io::Result<Gateway> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -299,6 +341,8 @@ impl Gateway {
                 recorder.clone(),
             ),
             recorder,
+            tracer,
+            trace_seq: AtomicU64::new(0),
             config,
             stop: AtomicBool::new(false),
             drain: AtomicBool::new(false),
@@ -440,7 +484,7 @@ fn connection(stream: TcpStream, shared: &Arc<Shared>, queue: &JobQueue<GatewayJ
         .recorder
         .gauge_add("drift_gateway_connections", &[], 1);
 
-    let (reply_tx, reply_rx) = unbounded::<String>();
+    let (reply_tx, reply_rx) = unbounded::<Reply>();
     let writer = {
         let shared = Arc::clone(shared);
         std::thread::Builder::new()
@@ -484,7 +528,7 @@ fn handle_line(
     line: &str,
     shared: &Shared,
     queue: &JobQueue<GatewayJob>,
-    reply: &Sender<String>,
+    reply: &Sender<Reply>,
 ) -> bool {
     if line.trim().is_empty() {
         return true;
@@ -497,22 +541,49 @@ fn handle_line(
             shared
                 .recorder
                 .counter_add("drift_serve_jobs_rejected_total", &[], 1);
-            let _ = reply.send(protocol::error_line(None, ERR_BAD_REQUEST));
+            let _ = reply.send(Reply::plain(protocol::error_line(None, ERR_BAD_REQUEST)));
             true
         }
         Ok(Request::Control(ControlOp::Ping)) => {
             // The ack advertises the queue discipline so router health
             // probes learn each shard's policy (docs/SCHEDULING.md).
-            let _ = reply.send(protocol::ping_ack_line(true, shared.config.queue.as_str()));
+            let _ = reply.send(Reply::plain(protocol::ping_ack_line(
+                true,
+                shared.config.queue.as_str(),
+            )));
             true
         }
         Ok(Request::Control(ControlOp::Shutdown)) => {
-            let _ = reply.send(protocol::control_ack_line(ControlOp::Shutdown, true));
+            let _ = reply.send(Reply::plain(protocol::control_ack_line(
+                ControlOp::Shutdown,
+                true,
+            )));
             shared.drain.store(true, Ordering::SeqCst);
             false
         }
-        Ok(Request::Job { spec, deadline_ms }) => {
+        Ok(Request::Job {
+            spec,
+            deadline_ms,
+            trace,
+        }) => {
             let admitted = Instant::now();
+            // Resolve head sampling: honor an upstream decision; when
+            // the request carries none, this gateway is the ingress
+            // edge and decides from its arrival sequence.
+            let decision = match trace {
+                TraceDecision::Undecided if shared.tracer.is_enabled() => shared
+                    .tracer
+                    .decide(shared.trace_seq.fetch_add(1, Ordering::Relaxed)),
+                other => other,
+            };
+            let job_trace = match (decision.context(), shared.tracer.is_enabled()) {
+                (Some(ctx), true) => Some(JobTrace {
+                    trace: ctx.trace_id,
+                    parent: ctx.parent_span,
+                    req_span: shared.tracer.new_span_id(),
+                }),
+                _ => None,
+            };
             let budget = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
             let deadline = (budget > 0).then(|| admitted + Duration::from_millis(budget));
             let id = spec.id;
@@ -528,13 +599,17 @@ fn handle_line(
                     &[("outcome", "unmeetable")],
                     1,
                 );
-                let _ = reply.send(protocol::error_line(Some(id), ERR_UNMEETABLE));
+                if let Some(t) = &job_trace {
+                    record_request_span(shared, t, id, admitted, "unmeetable");
+                }
+                let _ = reply.send(Reply::plain(protocol::error_line(Some(id), ERR_UNMEETABLE)));
                 return true;
             }
             let job = GatewayJob {
                 spec,
                 deadline,
                 admitted,
+                trace: job_trace,
                 reply: reply.clone(),
             };
             match queue.try_submit(job) {
@@ -547,12 +622,16 @@ fn handle_line(
                         .recorder
                         .gauge_add("drift_gateway_inflight_requests", &[], 1);
                 }
-                Err(_job) => {
+                Err(job) => {
                     shared.tally.shed.fetch_add(1, Ordering::Relaxed);
                     shared
                         .recorder
                         .counter_add("drift_gateway_requests_shed_total", &[], 1);
-                    let _ = reply.send(protocol::error_line(Some(id), ERR_OVERLOADED));
+                    if let Some(t) = &job.trace {
+                        record_request_span(shared, t, id, admitted, "overloaded");
+                    }
+                    let _ =
+                        reply.send(Reply::plain(protocol::error_line(Some(id), ERR_OVERLOADED)));
                 }
             }
             true
@@ -560,18 +639,54 @@ fn handle_line(
     }
 }
 
+/// Records the gateway-tier root (`request`) span for a job that
+/// settled now, labelled with how it settled.
+fn record_request_span(
+    shared: &Shared,
+    trace: &JobTrace,
+    job_id: u64,
+    admitted: Instant,
+    outcome: &str,
+) {
+    shared.tracer.record(&SpanRecord {
+        service: None,
+        trace: trace.trace,
+        span: trace.req_span,
+        parent: trace.parent,
+        stage: "request",
+        start: admitted,
+        end: Instant::now(),
+        job: Some(job_id),
+        attrs: &[("outcome", outcome)],
+    });
+}
+
 /// Writes response lines until every sender is gone. A write failure
 /// (client gone or stalled past [`WRITE_TIMEOUT`]) flips the writer
 /// into discard mode: remaining responses are drained and counted as
 /// dropped so in-flight senders never block on a dead peer.
-fn writer_loop(mut stream: TcpStream, replies: &Receiver<String>, shared: &Shared) {
+fn writer_loop(mut stream: TcpStream, replies: &Receiver<Reply>, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut dead = false;
-    for line in replies.iter() {
+    for reply in replies.iter() {
         if !dead {
-            let mut bytes = line.into_bytes();
+            let write_start = reply.trace.map(|t| (t, Instant::now()));
+            let mut bytes = reply.line.into_bytes();
             bytes.push(b'\n');
             dead = stream.write_all(&bytes).is_err() || stream.flush().is_err();
+            if let Some(((trace, req_span), start)) = write_start {
+                shared.tracer.record(&SpanRecord {
+                    service: None,
+                    trace,
+                    span: shared.tracer.new_span_id(),
+                    parent: Some(req_span),
+                    stage: "response_write",
+                    start,
+                    end: Instant::now(),
+                    job: None,
+                    attrs: &[("outcome", if dead { "dropped" } else { "ok" })],
+                });
+            }
             if !dead {
                 continue;
             }
@@ -597,8 +712,43 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
             continue;
         }
         record_queue_wait(shared, &job, dequeued, "ok");
-        let (outcome, _cache_hit) =
-            execute_job_recorded(&job.spec, &mut accel, &shared.cache, &shared.recorder);
+        // The execute span is also the parent of serve-tier spans
+        // (cache_lookup/solve/execute), so its id is minted up front
+        // and handed down through the executor.
+        let exec = job
+            .trace
+            .map(|t| (t, shared.tracer.new_span_id(), Instant::now()));
+        let (outcome, _cache_hit) = execute_job_traced(
+            &job.spec,
+            &mut accel,
+            &shared.cache,
+            &shared.recorder,
+            &shared.tracer,
+            exec.map(|(t, span, _)| (t.trace, span)),
+        );
+        if let Some((t, span, start)) = exec {
+            shared.tracer.record(&SpanRecord {
+                service: None,
+                trace: t.trace,
+                span,
+                parent: Some(t.req_span),
+                stage: "execute",
+                start,
+                end: Instant::now(),
+                job: Some(job.spec.id),
+                attrs: &[
+                    ("kind", job.spec.kind.label()),
+                    (
+                        "outcome",
+                        if matches!(outcome, JobOutcome::Error { .. }) {
+                            "error"
+                        } else {
+                            "ok"
+                        },
+                    ),
+                ],
+            });
+        }
         shared.estimator.observe(dequeued.elapsed());
         if shared.recorder.is_enabled() {
             let is_error = matches!(outcome, JobOutcome::Error { .. });
@@ -626,7 +776,7 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
             id: job.spec.id,
             outcome,
         });
-        respond(shared, &job, line);
+        respond(shared, &job, line, "ok");
     }
 }
 
@@ -645,6 +795,21 @@ fn record_queue_wait(shared: &Shared, job: &GatewayJob, dequeued: Instant, outco
                 .min(u128::from(u64::MAX)) as u64,
         );
     }
+    // `outcome: "expired"` is the dequeue-discard path: the span shows
+    // how long the doomed job sat in the queue before being thrown out.
+    if let Some(t) = &job.trace {
+        shared.tracer.record(&SpanRecord {
+            service: None,
+            trace: t.trace,
+            span: shared.tracer.new_span_id(),
+            parent: Some(t.req_span),
+            stage: "queue_wait",
+            start: job.admitted,
+            end: dequeued,
+            job: Some(job.spec.id),
+            attrs: &[("outcome", outcome)],
+        });
+    }
 }
 
 fn respond_expired(shared: &Shared, job: &GatewayJob) {
@@ -661,12 +826,14 @@ fn respond_expired(shared: &Shared, job: &GatewayJob) {
         shared,
         job,
         protocol::error_line(Some(job.spec.id), ERR_DEADLINE),
+        "deadline_exceeded",
     );
 }
 
 /// Enqueues a response on the job's connection writer and settles the
-/// request's accounting (in-flight gauge, end-to-end latency).
-fn respond(shared: &Shared, job: &GatewayJob, line: String) {
+/// request's accounting (in-flight gauge, end-to-end latency, the
+/// request trace span).
+fn respond(shared: &Shared, job: &GatewayJob, line: String, outcome: &str) {
     let recorder = &shared.recorder;
     recorder.gauge_add("drift_gateway_inflight_requests", &[], -1);
     if recorder.is_enabled() {
@@ -677,7 +844,14 @@ fn respond(shared: &Shared, job: &GatewayJob, line: String) {
             job.admitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
         );
     }
-    if job.reply.send(line).is_err() {
+    if let Some(t) = &job.trace {
+        record_request_span(shared, t, job.spec.id, job.admitted, outcome);
+    }
+    let reply = Reply {
+        line,
+        trace: job.trace.as_ref().map(|t| (t.trace, t.req_span)),
+    };
+    if job.reply.send(reply).is_err() {
         // The connection is fully gone (reader and writer exited).
         shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
         recorder.counter_add("drift_gateway_responses_dropped_total", &[], 1);

@@ -384,6 +384,48 @@ pub const METRICS: &[MetricSpec] = &[
         labels: &["stage"],
         help: "Wall time spent inside each stage path",
     },
+    MetricSpec {
+        name: "drift_trace_requests_sampled_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &[],
+        help: "Requests head-sampled for tracing at this ingress edge",
+    },
+    MetricSpec {
+        name: "drift_trace_requests_unsampled_total",
+        kind: MetricKind::Counter,
+        unit: "requests",
+        labels: &[],
+        help: "Requests the ingress edge decided not to trace",
+    },
+    MetricSpec {
+        name: "drift_trace_spans_dropped_total",
+        kind: MetricKind::Counter,
+        unit: "spans",
+        labels: &[],
+        help: "Completed spans lost because the trace sink write failed",
+    },
+    MetricSpec {
+        name: "drift_trace_spans_orphaned_total",
+        kind: MetricKind::Counter,
+        unit: "spans",
+        labels: &[],
+        help: "Completed spans discarded because the trace sink was already closed",
+    },
+    MetricSpec {
+        name: "drift_trace_spans_written_total",
+        kind: MetricKind::Counter,
+        unit: "spans",
+        labels: &["service"],
+        help: "Spans appended to the JSONL trace sink",
+    },
+    MetricSpec {
+        name: "drift_trace_stage_duration_microseconds",
+        kind: MetricKind::Histogram,
+        unit: "microseconds",
+        labels: &["service", "stage"],
+        help: "Duration of recorded trace spans per service and stage",
+    },
 ];
 
 /// Looks up the contract entry for `name`.

@@ -446,7 +446,7 @@ fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
     format!("{{{}}}", parts.join(","))
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,5 +1,6 @@
-//! A minimal `/metrics` HTTP endpoint over `std::net` — enough for a
-//! Prometheus scrape, with no dependency on an async runtime or HTTP
+//! A minimal metrics HTTP endpoint over `std::net` — enough for a
+//! Prometheus scrape of `/metrics` (plus the same snapshot as JSON at
+//! `/metrics.json`), with no dependency on an async runtime or HTTP
 //! stack.
 //!
 //! ```rust,no_run
@@ -24,7 +25,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A background thread serving Prometheus text on `GET /metrics`.
+/// A background thread serving Prometheus text on `GET /metrics` and
+/// the snapshot JSON (same schema as `--metrics-out`) on
+/// `GET /metrics.json`; unknown paths get a 404 listing both.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
@@ -118,13 +121,24 @@ fn handle_connection(mut stream: TcpStream, registry: &MetricsRegistry) -> io::R
         .next()
         .and_then(|l| l.split_whitespace().nth(1))
         .unwrap_or("/");
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", registry.snapshot().to_prometheus())
-    } else {
-        ("404 Not Found", "not found; try /metrics\n".to_string())
+    const PROM_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+    let (status, content_type, body) = match path {
+        "/metrics" | "/" => ("200 OK", PROM_TYPE, registry.snapshot().to_prometheus()),
+        "/metrics.json" => {
+            let mut body = registry.snapshot().to_json();
+            body.push('\n');
+            ("200 OK", "application/json", body)
+        }
+        _ => (
+            "404 Not Found",
+            PROM_TYPE,
+            format!(
+                "no handler for {path}; endpoints: /metrics (Prometheus text), /metrics.json (snapshot JSON)\n"
+            ),
+        ),
     };
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())
@@ -163,7 +177,28 @@ mod tests {
             2,
         );
         assert!(scrape(server.local_addr(), "/").contains("} 5"));
-        assert!(scrape(server.local_addr(), "/nope").starts_with("HTTP/1.1 404"));
+        let not_found = scrape(server.local_addr(), "/nope");
+        assert!(not_found.starts_with("HTTP/1.1 404"));
+        assert!(not_found.contains("/metrics.json"));
+        server.stop();
+    }
+
+    #[test]
+    fn serves_snapshot_json() {
+        let registry = Arc::new(MetricsRegistry::new());
+        registry.counter_add(
+            "drift_serve_jobs_total",
+            &[("kind", "schedule"), ("outcome", "ok")],
+            7,
+        );
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let response = scrape(server.local_addr(), "/metrics.json");
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("Content-Type: application/json"));
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        // Same schema as `--metrics-out`: the registry snapshot JSON.
+        assert_eq!(body.trim_end(), registry.snapshot().to_json().trim_end());
+        assert!(body.contains("\"name\": \"drift_serve_jobs_total\""));
         server.stop();
     }
 }

@@ -16,8 +16,12 @@
 //!   `docs/OBSERVABILITY.md` by test;
 //! * [`export`] — [`Snapshot`] plus the three renderers: Prometheus
 //!   text format, JSON, and the human `drift report` table;
-//! * [`http`] — a std-only `GET /metrics` endpoint for Prometheus
-//!   scrapes (`drift serve --metrics-addr`).
+//! * [`http`] — a std-only `GET /metrics` (Prometheus text) and
+//!   `GET /metrics.json` (snapshot JSON) endpoint for scrapes
+//!   (`drift serve --metrics-addr`);
+//! * [`trace`] — [`Tracer`]: distributed request tracing with
+//!   deterministic head sampling and a JSONL span sink, threaded
+//!   router → gateway → serve (`--trace-out`, `drift trace`).
 //!
 //! # Example
 //!
@@ -49,7 +53,9 @@ pub mod export;
 pub mod http;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use export::Snapshot;
 pub use registry::{Histogram, MetricsRegistry, StageTiming};
 pub use span::{Recorder, SpanGuard};
+pub use trace::{SpanRecord, TraceContext, TraceDecision, TraceId, Tracer};

@@ -56,7 +56,7 @@ use drift_gateway::protocol::{
     self, ControlOp, Request, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_OVERLOADED,
 };
 use drift_gateway::Response;
-use drift_obs::Recorder;
+use drift_obs::{Recorder, SpanRecord, TraceContext, TraceDecision, TraceId, Tracer};
 use drift_serve::job::{result_line, JobSpec};
 use serde::Value;
 use std::collections::{HashMap, HashSet};
@@ -225,6 +225,30 @@ impl ShardLink {
     }
 }
 
+/// The per-entry distributed-trace state, fixed at admission.
+#[derive(Debug, Clone, Copy)]
+enum EntryTrace {
+    /// No upstream decision and tracing is off here: forward nothing,
+    /// keeping the wire bytes identical to a tracing-free build.
+    Off,
+    /// The router's own tracer is disabled but an upstream tier made a
+    /// decision: pass it through verbatim without recording spans.
+    Forward(TraceDecision),
+    /// Sampled with the router tracing: record a root `request` span
+    /// plus one `hop` span per dispatch attempt.
+    Sampled {
+        /// The trace this request belongs to.
+        trace: TraceId,
+        /// The upstream parent span carried on the wire, if any.
+        parent: Option<u64>,
+        /// The router's root `request` span id (settles with the job).
+        root_span: u64,
+        /// The current dispatch attempt's span id (re-minted per hop);
+        /// forwarded downstream as the gateway's parent span.
+        hop_span: u64,
+    },
+}
+
 /// One admitted job waiting for a backend response.
 #[derive(Debug)]
 struct PendingEntry {
@@ -235,6 +259,8 @@ struct PendingEntry {
     /// Routing key (cached so failover re-walks the same ring chain).
     key: u64,
     deadline: Option<Instant>,
+    /// When the job was admitted (root request-span basis).
+    admitted: Instant,
     /// When the current hop was forwarded (hop latency basis).
     sent: Instant,
     /// Dispatch attempts so far.
@@ -243,6 +269,8 @@ struct PendingEntry {
     tried: Vec<String>,
     /// The shard currently executing this job.
     shard: Option<Arc<ShardLink>>,
+    /// Sampling state decided at admission.
+    trace: EntryTrace,
     reply: Sender<String>,
 }
 
@@ -257,6 +285,9 @@ struct Table {
 struct Shared {
     config: RouterConfig,
     recorder: Recorder,
+    tracer: Tracer,
+    /// Arrival counter feeding the ingress-edge sampling decision.
+    trace_seq: AtomicU64,
     fabric: ArrayGeometry,
     stop: AtomicBool,
     drain: AtomicBool,
@@ -343,6 +374,28 @@ impl Router {
         config: RouterConfig,
         recorder: Recorder,
     ) -> io::Result<Router> {
+        Router::start_traced(addr, shards, config, recorder, Tracer::disabled())
+    }
+
+    /// [`Router::start`], additionally recording distributed-trace
+    /// spans into `tracer`: a root `request` span per admitted job and
+    /// one `hop` span per dispatch attempt (first try, shed failover,
+    /// dead-shard failover). When the router is the ingress edge (no
+    /// upstream decision on the wire) it makes the head-sampling
+    /// decision; downstream tiers honor it. With a disabled tracer the
+    /// router's behaviour — including every forwarded byte — is
+    /// identical to [`Router::start`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty shard list or a bind failure.
+    pub fn start_traced(
+        addr: &str,
+        shards: &[String],
+        config: RouterConfig,
+        recorder: Recorder,
+        tracer: Tracer,
+    ) -> io::Result<Router> {
         let mut unique: Vec<String> = Vec::new();
         for shard in shards {
             if !shard.is_empty() && !unique.contains(shard) {
@@ -370,6 +423,8 @@ impl Router {
         let shared = Arc::new(Shared {
             config,
             recorder,
+            tracer,
+            trace_seq: AtomicU64::new(0),
             fabric: paper_fabric(),
             stop: AtomicBool::new(false),
             drain: AtomicBool::new(false),
@@ -565,9 +620,37 @@ fn orphan_failover(shared: &Arc<Shared>, link: &Arc<ShardLink>) {
             .collect()
     };
     for (internal_id, entry) in orphans {
+        record_hop_span(shared, &entry, "shard_dead");
         count_failover(shared);
         dispatch(shared, internal_id, entry);
     }
+}
+
+/// Records the span of `entry`'s current dispatch attempt (started at
+/// `entry.sent`, against the shard in `entry.shard`). A no-op unless
+/// the entry is sampled with the router tracing.
+fn record_hop_span(shared: &Shared, entry: &PendingEntry, outcome: &str) {
+    let EntryTrace::Sampled {
+        trace,
+        root_span,
+        hop_span,
+        ..
+    } = entry.trace
+    else {
+        return;
+    };
+    let addr = entry.shard.as_ref().map_or("", |s| s.addr.as_str());
+    shared.tracer.record(&SpanRecord {
+        service: None,
+        trace,
+        span: hop_span,
+        parent: Some(root_span),
+        stage: "hop",
+        start: entry.sent,
+        end: Instant::now(),
+        job: Some(entry.orig_id),
+        attrs: &[("outcome", outcome), ("shard", addr)],
+    });
 }
 
 fn count_failover(shared: &Shared) {
@@ -592,8 +675,9 @@ fn on_backend_response(shared: &Arc<Shared>, link: &Arc<ShardLink>, response: Re
                 return;
             };
             observe_hop(shared, &entry);
+            record_hop_span(shared, &entry, "ok");
             result.id = entry.orig_id;
-            settle(shared, &entry, result_line(&result));
+            settle(shared, &entry, result_line(&result), "ok");
         }
         Response::Error {
             id: Some(id),
@@ -605,13 +689,16 @@ fn on_backend_response(shared: &Arc<Shared>, link: &Arc<ShardLink>, response: Re
             observe_hop(shared, &entry);
             if error == ERR_OVERLOADED {
                 // The shard shed the job: walk on to the next shard.
+                record_hop_span(shared, &entry, "overloaded");
                 count_failover(shared);
                 dispatch(shared, id, entry);
             } else {
+                record_hop_span(shared, &entry, "error");
                 settle(
                     shared,
                     &entry,
                     protocol::error_line(Some(entry.orig_id), &error),
+                    &error,
                 );
             }
         }
@@ -636,8 +723,28 @@ fn observe_hop(shared: &Shared, entry: &PendingEntry) {
 }
 
 /// Sends the final response line for `entry` back to its client and
-/// settles the request's accounting.
-fn settle(shared: &Shared, entry: &PendingEntry, line: String) {
+/// settles the request's accounting. `outcome` labels the root
+/// `request` trace span (`ok`, a wire error name, or `unrouted`).
+fn settle(shared: &Shared, entry: &PendingEntry, line: String, outcome: &str) {
+    if let EntryTrace::Sampled {
+        trace,
+        parent,
+        root_span,
+        ..
+    } = entry.trace
+    {
+        shared.tracer.record(&SpanRecord {
+            service: None,
+            trace,
+            span: root_span,
+            parent,
+            stage: "request",
+            start: entry.admitted,
+            end: Instant::now(),
+            job: Some(entry.orig_id),
+            attrs: &[("outcome", outcome)],
+        });
+    }
     shared
         .recorder
         .gauge_add("drift_router_inflight_requests", &[], -1);
@@ -674,6 +781,7 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
                 shared,
                 &entry,
                 protocol::error_line(Some(entry.orig_id), ERR_DEADLINE),
+                ERR_DEADLINE,
             );
             return;
         }
@@ -683,6 +791,7 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
                 shared,
                 &entry,
                 protocol::error_line(Some(entry.orig_id), ERR_OVERLOADED),
+                "unrouted",
             );
             return;
         }
@@ -702,6 +811,7 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
                 shared,
                 &entry,
                 protocol::error_line(Some(entry.orig_id), ERR_OVERLOADED),
+                "unrouted",
             );
             return;
         };
@@ -709,10 +819,25 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
         entry.tried.push(link.addr.clone());
         entry.sent = now;
         entry.shard = Some(Arc::clone(&link));
+        // Each dispatch attempt is its own hop span; the fresh id is
+        // forwarded so the gateway's request span parents under it.
+        if let EntryTrace::Sampled { hop_span, .. } = &mut entry.trace {
+            *hop_span = shared.tracer.new_span_id();
+        }
+        let decision = match entry.trace {
+            EntryTrace::Off => TraceDecision::Undecided,
+            EntryTrace::Forward(decision) => decision,
+            EntryTrace::Sampled {
+                trace, hop_span, ..
+            } => TraceDecision::Sampled(TraceContext {
+                trace_id: trace,
+                parent_span: Some(hop_span),
+            }),
+        };
         // Forward only the remaining budget so hops and failover waits
         // are charged against the client's original deadline.
         let remaining_ms = entry.deadline.map(|d| remaining_budget_ms(d, now));
-        let line = protocol::request_line(&entry.spec, remaining_ms);
+        let line = protocol::request_line_traced(&entry.spec, remaining_ms, &decision);
         let addr = link.addr.clone();
         // Insert before sending: the response must never race an
         // absent entry.
@@ -749,6 +874,7 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
             return;
         };
         entry = reclaimed;
+        record_hop_span(shared, &entry, "write_failed");
         eject(shared, &link);
         count_failover(shared);
     }
@@ -874,7 +1000,11 @@ fn handle_client_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>) 
             let _ = reply.send(protocol::control_ack_line(op, true));
             !matches!(op, ControlOp::Shutdown)
         }
-        Ok(Request::Job { spec, deadline_ms }) => {
+        Ok(Request::Job {
+            spec,
+            deadline_ms,
+            trace,
+        }) => {
             // A reshard quiesce holds admissions at the door; jobs
             // already in flight drain unhindered.
             while shared.resharding.load(Ordering::SeqCst) {
@@ -883,16 +1013,45 @@ fn handle_client_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>) 
                 }
                 std::thread::sleep(Duration::from_millis(1));
             }
-            admit(shared, spec, deadline_ms, reply);
+            admit(shared, spec, deadline_ms, trace, reply);
             true
         }
     }
 }
 
 /// Admits one job: assigns the internal id, computes the routing key,
-/// and dispatches.
-fn admit(shared: &Arc<Shared>, spec: JobSpec, deadline_ms: Option<u64>, reply: &Sender<String>) {
+/// resolves the trace sampling decision, and dispatches.
+fn admit(
+    shared: &Arc<Shared>,
+    spec: JobSpec,
+    deadline_ms: Option<u64>,
+    trace_wire: TraceDecision,
+    reply: &Sender<String>,
+) {
     let admitted = Instant::now();
+    let trace = if shared.tracer.is_enabled() {
+        // The router is usually the ingress edge: absent an upstream
+        // decision it makes one; an upstream decision is honored.
+        let decision = match trace_wire {
+            TraceDecision::Undecided => shared
+                .tracer
+                .decide(shared.trace_seq.fetch_add(1, Ordering::Relaxed)),
+            other => other,
+        };
+        match decision.context() {
+            Some(ctx) => EntryTrace::Sampled {
+                trace: ctx.trace_id,
+                parent: ctx.parent_span,
+                root_span: shared.tracer.new_span_id(),
+                hop_span: 0,
+            },
+            None => EntryTrace::Forward(TraceDecision::Unsampled),
+        }
+    } else if matches!(trace_wire, TraceDecision::Undecided) {
+        EntryTrace::Off
+    } else {
+        EntryTrace::Forward(trace_wire)
+    };
     let deadline = deadline_ms
         .filter(|&budget| budget > 0)
         .map(|budget| admitted + Duration::from_millis(budget));
@@ -916,10 +1075,12 @@ fn admit(shared: &Arc<Shared>, spec: JobSpec, deadline_ms: Option<u64>, reply: &
         spec,
         key,
         deadline,
+        admitted,
         sent: admitted,
         hops: 0,
         tried: Vec::new(),
         shard: None,
+        trace,
         reply: reply.clone(),
     };
     dispatch(shared, internal_id, entry);

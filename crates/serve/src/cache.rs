@@ -14,7 +14,7 @@
 //! capacity slice.
 
 use drift_core::schedule::{Schedule, ScheduleKey};
-use drift_obs::{span, Recorder};
+use drift_obs::{span, Recorder, SpanRecord, TraceId, Tracer};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -179,10 +179,46 @@ impl ScheduleCache {
     ///
     /// Propagates [`ScheduleKey::solve`] errors (nothing is cached).
     pub fn get_or_solve(&self, key: ScheduleKey) -> drift_core::Result<(Schedule, bool)> {
-        if let Some(schedule) = self.get(&key) {
+        self.get_or_solve_traced(key, &Tracer::disabled(), None)
+    }
+
+    /// [`ScheduleCache::get_or_solve`], additionally recording
+    /// serve-tier `cache_lookup` (and, on a miss, `solve`) trace spans
+    /// parented under `ctx` = (trace id, parent span id). With a
+    /// disabled tracer or no context the behaviour — including every
+    /// recorder metric — is identical to [`ScheduleCache::get_or_solve`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleKey::solve`] errors (nothing is cached).
+    pub fn get_or_solve_traced(
+        &self,
+        key: ScheduleKey,
+        tracer: &Tracer,
+        ctx: Option<(TraceId, u64)>,
+    ) -> drift_core::Result<(Schedule, bool)> {
+        use std::time::Instant;
+        let trace = if tracer.is_enabled() { ctx } else { None };
+        let lookup_start = trace.map(|_| Instant::now());
+        let got = self.get(&key);
+        if let (Some((trace_id, parent)), Some(lookup_start)) = (trace, lookup_start) {
+            tracer.record(&SpanRecord {
+                service: Some("serve"),
+                trace: trace_id,
+                span: tracer.new_span_id(),
+                parent: Some(parent),
+                stage: "cache_lookup",
+                start: lookup_start,
+                end: Instant::now(),
+                job: None,
+                attrs: &[("hit", if got.is_some() { "true" } else { "false" })],
+            });
+        }
+        if let Some(schedule) = got {
             return Ok((schedule, true));
         }
-        let solve_start = self.recorder.is_enabled().then(std::time::Instant::now);
+        let trace_solve_start = trace.map(|_| Instant::now());
+        let solve_start = self.recorder.is_enabled().then(Instant::now);
         let schedule = {
             let _solve = span!(self.recorder, "schedule_solve");
             key.solve()?
@@ -196,6 +232,19 @@ impl ScheduleCache {
                 drift_obs::contract::SOLVE_NS_BUCKETS,
                 start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             );
+        }
+        if let (Some((trace_id, parent)), Some(start)) = (trace, trace_solve_start) {
+            tracer.record(&SpanRecord {
+                service: Some("serve"),
+                trace: trace_id,
+                span: tracer.new_span_id(),
+                parent: Some(parent),
+                stage: "solve",
+                start,
+                end: Instant::now(),
+                job: None,
+                attrs: &[],
+            });
         }
         self.insert(key, schedule);
         Ok((schedule, false))

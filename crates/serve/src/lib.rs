@@ -69,5 +69,5 @@ pub use job::{
     LenientIngest,
 };
 pub use queue::{Deadlined, QueuePolicy};
-pub use runtime::{serve, serve_with_recorder, ServeConfig, ServeOutcome};
+pub use runtime::{serve, serve_traced, serve_with_recorder, ServeConfig, ServeOutcome};
 pub use stats::ServeReport;

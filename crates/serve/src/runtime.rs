@@ -6,7 +6,7 @@ use crate::queue::{job_queue_with_policy, QueuePolicy};
 use crate::stats::ServeReport;
 use crate::worker::worker_loop;
 use crossbeam::channel::unbounded;
-use drift_obs::Recorder;
+use drift_obs::{Recorder, Tracer};
 use std::time::Instant;
 
 /// Tunables for one serve run.
@@ -81,6 +81,19 @@ pub fn serve_with_recorder(
     config: &ServeConfig,
     recorder: Recorder,
 ) -> ServeOutcome {
+    serve_traced(jobs, config, recorder, Tracer::disabled())
+}
+
+/// [`serve_with_recorder`] with distributed tracing: the runtime acts
+/// as its own ingress edge, head-sampling jobs by submission sequence
+/// number and recording serve-tier spans through `tracer`. With a
+/// disabled tracer results are identical to [`serve_with_recorder`].
+pub fn serve_traced(
+    jobs: Vec<JobSpec>,
+    config: &ServeConfig,
+    recorder: Recorder,
+    tracer: Tracer,
+) -> ServeOutcome {
     let cache = ScheduleCache::with_recorder(
         config.cache_capacity.max(1),
         config.cache_shards.max(1),
@@ -99,7 +112,8 @@ pub fn serve_with_recorder(
                 let tx = result_tx.clone();
                 let cache = &cache;
                 let recorder = recorder.clone();
-                scope.spawn(move || worker_loop(i, handle, tx, cache, recorder))
+                let tracer = tracer.clone();
+                scope.spawn(move || worker_loop(i, handle, tx, cache, recorder, tracer))
             })
             .collect();
         // The scope keeps only the workers' clones alive: when the last

@@ -21,7 +21,7 @@ use drift_core::accelerator::DriftAccelerator;
 use drift_core::schedule::ScheduleKey;
 use drift_core::selector::{record_policy_run, DriftPolicy};
 use drift_nn::datagen::TokenProfile;
-use drift_obs::{span, Recorder};
+use drift_obs::{span, Recorder, SpanRecord, TraceId, Tracer};
 use drift_quant::policy::run_policy;
 use drift_quant::Precision;
 use drift_tensor::rng::{derive_seed, seeded};
@@ -53,11 +53,44 @@ pub fn execute_job_recorded(
     cache: &ScheduleCache,
     recorder: &Recorder,
 ) -> (JobOutcome, bool) {
+    execute_job_traced(spec, accel, cache, recorder, &Tracer::disabled(), None)
+}
+
+/// [`execute_job_recorded`], additionally recording serve-tier trace
+/// spans (`cache_lookup`/`solve` around the schedule cache, `execute`
+/// around the simulator or selector) through `tracer`, parented under
+/// `ctx` = (trace id, parent span id). With a disabled tracer or no
+/// context the outcome and every metric are identical to
+/// [`execute_job_recorded`].
+pub fn execute_job_traced(
+    spec: &JobSpec,
+    accel: &mut DriftAccelerator,
+    cache: &ScheduleCache,
+    recorder: &Recorder,
+    tracer: &Tracer,
+    ctx: Option<(TraceId, u64)>,
+) -> (JobOutcome, bool) {
     accel.reset();
-    match run_job(spec, accel, cache, recorder) {
+    let ctx = if tracer.is_enabled() { ctx } else { None };
+    match run_job(spec, accel, cache, recorder, tracer, ctx) {
         Ok(pair) => pair,
         Err(message) => (JobOutcome::Error { message }, false),
     }
+}
+
+/// Records a serve-tier `execute` span covering `start`..now.
+fn record_execute_span(tracer: &Tracer, ctx: (TraceId, u64), start: Instant, kind: &str) {
+    tracer.record(&SpanRecord {
+        service: Some("serve"),
+        trace: ctx.0,
+        span: tracer.new_span_id(),
+        parent: Some(ctx.1),
+        stage: "execute",
+        start,
+        end: Instant::now(),
+        job: None,
+        attrs: &[("kind", kind)],
+    });
 }
 
 /// The Bernoulli precision maps a Simulate job draws from its private
@@ -118,6 +151,8 @@ fn run_job(
     accel: &mut DriftAccelerator,
     cache: &ScheduleCache,
     recorder: &Recorder,
+    tracer: &Tracer,
+    ctx: Option<(TraceId, u64)>,
 ) -> Result<(JobOutcome, bool), String> {
     match &spec.kind {
         JobKind::Select {
@@ -126,6 +161,7 @@ fn run_job(
             delta,
             profile,
         } => {
+            let exec_start = ctx.map(|_| Instant::now());
             let profile = match profile.as_str() {
                 "cnn" => TokenProfile::cnn(),
                 "vit" => TokenProfile::vit(),
@@ -145,6 +181,9 @@ fn run_job(
             )
             .map_err(|e| e.to_string())?;
             record_policy_run(recorder, &run);
+            if let (Some(ctx), Some(start)) = (ctx, exec_start) {
+                record_execute_span(tracer, ctx, start, "select");
+            }
             Ok((
                 JobOutcome::Select {
                     low_subtensors: run.low_subtensors(),
@@ -161,7 +200,9 @@ fn run_job(
             // place the spec → key mapping lives).
             let key = schedule_key_for(spec, accel.fabric())
                 .ok_or_else(|| "schedule job has no schedule key".to_string())?;
-            let (schedule, hit) = cache.get_or_solve(key).map_err(|e| e.to_string())?;
+            let (schedule, hit) = cache
+                .get_or_solve_traced(key, tracer, ctx)
+                .map_err(|e| e.to_string())?;
             Ok((
                 JobOutcome::Schedule {
                     makespan: schedule.makespan,
@@ -180,10 +221,16 @@ fn run_job(
                 GemmWorkload::new(format!("job-{}", spec.id), shape, act_high, weight_high)
                     .map_err(|e| e.to_string())?;
             let key = ScheduleKey::for_workload(&workload, accel.fabric());
-            let (schedule, hit) = cache.get_or_solve(key).map_err(|e| e.to_string())?;
+            let (schedule, hit) = cache
+                .get_or_solve_traced(key, tracer, ctx)
+                .map_err(|e| e.to_string())?;
+            let exec_start = ctx.map(|_| Instant::now());
             let report = accel
                 .execute_with_schedule(&workload, schedule)
                 .map_err(|e| e.to_string())?;
+            if let (Some(ctx), Some(start)) = (ctx, exec_start) {
+                record_execute_span(tracer, ctx, start, "simulate");
+            }
             Ok((
                 JobOutcome::Simulate {
                     cycles: report.cycles,
@@ -213,6 +260,7 @@ pub(crate) fn worker_loop(
     results: Sender<(u64, JobResult)>,
     cache: &ScheduleCache,
     recorder: Recorder,
+    tracer: Tracer,
 ) -> WorkerStats {
     let mut accel =
         DriftAccelerator::paper_config().expect("the paper configuration always builds");
@@ -220,10 +268,18 @@ pub(crate) fn worker_loop(
     let worker_label = worker.to_string();
     let mut stats = WorkerStats::new(worker);
     while let Some((seq, spec)) = jobs.next_job() {
+        // Offline serve is its own ingress edge: the submission
+        // sequence number is the sampling input, and each sampled job
+        // gets a root `job` span with cache/solve/execute children.
+        let job_trace = tracer
+            .decide(seq)
+            .context()
+            .map(|c| (c.trace_id, tracer.new_span_id()));
         let start = Instant::now();
         let (outcome, cache_hit) = {
             let job_span = span!(recorder, "serve_job");
-            let (outcome, cache_hit) = execute_job_recorded(&spec, &mut accel, cache, &recorder);
+            let (outcome, cache_hit) =
+                execute_job_traced(&spec, &mut accel, cache, &recorder, &tracer, job_trace);
             if let JobOutcome::Simulate { cycles, .. } = &outcome {
                 job_span.add_cycles(*cycles);
             }
@@ -231,6 +287,22 @@ pub(crate) fn worker_loop(
         };
         let latency = start.elapsed();
         let is_error = matches!(outcome, JobOutcome::Error { .. });
+        if let Some((trace, span_id)) = job_trace {
+            tracer.record(&SpanRecord {
+                service: None,
+                trace,
+                span: span_id,
+                parent: None,
+                stage: "job",
+                start,
+                end: Instant::now(),
+                job: Some(spec.id),
+                attrs: &[
+                    ("kind", spec.kind.label()),
+                    ("outcome", if is_error { "error" } else { "ok" }),
+                ],
+            });
+        }
         if recorder.is_enabled() {
             recorder.counter_add(
                 "drift_serve_jobs_total",

@@ -172,6 +172,79 @@ wait "$GW1_PID" "$GW2_PID"
 rm -f "$GW1_PORT_FILE" "$GW2_PORT_FILE" "$RT_PORT_FILE" "$RT_METRICS"
 echo "router smoke: ok"
 
+echo "== trace smoke test =="
+# End-to-end distributed tracing: loadgen through the router and two
+# gateway shards, every tier writing a JSONL span file, with 1-in-1
+# sampling decided at the router (the ingress edge). `drift trace`
+# merges the three files and asserts every sampled trace reconstructs
+# a full waterfall — all router and gateway hops plus a serve-tier
+# span, exactly one trace per job, zero orphaned spans (the default
+# failure mode; no --allow-orphans here). docs/OBSERVABILITY.md.
+GW1_PORT_FILE="$(mktemp)"; rm -f "$GW1_PORT_FILE"
+GW2_PORT_FILE="$(mktemp)"; rm -f "$GW2_PORT_FILE"
+RT_PORT_FILE="$(mktemp)";  rm -f "$RT_PORT_FILE"
+GW1_TRACE="$(mktemp)"
+GW2_TRACE="$(mktemp)"
+RT_TRACE="$(mktemp)"
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 2 \
+  --port-file "$GW1_PORT_FILE" --trace-out "$GW1_TRACE" &
+GW1_PID=$!
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 2 \
+  --port-file "$GW2_PORT_FILE" --trace-out "$GW2_TRACE" &
+GW2_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$GW1_PORT_FILE" ] && [ -s "$GW2_PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$GW1_PORT_FILE" ] || ! [ -s "$GW2_PORT_FILE" ]; then
+  echo "trace smoke: a shard gateway never wrote its port file" >&2
+  kill "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+GW1_ADDR="$(cat "$GW1_PORT_FILE")"
+GW2_ADDR="$(cat "$GW2_PORT_FILE")"
+./target/release/drift router --addr 127.0.0.1:0 \
+  --shards "$GW1_ADDR,$GW2_ADDR" --port-file "$RT_PORT_FILE" \
+  --trace-out "$RT_TRACE" --trace-sample 1/1 --trace-seed 7 &
+RT_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$RT_PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$RT_PORT_FILE" ]; then
+  echo "trace smoke: router never wrote its port file" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+RT_ADDR="$(cat "$RT_PORT_FILE")"
+./target/release/drift loadgen --addr "$RT_ADDR" --clients 4 --jobs 200 \
+  > /dev/null
+./target/release/drift router-stop --addr "$RT_ADDR"
+./target/release/drift gateway-stop --addr "$GW1_ADDR"
+./target/release/drift gateway-stop --addr "$GW2_ADDR"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$RT_PID" 2>/dev/null && ! kill -0 "$GW1_PID" 2>/dev/null \
+    && ! kill -0 "$GW2_PID" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+if kill -0 "$RT_PID" 2>/dev/null || kill -0 "$GW1_PID" 2>/dev/null \
+  || kill -0 "$GW2_PID" 2>/dev/null; then
+  echo "trace smoke: a process did not exit within 10s of the drain" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$RT_PID" "$GW1_PID" "$GW2_PID"
+./target/release/drift trace "$RT_TRACE" "$GW1_TRACE" "$GW2_TRACE" \
+  --expect-traces 200 \
+  --check-services router,gateway,serve \
+  --check-hops router.request,router.hop,gateway.request,gateway.queue_wait,gateway.execute,gateway.response_write \
+  > /dev/null
+rm -f "$GW1_PORT_FILE" "$GW2_PORT_FILE" "$RT_PORT_FILE" \
+  "$GW1_TRACE" "$GW2_TRACE" "$RT_TRACE"
+echo "trace smoke: ok"
+
 echo "== doc links =="
 # Every relative markdown link in README.md and docs/*.md must point at
 # a file that exists (anchors are stripped; absolute URLs are skipped).
