@@ -351,8 +351,46 @@ pub fn serve(opts: &Opts) -> Result<(), String> {
         ..drift_serve::ServeConfig::default()
     };
     let tracer = trace_wiring(opts, "serve", &metrics.recorder)?;
-    let outcome =
-        drift_serve::serve_traced(jobs, &config, metrics.recorder.clone(), tracer.clone());
+    // With --store the cache is warm-started from the persistent log
+    // before the run and newly solved schedules flow back into it;
+    // results are byte-identical either way (docs/PERSISTENCE.md).
+    let outcome = match opts.get("store") {
+        None => drift_serve::serve_traced(jobs, &config, metrics.recorder.clone(), tracer.clone()),
+        Some(store) => {
+            let cache = drift_serve::ScheduleCache::with_recorder(
+                config.cache_capacity.max(1),
+                config.cache_shards.max(1),
+                metrics.recorder.clone(),
+            );
+            let (report, binding) = drift_serve::open_and_preload(
+                std::path::Path::new(store),
+                &cache,
+                metrics.recorder.clone(),
+            )
+            .map_err(|e| format!("cannot open store {store}: {e}"))?;
+            eprintln!(
+                "store: {} schedule(s) loaded from {store}{}",
+                report.entries.len(),
+                if report.skipped > 0 {
+                    format!(" ({} corrupt record(s) skipped)", report.skipped)
+                } else {
+                    String::new()
+                }
+            );
+            let outcome = drift_serve::serve_on_cache(
+                jobs,
+                &config,
+                metrics.recorder.clone(),
+                tracer.clone(),
+                &cache,
+            );
+            let records = binding
+                .finish(&cache)
+                .map_err(|e| format!("cannot flush store {store}: {e}"))?;
+            eprintln!("store: {records} record(s) now in {store}");
+            outcome
+        }
+    };
     tracer.close();
 
     // Results as JSONL on stdout; the report goes to stderr so the
@@ -415,13 +453,25 @@ pub fn gateway(opts: &Opts) -> Result<(), String> {
     let metrics = metrics_wiring(opts)?;
     let tracer = trace_wiring(opts, "gateway", &metrics.recorder)?;
 
-    let gw = drift_gateway::Gateway::start_traced(
-        addr,
-        config,
-        metrics.recorder.clone(),
-        tracer.clone(),
-    )
+    let gw = match opts.get("store") {
+        None => drift_gateway::Gateway::start_traced(
+            addr,
+            config,
+            metrics.recorder.clone(),
+            tracer.clone(),
+        ),
+        Some(store) => drift_gateway::Gateway::start_persistent(
+            addr,
+            config,
+            metrics.recorder.clone(),
+            tracer.clone(),
+            std::path::Path::new(store),
+        ),
+    }
     .map_err(|e| format!("cannot bind gateway on {addr}: {e}"))?;
+    if let Some(store) = opts.get("store") {
+        eprintln!("store: schedule cache backed by {store} (docs/PERSISTENCE.md)");
+    }
     eprintln!(
         "gateway: listening on {} ({} workers, queue depth {}, {} queue); \
          stop with `drift gateway-stop --addr {}`",
@@ -565,6 +615,100 @@ pub fn router_stop(opts: &Opts) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("router at {addr} refused the shutdown"))
+    }
+}
+
+/// `drift store` — inspect / verify / compact / merge persistent
+/// schedule stores (docs/PERSISTENCE.md). Positional like `report`:
+/// `drift store verify sched.drift [--deep]`.
+pub fn store(args: &[String]) -> Result<(), String> {
+    const USAGE: &str =
+        "usage: drift store inspect|verify|compact FILE [--deep] | merge OUT IN1 [IN2...]";
+    let Some((op, rest)) = args.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    let path_arg = |rest: &[String]| -> Result<std::path::PathBuf, String> {
+        match rest.iter().find(|a| !a.starts_with("--")) {
+            Some(p) => Ok(std::path::PathBuf::from(p)),
+            None => Err(USAGE.to_string()),
+        }
+    };
+    match op.as_str() {
+        "inspect" => {
+            let path = path_arg(rest)?;
+            let report = drift_store::load(&path).map_err(|e| e.to_string())?;
+            println!("store {}:", path.display());
+            println!(
+                "  format:      v1 ({} bytes/entry)",
+                drift_core::schedule::ENTRY_BYTES
+            );
+            println!(
+                "  size:        {} bytes ({} valid)",
+                report.bytes, report.valid_len
+            );
+            println!("  records:     {}", report.records);
+            println!(
+                "  entries:     {} distinct schedule key(s)",
+                drift_store::dedup_last_wins(report.entries).len()
+            );
+            println!("  skipped:     {} corrupt record(s)", report.skipped);
+            if report.truncated_tail {
+                println!(
+                    "  tail:        torn write truncated at byte {} (a crash mid-append;",
+                    report.valid_len
+                );
+                println!("               the next writer will trim it)");
+            }
+            Ok(())
+        }
+        "verify" => {
+            let path = path_arg(rest)?;
+            let deep = rest.iter().any(|a| a == "--deep");
+            let report = drift_store::verify(&path, deep).map_err(|e| e.to_string())?;
+            println!(
+                "store {}: OK — {} record(s), {} distinct key(s), {} bytes{}",
+                path.display(),
+                report.records,
+                report.unique_keys,
+                report.bytes,
+                match report.resolved {
+                    Some(n) => format!(", {n} schedule(s) re-solved and matched"),
+                    None => String::new(),
+                }
+            );
+            Ok(())
+        }
+        "compact" => {
+            let path = path_arg(rest)?;
+            let (before, after) = drift_store::compact(&path).map_err(|e| e.to_string())?;
+            println!(
+                "store {}: compacted {before} -> {after} record(s)",
+                path.display()
+            );
+            Ok(())
+        }
+        "merge" => {
+            let paths: Vec<std::path::PathBuf> = rest
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(std::path::PathBuf::from)
+                .collect();
+            let Some((out, inputs)) = paths.split_first() else {
+                return Err(USAGE.to_string());
+            };
+            if inputs.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            let records = drift_store::merge(inputs, out).map_err(|e| e.to_string())?;
+            println!(
+                "store {}: {} record(s) merged from {} input(s)",
+                out.display(),
+                records,
+                inputs.len()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown store operation '{other}'\n{USAGE}")),
     }
 }
 

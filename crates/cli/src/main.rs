@@ -6,7 +6,7 @@
 //! drift schedule [--m 512] [--k 768] [--n 768] [--fa 0.2] [--fw 0.1]
 //! drift simulate [--model BERT] [--accel drift] [--delta 0.027] [--seed 42]
 //! drift serve    [--jobs jobs.jsonl|-] [--workers 8] [--queue fifo|edf] [--lenient]
-//!                [--metrics-addr 127.0.0.1:9109] [--metrics-out run.json]
+//!                [--store sched.drift] [--metrics-addr 127.0.0.1:9109] [--metrics-out run.json]
 //! drift bench-serve [--jobs 1000] [--workers "1,2,4,8"]
 //! drift gateway  [--addr 127.0.0.1:7077] [--workers 8] [--deadline-ms 250] [--queue edf]
 //! drift router   --shards addr1,addr2,... [--addr 127.0.0.1:7177] [--vnodes 64]
@@ -14,6 +14,7 @@
 //!                [--deadline-ms 50] [--deadline-jitter-ms 50]
 //! drift gateway-stop [--addr 127.0.0.1:7077]
 //! drift router-stop  [--addr 127.0.0.1:7177]
+//! drift store    inspect|verify|compact sched.drift | merge out.drift in1 in2...
 //! drift report   run.json
 //! drift trace    router.jsonl gw0.jsonl gw1.jsonl [--top 3]
 //! drift area
@@ -34,12 +35,14 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    // `report` and `trace` take positional file paths, not pure
-    // `--key value` pairs.
+    // `report`, `trace`, and `store` take positional file paths, not
+    // pure `--key value` pairs.
     let result = if command == "report" {
         commands::report(rest)
     } else if command == "trace" {
         trace_cmd::trace(rest)
+    } else if command == "store" {
+        commands::store(rest)
     } else {
         let opts = match parse_opts(rest) {
             Ok(opts) => opts,
@@ -95,6 +98,8 @@ fn usage() -> String {
      \x20                                 results to stdout, report to stderr\n\
      \x20          [--queue fifo|edf]     queue discipline (docs/SCHEDULING.md)\n\
      \x20          [--lenient]            skip malformed job lines instead of aborting\n\
+     \x20          [--store FILE]         warm-start the schedule cache from a persistent\n\
+     \x20                                 store, appending new schedules (docs/PERSISTENCE.md)\n\
      \x20          [--metrics-addr A]     serve Prometheus text on http://A/metrics\n\
      \x20          [--metrics-out FILE]   write the final metrics snapshot as JSON\n\
      \x20 bench-serve [--jobs N] [--shapes S] [--workers \"1,2,4,8\"] [--seed S]\n\
@@ -104,6 +109,7 @@ fn usage() -> String {
      \x20                                 see docs/SERVING.md); drains on\n\
      \x20                                 {\"control\":\"shutdown\"}\n\
      \x20          [--queue fifo|edf]     queue discipline (docs/SCHEDULING.md)\n\
+     \x20          [--store FILE]         warm-start + persist schedules (docs/PERSISTENCE.md)\n\
      \x20          [--port-file FILE]     write the bound address (for --addr with port 0)\n\
      \x20          [--metrics-addr A] [--metrics-out FILE]   as for serve\n\
      \x20 router   --shards A1,A2,...    consistent-hash front tier over gateways\n\
@@ -120,6 +126,10 @@ fn usage() -> String {
      \x20                                 to stdout after the results\n\
      \x20 gateway-stop [--addr A]        ask a gateway to drain and exit\n\
      \x20 router-stop  [--addr A]        ask a router to drain and exit\n\
+     \x20 store    inspect FILE          header, record count, and load health of a store\n\
+     \x20          verify FILE [--deep]  strict checksum walk (--deep re-solves every entry)\n\
+     \x20          compact FILE          rewrite to one record per key (last wins)\n\
+     \x20          merge OUT IN...       combine stores; later inputs win on key clashes\n\
      \x20 report   FILE|-                render a --metrics-out JSON snapshot as a table\n\
      \x20 trace    FILE...               merge --trace-out span files by trace id:\n\
      \x20          [--top K]             timelines, per-stage p50/p99, critical path,\n\

@@ -172,12 +172,17 @@ fn killing_a_backend_mid_run_loses_and_duplicates_nothing() {
     let mut writer = stream.try_clone().expect("clone stream");
     let mut reader = LineReader::new(stream);
 
-    // Flood the router, killing shard 1 with SIGKILL part-way through
-    // while its queue still holds accepted-but-unanswered jobs. The
-    // reader drains concurrently so responses never back-pressure the
-    // flood.
+    // Flood the router, SIGKILLing a shard part-way through while the
+    // fleet still holds accepted-but-unanswered jobs. The victim is
+    // the shard that has routed the most traffic so far: the flood has
+    // only four distinct schedule keys, and the ring hashes ephemeral
+    // shard addresses, so a *fixed* victim can own none of them in a
+    // given run — killing an idle shard would leave nothing to fail
+    // over. The reader drains concurrently so responses never
+    // back-pressure the flood.
     let jobs = flood_jobs();
     let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut victim = usize::MAX;
     std::thread::scope(|scope| {
         let collector = scope.spawn(|| {
             let mut seen = HashMap::new();
@@ -186,11 +191,40 @@ fn killing_a_backend_mid_run_loses_and_duplicates_nothing() {
         });
         for (i, spec) in jobs.iter().enumerate() {
             if i == KILL_AFTER {
-                // Let the router dispatch the backlog so the doomed
-                // shard holds accepted-but-unanswered jobs, then kill.
-                std::thread::sleep(Duration::from_millis(100));
-                children[1].kill().expect("SIGKILL shard 1");
-                children[1].wait().expect("reap shard 1");
+                // Wait (bounded) until the router has visibly routed a
+                // chunk of the backlog, but not so long that the
+                // single-worker victim *executes* its share — draining
+                // it would leave nothing in flight to fail over.
+                let routed = |addr: &SocketAddr| {
+                    let snapshot = recorder.registry().expect("recorder enabled").snapshot();
+                    let addr = addr.to_string();
+                    snapshot
+                        .counters
+                        .iter()
+                        .filter(|s| {
+                            s.id.name == "drift_router_requests_routed_total"
+                                && s.id.labels.iter().any(|(k, v)| k == "shard" && *v == addr)
+                        })
+                        .map(|s| s.value)
+                        .sum::<u64>()
+                };
+                let deadline = Instant::now() + Duration::from_secs(10);
+                victim = loop {
+                    let busiest = (0..shard_addrs.len())
+                        .max_by_key(|&i| routed(&shard_addrs[i]))
+                        .expect("at least one shard");
+                    let dispatched = routed(&shard_addrs[busiest]);
+                    if dispatched >= 20 || (dispatched > 0 && Instant::now() >= deadline) {
+                        break busiest;
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "router routed nothing within 10s"
+                    );
+                    std::thread::sleep(Duration::from_millis(2));
+                };
+                children[victim].kill().expect("SIGKILL the busiest shard");
+                children[victim].wait().expect("reap the killed shard");
             }
             let line = request_line(spec, None);
             writer.write_all(line.as_bytes()).expect("send request");
@@ -222,7 +256,7 @@ fn killing_a_backend_mid_run_loses_and_duplicates_nothing() {
 
     // Bring a replacement gateway up on the SAME address; the router's
     // probe must re-admit the shard.
-    let (child, _) = respawn_gateway(&dir, "gw1-replacement.port", shard_addrs[1]);
+    let (child, _) = respawn_gateway(&dir, "gw-replacement.port", shard_addrs[victim]);
     children.push(child);
     let deadline = Instant::now() + Duration::from_secs(20);
     while counter(&recorder, "drift_router_shard_readmissions_total") == 0 {

@@ -124,6 +124,112 @@ impl ScheduleKey {
     }
 }
 
+/// Size in bytes of one encoded `(ScheduleKey, Schedule)` entry (see
+/// [`encode_entry`]).
+pub const ENTRY_BYTES: usize = 124;
+
+/// Appends the canonical binary encoding of one `(key, schedule)` pair
+/// to `out`: exactly [`ENTRY_BYTES`] bytes, every `usize` widened to
+/// little-endian `u64` and every precision stored as its raw bit width.
+/// This is the on-disk record payload of the `drift-store` log; the
+/// layout is specified in `docs/PERSISTENCE.md` and round-trips through
+/// [`decode_entry`].
+pub fn encode_entry(key: &ScheduleKey, schedule: &Schedule, out: &mut Vec<u8>) {
+    let mut u64s = |v: usize| out.extend_from_slice(&(v as u64).to_le_bytes());
+    u64s(key.shape.m);
+    u64s(key.shape.k);
+    u64s(key.shape.n);
+    u64s(key.act_high);
+    u64s(key.weight_high);
+    out.push(key.act_precisions.0.bits());
+    out.push(key.act_precisions.1.bits());
+    out.push(key.weight_precisions.0.bits());
+    out.push(key.weight_precisions.1.bits());
+    let mut u64s = |v: usize| out.extend_from_slice(&(v as u64).to_le_bytes());
+    u64s(key.fabric.rows);
+    u64s(key.fabric.cols);
+    u64s(schedule.partition.col_split());
+    u64s(schedule.partition.rows_left());
+    u64s(schedule.partition.rows_right());
+    for lat in schedule.latencies {
+        out.extend_from_slice(&lat.to_le_bytes());
+    }
+    out.extend_from_slice(&schedule.makespan.to_le_bytes());
+}
+
+/// Decodes one entry produced by [`encode_entry`], re-validating every
+/// field through the same constructors a live solve uses (`GemmShape`,
+/// `Precision`, `ArrayGeometry`, `FabricPartition`), so a decoded entry
+/// is exactly as trustworthy as a freshly solved one.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when the payload has the
+/// wrong length or any field fails validation (zero extents, bad
+/// precision bits, partition cuts exceeding the fabric, or a partition
+/// fabric disagreeing with the key's).
+pub fn decode_entry(bytes: &[u8]) -> Result<(ScheduleKey, Schedule)> {
+    let bad = |detail: String| CoreError::InvalidParameter {
+        name: "schedule entry",
+        detail,
+    };
+    if bytes.len() != ENTRY_BYTES {
+        return Err(bad(format!(
+            "expected {ENTRY_BYTES} bytes, got {}",
+            bytes.len()
+        )));
+    }
+    let mut pos = 0usize;
+    let mut next_u64 = || {
+        let v = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8-byte slice"));
+        pos += 8;
+        v
+    };
+    let to_usize = |v: u64| -> Result<usize> {
+        usize::try_from(v).map_err(|_| bad(format!("value {v} exceeds usize")))
+    };
+    let (m, k, n) = (next_u64(), next_u64(), next_u64());
+    let (act_high, weight_high) = (next_u64(), next_u64());
+    let prec_bits = [bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]];
+    pos += 4;
+    let mut next_u64 = || {
+        let v = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8-byte slice"));
+        pos += 8;
+        v
+    };
+    let (rows, cols) = (next_u64(), next_u64());
+    let (col_split, rows_left, rows_right) = (next_u64(), next_u64(), next_u64());
+    let latencies = [next_u64(), next_u64(), next_u64(), next_u64()];
+    let makespan = next_u64();
+    debug_assert_eq!(pos, ENTRY_BYTES);
+
+    let shape = GemmShape::new(to_usize(m)?, to_usize(k)?, to_usize(n)?)
+        .map_err(|e| bad(format!("bad shape: {e}")))?;
+    let precision = |bits: u8| Precision::new(bits).map_err(|e| bad(format!("bad precision: {e}")));
+    let fabric = ArrayGeometry::new(to_usize(rows)?, to_usize(cols)?)
+        .map_err(|e| bad(format!("bad fabric: {e}")))?;
+    let key = ScheduleKey {
+        shape,
+        act_high: to_usize(act_high)?,
+        weight_high: to_usize(weight_high)?,
+        act_precisions: (precision(prec_bits[0])?, precision(prec_bits[1])?),
+        weight_precisions: (precision(prec_bits[2])?, precision(prec_bits[3])?),
+        fabric,
+    };
+    let partition = FabricPartition::new(
+        fabric,
+        to_usize(col_split)?,
+        to_usize(rows_left)?,
+        to_usize(rows_right)?,
+    )?;
+    let schedule = Schedule {
+        partition,
+        latencies,
+        makespan,
+    };
+    Ok((key, schedule))
+}
+
 /// The latency of one quadrant on one geometry (Eq. 7), `0` for an
 /// empty quadrant and `None` when the quadrant has work but no units.
 pub fn quadrant_latency(q: &PrecisionQuadrant, geo: Option<ArrayGeometry>) -> Option<u64> {

@@ -9,6 +9,7 @@
 //! contract (see `docs/SERVING.md`).
 
 use crate::protocol::{self, ControlOp, Response, ERR_OVERLOADED};
+use drift_core::schedule::{Schedule, ScheduleKey};
 use drift_serve::job::JobSpec;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -213,6 +214,21 @@ impl Client {
     /// Propagates send/recv failures or a non-control response.
     pub fn shutdown_server(&mut self) -> Result<bool, String> {
         self.control(ControlOp::Shutdown).map(|(ok, _)| ok)
+    }
+
+    /// Pushes a batch of already-solved schedules into the gateway's
+    /// cache (the router's reshard-prewarming path). Returns the
+    /// gateway's ack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures or a non-prewarm response.
+    pub fn prewarm(&mut self, entries: &[(ScheduleKey, Schedule)]) -> Result<bool, String> {
+        self.send_raw(&protocol::prewarm_line(entries))?;
+        match self.recv()? {
+            Response::Control { op, ok, .. } if op == "prewarm" => Ok(ok),
+            other => Err(format!("expected a prewarm ack, got {other:?}")),
+        }
     }
 
     fn control(&mut self, op: ControlOp) -> Result<(bool, Option<String>), String> {

@@ -28,6 +28,7 @@
 //! receiver. Untraced request lines are byte-identical to the
 //! pre-tracing format. See `docs/OBSERVABILITY.md` § Tracing.
 
+use drift_core::schedule::{Schedule, ScheduleKey};
 use drift_obs::trace::{parse_span_id, span_id_hex};
 use drift_obs::{TraceContext, TraceDecision, TraceId};
 use drift_serve::job::{JobResult, JobSpec};
@@ -80,6 +81,12 @@ pub enum Request {
     },
     /// A control line.
     Control(ControlOp),
+    /// A `{"control":"prewarm","entries":[...]}` line carrying solved
+    /// schedules for the cache — sent by the router for moved keys
+    /// during a live reshard, or by tooling seeding a cold gateway (see
+    /// `docs/PERSISTENCE.md`). Prewarmed entries are inserted without
+    /// counting hits/misses and are never re-appended to a store.
+    Prewarm(Vec<(ScheduleKey, Schedule)>),
 }
 
 /// One parsed response line.
@@ -127,6 +134,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         return match op {
             "ping" => Ok(Request::Control(ControlOp::Ping)),
             "shutdown" => Ok(Request::Control(ControlOp::Shutdown)),
+            "prewarm" => parse_prewarm_entries(&value).map(Request::Prewarm),
             other => Err(format!("unknown control operation '{other}'")),
         };
     }
@@ -141,6 +149,32 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         deadline_ms,
         trace,
     })
+}
+
+/// Decodes the `entries` array of a prewarm control line: each element
+/// is `{"key":<ScheduleKey>,"schedule":<Schedule>}`.
+fn parse_prewarm_entries(value: &Value) -> Result<Vec<(ScheduleKey, Schedule)>, String> {
+    let entries = match value.get("entries") {
+        Some(Value::Seq(seq)) => seq,
+        Some(other) => return Err(format!("entries must be an array, got {}", other.kind())),
+        None => return Err("prewarm requires an entries array".to_string()),
+    };
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let key = item
+                .get("key")
+                .ok_or_else(|| format!("entry {i}: missing key"))?;
+            let schedule = item
+                .get("schedule")
+                .ok_or_else(|| format!("entry {i}: missing schedule"))?;
+            Ok((
+                ScheduleKey::from_value(key).map_err(|e| format!("entry {i} key: {e}"))?,
+                Schedule::from_value(schedule).map_err(|e| format!("entry {i} schedule: {e}"))?,
+            ))
+        })
+        .collect()
 }
 
 /// Decodes the optional `trace_id`/`trace_span` request fields into a
@@ -220,6 +254,34 @@ pub fn control_line(op: ControlOp) -> String {
         "control".to_string(),
         Value::Str(op.name().to_string()),
     )]))
+}
+
+/// Renders a prewarm control line carrying solved schedules.
+pub fn prewarm_line(entries: &[(ScheduleKey, Schedule)]) -> String {
+    let items: Vec<Value> = entries
+        .iter()
+        .map(|(key, schedule)| {
+            Value::Map(vec![
+                ("key".to_string(), key.to_value()),
+                ("schedule".to_string(), schedule.to_value()),
+            ])
+        })
+        .collect();
+    render(&Value::Map(vec![
+        ("control".to_string(), Value::Str("prewarm".to_string())),
+        ("entries".to_string(), Value::Seq(items)),
+    ]))
+}
+
+/// Renders a prewarm acknowledgement,
+/// e.g. `{"control":"prewarm","ok":true,"inserted":12}`. The `inserted`
+/// count is informational (generic control parsing ignores it).
+pub fn prewarm_ack_line(ok: bool, inserted: u64) -> String {
+    render(&Value::Map(vec![
+        ("control".to_string(), Value::Str("prewarm".to_string())),
+        ("ok".to_string(), Value::Bool(ok)),
+        ("inserted".to_string(), inserted.to_value()),
+    ]))
 }
 
 /// Renders an error response line, e.g. `{"id":3,"error":"overloaded"}`.
@@ -413,6 +475,45 @@ mod tests {
             parse_response(&control_ack_line(ControlOp::Ping, true)).unwrap(),
             Response::Control {
                 op: "ping".to_string(),
+                ok: true,
+                queue: None
+            }
+        );
+    }
+
+    #[test]
+    fn prewarm_lines_round_trip() {
+        use drift_quant::Precision;
+        let key = ScheduleKey {
+            shape: drift_accel::gemm::GemmShape::new(64, 256, 64).unwrap(),
+            act_high: 16,
+            weight_high: 8,
+            act_precisions: (Precision::INT8, Precision::INT4),
+            weight_precisions: (Precision::INT8, Precision::INT4),
+            fabric: drift_accel::systolic::ArrayGeometry::new(8, 9).unwrap(),
+        };
+        let entries = vec![(key, key.solve().unwrap())];
+        let line = prewarm_line(&entries);
+        assert!(line.starts_with("{\"control\":\"prewarm\""));
+        match parse_request(&line).unwrap() {
+            Request::Prewarm(parsed) => assert_eq!(parsed, entries),
+            other => panic!("expected a prewarm, got {other:?}"),
+        }
+        // An empty batch is legal (a reshard may move zero tracked keys).
+        assert_eq!(
+            parse_request(&prewarm_line(&[])).unwrap(),
+            Request::Prewarm(Vec::new())
+        );
+        // Malformed batches are rejected with pointed messages.
+        assert!(parse_request("{\"control\":\"prewarm\"}").is_err());
+        assert!(parse_request("{\"control\":\"prewarm\",\"entries\":7}").is_err());
+        assert!(parse_request("{\"control\":\"prewarm\",\"entries\":[{\"key\":1}]}").is_err());
+        // The ack parses as a generic control acknowledgement.
+        let ack = parse_response(&prewarm_ack_line(true, 12)).unwrap();
+        assert_eq!(
+            ack,
+            Response::Control {
+                op: "prewarm".to_string(),
                 ok: true,
                 queue: None
             }

@@ -41,10 +41,12 @@ use drift_core::accelerator::DriftAccelerator;
 use drift_obs::{Recorder, SpanRecord, TraceDecision, TraceId, Tracer};
 use drift_serve::cache::ScheduleCache;
 use drift_serve::job::{result_line, JobOutcome, JobResult, JobSpec};
+use drift_serve::persist::{open_and_preload, StoreBinding};
 use drift_serve::queue::{job_queue_with_policy, Deadlined, JobQueue, QueuePolicy, WorkerHandle};
 use drift_serve::worker::execute_job_traced;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -302,6 +304,10 @@ pub struct Gateway {
     acceptor: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     workers: Vec<JoinHandle<()>>,
+    /// The persistent schedule store, when started with one. Finished
+    /// (flushed, possibly compacted) during shutdown, after the workers
+    /// have stopped producing new schedules.
+    store: Option<StoreBinding>,
 }
 
 impl Gateway {
@@ -323,6 +329,42 @@ impl Gateway {
         config: GatewayConfig,
         recorder: Recorder,
         tracer: Tracer,
+    ) -> io::Result<Gateway> {
+        Self::start_inner(addr, config, recorder, tracer, None)
+    }
+
+    /// Like [`Gateway::start_traced`], additionally backed by the
+    /// persistent schedule store at `store` (created if absent). The
+    /// store is loaded into the cache *before* the acceptor starts, so
+    /// the very first connection sees the warm cache; newly solved
+    /// schedules are appended in the background and flushed — with a
+    /// compaction when the log has outgrown the live set — during
+    /// shutdown. Warm-started gateways answer byte-identically to cold
+    /// ones: schedule solving is deterministic, so a stored schedule is
+    /// the schedule a cold solve would produce (`docs/PERSISTENCE.md`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure, and store open/load failures (bad
+    /// magic, future version, I/O) as `io::Error::other`. A corrupt
+    /// record *tail* is not an error: the valid prefix loads and the
+    /// damage is counted in `drift_store_records_skipped_total`.
+    pub fn start_persistent(
+        addr: &str,
+        config: GatewayConfig,
+        recorder: Recorder,
+        tracer: Tracer,
+        store: &Path,
+    ) -> io::Result<Gateway> {
+        Self::start_inner(addr, config, recorder, tracer, Some(store))
+    }
+
+    fn start_inner(
+        addr: &str,
+        config: GatewayConfig,
+        recorder: Recorder,
+        tracer: Tracer,
+        store_path: Option<&Path>,
     ) -> io::Result<Gateway> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -352,6 +394,16 @@ impl Gateway {
         shared
             .recorder
             .gauge_set("drift_serve_workers", &[], config.workers as i64);
+
+        // Warm-start before anything can connect: the first request
+        // already sees every schedule the previous run persisted.
+        let store = store_path
+            .map(|path| {
+                open_and_preload(path, &shared.cache, shared.recorder.clone())
+                    .map(|(_report, binding)| binding)
+                    .map_err(io::Error::other)
+            })
+            .transpose()?;
 
         let (queue, handle) = job_queue_with_policy::<GatewayJob>(config.queue, config.queue_depth);
         let queue = Arc::new(queue);
@@ -383,6 +435,7 @@ impl Gateway {
             acceptor: Some(acceptor),
             conns,
             workers,
+            store,
         })
     }
 
@@ -428,6 +481,15 @@ impl Gateway {
         self.queue.take();
         for worker in std::mem::take(&mut self.workers) {
             let _ = worker.join();
+        }
+        // With the workers gone nothing else produces schedules: flush
+        // the store's remaining appends and compact if it has outgrown
+        // the live set. Persistence is best-effort on the way out — a
+        // failed flush loses warm-start data, never responses.
+        if let Some(binding) = self.store.take() {
+            if let Err(e) = binding.finish(&self.shared.cache) {
+                eprintln!("drift-gateway: schedule store flush failed: {e}");
+            }
         }
         self.shared.tally.summary()
     }
@@ -560,6 +622,23 @@ fn handle_line(
             )));
             shared.drain.store(true, Ordering::SeqCst);
             false
+        }
+        Ok(Request::Prewarm(entries)) => {
+            // Reshard prewarming: the router pushes schedules whose
+            // keys now hash here (docs/PERSISTENCE.md). Preloaded
+            // entries bypass hit/miss accounting and the store spill —
+            // they are transplants, not solves.
+            let inserted = shared.cache.preload(&entries);
+            shared.recorder.counter_add(
+                "drift_gateway_prewarm_entries_total",
+                &[],
+                inserted as u64,
+            );
+            let _ = reply.send(Reply::plain(protocol::prewarm_ack_line(
+                true,
+                inserted as u64,
+            )));
+            true
         }
         Ok(Request::Job {
             spec,

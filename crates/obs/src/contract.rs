@@ -137,6 +137,13 @@ pub const METRICS: &[MetricSpec] = &[
         help: "Requests admitted into the gateway queue and not yet answered",
     },
     MetricSpec {
+        name: "drift_gateway_prewarm_entries_total",
+        kind: MetricKind::Counter,
+        unit: "schedules",
+        labels: &[],
+        help: "Solved schedules accepted from prewarm control messages into the cache",
+    },
+    MetricSpec {
         name: "drift_gateway_queue_wait_microseconds",
         kind: MetricKind::Histogram,
         unit: "microseconds",
@@ -221,6 +228,13 @@ pub const METRICS: &[MetricSpec] = &[
         unit: "requests",
         labels: &[],
         help: "Jobs admitted by the router and not yet answered",
+    },
+    MetricSpec {
+        name: "drift_router_prewarm_keys_total",
+        kind: MetricKind::Counter,
+        unit: "keys",
+        labels: &[],
+        help: "Moved schedule keys solved and pushed to their new owner during reshard",
     },
     MetricSpec {
         name: "drift_router_requests_routed_total",
@@ -321,6 +335,13 @@ pub const METRICS: &[MetricSpec] = &[
         help: "Job submissions that blocked because the queue was full",
     },
     MetricSpec {
+        name: "drift_serve_cache_evictions_total",
+        kind: MetricKind::Counter,
+        unit: "schedules",
+        labels: &[],
+        help: "Schedule-cache entries evicted (LRU within a full shard) to admit new ones",
+    },
+    MetricSpec {
         name: "drift_serve_job_latency_microseconds",
         kind: MetricKind::Histogram,
         unit: "microseconds",
@@ -383,6 +404,41 @@ pub const METRICS: &[MetricSpec] = &[
         unit: "nanoseconds",
         labels: &["stage"],
         help: "Wall time spent inside each stage path",
+    },
+    MetricSpec {
+        name: "drift_store_bytes_written_total",
+        kind: MetricKind::Counter,
+        unit: "bytes",
+        labels: &[],
+        help: "Bytes appended to the schedule store log (frames plus payloads)",
+    },
+    MetricSpec {
+        name: "drift_store_compactions_total",
+        kind: MetricKind::Counter,
+        unit: "events",
+        labels: &[],
+        help: "Store logs rewritten to their live set (at drain, or via `drift store compact`)",
+    },
+    MetricSpec {
+        name: "drift_store_records_appended_total",
+        kind: MetricKind::Counter,
+        unit: "records",
+        labels: &[],
+        help: "Newly solved schedules appended to the store log by the background flusher",
+    },
+    MetricSpec {
+        name: "drift_store_records_loaded_total",
+        kind: MetricKind::Counter,
+        unit: "records",
+        labels: &[],
+        help: "Sound records loaded from the store log at warm start",
+    },
+    MetricSpec {
+        name: "drift_store_records_skipped_total",
+        kind: MetricKind::Counter,
+        unit: "records",
+        labels: &[],
+        help: "Store records skipped at load: torn tail, checksum mismatch, or failed decode",
     },
     MetricSpec {
         name: "drift_trace_requests_sampled_total",

@@ -50,6 +50,7 @@ use crate::ring::{route_key, HashRing};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use drift_accel::systolic::ArrayGeometry;
 use drift_core::arch::paper_fabric;
+use drift_core::schedule::{Schedule, ScheduleKey};
 use drift_gateway::client::{Client, ClientReader, ClientWriter};
 use drift_gateway::framing::{LineEvent, LineReader};
 use drift_gateway::protocol::{
@@ -58,8 +59,9 @@ use drift_gateway::protocol::{
 use drift_gateway::Response;
 use drift_obs::{Recorder, SpanRecord, TraceContext, TraceDecision, TraceId, Tracer};
 use drift_serve::job::{result_line, JobSpec};
+use drift_serve::worker::schedule_key_for;
 use serde::Value;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -77,6 +79,10 @@ const QUIESCE_TIMEOUT: Duration = Duration::from_secs(30);
 /// Cap on the distinct-key set tracked for reshard moved-key counts.
 /// Past the cap the count is over the tracked sample only.
 const SEEN_KEYS_CAP: usize = 65_536;
+/// Cap on the moved keys the router solves and pushes to their new
+/// owners during one reshard. Past the cap the remaining moved keys
+/// warm up lazily: the new owner re-solves them on first miss.
+const PREWARM_KEYS_CAP: usize = 2048;
 
 /// Tunables for one router instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,7 +305,11 @@ struct Shared {
     pending: Mutex<HashMap<u64, PendingEntry>>,
     next_internal_id: AtomicU64,
     /// Sample of distinct routing keys seen, for moved-key accounting.
-    seen_keys: Mutex<HashSet<u64>>,
+    /// Each routing hash carries the exact [`ScheduleKey`] it was
+    /// derived from (`None` for jobs without a schedule), so a reshard
+    /// can re-solve moved keys and push the schedules to their new
+    /// owner before traffic resumes (`docs/PERSISTENCE.md`).
+    seen_keys: Mutex<HashMap<u64, Option<ScheduleKey>>>,
     tally: Tally,
     /// Reader threads of shard connections (every generation).
     shard_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -436,7 +446,7 @@ impl Router {
             }),
             pending: Mutex::new(HashMap::new()),
             next_internal_id: AtomicU64::new(1),
-            seen_keys: Mutex::new(HashSet::new()),
+            seen_keys: Mutex::new(HashMap::new()),
             tally: Tally::default(),
             shard_threads: Mutex::new(Vec::new()),
         });
@@ -1000,6 +1010,12 @@ fn handle_client_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>) 
             let _ = reply.send(protocol::control_ack_line(op, true));
             !matches!(op, ControlOp::Shutdown)
         }
+        // Also intercepted above (prewarm is a control): the router
+        // holds no schedule cache — prewarm targets gateways directly.
+        Ok(Request::Prewarm(_)) => {
+            let _ = reply.send(protocol::prewarm_ack_line(false, 0));
+            true
+        }
         Ok(Request::Job {
             spec,
             deadline_ms,
@@ -1062,8 +1078,11 @@ fn admit(
     let key = route_key(&spec, shared.fabric);
     {
         let mut seen = shared.seen_keys.lock().expect("seen keys");
-        if seen.len() < SEEN_KEYS_CAP {
-            seen.insert(key);
+        if seen.len() < SEEN_KEYS_CAP && !seen.contains_key(&key) {
+            // The schedule key re-derives in microseconds and only on
+            // the first sighting of a routing hash; reshard prewarming
+            // needs the real key, not just its hash.
+            seen.insert(key, schedule_key_for(&spec, shared.fabric));
         }
     }
     shared.tally.accepted.fetch_add(1, Ordering::Relaxed);
@@ -1142,21 +1161,30 @@ fn reshard(shared: &Arc<Shared>, value: &Value) -> String {
         std::thread::sleep(Duration::from_millis(1));
     }
 
-    let (moved, tracked, retired, added) = {
+    let (moved, moving, tracked, retired, added) = {
         let mut table = shared.table.write().expect("routing table");
         let new_ring = HashRing::new(&unique, vnodes);
         let seen = shared.seen_keys.lock().expect("seen keys");
-        let moved = seen
-            .iter()
-            .filter(|&&key| {
-                let old = table
-                    .ring
-                    .primary(key)
-                    .map(|i| table.ring.shards()[i].as_str());
-                let new = new_ring.primary(key).map(|i| new_ring.shards()[i].as_str());
-                old != new
-            })
-            .count() as u64;
+        let mut moved = 0u64;
+        // The moved keys whose schedules can be pushed to their new
+        // owner: jobs without a schedule key have nothing to prewarm.
+        let mut moving: Vec<(ScheduleKey, String)> = Vec::new();
+        for (&key, schedule_key) in seen.iter() {
+            let old = table
+                .ring
+                .primary(key)
+                .map(|i| table.ring.shards()[i].as_str());
+            let new = new_ring.primary(key).map(|i| new_ring.shards()[i].as_str());
+            if old == new {
+                continue;
+            }
+            moved += 1;
+            if let (Some(schedule_key), Some(new_addr)) = (schedule_key, new) {
+                if moving.len() < PREWARM_KEYS_CAP {
+                    moving.push((*schedule_key, new_addr.to_string()));
+                }
+            }
+        }
         let tracked = seen.len() as u64;
         drop(seen);
         let mut added = 0u64;
@@ -1188,7 +1216,7 @@ fn reshard(shared: &Arc<Shared>, value: &Value) -> String {
             ring: new_ring,
             links: new_links,
         };
-        (moved, tracked, retired, added)
+        (moved, moving, tracked, retired, added)
     };
     // Connect newly added shards outside the table write lock.
     {
@@ -1199,6 +1227,10 @@ fn reshard(shared: &Arc<Shared>, value: &Value) -> String {
             }
         }
     }
+    // Still quiesced: push moved schedules to their new owners so the
+    // first post-reshard request hits a warm cache instead of paying a
+    // cold solve on every relocated key.
+    let prewarmed = prewarm_moved_keys(shared, moving);
     shared.refresh_healthy_gauge();
     shared.tally.reshards.fetch_add(1, Ordering::Relaxed);
     shared
@@ -1207,9 +1239,46 @@ fn reshard(shared: &Arc<Shared>, value: &Value) -> String {
     shared.resharding.store(false, Ordering::SeqCst);
     format!(
         "{{\"control\":\"reshard\",\"ok\":true,\"shards\":{},\"added\":{added},\"retired\":{retired},\
-         \"moved_keys\":{moved},\"tracked_keys\":{tracked}}}",
+         \"moved_keys\":{moved},\"tracked_keys\":{tracked},\"prewarmed_keys\":{prewarmed}}}",
         unique.len()
     )
+}
+
+/// Solves the moved keys and pushes each group to its new owning shard
+/// over a short-lived connection (prewarm acks would be noise on the
+/// pipelined data connections). Solving here costs the router one
+/// Eq. 8 sweep per key — exactly the sweep the new owner would
+/// otherwise run on its first miss, but off the request path. Wholly
+/// best-effort: an unreachable or refusing shard just misses its
+/// warm-up and re-solves lazily.
+fn prewarm_moved_keys(shared: &Shared, moving: Vec<(ScheduleKey, String)>) -> u64 {
+    if moving.is_empty() {
+        return 0;
+    }
+    let mut by_shard: HashMap<String, Vec<(ScheduleKey, Schedule)>> = HashMap::new();
+    for (key, addr) in moving {
+        // Pure solve — byte-identical to what the new owner would
+        // compute itself, so prewarming never changes a response.
+        if let Ok(schedule) = key.solve() {
+            by_shard.entry(addr).or_default().push((key, schedule));
+        }
+    }
+    let timeout = Duration::from_millis(shared.config.connect_timeout_ms);
+    let mut prewarmed = 0u64;
+    for (addr, entries) in by_shard {
+        let pushed = Client::connect_with_timeout(&addr, timeout)
+            .ok()
+            .and_then(|mut client| client.prewarm(&entries).ok());
+        if pushed == Some(true) {
+            prewarmed += entries.len() as u64;
+        }
+    }
+    if prewarmed > 0 {
+        shared
+            .recorder
+            .counter_add("drift_router_prewarm_keys_total", &[], prewarmed);
+    }
+    prewarmed
 }
 
 /// Writes response lines until every sender is gone; a write failure

@@ -1,6 +1,8 @@
 //! Live resharding: grow the ring from two to three shards (and back
 //! down) while the router keeps answering, with moved-key accounting in
-//! both the control acknowledgement and the metrics contract.
+//! both the control acknowledgement and the metrics contract — and
+//! with every moved schedule prewarmed onto its new owner, so the
+//! reshard never turns warm keys cold (`docs/PERSISTENCE.md`).
 
 use drift_gateway::protocol::request_line;
 use drift_gateway::{Gateway, GatewayConfig};
@@ -90,20 +92,25 @@ fn field_u64(value: &Value, name: &str) -> u64 {
     }
 }
 
-fn moved_keys_metric(recorder: &Recorder) -> u64 {
+fn counter(recorder: &Recorder, name: &str) -> u64 {
     recorder
         .registry()
         .expect("recorder enabled")
         .snapshot()
-        .counter_sum("drift_router_reshard_moved_keys_total")
+        .counter_sum(name)
+}
+
+fn moved_keys_metric(recorder: &Recorder) -> u64 {
+    counter(recorder, "drift_router_reshard_moved_keys_total")
 }
 
 #[test]
 fn reshard_grows_and_shrinks_the_ring_without_losing_jobs() {
     let recorder = Recorder::enabled();
-    let gateways: Vec<Gateway> = (0..3)
-        .map(|_| start_gateway(&Recorder::disabled()))
-        .collect();
+    // All three gateways share one recorder, so miss/prewarm totals
+    // below are summed over the whole backend fleet.
+    let gw_recorder = Recorder::enabled();
+    let gateways: Vec<Gateway> = (0..3).map(|_| start_gateway(&gw_recorder)).collect();
     let addr_of = |i: usize| gateways[i].local_addr().to_string();
 
     let router = Router::start(
@@ -142,10 +149,30 @@ fn reshard_grows_and_shrinks_the_ring_without_losing_jobs() {
         "growing 2 -> 3 shards should move a strict subset of keys, moved {moved_up}"
     );
     assert_eq!(moved_keys_metric(&recorder), moved_up);
+    // Every moved key is a schedule job and the new shard is healthy,
+    // so every one of them was solved and pushed before the quiesce
+    // lifted — on both sides of the control message.
+    assert_eq!(field_u64(&ack, "prewarmed_keys"), moved_up);
+    assert_eq!(
+        counter(&recorder, "drift_router_prewarm_keys_total"),
+        moved_up
+    );
+    assert_eq!(
+        counter(&gw_recorder, "drift_gateway_prewarm_entries_total"),
+        moved_up
+    );
 
     // The router keeps answering on the SAME client connection.
     let second = conn.drive(&scan(50, 1000));
     assert_eq!(second.len(), 50);
+    // The same 50 keys again: retained keys hit their original shard's
+    // cache and moved keys hit the prewarmed entries on the new shard,
+    // so the fleet solves nothing it has solved before.
+    assert_eq!(
+        counter(&gw_recorder, "drift_schedule_cache_misses_total"),
+        50,
+        "a prewarmed reshard must not turn warm keys cold"
+    );
 
     // Shrink back to two shards, retiring the third.
     let shrink = format!(
@@ -164,9 +191,15 @@ fn reshard_grows_and_shrinks_the_ring_without_losing_jobs() {
     let moved_down = field_u64(&ack, "moved_keys");
     assert!(moved_down >= 1, "retiring a shard must move its keys back");
     assert_eq!(moved_keys_metric(&recorder), moved_up + moved_down);
+    assert_eq!(field_u64(&ack, "prewarmed_keys"), moved_down);
 
     let third = conn.drive(&scan(50, 2000));
     assert_eq!(third.len(), 50);
+    // Still the same 50 keys: the shrink's prewarm kept them warm too.
+    assert_eq!(
+        counter(&gw_recorder, "drift_schedule_cache_misses_total"),
+        50
+    );
 
     // A malformed reshard is refused without disturbing the router.
     let bad: Value =

@@ -13,6 +13,7 @@
 //! least-recently-used one is evicted when the shard outgrows its
 //! capacity slice.
 
+use crossbeam::channel::Sender;
 use drift_core::schedule::{Schedule, ScheduleKey};
 use drift_obs::{span, Recorder, SpanRecord, TraceId, Tracer};
 use parking_lot::Mutex;
@@ -30,6 +31,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted to make room (LRU within a full shard).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -61,6 +64,13 @@ pub struct ScheduleCache {
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// When set, every *newly solved* schedule is also sent here — the
+    /// persistence spill feeding `drift-store`'s background appender.
+    /// Preloaded and prewarmed entries never spill (they came from a
+    /// store already). Touched only on the miss path, which already
+    /// costs a ~100 µs solve, so the channel send is noise.
+    spill: Mutex<Option<Sender<(ScheduleKey, Schedule)>>>,
     recorder: Recorder,
 }
 
@@ -98,8 +108,22 @@ impl ScheduleCache {
             per_shard_capacity: capacity.max(1).div_ceil(shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            spill: Mutex::new(None),
             recorder,
         }
+    }
+
+    /// Routes newly solved schedules into `tx` as well as the cache
+    /// (see the `spill` field). Replaces any previous spill.
+    pub fn set_spill(&self, tx: Sender<(ScheduleKey, Schedule)>) {
+        *self.spill.lock() = Some(tx);
+    }
+
+    /// Detaches the spill channel, dropping the cache's sender so a
+    /// receiver loop draining it sees disconnection and can exit.
+    pub fn take_spill(&self) -> Option<Sender<(ScheduleKey, Schedule)>> {
+        self.spill.lock().take()
     }
 
     fn shard_for(&self, key: &ScheduleKey) -> &Mutex<Shard> {
@@ -148,6 +172,9 @@ impl ScheduleCache {
                     .map(|(k, _)| *k)
                 {
                     shard.entries.remove(&evict);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.recorder
+                        .counter_add("drift_serve_cache_evictions_total", &[], 1);
                 }
             }
             let before = shard.entries.len();
@@ -167,6 +194,38 @@ impl ScheduleCache {
             self.recorder
                 .gauge_add("drift_schedule_cache_entries", &[], 1);
         }
+    }
+
+    /// Warm-starts the cache from already-solved entries (a store load
+    /// or a reshard prewarm): inserts without touching the hit/miss
+    /// counters and without spilling — these schedules are already
+    /// durable somewhere. Normal LRU eviction applies, so preloading
+    /// more than the capacity keeps only the most recent entries.
+    /// Returns how many entries were inserted.
+    pub fn preload(&self, entries: &[(ScheduleKey, Schedule)]) -> usize {
+        for (key, schedule) in entries {
+            self.insert(*key, *schedule);
+        }
+        entries.len()
+    }
+
+    /// Snapshots the resident entries for persistence. Within each
+    /// shard, entries come out least-recently-used first, so a
+    /// [`ScheduleCache::preload`] of the result into a same-shaped
+    /// cache reproduces each shard's eviction order.
+    pub fn export(&self) -> Vec<(ScheduleKey, Schedule)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            let mut entries: Vec<_> = shard
+                .entries
+                .iter()
+                .map(|(k, e)| (e.last_used, *k, e.schedule))
+                .collect();
+            entries.sort_unstable_by_key(|(used, ..)| *used);
+            out.extend(entries.into_iter().map(|(_, k, s)| (k, s)));
+        }
+        out
     }
 
     /// Returns `key`'s schedule, running the Eq. 8 sweep on a miss.
@@ -247,6 +306,11 @@ impl ScheduleCache {
             });
         }
         self.insert(key, schedule);
+        if let Some(tx) = self.spill.lock().as_ref() {
+            // A disconnected receiver (persistence already shut down)
+            // must never fail a solve; the entry is simply not spilled.
+            let _ = tx.send((key, schedule));
+        }
         Ok((schedule, false))
     }
 
@@ -256,6 +320,7 @@ impl ScheduleCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().entries.len()).sum(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }

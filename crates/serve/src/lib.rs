@@ -58,6 +58,7 @@
 
 pub mod cache;
 pub mod job;
+pub mod persist;
 pub mod queue;
 pub mod runtime;
 pub mod stats;
@@ -68,6 +69,9 @@ pub use job::{
     read_jobs, read_jobs_lenient, synthetic_jobs, JobKind, JobOutcome, JobResult, JobSpec,
     LenientIngest,
 };
+pub use persist::{open_and_preload, StoreBinding};
 pub use queue::{Deadlined, QueuePolicy};
-pub use runtime::{serve, serve_traced, serve_with_recorder, ServeConfig, ServeOutcome};
+pub use runtime::{
+    serve, serve_on_cache, serve_traced, serve_with_recorder, ServeConfig, ServeOutcome,
+};
 pub use stats::ServeReport;

@@ -99,6 +99,21 @@ pub fn serve_traced(
         config.cache_shards.max(1),
         recorder.clone(),
     );
+    serve_on_cache(jobs, config, recorder, tracer, &cache)
+}
+
+/// [`serve_traced`] over a caller-owned cache. The caller may have
+/// warm-started the cache from a `drift-store` log and attached a
+/// persistence spill before the run; the runtime itself neither knows
+/// nor cares — results are a pure function of the job stream either
+/// way (warm-vs-cold byte-identity is tested).
+pub fn serve_on_cache(
+    jobs: Vec<JobSpec>,
+    config: &ServeConfig,
+    recorder: Recorder,
+    tracer: Tracer,
+    cache: &ScheduleCache,
+) -> ServeOutcome {
     let workers = config.workers.max(1);
     recorder.gauge_set("drift_serve_workers", &[], workers as i64);
     let (queue, worker_handle) = job_queue_with_policy(config.queue, config.queue_depth);
@@ -110,7 +125,6 @@ pub fn serve_traced(
             .map(|i| {
                 let handle = worker_handle.clone();
                 let tx = result_tx.clone();
-                let cache = &cache;
                 let recorder = recorder.clone();
                 let tracer = tracer.clone();
                 scope.spawn(move || worker_loop(i, handle, tx, cache, recorder, tracer))

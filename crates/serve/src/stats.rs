@@ -175,6 +175,7 @@ mod tests {
             hits: 1,
             misses: 1,
             entries: 1,
+            evictions: 0,
         };
         let report = ServeReport::aggregate(&[a, b], cache, Duration::from_millis(10));
         assert_eq!(report.jobs, 2);

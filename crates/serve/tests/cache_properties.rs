@@ -1,5 +1,7 @@
-//! Property: a schedule served from the cache is byte-identical to one
-//! computed fresh, for arbitrary shapes and precision mixes.
+//! Properties of the schedule cache: a cached schedule is byte-identical
+//! to one computed fresh (for arbitrary shapes and precision mixes),
+//! eviction is least-recently-*used* — not insertion — order, and every
+//! shard respects its slice of the configured capacity.
 
 use drift_accel::gemm::GemmShape;
 use drift_accel::systolic::ArrayGeometry;
@@ -7,6 +9,7 @@ use drift_core::schedule::ScheduleKey;
 use drift_quant::Precision;
 use drift_serve::ScheduleCache;
 use proptest::prelude::*;
+use std::collections::HashSet;
 
 proptest! {
     #[test]
@@ -41,4 +44,111 @@ proptest! {
         prop_assert_eq!(serde_json::to_string(&miss).unwrap(), fresh_bytes.clone());
         prop_assert_eq!(serde_json::to_string(&cached).unwrap(), fresh_bytes);
     }
+}
+
+/// The `i`-th of a family of distinct, valid schedule keys.
+fn distinct_key(i: usize) -> ScheduleKey {
+    ScheduleKey {
+        shape: GemmShape::new(16 + 8 * i, 128, 64).unwrap(),
+        act_high: 8,
+        weight_high: 16,
+        act_precisions: (Precision::INT8, Precision::INT4),
+        weight_precisions: (Precision::INT8, Precision::INT4),
+        fabric: ArrayGeometry::new(8, 9).unwrap(),
+    }
+}
+
+/// The set of keys currently resident (via the persistence export).
+fn resident(cache: &ScheduleCache) -> HashSet<ScheduleKey> {
+    cache.export().into_iter().map(|(k, _)| k).collect()
+}
+
+#[test]
+fn eviction_is_least_recently_used_not_insertion_order() {
+    // One shard, capacity 3, so eviction order is fully deterministic.
+    let cache = ScheduleCache::new(3, 1);
+    let (a, b, c, d) = (
+        distinct_key(0),
+        distinct_key(1),
+        distinct_key(2),
+        distinct_key(3),
+    );
+    for k in [a, b, c] {
+        cache.get_or_solve(k).unwrap();
+    }
+    // Touch `a`: the oldest-inserted key becomes the most recently
+    // used, so the LRU entry is now `b`.
+    assert!(cache.get(&a).is_some());
+    cache.get_or_solve(d).unwrap();
+
+    let live = resident(&cache);
+    assert!(
+        live.contains(&a),
+        "FIFO would evict `a` here; LRU must keep it"
+    );
+    assert!(!live.contains(&b), "`b` is the least recently used entry");
+    assert!(live.contains(&c));
+    assert!(live.contains(&d));
+    assert_eq!(cache.stats().evictions, 1);
+}
+
+#[test]
+fn every_shard_respects_its_capacity_slice() {
+    // Capacity 8 over 4 shards: each shard holds at most 2 entries, so
+    // 40 distinct keys can leave at most 8 resident no matter how the
+    // shard hash spreads them.
+    let cache = ScheduleCache::new(8, 4);
+    let keys: Vec<ScheduleKey> = (0..40).map(distinct_key).collect();
+    for k in &keys {
+        cache.get_or_solve(*k).unwrap();
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.entries <= 8,
+        "shards exceeded their capacity slices: {} resident",
+        stats.entries
+    );
+    assert_eq!(
+        stats.evictions,
+        40 - stats.entries as u64,
+        "every insert beyond a shard's slice must evict exactly one entry"
+    );
+    // The residents are a subset of what was inserted, and the LRU tail
+    // of each shard: re-getting every key must hit exactly the
+    // residents and miss the rest.
+    let live = resident(&cache);
+    assert!(live.iter().all(|k| keys.contains(k)));
+    let (hits_before, misses_before) = (stats.hits, stats.misses);
+    let mut hits = 0;
+    for k in &keys {
+        if cache.get(k).is_some() {
+            hits += 1;
+        }
+    }
+    assert_eq!(hits, live.len());
+    assert_eq!(cache.stats().hits - hits_before, hits as u64);
+    assert_eq!(cache.stats().misses - misses_before, (40 - hits) as u64);
+}
+
+#[test]
+fn preload_overflow_keeps_only_each_shards_most_recent_slice() {
+    // Preloading 12 entries into a 4-entry single-shard cache must
+    // leave the 4 most recently preloaded entries resident — normal
+    // LRU applies to warm-start data too.
+    let cache = ScheduleCache::new(4, 1);
+    let entries: Vec<_> = (0..12)
+        .map(|i| {
+            let k = distinct_key(i);
+            (k, k.solve().unwrap())
+        })
+        .collect();
+    assert_eq!(cache.preload(&entries), 12);
+    let live = resident(&cache);
+    assert_eq!(live.len(), 4);
+    for (k, _) in &entries[8..] {
+        assert!(live.contains(k), "the newest preloads must survive");
+    }
+    // Preload populates without touching the serving counters.
+    assert_eq!(cache.stats().hits, 0);
+    assert_eq!(cache.stats().misses, 0);
 }

@@ -1,0 +1,693 @@
+//! Persistent schedule store: an append-only, checksummed on-disk log
+//! of solved `(ScheduleKey, Schedule)` pairs.
+//!
+//! Drift's serving advantage hangs on reusing solved Eq. 8 schedules —
+//! a cache hit costs ~1.6 µs against ~103 µs for a cold solve — yet the
+//! sharded LRU cache lives only in RAM, so every restart replays the
+//! solve storm at peak load. This crate makes the solved set durable:
+//!
+//! * [`load`] reads a log **tolerantly**: a truncated or corrupt tail
+//!   (the expected residue of a crash mid-append) is skipped and
+//!   counted, never fatal. Only a wrong magic or a future format
+//!   version refuses cleanly.
+//! * [`StoreWriter`] appends new entries, each framed with a length and
+//!   an FNV-1a checksum so torn writes are detectable on the next load.
+//! * [`write_snapshot`] / [`compact`] rewrite a log to its live set via
+//!   the atomic temp-file+rename pattern (same idiom as `--port-file`).
+//! * [`verify`] is the **strict** reader for tooling: any framing or
+//!   checksum defect is an error, and deep mode re-solves every key to
+//!   prove the stored schedules still match the solver byte for byte.
+//!
+//! # On-disk format (version 1)
+//!
+//! ```text
+//! header:  8-byte magic "DRIFTSTO" | u32 LE version | u32 LE reserved
+//! record:  u32 LE payload_len | u64 LE fnv1a(payload) | payload
+//! payload: the 124-byte canonical entry encoding
+//!          (drift_core::schedule::encode_entry)
+//! ```
+//!
+//! The full specification, including the crash-tolerance contract,
+//! lives in `docs/PERSISTENCE.md`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use drift_core::schedule::{decode_entry, encode_entry, Schedule, ScheduleKey, ENTRY_BYTES};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"DRIFTSTO";
+/// The current (and only) format version.
+pub const VERSION: u32 = 1;
+/// Header size: magic + version + reserved.
+pub const HEADER_BYTES: usize = 16;
+/// Record frame overhead: u32 length + u64 checksum.
+pub const FRAME_BYTES: usize = 12;
+/// Upper bound on a record payload. Today every payload is exactly
+/// [`ENTRY_BYTES`]; the bound keeps a corrupt length field from asking
+/// the loader to allocate gigabytes before the checksum can reject it.
+pub const MAX_RECORD_LEN: u32 = 4096;
+
+/// FNV-1a over `bytes` — the same hash the router's ring uses, kept as
+/// a local copy so the store sits below the serving tiers in the
+/// dependency graph.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Errors the store can produce.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem failure.
+    Io(io::Error),
+    /// The file does not start with the store magic.
+    Magic {
+        /// The path that was read.
+        path: PathBuf,
+    },
+    /// The file's format version is newer than this build understands.
+    Version {
+        /// The path that was read.
+        path: PathBuf,
+        /// The version found in the header.
+        found: u32,
+    },
+    /// Strict verification found a defect ([`verify`] only — [`load`]
+    /// skips instead).
+    Corrupt {
+        /// Byte offset of the defective record's frame.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Magic { path } => {
+                write!(f, "{} is not a drift store (bad magic)", path.display())
+            }
+            StoreError::Version { path, found } => write!(
+                f,
+                "{} is store format v{found}, this build reads v{VERSION}",
+                path.display()
+            ),
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "corrupt record at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// What a tolerant [`load`] found.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Entries that decoded and validated, in log order (later
+    /// duplicates of a key are later in the vec — last write wins).
+    pub entries: Vec<(ScheduleKey, Schedule)>,
+    /// Records read successfully.
+    pub records: u64,
+    /// Records skipped: torn tail, bad checksum, or failed decode.
+    pub skipped: u64,
+    /// Total file length in bytes.
+    pub bytes: u64,
+    /// Length of the longest well-framed prefix. Appends resume here;
+    /// anything past it is an unframeable tail.
+    pub valid_len: u64,
+    /// Whether the file ended in an unframeable (torn) tail.
+    pub truncated_tail: bool,
+}
+
+fn read_header(path: &Path, bytes: &[u8]) -> Result<()> {
+    if bytes.len() < HEADER_BYTES || bytes[..8] != MAGIC {
+        return Err(StoreError::Magic {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(StoreError::Version {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    Ok(())
+}
+
+/// One scan step: the record at `pos`, or why it could not be framed.
+enum Scan {
+    /// A well-framed record: payload range and whether it is sound.
+    Record {
+        /// End of this record's frame (the next scan position).
+        end: usize,
+        /// Decoded entry; `None` if the checksum or decode failed.
+        entry: Option<(ScheduleKey, Schedule)>,
+    },
+    /// Fewer bytes remain than a frame (or its declared payload) needs,
+    /// or the length field is implausible: the torn-tail case.
+    Tail,
+}
+
+fn scan_record(bytes: &[u8], pos: usize) -> Scan {
+    let Some(frame) = bytes.get(pos..pos + FRAME_BYTES) else {
+        return Scan::Tail;
+    };
+    let len = u32::from_le_bytes(frame[..4].try_into().expect("4-byte slice"));
+    if len > MAX_RECORD_LEN {
+        return Scan::Tail;
+    }
+    let sum = u64::from_le_bytes(frame[4..12].try_into().expect("8-byte slice"));
+    let start = pos + FRAME_BYTES;
+    let Some(payload) = bytes.get(start..start + len as usize) else {
+        return Scan::Tail;
+    };
+    let entry = if fnv1a(payload) == sum {
+        decode_entry(payload).ok()
+    } else {
+        None
+    };
+    Scan::Record {
+        end: start + len as usize,
+        entry,
+    }
+}
+
+/// Reads the log at `path` tolerantly: well-framed records that fail
+/// their checksum or decode are skipped (counted), and a torn tail ends
+/// the scan as one more skip. Never fails on content — only on I/O, a
+/// bad magic, or a future version.
+///
+/// # Errors
+///
+/// [`StoreError::Io`], [`StoreError::Magic`], [`StoreError::Version`].
+pub fn load(path: &Path) -> Result<LoadReport> {
+    let bytes = fs::read(path)?;
+    read_header(path, &bytes)?;
+    let mut report = LoadReport {
+        entries: Vec::new(),
+        records: 0,
+        skipped: 0,
+        bytes: bytes.len() as u64,
+        valid_len: HEADER_BYTES as u64,
+        truncated_tail: false,
+    };
+    let mut pos = HEADER_BYTES;
+    while pos < bytes.len() {
+        match scan_record(&bytes, pos) {
+            Scan::Record { end, entry } => {
+                match entry {
+                    Some(e) => {
+                        report.records += 1;
+                        report.entries.push(e);
+                    }
+                    None => report.skipped += 1,
+                }
+                pos = end;
+                report.valid_len = pos as u64;
+            }
+            Scan::Tail => {
+                report.skipped += 1;
+                report.truncated_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Appends framed records to a store log.
+///
+/// Opened via [`StoreWriter::open`], which loads the existing contents
+/// (tolerantly), truncates any torn tail so new appends are framed
+/// against a sound prefix, and positions at the end.
+#[derive(Debug)]
+pub struct StoreWriter {
+    file: File,
+    path: PathBuf,
+    /// Records currently framed in the log (sound or skipped), used by
+    /// callers deciding when compaction pays.
+    records_on_disk: u64,
+    /// Bytes appended through this writer.
+    bytes_written: u64,
+}
+
+impl StoreWriter {
+    /// Opens (or creates) the log at `path` for appending. Returns the
+    /// tolerant [`LoadReport`] of what was already there alongside the
+    /// writer; a torn tail is truncated away so the next record starts
+    /// on a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`], [`StoreError::Magic`], [`StoreError::Version`].
+    pub fn open(path: &Path) -> Result<(LoadReport, StoreWriter)> {
+        if !path.exists() {
+            let mut header = Vec::with_capacity(HEADER_BYTES);
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            header.extend_from_slice(&0u32.to_le_bytes());
+            atomic_write(path, &header)?;
+        }
+        let report = load(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(report.valid_len)?;
+        file.seek(SeekFrom::Start(report.valid_len))?;
+        let records_on_disk = report.records + report.skipped - u64::from(report.truncated_tail);
+        Ok((
+            report,
+            StoreWriter {
+                file,
+                path: path.to_path_buf(),
+                records_on_disk,
+                bytes_written: 0,
+            },
+        ))
+    }
+
+    /// Appends one entry. Returns the bytes written (frame + payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn append(&mut self, key: &ScheduleKey, schedule: &Schedule) -> Result<u64> {
+        self.append_batch(std::slice::from_ref(&(*key, *schedule)))
+    }
+
+    /// Appends a batch of entries with one write call. Returns the
+    /// bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn append_batch(&mut self, entries: &[(ScheduleKey, Schedule)]) -> Result<u64> {
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = Vec::with_capacity(entries.len() * (FRAME_BYTES + ENTRY_BYTES));
+        let mut payload = Vec::with_capacity(ENTRY_BYTES);
+        for (key, schedule) in entries {
+            payload.clear();
+            encode_entry(key, schedule, &mut payload);
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+        }
+        self.file.write_all(&buf)?;
+        self.records_on_disk += entries.len() as u64;
+        self.bytes_written += buf.len() as u64;
+        Ok(buf.len() as u64)
+    }
+
+    /// Records framed in the log so far (including skipped ones).
+    pub fn records_on_disk(&self) -> u64 {
+        self.records_on_disk
+    }
+
+    /// Bytes appended through this writer.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// The path this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes appended records to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sync failure.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Writes `data` to `path` atomically: temp file in the same directory,
+/// sync, rename. Readers see either the old file or the new one, never
+/// a torn intermediate (the `--port-file` idiom).
+fn atomic_write(path: &Path, data: &[u8]) -> Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "store".to_string());
+    let tmp = dir
+        .unwrap_or_else(|| Path::new("."))
+        .join(format!(".{name}.tmp-{}", std::process::id()));
+    let result = (|| -> Result<()> {
+        let mut file = File::create(&tmp)?;
+        file.write_all(data)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Serializes `entries` into a fresh single-generation log image
+/// (header + one sound record per entry).
+fn snapshot_bytes(entries: &[(ScheduleKey, Schedule)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_BYTES + entries.len() * (FRAME_BYTES + ENTRY_BYTES));
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    let mut payload = Vec::with_capacity(ENTRY_BYTES);
+    for (key, schedule) in entries {
+        payload.clear();
+        encode_entry(key, schedule, &mut payload);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+    buf
+}
+
+/// Atomically replaces the log at `path` with exactly `entries` — the
+/// snapshot half of compaction, also used to persist a live cache's
+/// contents at drain time.
+///
+/// # Errors
+///
+/// Propagates the write/rename failure.
+pub fn write_snapshot(path: &Path, entries: &[(ScheduleKey, Schedule)]) -> Result<()> {
+    atomic_write(path, &snapshot_bytes(entries))
+}
+
+/// Deduplicates `entries` by key, keeping the **last** occurrence of
+/// each (log order is append order, so later wins) while preserving the
+/// relative order of the survivors.
+pub fn dedup_last_wins(entries: Vec<(ScheduleKey, Schedule)>) -> Vec<(ScheduleKey, Schedule)> {
+    use std::collections::HashMap;
+    let mut last: HashMap<ScheduleKey, usize> = HashMap::with_capacity(entries.len());
+    for (i, (key, _)) in entries.iter().enumerate() {
+        last.insert(*key, i);
+    }
+    entries
+        .into_iter()
+        .enumerate()
+        .filter(|(i, (key, _))| last[key] == *i)
+        .map(|(_, e)| e)
+        .collect()
+}
+
+/// Rewrites the log at `path` to its live set: tolerant load, dedup
+/// (last write wins), skip corrupt records, atomic snapshot. Returns
+/// `(records_before, records_after)` where "before" counts sound and
+/// skipped records alike.
+///
+/// # Errors
+///
+/// [`StoreError::Io`], [`StoreError::Magic`], [`StoreError::Version`].
+pub fn compact(path: &Path) -> Result<(u64, u64)> {
+    let report = load(path)?;
+    let before = report.records + report.skipped;
+    let live = dedup_last_wins(report.entries);
+    let after = live.len() as u64;
+    write_snapshot(path, &live)?;
+    Ok((before, after))
+}
+
+/// Merges several logs into `out`: inputs are loaded tolerantly in
+/// order, concatenated, deduplicated last-wins (a later input overrides
+/// an earlier one on key conflicts), and snapshot atomically. Returns
+/// the merged entry count.
+///
+/// # Errors
+///
+/// Fails on the first unreadable input or on the output write.
+pub fn merge(inputs: &[PathBuf], out: &Path) -> Result<u64> {
+    let mut all = Vec::new();
+    for input in inputs {
+        all.extend(load(input)?.entries);
+    }
+    let live = dedup_last_wins(all);
+    let count = live.len() as u64;
+    write_snapshot(out, &live)?;
+    Ok(count)
+}
+
+/// What strict [`verify`] found in a sound log.
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Sound records in the log.
+    pub records: u64,
+    /// Distinct keys after last-wins dedup.
+    pub unique_keys: u64,
+    /// Total file length in bytes.
+    pub bytes: u64,
+    /// In deep mode, entries whose stored schedule exactly matched a
+    /// fresh [`ScheduleKey::solve`] (always equals `records` on
+    /// success; `None` in shallow mode).
+    pub resolved: Option<u64>,
+}
+
+/// Strictly verifies the log at `path`: unlike [`load`], **any** torn
+/// tail, checksum mismatch, or decode failure is an error. With `deep`,
+/// every key is additionally re-solved and the stored schedule must
+/// match the solver's answer exactly — the byte-identity invariant,
+/// checked offline.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] pinpointing the first defect (byte offset of
+/// its frame), plus the [`load`]-level errors.
+pub fn verify(path: &Path, deep: bool) -> Result<VerifyReport> {
+    let bytes = fs::read(path)?;
+    read_header(path, &bytes)?;
+    let mut entries = Vec::new();
+    let mut pos = HEADER_BYTES;
+    while pos < bytes.len() {
+        let corrupt = |detail: String| StoreError::Corrupt {
+            offset: pos as u64,
+            detail,
+        };
+        let frame = bytes
+            .get(pos..pos + FRAME_BYTES)
+            .ok_or_else(|| corrupt("truncated frame header".to_string()))?;
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4-byte slice"));
+        if len > MAX_RECORD_LEN {
+            return Err(corrupt(format!("implausible payload length {len}")));
+        }
+        let sum = u64::from_le_bytes(frame[4..12].try_into().expect("8-byte slice"));
+        let start = pos + FRAME_BYTES;
+        let payload = bytes
+            .get(start..start + len as usize)
+            .ok_or_else(|| corrupt(format!("truncated payload ({len} bytes declared)")))?;
+        if fnv1a(payload) != sum {
+            return Err(corrupt("checksum mismatch".to_string()));
+        }
+        let entry = decode_entry(payload).map_err(|e| corrupt(format!("bad entry: {e}")))?;
+        entries.push(entry);
+        pos = start + len as usize;
+    }
+    let records = entries.len() as u64;
+    let unique_keys = dedup_last_wins(entries.clone()).len() as u64;
+    let resolved = if deep {
+        let mut ok = 0u64;
+        for (i, (key, stored)) in entries.iter().enumerate() {
+            let solved = key.solve().map_err(|e| StoreError::Corrupt {
+                offset: 0,
+                detail: format!("record {i}: key no longer solvable: {e}"),
+            })?;
+            if solved != *stored {
+                return Err(StoreError::Corrupt {
+                    offset: 0,
+                    detail: format!("record {i}: stored schedule diverges from a fresh solve"),
+                });
+            }
+            ok += 1;
+        }
+        Some(ok)
+    } else {
+        None
+    };
+    Ok(VerifyReport {
+        records,
+        unique_keys,
+        bytes: bytes.len() as u64,
+        resolved,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drift_accel::gemm::GemmShape;
+    use drift_accel::systolic::ArrayGeometry;
+    use drift_quant::precision::Precision;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn key(m: usize, n: usize, act_high: usize, weight_high: usize) -> ScheduleKey {
+        ScheduleKey {
+            shape: GemmShape::new(m, 256, n).unwrap(),
+            act_high,
+            weight_high,
+            act_precisions: (Precision::INT8, Precision::INT4),
+            weight_precisions: (Precision::INT8, Precision::INT4),
+            fabric: ArrayGeometry::new(8, 9).unwrap(),
+        }
+    }
+
+    fn entry(m: usize) -> (ScheduleKey, Schedule) {
+        let k = key(m, 64, m / 2, 32);
+        (k, k.solve().unwrap())
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "drift-store-test-{}-{tag}-{n}.log",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn append_then_load_round_trips() {
+        let path = temp_path("roundtrip");
+        let (report, mut writer) = StoreWriter::open(&path).unwrap();
+        assert_eq!(report.records, 0);
+        let entries: Vec<_> = (1..=5).map(|i| entry(i * 32)).collect();
+        writer.append_batch(&entries).unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.records, 5);
+        assert_eq!(loaded.skipped, 0);
+        assert!(!loaded.truncated_tail);
+        assert_eq!(loaded.entries, entries);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_dedups_last_wins() {
+        let path = temp_path("compact");
+        let (_, mut writer) = StoreWriter::open(&path).unwrap();
+        let (k, s) = entry(64);
+        let newer = Schedule {
+            makespan: s.makespan + 1,
+            ..s
+        };
+        writer.append(&k, &s).unwrap();
+        writer.append_batch(&[entry(96), (k, newer)]).unwrap();
+        drop(writer);
+        let (before, after) = compact(&path).unwrap();
+        assert_eq!((before, after), (3, 2));
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.records, 2);
+        // Last write for the duplicated key survived.
+        let kept = loaded.entries.iter().find(|(ek, _)| *ek == k).unwrap();
+        assert_eq!(kept.1, newer);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_combines_and_later_inputs_win() {
+        let a = temp_path("merge-a");
+        let b = temp_path("merge-b");
+        let out = temp_path("merge-out");
+        let (k, s) = entry(64);
+        let newer = Schedule {
+            makespan: s.makespan + 7,
+            ..s
+        };
+        write_snapshot(&a, &[(k, s), entry(128)]).unwrap();
+        write_snapshot(&b, &[(k, newer), entry(192)]).unwrap();
+        let count = merge(&[a.clone(), b.clone()], &out).unwrap();
+        assert_eq!(count, 3);
+        let loaded = load(&out).unwrap();
+        let kept = loaded.entries.iter().find(|(ek, _)| *ek == k).unwrap();
+        assert_eq!(kept.1, newer);
+        for p in [a, b, out] {
+            fs::remove_file(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_passes_sound_logs_shallow_and_deep() {
+        let path = temp_path("verify");
+        write_snapshot(&path, &[entry(64), entry(128)]).unwrap();
+        let shallow = verify(&path, false).unwrap();
+        assert_eq!(shallow.records, 2);
+        assert_eq!(shallow.unique_keys, 2);
+        assert_eq!(shallow.resolved, None);
+        let deep = verify(&path, true).unwrap();
+        assert_eq!(deep.resolved, Some(2));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verify_deep_catches_a_diverged_schedule() {
+        let path = temp_path("verify-diverge");
+        let (k, s) = entry(64);
+        let lying = Schedule {
+            makespan: s.makespan + 1,
+            ..s
+        };
+        write_snapshot(&path, &[(k, lying)]).unwrap();
+        assert!(verify(&path, false).is_ok());
+        assert!(matches!(
+            verify(&path, true),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_resumes_after_torn_tail_and_new_appends_are_sound() {
+        let path = temp_path("torn");
+        let (_, mut writer) = StoreWriter::open(&path).unwrap();
+        writer.append_batch(&[entry(32), entry(64)]).unwrap();
+        drop(writer);
+        // Simulate a crash mid-append: half a frame of garbage.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe]);
+        fs::write(&path, &bytes).unwrap();
+        let (report, mut writer) = StoreWriter::open(&path).unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.skipped, 1);
+        assert!(report.truncated_tail);
+        writer.append_batch(&[entry(96)]).unwrap();
+        drop(writer);
+        // The torn bytes are gone; the log is strictly sound again.
+        let v = verify(&path, false).unwrap();
+        assert_eq!(v.records, 3);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,200 @@
+//! Corruption-path coverage for the store log (ISSUE 9 satellite):
+//! a truncated tail, a flipped checksum byte, and a future-version
+//! header must each load the valid prefix (or refuse cleanly) with the
+//! skip counter incremented — and a kill -9 mid-append must never
+//! prevent the next start from loading the valid prefix.
+
+use drift_core::schedule::{Schedule, ScheduleKey};
+use drift_quant::precision::Precision;
+use drift_store::{
+    compact, load, verify, StoreError, StoreWriter, FRAME_BYTES, HEADER_BYTES, MAGIC,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn key(m: usize, n: usize, act_high: usize, weight_high: usize) -> ScheduleKey {
+    ScheduleKey {
+        shape: drift_accel::gemm::GemmShape::new(m, 256, n).unwrap(),
+        act_high,
+        weight_high,
+        act_precisions: (Precision::INT8, Precision::INT4),
+        weight_precisions: (Precision::INT8, Precision::INT4),
+        fabric: drift_accel::systolic::ArrayGeometry::new(8, 9).unwrap(),
+    }
+}
+
+fn entries(count: usize) -> Vec<(ScheduleKey, Schedule)> {
+    (1..=count)
+        .map(|i| {
+            let k = key(i * 32, 64, i * 16, 32);
+            (k, k.solve().unwrap())
+        })
+        .collect()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "drift-store-corrupt-{}-{tag}-{n}.log",
+        std::process::id()
+    ))
+}
+
+fn fresh_log(tag: &str, count: usize) -> (PathBuf, Vec<(ScheduleKey, Schedule)>) {
+    let path = temp_path(tag);
+    let set = entries(count);
+    let (_, mut writer) = StoreWriter::open(&path).unwrap();
+    writer.append_batch(&set).unwrap();
+    writer.sync().unwrap();
+    (path, set)
+}
+
+#[test]
+fn truncated_tail_loads_valid_prefix_and_counts_one_skip() {
+    let (path, set) = fresh_log("trunc", 4);
+    let full = fs::read(&path).unwrap();
+    // Cut the file mid-way through the last record's payload.
+    let cut = full.len() - 40;
+    fs::write(&path, &full[..cut]).unwrap();
+    let report = load(&path).unwrap();
+    assert_eq!(report.records, 3);
+    assert_eq!(report.skipped, 1);
+    assert!(report.truncated_tail);
+    assert_eq!(report.entries, set[..3]);
+    // Strict verification refuses the same file.
+    assert!(matches!(
+        verify(&path, false),
+        Err(StoreError::Corrupt { .. })
+    ));
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn flipped_payload_byte_skips_that_record_and_keeps_the_rest() {
+    let (path, set) = fresh_log("flip", 4);
+    let mut bytes = fs::read(&path).unwrap();
+    // Flip one byte inside the second record's payload: its checksum
+    // no longer matches, but the framing is intact, so records 1, 3,
+    // and 4 all survive.
+    let record_len = (bytes.len() - HEADER_BYTES) / 4;
+    let target = HEADER_BYTES + record_len + FRAME_BYTES + 5;
+    bytes[target] ^= 0xff;
+    fs::write(&path, &bytes).unwrap();
+    let report = load(&path).unwrap();
+    assert_eq!(report.records, 3);
+    assert_eq!(report.skipped, 1);
+    assert!(!report.truncated_tail);
+    assert_eq!(report.entries, [set[0], set[2], set[3]]);
+    // Compaction heals the log: the corrupt record is dropped and the
+    // rewritten file verifies strictly.
+    let (before, after) = compact(&path).unwrap();
+    assert_eq!((before, after), (4, 3));
+    assert_eq!(verify(&path, true).unwrap().records, 3);
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn flipped_checksum_byte_skips_only_that_record() {
+    let (path, _) = fresh_log("sumflip", 3);
+    let mut bytes = fs::read(&path).unwrap();
+    // Corrupt the checksum field itself (byte 4 of the first frame).
+    bytes[HEADER_BYTES + 4] ^= 0x01;
+    fs::write(&path, &bytes).unwrap();
+    let report = load(&path).unwrap();
+    assert_eq!(report.records, 2);
+    assert_eq!(report.skipped, 1);
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn future_version_header_refuses_cleanly() {
+    let (path, _) = fresh_log("future", 2);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    match load(&path) {
+        Err(StoreError::Version { found, .. }) => assert_eq!(found, 99),
+        other => panic!("expected a version refusal, got {other:?}"),
+    }
+    // The writer refuses too — it must never append v1 frames to a
+    // file claiming a future format.
+    assert!(matches!(
+        StoreWriter::open(&path),
+        Err(StoreError::Version { .. })
+    ));
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bad_magic_refuses_cleanly() {
+    let path = temp_path("magic");
+    fs::write(&path, b"not a drift store at all").unwrap();
+    assert!(matches!(load(&path), Err(StoreError::Magic { .. })));
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn header_only_and_empty_payload_edge_cases() {
+    let path = temp_path("header-only");
+    let mut header = Vec::new();
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&1u32.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    fs::write(&path, &header).unwrap();
+    let report = load(&path).unwrap();
+    assert_eq!(report.records, 0);
+    assert_eq!(report.skipped, 0);
+    assert!(!report.truncated_tail);
+    fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn implausible_length_field_is_a_torn_tail_not_an_allocation() {
+    let (path, set) = fresh_log("hugelen", 2);
+    let mut bytes = fs::read(&path).unwrap();
+    // Append a frame declaring a multi-gigabyte payload: the loader
+    // must treat it as a torn tail, not try to read it.
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    fs::write(&path, &bytes).unwrap();
+    let report = load(&path).unwrap();
+    assert_eq!(report.records, 2);
+    assert_eq!(report.skipped, 1);
+    assert!(report.truncated_tail);
+    assert_eq!(report.entries, set);
+    fs::remove_file(&path).unwrap();
+}
+
+/// The kill -9 contract: whatever byte length a crash leaves the file
+/// at, the next start loads the longest valid prefix and appending
+/// resumes soundly. Sweeping every possible cut length of a small log
+/// covers mid-header-frame, mid-checksum, and mid-payload tears.
+#[test]
+fn every_possible_crash_cut_leaves_a_loadable_store() {
+    let (path, set) = fresh_log("cutsweep", 3);
+    let full = fs::read(&path).unwrap();
+    let record_len = (full.len() - HEADER_BYTES) / 3;
+    for cut in HEADER_BYTES..full.len() {
+        fs::write(&path, &full[..cut]).unwrap();
+        let report = load(&path).expect("a torn tail must never be fatal");
+        let whole_records = (cut - HEADER_BYTES) / record_len;
+        assert_eq!(
+            report.records as usize, whole_records,
+            "cut at {cut}: wrong prefix length"
+        );
+        assert_eq!(report.entries, set[..whole_records]);
+        assert_eq!(
+            report.skipped,
+            u64::from(cut > HEADER_BYTES + whole_records * record_len)
+        );
+        // And the writer can always resume from the same file.
+        let (resumed, mut writer) = StoreWriter::open(&path).unwrap();
+        assert_eq!(resumed.records as usize, whole_records);
+        writer.append_batch(&set[whole_records..]).unwrap();
+        drop(writer);
+        assert_eq!(load(&path).unwrap().entries, set);
+    }
+    fs::remove_file(&path).unwrap();
+}

@@ -245,6 +245,48 @@ rm -f "$GW1_PORT_FILE" "$GW2_PORT_FILE" "$RT_PORT_FILE" \
   "$GW1_TRACE" "$GW2_TRACE" "$RT_TRACE"
 echo "trace smoke: ok"
 
+echo "== store smoke test =="
+# Schedule-store persistence end to end (docs/PERSISTENCE.md): serve a
+# job stream cold with --store, then re-serve the same stream warm from
+# the store file. The warm run must produce byte-identical results with
+# zero schedule solves (a ~100% cache hit rate from the warm start),
+# and the store tooling must verify and compact the file in place.
+STORE_DIR="$(mktemp -d)"
+STORE_FILE="$STORE_DIR/sched.drift"
+STORE_JOBS="$STORE_DIR/jobs.jsonl"
+for i in $(seq 0 99); do
+  s=$((i % 10))
+  printf '{"id":%d,"seed":%d,"kind":{"Schedule":{"m":%d,"k":128,"n":64,"fa":0.25,"fw":0.5}}}\n' \
+    "$i" "$((i + 1))" "$((64 + 16 * s))"
+done > "$STORE_JOBS"
+./target/release/drift serve --jobs "$STORE_JOBS" --workers 2 \
+  --store "$STORE_FILE" --metrics-out "$STORE_DIR/cold.json" \
+  > "$STORE_DIR/cold.out" 2> /dev/null
+./target/release/drift serve --jobs "$STORE_JOBS" --workers 2 \
+  --store "$STORE_FILE" --metrics-out "$STORE_DIR/warm.json" \
+  > "$STORE_DIR/warm.out" 2> /dev/null
+if ! diff -q "$STORE_DIR/cold.out" "$STORE_DIR/warm.out" > /dev/null; then
+  echo "store smoke: warm-started results differ from cold results" >&2
+  exit 1
+fi
+if ! grep '"drift_store_records_loaded_total"' "$STORE_DIR/warm.json" \
+  | grep -q '"value": 10'; then
+  echo "store smoke: warm start did not load the 10 stored schedules" >&2
+  exit 1
+fi
+# A never-incremented counter is absent from the snapshot, so the warm
+# run passes iff the miss counter is missing or explicitly zero.
+if grep '"drift_schedule_cache_misses_total"' "$STORE_DIR/warm.json" \
+  | grep -v '"value": 0' | grep -q .; then
+  echo "store smoke: warm-started run still solved schedules (cache misses != 0)" >&2
+  exit 1
+fi
+./target/release/drift store verify "$STORE_FILE" --deep > /dev/null
+./target/release/drift store compact "$STORE_FILE" > /dev/null
+./target/release/drift store verify "$STORE_FILE" --deep > /dev/null
+rm -rf "$STORE_DIR"
+echo "store smoke: ok"
+
 echo "== doc links =="
 # Every relative markdown link in README.md and docs/*.md must point at
 # a file that exists (anchors are stripped; absolute URLs are skipped).
@@ -271,8 +313,8 @@ echo "doc links: ok"
 echo "== rustdoc (drift crates, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p drift -p drift-obs -p drift-tensor -p drift-quant -p drift-accel \
-  -p drift-core -p drift-nn -p drift-serve -p drift-gateway \
-  -p drift-router -p drift-bench -p drift-cli
+  -p drift-core -p drift-store -p drift-nn -p drift-serve \
+  -p drift-gateway -p drift-router -p drift-bench -p drift-cli
 
 echo "== doc tests =="
 cargo test -q --workspace --doc

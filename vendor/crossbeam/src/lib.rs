@@ -104,6 +104,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     /// Creates a bounded channel: `send` blocks once `capacity`
     /// messages are in flight (backpressure).
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
@@ -245,6 +254,43 @@ pub mod channel {
                 Err(TryRecvError::Disconnected)
             } else {
                 Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Takes the next message, blocking at most `timeout` while the
+        /// channel is empty.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when nothing arrived in time;
+        /// [`RecvTimeoutError::Disconnected`] when the channel is empty
+        /// and every [`Sender`] has been dropped (remaining messages
+        /// are always drained first).
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let shared = &*self.shared;
+            let mut state = shared.state.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(message) = state.queue.pop_front() {
+                    drop(state);
+                    shared.not_full.notify_one();
+                    return Ok(message);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (next, result) = shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .expect("channel lock poisoned");
+                state = next;
+                if result.timed_out() && state.queue.is_empty() && state.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -409,5 +455,34 @@ mod tests {
         let (tx, rx) = channel::bounded::<u32>(1);
         drop(rx);
         assert_eq!(tx.send(9), Err(channel::SendError(9)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_delivers_and_drains() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        // A sender arriving mid-wait wakes the receiver.
+        let sender = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(6).unwrap();
+            })
+        };
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(6));
+        sender.join().unwrap();
+        // Disconnect still drains queued messages first.
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 }
