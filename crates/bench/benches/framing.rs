@@ -1,0 +1,72 @@
+//! Criterion: the wire protocol's parse cost, batch vs singleton.
+//! Parsing one `{"id":N,"batch":[...]}` line amortises the per-line
+//! JSON envelope (id, deadline, trace fields) across every item, so
+//! jobs-per-second through `parse_request` should rise with batch
+//! size — the protocol-side half of the batching speedup measured in
+//! EXPERIMENTS.md (the other half is per-batch schedule amortization
+//! in the gateway runtime).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drift_gateway::protocol::{batch_request_line, parse_request, request_line};
+use drift_serve::synthetic_jobs;
+
+const JOBS: usize = 128;
+
+fn bench_parse(c: &mut Criterion) {
+    let jobs = synthetic_jobs(JOBS, 4, 42);
+    let singleton_lines: Vec<String> = jobs.iter().map(|j| request_line(j, Some(50))).collect();
+
+    let mut group = c.benchmark_group("framing_parse");
+    group.throughput(Throughput::Elements(JOBS as u64));
+    group.bench_function("singleton", |b| {
+        b.iter(|| {
+            for line in &singleton_lines {
+                parse_request(line).expect("loadgen-shaped line parses");
+            }
+        })
+    });
+    for batch in [8usize, 32, 128] {
+        let batch_lines: Vec<String> = jobs
+            .chunks(batch)
+            .map(|chunk| batch_request_line(chunk[0].id, chunk, Some(50)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("batch", batch),
+            &batch_lines,
+            |b, lines| {
+                b.iter(|| {
+                    for line in lines {
+                        parse_request(line).expect("batch line parses");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_render(c: &mut Criterion) {
+    let jobs = synthetic_jobs(JOBS, 4, 42);
+    let mut group = c.benchmark_group("framing_render");
+    group.throughput(Throughput::Elements(JOBS as u64));
+    group.bench_function("singleton", |b| {
+        b.iter(|| {
+            jobs.iter()
+                .map(|j| request_line(j, Some(50)))
+                .collect::<Vec<_>>()
+        })
+    });
+    for batch in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &size| {
+            b.iter(|| {
+                jobs.chunks(size)
+                    .map(|chunk| batch_request_line(chunk[0].id, chunk, Some(50)))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_render);
+criterion_main!(benches);

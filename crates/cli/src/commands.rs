@@ -518,6 +518,8 @@ pub fn loadgen(opts: &Opts) -> Result<(), String> {
         burst_ms: (burst_ms > 0).then_some(burst_ms),
         retry: drift_gateway::RetryPolicy::default(),
         connect_per_request: opt_parse(opts, "connect-per-request", false)?,
+        batch: opt_parse::<usize>(opts, "batch", 1)?.max(1),
+        schedule_only: opt_parse(opts, "schedule-only", false)?,
     };
     let report = drift_gateway::loadgen::run(addr, &config)?;
 

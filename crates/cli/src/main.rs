@@ -119,7 +119,8 @@ fn usage() -> String {
      \x20                                 live on {\"control\":\"reshard\",...} (docs/SERVING.md)\n\
      \x20 loadgen  [--addr A] [--clients C] [--jobs N] [--shapes S] [--seed S]\n\
      \x20          [--deadline-ms D] [--deadline-jitter-ms J] [--open-loop RPS]\n\
-     \x20          [--burst-ms W] [--connect-per-request]\n\
+     \x20          [--burst-ms W] [--connect-per-request] [--batch B]\n\
+     \x20          [--schedule-only]      small-job stream (cache-hit Schedule jobs)\n\
      \x20                                 drive a gateway; throughput + p50/p99 +\n\
      \x20                                 deadline-met rate on stderr\n\
      \x20          [--json]               append a machine-readable summary JSON line\n\

@@ -161,6 +161,69 @@ impl Client {
         self.recv()
     }
 
+    /// Sends one batch request (`{"id":N,"batch":[...]}`) without
+    /// waiting for the response (pipelining). Pair with
+    /// [`Client::recv`]; the single response line carries every item.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error on a failed write.
+    pub fn send_batch(
+        &mut self,
+        id: u64,
+        specs: &[JobSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<(), String> {
+        self.send_raw(&protocol::batch_request_line(id, specs, deadline_ms))
+    }
+
+    /// Sends one batch of jobs and waits for its single response line:
+    /// a [`Response::Batch`] with per-item payloads in submission
+    /// order, or a flat [`Response::Error`] carrying the batch id when
+    /// the gateway refused the whole batch (shed or unmeetable — batch
+    /// admission is all-or-shed, see `docs/SERVING.md`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures.
+    pub fn submit_batch(
+        &mut self,
+        id: u64,
+        specs: &[JobSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.send_batch(id, specs, deadline_ms)?;
+        self.recv()
+    }
+
+    /// [`Client::submit_batch`], retrying whole-batch sheds with
+    /// capped exponential backoff. Batch admission is all-or-shed, so
+    /// a shed response means no item was admitted and resubmitting the
+    /// whole batch is exactly-once safe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/recv failures.
+    pub fn submit_batch_with_retry(
+        &mut self,
+        id: u64,
+        specs: &[JobSpec],
+        deadline_ms: Option<u64>,
+        policy: &RetryPolicy,
+    ) -> Result<Submission, String> {
+        let mut retries = 0;
+        loop {
+            let response = self.submit_batch(id, specs, deadline_ms)?;
+            let shed =
+                matches!(&response, Response::Error { error, .. } if error == ERR_OVERLOADED);
+            if !shed || retries >= policy.max_retries {
+                return Ok(Submission { response, retries });
+            }
+            std::thread::sleep(policy.delay(retries));
+            retries += 1;
+        }
+    }
+
     /// [`Client::submit`], retrying shed (`overloaded`) responses with
     /// capped exponential backoff. Other responses — results, deadline
     /// errors — return immediately.
@@ -298,6 +361,21 @@ impl ClientWriter {
     /// Returns the socket error on a failed write.
     pub fn send(&mut self, spec: &JobSpec, deadline_ms: Option<u64>) -> Result<(), String> {
         self.send_raw(&protocol::request_line(spec, deadline_ms))
+    }
+
+    /// Sends one batch request without waiting for the response (see
+    /// [`Client::send_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error on a failed write.
+    pub fn send_batch(
+        &mut self,
+        id: u64,
+        specs: &[JobSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<(), String> {
+        self.send_raw(&protocol::batch_request_line(id, specs, deadline_ms))
     }
 
     /// Sends one raw line (see [`Client::send_raw`]) — what a proxy

@@ -6,6 +6,12 @@
 //! A plain `BufRead::read_line` would lose a partial line at each
 //! timeout tick; [`LineReader`] keeps the partial line buffered across
 //! ticks and yields complete lines only.
+//!
+//! The hot path is [`LineReader::next_line_ref`], which yields each
+//! line borrowed from a per-connection scratch buffer: after warm-up
+//! the reader performs **zero allocations per line**, which matters
+//! once batch requests make single lines carry hundreds of jobs.
+//! [`LineReader::next_line`] is the owned-`String` convenience wrapper.
 
 use std::io::{self, Read};
 use std::net::TcpStream;
@@ -29,12 +35,32 @@ pub enum LineEvent {
     Failed,
 }
 
+/// What one [`LineReader::next_line_ref`] call produced: the borrowed
+/// counterpart of [`LineEvent`]. The line borrows the reader's scratch
+/// buffer and is valid until the next call.
+#[derive(Debug)]
+pub enum LineEventRef<'a> {
+    /// A complete line (newline stripped; a preceding `\r` too),
+    /// borrowed from the reader's reused scratch buffer.
+    Line(&'a str),
+    /// The read timed out with no complete line; partial input stays
+    /// buffered.
+    TimedOut,
+    /// The peer closed the connection cleanly.
+    Eof,
+    /// The connection failed (socket error or an over-long line).
+    Failed,
+}
+
 /// A newline-framed reader over a socket with a read timeout, keeping
 /// partial lines buffered across timeout ticks.
 #[derive(Debug)]
 pub struct LineReader {
     stream: TcpStream,
     buf: Vec<u8>,
+    /// Scratch the current line is decoded into — reused across lines
+    /// so steady-state reads allocate nothing.
+    line: String,
 }
 
 impl LineReader {
@@ -44,38 +70,55 @@ impl LineReader {
         LineReader {
             stream,
             buf: Vec::new(),
+            line: String::new(),
         }
     }
 
     /// Blocks until the next complete line, a timeout tick, EOF, or a
-    /// failure.
-    pub fn next_line(&mut self) -> LineEvent {
+    /// failure. The returned line borrows this reader's scratch buffer
+    /// (valid until the next call), so steady-state traffic pays no
+    /// per-line allocation.
+    pub fn next_line_ref(&mut self) -> LineEventRef<'_> {
         loop {
             if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
-                let rest = self.buf.split_off(pos + 1);
-                let mut line = std::mem::replace(&mut self.buf, rest);
-                line.pop(); // the newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
+                let mut end = pos;
+                if end > 0 && self.buf[end - 1] == b'\r' {
+                    end -= 1;
                 }
-                return LineEvent::Line(String::from_utf8_lossy(&line).into_owned());
+                self.line.clear();
+                self.line
+                    .push_str(&String::from_utf8_lossy(&self.buf[..end]));
+                // A memmove of the tail, not a fresh allocation.
+                self.buf.drain(..=pos);
+                return LineEventRef::Line(&self.line);
             }
             if self.buf.len() > MAX_LINE_BYTES {
-                return LineEvent::Failed;
+                return LineEventRef::Failed;
             }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
-                Ok(0) => return LineEvent::Eof,
+                Ok(0) => return LineEventRef::Eof,
                 Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    return LineEvent::TimedOut;
+                    return LineEventRef::TimedOut;
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(_) => return LineEvent::Failed,
+                Err(_) => return LineEventRef::Failed,
             }
+        }
+    }
+
+    /// [`LineReader::next_line_ref`] copied into an owned `String`, for
+    /// callers that need to keep the line past the next read.
+    pub fn next_line(&mut self) -> LineEvent {
+        match self.next_line_ref() {
+            LineEventRef::Line(line) => LineEvent::Line(line.to_owned()),
+            LineEventRef::TimedOut => LineEvent::TimedOut,
+            LineEventRef::Eof => LineEvent::Eof,
+            LineEventRef::Failed => LineEvent::Failed,
         }
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::client::{Client, RetryPolicy};
 use crate::protocol::{Response, ERR_DEADLINE, ERR_OVERLOADED, ERR_UNMEETABLE};
-use drift_serve::job::{synthetic_jobs, JobOutcome, JobResult, JobSpec};
+use drift_serve::job::{synthetic_jobs, synthetic_schedule_jobs, JobOutcome, JobResult, JobSpec};
 use drift_serve::stats::percentile_ns;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -57,6 +57,23 @@ pub struct LoadGenConfig {
     /// persistent connection per client. Measures connection-churn cost
     /// (see the connection-reuse guidance in `docs/SERVING.md`).
     pub connect_per_request: bool,
+    /// Jobs per wire request. `1` submits singleton request lines;
+    /// above `1` each client chunks its job stream and submits whole
+    /// chunks with the batch wire protocol (`docs/SERVING.md`) — one
+    /// request line in, one response line out per chunk. The batch id
+    /// is the chunk's first job id, and the whole chunk shares that
+    /// job's deadline budget draw (batches carry one `deadline_ms`).
+    /// In open-loop mode batch *sends* are paced at the instant their
+    /// first job would have been offered singleton, so the aggregate
+    /// job rate still matches `open_loop_rps`.
+    pub batch: usize,
+    /// Small-job stream: offer only `Schedule` jobs (cycling the same
+    /// shape/fraction tables as the mixed stream). Each distinct key
+    /// is solved once and every repeat is a cache hit executing in
+    /// microseconds, so per-request wire and admission overhead
+    /// dominates the measurement — the regime where batching shows
+    /// its full effect (the `EXPERIMENTS.md` batch sweep).
+    pub schedule_only: bool,
     /// Backoff policy for closed-loop shed retries.
     pub retry: RetryPolicy,
 }
@@ -73,6 +90,8 @@ impl Default for LoadGenConfig {
             open_loop_rps: None,
             burst_ms: None,
             connect_per_request: false,
+            batch: 1,
+            schedule_only: false,
             retry: RetryPolicy::default(),
         }
     }
@@ -247,7 +266,11 @@ impl LoadGenConfig {
 /// produced).
 pub fn run(addr: &str, config: &LoadGenConfig) -> Result<LoadReport, String> {
     let clients = config.clients.max(1);
-    let jobs = synthetic_jobs(config.jobs, config.shapes, config.seed);
+    let jobs = if config.schedule_only {
+        synthetic_schedule_jobs(config.jobs, config.shapes, config.seed)
+    } else {
+        synthetic_jobs(config.jobs, config.shapes, config.seed)
+    };
     // Round-robin partition: ids stay unique across clients and every
     // client sees the same kind mix.
     let mut slices: Vec<Vec<JobSpec>> = vec![Vec::new(); clients];
@@ -323,10 +346,30 @@ fn drive_client(
     let client =
         Client::connect(addr).map_err(|e| format!("cannot connect to gateway at {addr}: {e}"))?;
     if let Some(interval) = pace {
-        return drive_open_loop(client, slice, config, interval);
+        return if config.batch > 1 {
+            drive_open_loop_batched(client, slice, config, interval)
+        } else {
+            drive_open_loop(client, slice, config, interval)
+        };
     }
     let mut client = client;
     let mut tally = ClientTally::default();
+    if config.batch > 1 {
+        for chunk in slice.chunks(config.batch) {
+            let begin = Instant::now();
+            let batch_id = chunk[0].id;
+            let sub = client.submit_batch_with_retry(
+                batch_id,
+                chunk,
+                config.budget_for(batch_id),
+                &config.retry,
+            )?;
+            let latency = begin.elapsed();
+            tally.retries += u64::from(sub.retries);
+            tally.account_batch(sub.response, chunk.len(), latency)?;
+        }
+        return Ok(tally);
+    }
     for spec in slice {
         let begin = Instant::now();
         let sub = client.submit_with_retry(spec, config.budget_for(spec.id), &config.retry)?;
@@ -348,6 +391,25 @@ fn drive_churning(
     config: &LoadGenConfig,
 ) -> Result<ClientTally, String> {
     let mut tally = ClientTally::default();
+    if config.batch > 1 {
+        for chunk in slice.chunks(config.batch) {
+            let begin = Instant::now();
+            let mut client = Client::connect(addr)
+                .map_err(|e| format!("cannot connect to gateway at {addr}: {e}"))?;
+            let batch_id = chunk[0].id;
+            let sub = client.submit_batch_with_retry(
+                batch_id,
+                chunk,
+                config.budget_for(batch_id),
+                &config.retry,
+            )?;
+            drop(client);
+            let latency = begin.elapsed();
+            tally.retries += u64::from(sub.retries);
+            tally.account_batch(sub.response, chunk.len(), latency)?;
+        }
+        return Ok(tally);
+    }
     for spec in slice {
         let begin = Instant::now();
         let mut client = Client::connect(addr)
@@ -414,7 +476,103 @@ fn drive_open_loop(
     })
 }
 
+/// Open-loop driving with batched sends: the pacer offers whole
+/// chunks at the instant their first job would have been sent
+/// singleton (so the aggregate *job* rate matches the configured RPS),
+/// while the reaper unpacks each single-line batch response — or a
+/// flat whole-batch refusal — into per-item accounting.
+fn drive_open_loop_batched(
+    client: Client,
+    slice: &[JobSpec],
+    config: &LoadGenConfig,
+    interval: Duration,
+) -> Result<ClientTally, String> {
+    let (mut reader, mut writer) = client.split();
+    let chunks: Vec<&[JobSpec]> = slice.chunks(config.batch).collect();
+    // Send instants and item counts by batch id, written by the pacer
+    // before each send and consumed by the reaper to measure latency
+    // and to fan a flat refusal out across the batch's items.
+    let sent: Mutex<HashMap<u64, (Instant, usize)>> =
+        Mutex::new(HashMap::with_capacity(chunks.len()));
+
+    std::thread::scope(|scope| {
+        let pacer = scope.spawn(|| -> Result<(), String> {
+            let start = Instant::now();
+            for (index, chunk) in chunks.iter().enumerate() {
+                let next_start =
+                    start + config.send_offset((index * config.batch) as u64, interval);
+                let now = Instant::now();
+                if next_start > now {
+                    std::thread::sleep(next_start - now);
+                }
+                let batch_id = chunk[0].id;
+                sent.lock()
+                    .expect("send-time map")
+                    .insert(batch_id, (Instant::now(), chunk.len()));
+                writer.send_batch(batch_id, chunk, config.budget_for(batch_id))?;
+            }
+            Ok(())
+        });
+
+        let mut tally = ClientTally::default();
+        for _ in 0..chunks.len() {
+            let response = reader.recv()?;
+            let id = match &response {
+                Response::Batch { id, .. } => Some(*id),
+                Response::Error { id, .. } => *id,
+                _ => None,
+            };
+            let entry = id.and_then(|id| sent.lock().expect("send-time map").remove(&id));
+            let (latency, expected) = entry.map_or((Duration::ZERO, config.batch), |(begin, n)| {
+                (begin.elapsed(), n)
+            });
+            tally.account_batch(response, expected, latency)?;
+        }
+        pacer.join().expect("loadgen pacer panicked")?;
+        Ok(tally)
+    })
+}
+
 impl ClientTally {
+    /// Accounts one batch response: a [`Response::Batch`] item by
+    /// item, or a flat whole-batch refusal fanned out across every
+    /// submitted item (batch admission is all-or-shed, so one
+    /// `overloaded` line means `expected` jobs were shed).
+    fn account_batch(
+        &mut self,
+        response: Response,
+        expected: usize,
+        latency: Duration,
+    ) -> Result<(), String> {
+        match response {
+            Response::Batch { items, .. } => {
+                if items.len() != expected {
+                    return Err(format!(
+                        "batch response carried {} items for {expected} submitted jobs",
+                        items.len()
+                    ));
+                }
+                for item in items {
+                    self.account(item, latency)?;
+                }
+                Ok(())
+            }
+            Response::Error { id, error } => {
+                for _ in 0..expected {
+                    self.account(
+                        Response::Error {
+                            id,
+                            error: error.clone(),
+                        },
+                        latency,
+                    )?;
+                }
+                Ok(())
+            }
+            other => Err(format!("unexpected gateway batch response {other:?}")),
+        }
+    }
+
     fn account(&mut self, response: Response, latency: Duration) -> Result<(), String> {
         match response {
             Response::Result(result) => {

@@ -8,9 +8,16 @@
 //! ```text
 //! {"id":0,"seed":7,"kind":{"Schedule":{"m":512,"k":768,"n":768,"fa":0.2,"fw":0.1}}}
 //! {"id":1,"seed":9,"kind":{"Simulate":{...}},"deadline_ms":250}
+//! {"id":2,"batch":[{"id":10,...},{"id":11,...}],"deadline_ms":500}
 //! {"control":"ping"}
 //! {"control":"shutdown"}
 //! ```
+//!
+//! A **batch** line submits several jobs as one atomically-admitted
+//! unit (all-or-shed, one shared deadline) and is answered by exactly
+//! one `{"id":2,"batch":[item,...]}` response whose items are, byte
+//! for byte, the singleton responses the same jobs would have
+//! received, in submission order.
 //!
 //! Success responses are [`JobResult`] lines, byte-identical to the
 //! offline `drift serve` output for the same job. Failure responses are
@@ -87,6 +94,25 @@ pub enum Request {
     /// `docs/PERSISTENCE.md`). Prewarmed entries are inserted without
     /// counting hits/misses and are never re-appended to a store.
     Prewarm(Vec<(ScheduleKey, Schedule)>),
+    /// A `{"id":N,"batch":[spec,...]}` line submitting several jobs as
+    /// one atomically-admitted unit: all-or-shed at the queue, one
+    /// shared deadline budget, and exactly one response line carrying
+    /// the per-item payloads in submission order (see `docs/SERVING.md`
+    /// § Batch requests).
+    Batch {
+        /// The batch correlation id — the client's token for the whole
+        /// line, echoed on the single response. Independent of the
+        /// per-item job ids inside.
+        id: u64,
+        /// The jobs, each in the `drift serve` JSONL format. Never
+        /// empty: an empty batch is a `bad_request`.
+        specs: Vec<JobSpec>,
+        /// One latency budget shared by every item, measured from the
+        /// batch's admission.
+        deadline_ms: Option<u64>,
+        /// The upstream head-sampling decision for the whole batch.
+        trace: TraceDecision,
+    },
 }
 
 /// One parsed response line.
@@ -114,6 +140,16 @@ pub enum Response {
         /// each shard's policy. Absent on other acks and on routers'
         /// own ping acks.
         queue: Option<String>,
+    },
+    /// The single response to a batch request: the echoed batch id and
+    /// one item per submitted job, in submission order. Each item is a
+    /// [`Response::Result`] or [`Response::Error`], byte-identical in
+    /// payload to the line the same job would get submitted singly.
+    Batch {
+        /// The batch id from the request.
+        id: u64,
+        /// Per-item responses in submission order.
+        items: Vec<Response>,
     },
 }
 
@@ -143,6 +179,30 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         Some(v) => Some(u64::from_value(v).map_err(|e| format!("deadline_ms: {e}"))?),
     };
     let trace = parse_trace_fields(&value)?;
+    if let Some(batch) = value.get("batch") {
+        let items = match batch {
+            Value::Seq(items) => items,
+            other => return Err(format!("batch must be an array, got {}", other.kind())),
+        };
+        if items.is_empty() {
+            return Err("batch must contain at least one job".to_string());
+        }
+        let id = match value.get("id") {
+            Some(v) => u64::from_value(v).map_err(|e| format!("batch id: {e}"))?,
+            None => return Err("batch requires an id".to_string()),
+        };
+        let specs = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| JobSpec::from_value(item).map_err(|e| format!("batch item {i}: {e}")))
+            .collect::<Result<Vec<JobSpec>, String>>()?;
+        return Ok(Request::Batch {
+            id,
+            specs,
+            deadline_ms,
+            trace,
+        });
+    }
     let spec = JobSpec::from_value(&value).map_err(|e| e.to_string())?;
     Ok(Request::Job {
         spec,
@@ -242,6 +302,67 @@ pub fn request_line_traced(
     render(&value)
 }
 
+/// Renders a batch request line, e.g.
+/// `{"id":3,"batch":[{...},{...}],"deadline_ms":250}` (no trailing
+/// newline). The elements of `batch` are exactly the singleton request
+/// payloads for the same specs.
+pub fn batch_request_line(id: u64, specs: &[JobSpec], deadline_ms: Option<u64>) -> String {
+    batch_request_line_traced(id, specs, deadline_ms, &TraceDecision::Undecided)
+}
+
+/// [`batch_request_line`] carrying a sampling decision for the whole
+/// batch, with the same field semantics as [`request_line_traced`].
+pub fn batch_request_line_traced(
+    id: u64,
+    specs: &[JobSpec],
+    deadline_ms: Option<u64>,
+    trace: &TraceDecision,
+) -> String {
+    let mut entries = vec![
+        ("id".to_string(), id.to_value()),
+        (
+            "batch".to_string(),
+            Value::Seq(specs.iter().map(|s| s.to_value()).collect()),
+        ),
+    ];
+    if let Some(ms) = deadline_ms {
+        entries.push(("deadline_ms".to_string(), ms.to_value()));
+    }
+    match trace {
+        TraceDecision::Undecided => {}
+        TraceDecision::Unsampled => {
+            entries.push(("trace_id".to_string(), Value::Str(String::new())));
+        }
+        TraceDecision::Sampled(ctx) => {
+            entries.push(("trace_id".to_string(), Value::Str(ctx.trace_id.to_string())));
+            if let Some(parent) = ctx.parent_span {
+                entries.push(("trace_span".to_string(), Value::Str(span_id_hex(parent))));
+            }
+        }
+    }
+    render(&Value::Map(entries))
+}
+
+/// Assembles the one-line response to a batch request from the
+/// already-rendered per-item response payloads, in submission order.
+/// Splicing pre-rendered lines (rather than re-building a value tree)
+/// keeps each item byte-identical to the singleton response for the
+/// same job and avoids re-serialising results on the hot path.
+pub fn batch_response_line(id: u64, items: &[String]) -> String {
+    let mut line = String::with_capacity(24 + items.iter().map(|i| i.len() + 1).sum::<usize>());
+    line.push_str("{\"id\":");
+    line.push_str(&id.to_string());
+    line.push_str(",\"batch\":[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(item);
+    }
+    line.push_str("]}");
+    line
+}
+
 /// Renders a protocol value tree; the protocol's values never contain
 /// non-finite floats, so serialization cannot fail.
 fn render(value: &Value) -> String {
@@ -335,6 +456,28 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         };
         return Ok(Response::Control { op, ok, queue });
     }
+    if let Some(batch) = value.get("batch") {
+        let items = match batch {
+            Value::Seq(items) => items,
+            other => return Err(format!("batch must be an array, got {}", other.kind())),
+        };
+        let id = match value.get("id") {
+            Some(v) => u64::from_value(v).map_err(|e| format!("batch id: {e}"))?,
+            None => return Err("batch response requires an id".to_string()),
+        };
+        let items = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| parse_response_item(item).map_err(|e| format!("batch item {i}: {e}")))
+            .collect::<Result<Vec<Response>, String>>()?;
+        return Ok(Response::Batch { id, items });
+    }
+    parse_response_item(&value)
+}
+
+/// Parses a result-or-error response payload — the shape shared by a
+/// singleton response line and each element of a batch response.
+fn parse_response_item(value: &Value) -> Result<Response, String> {
     if let Some(err) = value.get("error") {
         let error = match err {
             Value::Str(s) => s.clone(),
@@ -346,7 +489,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         };
         return Ok(Response::Error { id, error });
     }
-    JobResult::from_value(&value)
+    JobResult::from_value(value)
         .map(Response::Result)
         .map_err(|e| e.to_string())
 }
@@ -565,6 +708,84 @@ mod tests {
         assert!(matches!(
             parse_response(&result_line(&failed)).unwrap(),
             Response::Result(_)
+        ));
+    }
+
+    #[test]
+    fn batch_requests_round_trip() {
+        let specs = vec![
+            spec(),
+            JobSpec {
+                id: 8,
+                seed: 4,
+                kind: JobKind::Select {
+                    tokens: 16,
+                    hidden: 32,
+                    delta: 0.1,
+                    profile: "bert".to_string(),
+                },
+            },
+        ];
+        let line = batch_request_line(3, &specs, Some(250));
+        // The elements are exactly the singleton request payloads.
+        for s in &specs {
+            assert!(line.contains(&request_line(s, None)), "{line}");
+        }
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            Request::Batch {
+                id: 3,
+                specs: specs.clone(),
+                deadline_ms: Some(250),
+                trace: TraceDecision::Undecided
+            }
+        );
+        // Traced batches carry the decision for the whole line.
+        let unsampled = batch_request_line_traced(3, &specs, None, &TraceDecision::Unsampled);
+        assert!(matches!(
+            parse_request(&unsampled).unwrap(),
+            Request::Batch {
+                trace: TraceDecision::Unsampled,
+                ..
+            }
+        ));
+        // Empty batches, missing ids, and bad elements are rejected.
+        assert!(parse_request("{\"id\":1,\"batch\":[]}").is_err());
+        assert!(parse_request("{\"batch\":[{\"id\":1}]}").is_err());
+        assert!(parse_request("{\"id\":1,\"batch\":7}").is_err());
+        let err = parse_request("{\"id\":1,\"batch\":[{\"id\":2}]}").unwrap_err();
+        assert!(err.contains("batch item 0"), "{err}");
+    }
+
+    #[test]
+    fn batch_responses_splice_singleton_payloads() {
+        let ok = result_line(&JobResult {
+            id: 10,
+            outcome: JobOutcome::Schedule {
+                makespan: 42,
+                latencies: [4, 3, 2, 1],
+            },
+        });
+        let err = error_line(Some(11), ERR_DEADLINE);
+        let line = batch_response_line(3, &[ok.clone(), err.clone()]);
+        assert_eq!(line, format!("{{\"id\":3,\"batch\":[{ok},{err}]}}"));
+        match parse_response(&line).unwrap() {
+            Response::Batch { id, items } => {
+                assert_eq!(id, 3);
+                assert_eq!(items.len(), 2);
+                assert!(matches!(&items[0], Response::Result(r) if r.id == 10));
+                assert!(matches!(
+                    &items[1],
+                    Response::Error { id: Some(11), error } if error == ERR_DEADLINE
+                ));
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        // An empty batch response parses (a shed batch answers with a
+        // flat error line instead, but the shape itself is legal).
+        assert!(matches!(
+            parse_response("{\"id\":9,\"batch\":[]}").unwrap(),
+            Response::Batch { id: 9, items } if items.is_empty()
         ));
     }
 

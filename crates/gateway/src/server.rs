@@ -32,22 +32,24 @@
 //! (so readers notice shutdown and idle expiry), and writes time out
 //! and degrade to discarding responses for that connection only.
 
-use crate::framing::{LineEvent, LineReader};
+use crate::framing::{LineEventRef, LineReader};
 use crate::protocol::{
     self, ControlOp, Request, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_OVERLOADED, ERR_UNMEETABLE,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use drift_core::accelerator::DriftAccelerator;
+use drift_core::arch::paper_fabric;
+use drift_core::schedule::ScheduleKey;
 use drift_obs::{Recorder, SpanRecord, TraceDecision, TraceId, Tracer};
 use drift_serve::cache::ScheduleCache;
 use drift_serve::job::{result_line, JobOutcome, JobResult, JobSpec};
 use drift_serve::persist::{open_and_preload, StoreBinding};
 use drift_serve::queue::{job_queue_with_policy, Deadlined, JobQueue, QueuePolicy, WorkerHandle};
-use drift_serve::worker::execute_job_traced;
+use drift_serve::worker::{execute_group, execute_job_traced, schedule_key_for};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -263,6 +265,126 @@ impl Deadlined for GatewayJob {
     }
 }
 
+/// State shared by every schedule-key group of one batch request: the
+/// response slots (indexed by submission position, so assembly order is
+/// the client's order no matter which worker finishes first) and the
+/// countdown that tells the last group to assemble and send the single
+/// batch response line.
+#[derive(Debug)]
+struct BatchShared {
+    id: u64,
+    total: usize,
+    slots: Mutex<Vec<Option<String>>>,
+    remaining: AtomicUsize,
+    reply: Sender<Reply>,
+    trace: Option<JobTrace>,
+    admitted: Instant,
+}
+
+impl BatchShared {
+    /// Fills one item's rendered payload; the filler of the last empty
+    /// slot assembles and sends the batch response.
+    fn settle_item(&self, shared: &Shared, pos: usize, line: String) {
+        {
+            let mut slots = self.slots.lock().expect("batch slots");
+            debug_assert!(slots[pos].is_none(), "batch slot settled twice");
+            slots[pos] = Some(line);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.finish(shared);
+        }
+    }
+
+    fn finish(&self, shared: &Shared) {
+        let items: Vec<String> = {
+            let mut slots = self.slots.lock().expect("batch slots");
+            slots
+                .iter_mut()
+                .map(|slot| slot.take().expect("all batch slots settled"))
+                .collect()
+        };
+        let line = protocol::batch_response_line(self.id, &items);
+        shared
+            .recorder
+            .gauge_add("drift_gateway_inflight_requests", &[], -(self.total as i64));
+        if shared.recorder.is_enabled() {
+            shared.recorder.observe(
+                "drift_gateway_request_latency_microseconds",
+                &[],
+                drift_obs::contract::LATENCY_US_BUCKETS,
+                self.admitted
+                    .elapsed()
+                    .as_micros()
+                    .min(u128::from(u64::MAX)) as u64,
+            );
+        }
+        if let Some(t) = &self.trace {
+            record_request_span(shared, t, self.id, self.admitted, "ok");
+        }
+        let reply = Reply {
+            line,
+            trace: self.trace.as_ref().map(|t| (t.trace, t.req_span)),
+        };
+        if self.reply.send(reply).is_err() {
+            shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
+            shared
+                .recorder
+                .counter_add("drift_gateway_responses_dropped_total", &[], 1);
+        }
+    }
+}
+
+/// The items of one batch that share a schedule key, executed together
+/// on one worker so the key is solved/fetched exactly once
+/// (`drift_serve::worker::execute_group`). `key == None` collects the
+/// Select items, which carry no schedule key and execute per-item.
+#[derive(Debug)]
+struct GroupJob {
+    key: Option<ScheduleKey>,
+    /// Submission positions within the batch, parallel to `specs`.
+    positions: Vec<usize>,
+    specs: Vec<JobSpec>,
+    /// The batch-wide deadline: the budget is shared by every item, so
+    /// each group carries the same absolute instant.
+    deadline: Option<Instant>,
+    admitted: Instant,
+    batch: Arc<BatchShared>,
+}
+
+impl GroupJob {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Same predictive check as [`GatewayJob::doomed`], using the
+    /// single-job estimate as a conservative lower bound on the group's
+    /// service time.
+    fn doomed(&self, now: Instant, estimate_us: u64) -> bool {
+        self.deadline.is_some_and(|d| {
+            d.saturating_duration_since(now).as_micros() <= u128::from(estimate_us)
+        })
+    }
+}
+
+/// What travels through the gateway queue: a singleton request, or one
+/// schedule-key group of a batch request. A batch occupies one queue
+/// slot per *distinct schedule key*, which is what lets admission stay
+/// a single capacity check while same-key floods collapse.
+#[derive(Debug)]
+enum QueueItem {
+    Single(GatewayJob),
+    Group(GroupJob),
+}
+
+impl Deadlined for QueueItem {
+    fn deadline(&self) -> Option<Instant> {
+        match self {
+            QueueItem::Single(job) => job.deadline,
+            QueueItem::Group(group) => group.deadline,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     config: GatewayConfig,
@@ -300,7 +422,7 @@ pub struct Gateway {
     /// this `Arc`; after they are joined, dropping the slot here drops
     /// the final strong reference, which closes the queue and lets the
     /// workers drain out.
-    queue: Option<Arc<JobQueue<GatewayJob>>>,
+    queue: Option<Arc<JobQueue<QueueItem>>>,
     acceptor: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     workers: Vec<JoinHandle<()>>,
@@ -405,7 +527,7 @@ impl Gateway {
             })
             .transpose()?;
 
-        let (queue, handle) = job_queue_with_policy::<GatewayJob>(config.queue, config.queue_depth);
+        let (queue, handle) = job_queue_with_policy::<QueueItem>(config.queue, config.queue_depth);
         let queue = Arc::new(queue);
         let workers = (0..config.workers)
             .map(|i| {
@@ -506,7 +628,7 @@ impl Drop for Gateway {
 fn acceptor_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
-    queue: &Arc<JobQueue<GatewayJob>>,
+    queue: &Arc<JobQueue<QueueItem>>,
     conns: &Mutex<Vec<JoinHandle<()>>>,
 ) {
     while !shared.should_stop() {
@@ -533,7 +655,7 @@ fn acceptor_loop(
 
 /// One connection's reader: parses request lines, admits jobs, and
 /// owns the paired writer thread's lifetime.
-fn connection(stream: TcpStream, shared: &Arc<Shared>, queue: &JobQueue<GatewayJob>) {
+fn connection(stream: TcpStream, shared: &Arc<Shared>, queue: &JobQueue<QueueItem>) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
@@ -558,19 +680,22 @@ fn connection(stream: TcpStream, shared: &Arc<Shared>, queue: &JobQueue<GatewayJ
     let mut last_activity = Instant::now();
     let idle = shared.config.idle_timeout_ms;
     while !shared.should_stop() {
-        match lines.next_line() {
-            LineEvent::Line(line) => {
+        // The borrowed variant keeps each request line in the reader's
+        // reused scratch buffer: no per-line allocation even when batch
+        // lines carry hundreds of jobs.
+        match lines.next_line_ref() {
+            LineEventRef::Line(line) => {
                 last_activity = Instant::now();
-                if !handle_line(&line, shared, queue, &reply_tx) {
+                if !handle_line(line, shared, queue, &reply_tx) {
                     break;
                 }
             }
-            LineEvent::TimedOut => {
+            LineEventRef::TimedOut => {
                 if idle > 0 && last_activity.elapsed() >= Duration::from_millis(idle) {
                     break;
                 }
             }
-            LineEvent::Eof | LineEvent::Failed => break,
+            LineEventRef::Eof | LineEventRef::Failed => break,
         }
     }
     // Dropping our sender lets the writer exit once every in-flight
@@ -589,7 +714,7 @@ fn connection(stream: TcpStream, shared: &Arc<Shared>, queue: &JobQueue<GatewayJ
 fn handle_line(
     line: &str,
     shared: &Shared,
-    queue: &JobQueue<GatewayJob>,
+    queue: &JobQueue<QueueItem>,
     reply: &Sender<Reply>,
 ) -> bool {
     if line.trim().is_empty() {
@@ -691,7 +816,7 @@ fn handle_line(
                 trace: job_trace,
                 reply: reply.clone(),
             };
-            match queue.try_submit(job) {
+            match queue.try_submit(QueueItem::Single(job)) {
                 Ok(()) => {
                     shared.tally.accepted.fetch_add(1, Ordering::Relaxed);
                     shared
@@ -701,12 +826,138 @@ fn handle_line(
                         .recorder
                         .gauge_add("drift_gateway_inflight_requests", &[], 1);
                 }
-                Err(job) => {
+                Err(item) => {
                     shared.tally.shed.fetch_add(1, Ordering::Relaxed);
                     shared
                         .recorder
                         .counter_add("drift_gateway_requests_shed_total", &[], 1);
-                    if let Some(t) = &job.trace {
+                    if let QueueItem::Single(job) = item {
+                        if let Some(t) = &job.trace {
+                            record_request_span(shared, t, id, admitted, "overloaded");
+                        }
+                    }
+                    let _ =
+                        reply.send(Reply::plain(protocol::error_line(Some(id), ERR_OVERLOADED)));
+                }
+            }
+            true
+        }
+        Ok(Request::Batch {
+            id,
+            specs,
+            deadline_ms,
+            trace,
+        }) => {
+            let admitted = Instant::now();
+            let total = specs.len();
+            // One sampling decision and one request span per batch: the
+            // whole line is one request to the trace tier.
+            let decision = match trace {
+                TraceDecision::Undecided if shared.tracer.is_enabled() => shared
+                    .tracer
+                    .decide(shared.trace_seq.fetch_add(1, Ordering::Relaxed)),
+                other => other,
+            };
+            let batch_trace = match (decision.context(), shared.tracer.is_enabled()) {
+                (Some(ctx), true) => Some(JobTrace {
+                    trace: ctx.trace_id,
+                    parent: ctx.parent_span,
+                    req_span: shared.tracer.new_span_id(),
+                }),
+                _ => None,
+            };
+            // The deadline budget is shared: one absolute instant for
+            // every item, decremented once per hop upstream — never
+            // once per item.
+            let budget = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
+            let deadline = (budget > 0).then(|| admitted + Duration::from_millis(budget));
+            // Whole-batch infeasibility shed, using the single-job
+            // estimate as a lower bound on the batch's service time: if
+            // even one job cannot finish in budget, none of the batch's
+            // items can settle in time.
+            let estimate_us = shared.estimator.estimate_us();
+            if deadline.is_some() && estimate_us > 0 && budget.saturating_mul(1000) < estimate_us {
+                shared
+                    .tally
+                    .unmeetable
+                    .fetch_add(total as u64, Ordering::Relaxed);
+                shared.recorder.counter_add(
+                    "drift_gateway_deadline_outcomes_total",
+                    &[("outcome", "unmeetable")],
+                    total as u64,
+                );
+                if let Some(t) = &batch_trace {
+                    record_request_span(shared, t, id, admitted, "unmeetable");
+                }
+                let _ = reply.send(Reply::plain(protocol::error_line(Some(id), ERR_UNMEETABLE)));
+                return true;
+            }
+            let batch = Arc::new(BatchShared {
+                id,
+                total,
+                slots: Mutex::new(vec![None; total]),
+                remaining: AtomicUsize::new(total),
+                reply: reply.clone(),
+                trace: batch_trace,
+                admitted,
+            });
+            // Group by schedule key, preserving submission order within
+            // each group. Linear scan: batches carry at most a few
+            // distinct keys by construction (that is the amortization).
+            let fabric = paper_fabric();
+            let mut groups: Vec<GroupJob> = Vec::new();
+            for (pos, spec) in specs.into_iter().enumerate() {
+                let key = schedule_key_for(&spec, fabric);
+                match groups.iter_mut().find(|g| g.key == key) {
+                    Some(group) => {
+                        group.positions.push(pos);
+                        group.specs.push(spec);
+                    }
+                    None => groups.push(GroupJob {
+                        key,
+                        positions: vec![pos],
+                        specs: vec![spec],
+                        deadline,
+                        admitted,
+                        batch: Arc::clone(&batch),
+                    }),
+                }
+            }
+            let items = groups.into_iter().map(QueueItem::Group).collect();
+            match queue.try_submit_batch(items) {
+                Ok(()) => {
+                    shared
+                        .tally
+                        .accepted
+                        .fetch_add(total as u64, Ordering::Relaxed);
+                    shared.recorder.counter_add(
+                        "drift_gateway_requests_accepted_total",
+                        &[],
+                        total as u64,
+                    );
+                    shared
+                        .recorder
+                        .gauge_add("drift_gateway_inflight_requests", &[], total as i64);
+                    if shared.recorder.is_enabled() {
+                        shared.recorder.observe(
+                            "drift_gateway_batch_size",
+                            &[],
+                            drift_obs::contract::BATCH_SIZE_BUCKETS,
+                            total as u64,
+                        );
+                    }
+                }
+                Err(_groups) => {
+                    // All-or-shed: no group was enqueued, so dropping
+                    // the groups (and the batch state inside) is safe —
+                    // nothing will ever settle a slot.
+                    shared.tally.shed.fetch_add(total as u64, Ordering::Relaxed);
+                    shared.recorder.counter_add(
+                        "drift_gateway_requests_shed_total",
+                        &[],
+                        total as u64,
+                    );
+                    if let Some(t) = &batch.trace {
                         record_request_span(shared, t, id, admitted, "overloaded");
                     }
                     let _ =
@@ -747,12 +998,17 @@ fn record_request_span(
 fn writer_loop(mut stream: TcpStream, replies: &Receiver<Reply>, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut dead = false;
+    // Response scratch, reused across replies: after warm-up the writer
+    // performs zero allocations per response line (batch responses can
+    // run to hundreds of KiB, so recycling the capacity matters).
+    let mut buf: Vec<u8> = Vec::new();
     for reply in replies.iter() {
         if !dead {
             let write_start = reply.trace.map(|t| (t, Instant::now()));
-            let mut bytes = reply.line.into_bytes();
-            bytes.push(b'\n');
-            dead = stream.write_all(&bytes).is_err() || stream.flush().is_err();
+            buf.clear();
+            buf.extend_from_slice(reply.line.as_bytes());
+            buf.push(b'\n');
+            dead = stream.write_all(&buf).is_err() || stream.flush().is_err();
             if let Some(((trace, req_span), start)) = write_start {
                 shared.tracer.record(&SpanRecord {
                     service: None,
@@ -777,18 +1033,28 @@ fn writer_loop(mut stream: TcpStream, replies: &Receiver<Reply>, shared: &Shared
     }
 }
 
-/// One worker: pulls admitted jobs until the queue closes, enforcing
+/// One worker: pulls admitted work until the queue closes, enforcing
 /// the deadline at dequeue and again at response time.
-fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
+fn worker_loop(jobs: WorkerHandle<QueueItem>, shared: &Shared) {
     let mut accel =
         DriftAccelerator::paper_config().expect("the paper configuration always builds");
     accel.set_recorder(shared.recorder.clone());
-    while let Some(job) = jobs.next_job() {
+    while let Some(item) = jobs.next_job() {
+        match item {
+            QueueItem::Single(job) => run_single(job, &mut accel, shared),
+            QueueItem::Group(group) => run_group(group, &mut accel, shared),
+        }
+    }
+}
+
+/// Executes one singleton request end to end.
+fn run_single(job: GatewayJob, accel: &mut DriftAccelerator, shared: &Shared) {
+    {
         let dequeued = Instant::now();
         if job.doomed(dequeued, shared.estimator.estimate_us()) {
             record_queue_wait(shared, &job, dequeued, "expired");
             respond_expired(shared, &job);
-            continue;
+            return;
         }
         record_queue_wait(shared, &job, dequeued, "ok");
         // The execute span is also the parent of serve-tier spans
@@ -799,7 +1065,7 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
             .map(|t| (t, shared.tracer.new_span_id(), Instant::now()));
         let (outcome, _cache_hit) = execute_job_traced(
             &job.spec,
-            &mut accel,
+            accel,
             &shared.cache,
             &shared.recorder,
             &shared.tracer,
@@ -842,7 +1108,7 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
         }
         if job.expired(Instant::now()) {
             respond_expired(shared, &job);
-            continue;
+            return;
         }
         if job.deadline.is_some() {
             shared.recorder.counter_add(
@@ -856,6 +1122,115 @@ fn worker_loop(jobs: WorkerHandle<GatewayJob>, shared: &Shared) {
             outcome,
         });
         respond(shared, &job, line, "ok");
+    }
+}
+
+/// Executes one schedule-key group of a batch: the group's key is
+/// solved/fetched once, every item runs against the resolved schedule,
+/// and each item's rendered payload — byte-identical to what the same
+/// job would produce submitted singly — settles into its batch slot.
+fn run_group(group: GroupJob, accel: &mut DriftAccelerator, shared: &Shared) {
+    let dequeued = Instant::now();
+    let n = group.specs.len();
+    record_group_queue_wait(shared, &group, dequeued);
+    if group.doomed(dequeued, shared.estimator.estimate_us()) {
+        for (pos, spec) in group.positions.iter().zip(&group.specs) {
+            count_expired_item(shared);
+            group.batch.settle_item(
+                shared,
+                *pos,
+                protocol::error_line(Some(spec.id), ERR_DEADLINE),
+            );
+        }
+        return;
+    }
+    let results = execute_group(
+        group.key.as_ref(),
+        &group.specs,
+        accel,
+        &shared.cache,
+        &shared.recorder,
+    );
+    // One dequeue-to-done observation per item, so the admission
+    // estimator keeps tracking per-job service time.
+    shared
+        .estimator
+        .observe(dequeued.elapsed() / n.max(1) as u32);
+    let late = group.expired(Instant::now());
+    for ((pos, spec), (outcome, _cache_hit)) in
+        group.positions.iter().zip(&group.specs).zip(results)
+    {
+        if shared.recorder.is_enabled() {
+            let is_error = matches!(outcome, JobOutcome::Error { .. });
+            shared.recorder.counter_add(
+                "drift_serve_jobs_total",
+                &[
+                    ("kind", spec.kind.label()),
+                    ("outcome", if is_error { "error" } else { "ok" }),
+                ],
+                1,
+            );
+        }
+        let line = if late {
+            count_expired_item(shared);
+            protocol::error_line(Some(spec.id), ERR_DEADLINE)
+        } else {
+            if group.deadline.is_some() {
+                shared.recorder.counter_add(
+                    "drift_gateway_deadline_outcomes_total",
+                    &[("outcome", "met")],
+                    1,
+                );
+            }
+            result_line(&JobResult {
+                id: spec.id,
+                outcome,
+            })
+        };
+        group.batch.settle_item(shared, *pos, line);
+    }
+}
+
+/// The per-item expiry accounting shared by the dequeue-discard and
+/// post-execution paths of [`run_group`].
+fn count_expired_item(shared: &Shared) {
+    shared.tally.expired.fetch_add(1, Ordering::Relaxed);
+    shared
+        .recorder
+        .counter_add("drift_gateway_requests_expired_total", &[], 1);
+    shared.recorder.counter_add(
+        "drift_gateway_deadline_outcomes_total",
+        &[("outcome", "missed")],
+        1,
+    );
+}
+
+/// Observes queue wait once per group (the group was one queue entry)
+/// and records one `queue_wait` span under the batch's request span.
+fn record_group_queue_wait(shared: &Shared, group: &GroupJob, dequeued: Instant) {
+    if shared.recorder.is_enabled() {
+        shared.recorder.observe(
+            "drift_gateway_queue_wait_microseconds",
+            &[("outcome", "ok")],
+            drift_obs::contract::LATENCY_US_BUCKETS,
+            dequeued
+                .duration_since(group.admitted)
+                .as_micros()
+                .min(u128::from(u64::MAX)) as u64,
+        );
+    }
+    if let Some(t) = &group.batch.trace {
+        shared.tracer.record(&SpanRecord {
+            service: None,
+            trace: t.trace,
+            span: shared.tracer.new_span_id(),
+            parent: Some(t.req_span),
+            stage: "queue_wait",
+            start: group.admitted,
+            end: dequeued,
+            job: Some(group.batch.id),
+            attrs: &[("outcome", "ok")],
+        });
     }
 }
 

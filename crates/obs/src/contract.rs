@@ -57,6 +57,9 @@ pub const SOLVE_NS_BUCKETS: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 10_000
 /// Buckets for sampled queue depth, jobs.
 pub const QUEUE_DEPTH_BUCKETS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256];
 
+/// Buckets for admitted batch-request size, jobs per batch.
+pub const BATCH_SIZE_BUCKETS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
 /// Every metric the workspace exports, sorted by name.
 pub const METRICS: &[MetricSpec] = &[
     MetricSpec {
@@ -114,6 +117,13 @@ pub const METRICS: &[MetricSpec] = &[
         unit: "picojoules",
         labels: &["stage"],
         help: "Energy by stage: core, static, dram, buffer",
+    },
+    MetricSpec {
+        name: "drift_gateway_batch_size",
+        kind: MetricKind::Histogram,
+        unit: "jobs",
+        labels: &[],
+        help: "Jobs per admitted batch request (singleton requests are not observed)",
     },
     MetricSpec {
         name: "drift_gateway_connections",
@@ -199,6 +209,13 @@ pub const METRICS: &[MetricSpec] = &[
         unit: "events",
         labels: &[],
         help: "Fabric repartitions actually charged (elided repeats are not counted)",
+    },
+    MetricSpec {
+        name: "drift_router_batch_splits_total",
+        kind: MetricKind::Counter,
+        unit: "batches",
+        labels: &[],
+        help: "Batch requests the router split into more than one per-shard sub-batch",
     },
     MetricSpec {
         name: "drift_router_connections",

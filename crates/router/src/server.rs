@@ -64,7 +64,7 @@ use serde::Value;
 use std::collections::HashMap;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -280,6 +280,125 @@ struct PendingEntry {
     reply: Sender<String>,
 }
 
+/// The client-visible state of one batch request: response slots
+/// indexed by submission position, filled as per-shard sub-batches
+/// settle. The filler of the last slot assembles the single batch
+/// response line, so the client sees its items in submission order no
+/// matter how the batch was split or which shard answered first.
+#[derive(Debug)]
+struct ClientBatch {
+    /// The batch id the client used (what the response carries back).
+    orig_id: u64,
+    total: usize,
+    slots: Mutex<Vec<Option<String>>>,
+    remaining: AtomicUsize,
+    /// When the batch was admitted (root request-span basis).
+    admitted: Instant,
+    /// Sampling state decided once at admission for the whole batch.
+    trace: EntryTrace,
+    reply: Sender<String>,
+}
+
+impl ClientBatch {
+    /// Fills one item's rendered payload; the filler of the last empty
+    /// slot assembles and sends the batch response.
+    fn settle_slot(&self, shared: &Shared, pos: usize, line: String) {
+        {
+            let mut slots = self.slots.lock().expect("batch slots");
+            debug_assert!(slots[pos].is_none(), "batch slot settled twice");
+            slots[pos] = Some(line);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.finish(shared);
+        }
+    }
+
+    fn finish(&self, shared: &Shared) {
+        let items: Vec<String> = {
+            let mut slots = self.slots.lock().expect("batch slots");
+            slots
+                .iter_mut()
+                .map(|slot| slot.take().expect("all batch slots settled"))
+                .collect()
+        };
+        let line = protocol::batch_response_line(self.orig_id, &items);
+        if let EntryTrace::Sampled {
+            trace,
+            parent,
+            root_span,
+            ..
+        } = self.trace
+        {
+            shared.tracer.record(&SpanRecord {
+                service: None,
+                trace,
+                span: root_span,
+                parent,
+                stage: "request",
+                start: self.admitted,
+                end: Instant::now(),
+                job: Some(self.orig_id),
+                attrs: &[("outcome", "ok")],
+            });
+        }
+        shared
+            .recorder
+            .gauge_add("drift_router_inflight_requests", &[], -(self.total as i64));
+        if self.reply.send(line).is_err() {
+            shared.tally.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One per-shard sub-batch of a client batch, in flight to one
+/// gateway as a single batch request line under a router-unique
+/// internal batch id. Item ids inside are *not* rewritten: the gateway
+/// answers items in submission order, so the positional mapping in
+/// `positions` is authoritative and the item payloads come back
+/// already carrying the client's ids.
+#[derive(Debug)]
+struct PendingBatch {
+    batch: Arc<ClientBatch>,
+    /// Submission positions within the client batch, parallel to
+    /// `specs`.
+    positions: Vec<usize>,
+    specs: Vec<JobSpec>,
+    /// The batch-wide absolute deadline: the budget is shared, so each
+    /// hop forwards one remainder for the whole sub-batch — never a
+    /// per-item decrement.
+    deadline: Option<Instant>,
+    /// When the current hop was forwarded (hop latency basis).
+    sent: Instant,
+    /// Dispatch attempts of this sub-batch's items so far.
+    hops: u32,
+    /// Addresses this sub-batch's items have been sent to: failover
+    /// never revisits one, keeping dispatch exactly-once per item per
+    /// shard.
+    tried: Vec<String>,
+    /// The shard currently executing this sub-batch.
+    shard: Option<Arc<ShardLink>>,
+    /// Hop-span state (re-minted per dispatch attempt); the parent is
+    /// the batch's root span.
+    trace: EntryTrace,
+}
+
+/// What an internal id in the pending table maps to: one rewritten
+/// singleton job, or one per-shard sub-batch of a client batch.
+#[derive(Debug)]
+enum Pending {
+    Job(PendingEntry),
+    Batch(PendingBatch),
+}
+
+impl Pending {
+    fn shard(&self) -> Option<&Arc<ShardLink>> {
+        match self {
+            Pending::Job(entry) => entry.shard.as_ref(),
+            Pending::Batch(batch) => batch.shard.as_ref(),
+        }
+    }
+}
+
 /// The routing table: the ring and the index-aligned shard links.
 #[derive(Debug)]
 struct Table {
@@ -302,7 +421,7 @@ struct Shared {
     /// Serialises reshard operations across client connections.
     reshard_gate: Mutex<()>,
     table: RwLock<Table>,
-    pending: Mutex<HashMap<u64, PendingEntry>>,
+    pending: Mutex<HashMap<u64, Pending>>,
     next_internal_id: AtomicU64,
     /// Sample of distinct routing keys seen, for moved-key accounting.
     /// Each routing hash carries the exact [`ScheduleKey`] it was
@@ -618,21 +737,38 @@ fn shard_reader(shared: &Arc<Shared>, link: &Arc<ShardLink>, mut reader: ClientR
 /// of the spec — and the pending table still guarantees exactly one
 /// response per accepted id.
 fn orphan_failover(shared: &Arc<Shared>, link: &Arc<ShardLink>) {
-    let orphans: Vec<(u64, PendingEntry)> = {
+    let orphans: Vec<(u64, Pending)> = {
         let mut pending = shared.pending.lock().expect("pending table");
         let ids: Vec<u64> = pending
             .iter()
-            .filter(|(_, e)| e.shard.as_ref().is_some_and(|s| Arc::ptr_eq(s, link)))
+            .filter(|(_, e)| e.shard().is_some_and(|s| Arc::ptr_eq(s, link)))
             .map(|(&id, _)| id)
             .collect();
         ids.into_iter()
             .filter_map(|id| pending.remove(&id).map(|e| (id, e)))
             .collect()
     };
-    for (internal_id, entry) in orphans {
-        record_hop_span(shared, &entry, "shard_dead");
-        count_failover(shared);
-        dispatch(shared, internal_id, entry);
+    for (internal_id, orphan) in orphans {
+        match orphan {
+            Pending::Job(entry) => {
+                record_hop_span(shared, &entry, "shard_dead");
+                count_failover(shared);
+                dispatch(shared, internal_id, entry);
+            }
+            Pending::Batch(batch) => {
+                record_batch_hop_span(shared, &batch, "shard_dead");
+                count_failover(shared);
+                route_batch(
+                    shared,
+                    &batch.batch,
+                    batch.positions,
+                    batch.specs,
+                    batch.deadline,
+                    batch.tried,
+                    batch.hops,
+                );
+            }
+        }
     }
 }
 
@@ -674,7 +810,7 @@ fn count_failover(shared: &Shared) {
 fn on_backend_response(shared: &Arc<Shared>, link: &Arc<ShardLink>, response: Response) {
     match response {
         Response::Result(mut result) => {
-            let Some(entry) = shared
+            let Some(pending) = shared
                 .pending
                 .lock()
                 .expect("pending table")
@@ -684,32 +820,104 @@ fn on_backend_response(shared: &Arc<Shared>, link: &Arc<ShardLink>, response: Re
                 // either way, so dropping the duplicate is safe.
                 return;
             };
-            observe_hop(shared, &entry);
-            record_hop_span(shared, &entry, "ok");
-            result.id = entry.orig_id;
-            settle(shared, &entry, result_line(&result), "ok");
+            match pending {
+                Pending::Job(entry) => {
+                    observe_hop(shared, entry.sent);
+                    record_hop_span(shared, &entry, "ok");
+                    result.id = entry.orig_id;
+                    settle(shared, &entry, result_line(&result), "ok");
+                }
+                // Protocol violation — a singleton result correlated to
+                // a batch id. Settle the slots so the client's batch
+                // never hangs.
+                Pending::Batch(batch) => {
+                    record_batch_hop_span(shared, &batch, "error");
+                    settle_batch_error(shared, &batch, ERR_BAD_REQUEST);
+                }
+            }
+        }
+        Response::Batch { id, items } => {
+            let Some(pending) = shared.pending.lock().expect("pending table").remove(&id) else {
+                return;
+            };
+            match pending {
+                Pending::Batch(batch) => {
+                    observe_hop(shared, batch.sent);
+                    record_batch_hop_span(shared, &batch, "ok");
+                    // Splice each item back into its client-batch slot.
+                    // Re-rendering the parsed payload goes through the
+                    // same serialisers the gateway used, so the bytes
+                    // match a singleton submission exactly.
+                    for (i, (pos, spec)) in batch.positions.iter().zip(&batch.specs).enumerate() {
+                        let line = match items.get(i) {
+                            Some(Response::Result(result)) => result_line(result),
+                            Some(Response::Error { id, error }) => protocol::error_line(*id, error),
+                            // Short or malformed item list: answer the
+                            // leftovers instead of stranding the batch.
+                            _ => protocol::error_line(Some(spec.id), ERR_BAD_REQUEST),
+                        };
+                        batch.batch.settle_slot(shared, *pos, line);
+                    }
+                }
+                Pending::Job(entry) => {
+                    record_hop_span(shared, &entry, "error");
+                    settle(
+                        shared,
+                        &entry,
+                        protocol::error_line(Some(entry.orig_id), ERR_BAD_REQUEST),
+                        ERR_BAD_REQUEST,
+                    );
+                }
+            }
         }
         Response::Error {
             id: Some(id),
             error,
         } => {
-            let Some(entry) = shared.pending.lock().expect("pending table").remove(&id) else {
+            let Some(pending) = shared.pending.lock().expect("pending table").remove(&id) else {
                 return;
             };
-            observe_hop(shared, &entry);
-            if error == ERR_OVERLOADED {
-                // The shard shed the job: walk on to the next shard.
-                record_hop_span(shared, &entry, "overloaded");
-                count_failover(shared);
-                dispatch(shared, id, entry);
-            } else {
-                record_hop_span(shared, &entry, "error");
-                settle(
-                    shared,
-                    &entry,
-                    protocol::error_line(Some(entry.orig_id), &error),
-                    &error,
-                );
+            match pending {
+                Pending::Job(entry) => {
+                    observe_hop(shared, entry.sent);
+                    if error == ERR_OVERLOADED {
+                        // The shard shed the job: walk on to the next
+                        // shard.
+                        record_hop_span(shared, &entry, "overloaded");
+                        count_failover(shared);
+                        dispatch(shared, id, entry);
+                    } else {
+                        record_hop_span(shared, &entry, "error");
+                        settle(
+                            shared,
+                            &entry,
+                            protocol::error_line(Some(entry.orig_id), &error),
+                            &error,
+                        );
+                    }
+                }
+                Pending::Batch(batch) => {
+                    observe_hop(shared, batch.sent);
+                    if error == ERR_OVERLOADED {
+                        // The gateway shed the whole sub-batch (batch
+                        // admission is all-or-shed): walk its items on
+                        // to their next untried shards.
+                        record_batch_hop_span(shared, &batch, "overloaded");
+                        count_failover(shared);
+                        route_batch(
+                            shared,
+                            &batch.batch,
+                            batch.positions,
+                            batch.specs,
+                            batch.deadline,
+                            batch.tried,
+                            batch.hops,
+                        );
+                    } else {
+                        record_batch_hop_span(shared, &batch, "error");
+                        settle_batch_error(shared, &batch, &error);
+                    }
+                }
             }
         }
         // Un-correlatable: a control ack or an id-less error. The
@@ -721,13 +929,49 @@ fn on_backend_response(shared: &Arc<Shared>, link: &Arc<ShardLink>, response: Re
     }
 }
 
-fn observe_hop(shared: &Shared, entry: &PendingEntry) {
+/// Settles every item of a failed sub-batch with the same wire error,
+/// each in its own slot so the rest of the client batch is unaffected.
+fn settle_batch_error(shared: &Shared, batch: &PendingBatch, error: &str) {
+    for (pos, spec) in batch.positions.iter().zip(&batch.specs) {
+        batch
+            .batch
+            .settle_slot(shared, *pos, protocol::error_line(Some(spec.id), error));
+    }
+}
+
+/// Records the span of a sub-batch's current dispatch attempt. A no-op
+/// unless the batch is sampled with the router tracing.
+fn record_batch_hop_span(shared: &Shared, batch: &PendingBatch, outcome: &str) {
+    let EntryTrace::Sampled {
+        trace,
+        root_span,
+        hop_span,
+        ..
+    } = batch.trace
+    else {
+        return;
+    };
+    let addr = batch.shard.as_ref().map_or("", |s| s.addr.as_str());
+    shared.tracer.record(&SpanRecord {
+        service: None,
+        trace,
+        span: hop_span,
+        parent: Some(root_span),
+        stage: "hop",
+        start: batch.sent,
+        end: Instant::now(),
+        job: Some(batch.batch.orig_id),
+        attrs: &[("outcome", outcome), ("shard", addr)],
+    });
+}
+
+fn observe_hop(shared: &Shared, sent: Instant) {
     if shared.recorder.is_enabled() {
         shared.recorder.observe(
             "drift_router_hop_latency_microseconds",
             &[],
             drift_obs::contract::LATENCY_US_BUCKETS,
-            entry.sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+            sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
         );
     }
 }
@@ -855,7 +1099,7 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
             .pending
             .lock()
             .expect("pending table")
-            .insert(internal_id, entry);
+            .insert(internal_id, Pending::Job(entry));
         let sent = {
             let mut writer = link.writer.lock().expect("shard writer");
             match writer.as_mut() {
@@ -875,7 +1119,7 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
         // The write failed before a complete line reached the shard
         // (write_all only errors short), so no response is coming:
         // take the entry back, kill the connection, walk on.
-        let Some(reclaimed) = shared
+        let Some(Pending::Job(reclaimed)) = shared
             .pending
             .lock()
             .expect("pending table")
@@ -888,6 +1132,187 @@ fn dispatch(shared: &Arc<Shared>, internal_id: u64, mut entry: PendingEntry) {
         eject(shared, &link);
         count_failover(shared);
     }
+}
+
+/// Routes a set of batch items (all belonging to `batch`): each item
+/// walks its own ring chain to the first healthy shard not in `tried`,
+/// items sharing a target travel together as one sub-batch under one
+/// internal batch id, and items with no reachable shard settle
+/// `overloaded` in their slots. Failover re-enters this function with
+/// the grown `tried` set, so no item is ever dispatched to the same
+/// shard twice — exactly-once per item per shard, exactly as the
+/// singleton walk guarantees.
+///
+/// The deadline budget is decremented once per hop for the whole
+/// sub-batch — every sub-batch of a split forwards the same remaining
+/// budget (`batch_remaining_budget_ms`), never a per-item remainder.
+fn route_batch(
+    shared: &Arc<Shared>,
+    batch: &Arc<ClientBatch>,
+    positions: Vec<usize>,
+    specs: Vec<JobSpec>,
+    deadline: Option<Instant>,
+    tried: Vec<String>,
+    hops: u32,
+) {
+    // One routing work unit: (slot positions, specs, shards tried, hops).
+    type BatchWork = (Vec<usize>, Vec<JobSpec>, Vec<String>, u32);
+    let mut work: Vec<BatchWork> = vec![(positions, specs, tried, hops)];
+    while let Some((positions, specs, tried, hops)) = work.pop() {
+        let now = Instant::now();
+        if deadline.is_some_and(|d| now >= d) {
+            shared
+                .tally
+                .expired
+                .fetch_add(positions.len() as u64, Ordering::Relaxed);
+            for (pos, spec) in positions.iter().zip(&specs) {
+                batch.settle_slot(
+                    shared,
+                    *pos,
+                    protocol::error_line(Some(spec.id), ERR_DEADLINE),
+                );
+            }
+            continue;
+        }
+        if hops >= shared.config.max_hops {
+            shared
+                .tally
+                .unrouted
+                .fetch_add(positions.len() as u64, Ordering::Relaxed);
+            for (pos, spec) in positions.iter().zip(&specs) {
+                batch.settle_slot(
+                    shared,
+                    *pos,
+                    protocol::error_line(Some(spec.id), ERR_OVERLOADED),
+                );
+            }
+            continue;
+        }
+        let mut groups: Vec<(Arc<ShardLink>, Vec<usize>, Vec<JobSpec>)> = Vec::new();
+        let mut unroutable: Vec<(usize, JobSpec)> = Vec::new();
+        {
+            let table = shared.table.read().expect("routing table");
+            for (pos, spec) in positions.into_iter().zip(specs) {
+                let key = route_key(&spec, shared.fabric);
+                let choice = table
+                    .ring
+                    .owners(key)
+                    .into_iter()
+                    .map(|i| &table.links[i])
+                    .find(|l| l.healthy.load(Ordering::SeqCst) && !tried.contains(&l.addr))
+                    .cloned();
+                match choice {
+                    Some(link) => match groups.iter_mut().find(|(g, ..)| Arc::ptr_eq(g, &link)) {
+                        Some((_, ps, ss)) => {
+                            ps.push(pos);
+                            ss.push(spec);
+                        }
+                        None => groups.push((link, vec![pos], vec![spec])),
+                    },
+                    None => unroutable.push((pos, spec)),
+                }
+            }
+        }
+        for (pos, spec) in unroutable {
+            shared.tally.unrouted.fetch_add(1, Ordering::Relaxed);
+            batch.settle_slot(
+                shared,
+                pos,
+                protocol::error_line(Some(spec.id), ERR_OVERLOADED),
+            );
+        }
+        if groups.len() > 1 {
+            shared
+                .recorder
+                .counter_add("drift_router_batch_splits_total", &[], 1);
+        }
+        // One budget computation for this hop: every sub-batch of the
+        // split forwards the same remainder.
+        let remaining_ms = batch_remaining_budget_ms(deadline, now);
+        for (link, positions, specs) in groups {
+            let internal_id = shared.next_internal_id.fetch_add(1, Ordering::Relaxed);
+            let mut tried = tried.clone();
+            tried.push(link.addr.clone());
+            // Each sub-batch dispatch is its own hop span under the
+            // batch's root span.
+            let mut trace = batch.trace;
+            if let EntryTrace::Sampled { hop_span, .. } = &mut trace {
+                *hop_span = shared.tracer.new_span_id();
+            }
+            let decision = match trace {
+                EntryTrace::Off => TraceDecision::Undecided,
+                EntryTrace::Forward(decision) => decision,
+                EntryTrace::Sampled {
+                    trace, hop_span, ..
+                } => TraceDecision::Sampled(TraceContext {
+                    trace_id: trace,
+                    parent_span: Some(hop_span),
+                }),
+            };
+            let line =
+                protocol::batch_request_line_traced(internal_id, &specs, remaining_ms, &decision);
+            let addr = link.addr.clone();
+            let entry = PendingBatch {
+                batch: Arc::clone(batch),
+                positions,
+                specs,
+                deadline,
+                sent: now,
+                hops: hops + 1,
+                tried,
+                shard: Some(Arc::clone(&link)),
+                trace,
+            };
+            shared
+                .pending
+                .lock()
+                .expect("pending table")
+                .insert(internal_id, Pending::Batch(entry));
+            let sent = {
+                let mut writer = link.writer.lock().expect("shard writer");
+                match writer.as_mut() {
+                    Some(w) => w.send_raw(&line).is_ok(),
+                    None => false,
+                }
+            };
+            if sent {
+                shared.tally.routed.fetch_add(1, Ordering::Relaxed);
+                shared.recorder.counter_add(
+                    "drift_router_requests_routed_total",
+                    &[("shard", &addr)],
+                    1,
+                );
+                continue;
+            }
+            // Write failed: reclaim the sub-batch, kill the connection,
+            // and re-route its items past this shard.
+            let Some(Pending::Batch(reclaimed)) = shared
+                .pending
+                .lock()
+                .expect("pending table")
+                .remove(&internal_id)
+            else {
+                continue;
+            };
+            record_batch_hop_span(shared, &reclaimed, "write_failed");
+            eject(shared, &link);
+            count_failover(shared);
+            work.push((
+                reclaimed.positions,
+                reclaimed.specs,
+                reclaimed.tried,
+                reclaimed.hops,
+            ));
+        }
+    }
+}
+
+/// The single forwarded budget for one batch hop, shared by every item
+/// of every sub-batch dispatched in that hop. The batch deadline is
+/// decremented once per hop — never once per item — so splitting a
+/// batch across shards cannot shrink (or multiply) its budget.
+fn batch_remaining_budget_ms(deadline: Option<Instant>, now: Instant) -> Option<u64> {
+    deadline.map(|d| remaining_budget_ms(d, now))
 }
 
 fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Mutex<Vec<JoinHandle<()>>>) {
@@ -1032,22 +1457,29 @@ fn handle_client_line(line: &str, shared: &Arc<Shared>, reply: &Sender<String>) 
             admit(shared, spec, deadline_ms, trace, reply);
             true
         }
+        Ok(Request::Batch {
+            id,
+            specs,
+            deadline_ms,
+            trace,
+        }) => {
+            while shared.resharding.load(Ordering::SeqCst) {
+                if shared.should_stop() {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            admit_batch(shared, id, specs, deadline_ms, trace, reply);
+            true
+        }
     }
 }
 
-/// Admits one job: assigns the internal id, computes the routing key,
-/// resolves the trace sampling decision, and dispatches.
-fn admit(
-    shared: &Arc<Shared>,
-    spec: JobSpec,
-    deadline_ms: Option<u64>,
-    trace_wire: TraceDecision,
-    reply: &Sender<String>,
-) {
-    let admitted = Instant::now();
-    let trace = if shared.tracer.is_enabled() {
-        // The router is usually the ingress edge: absent an upstream
-        // decision it makes one; an upstream decision is honored.
+/// Resolves the per-request distributed-trace state at admission: the
+/// router is usually the ingress edge, so absent an upstream decision
+/// it makes one; an upstream decision is honored and forwarded.
+fn resolve_entry_trace(shared: &Shared, trace_wire: TraceDecision) -> EntryTrace {
+    if shared.tracer.is_enabled() {
         let decision = match trace_wire {
             TraceDecision::Undecided => shared
                 .tracer
@@ -1067,7 +1499,20 @@ fn admit(
         EntryTrace::Off
     } else {
         EntryTrace::Forward(trace_wire)
-    };
+    }
+}
+
+/// Admits one job: assigns the internal id, computes the routing key,
+/// resolves the trace sampling decision, and dispatches.
+fn admit(
+    shared: &Arc<Shared>,
+    spec: JobSpec,
+    deadline_ms: Option<u64>,
+    trace_wire: TraceDecision,
+    reply: &Sender<String>,
+) {
+    let admitted = Instant::now();
+    let trace = resolve_entry_trace(shared, trace_wire);
     let deadline = deadline_ms
         .filter(|&budget| budget > 0)
         .map(|budget| admitted + Duration::from_millis(budget));
@@ -1103,6 +1548,53 @@ fn admit(
         reply: reply.clone(),
     };
     dispatch(shared, internal_id, entry);
+}
+
+/// Admits one batch request: one trace decision and one shared
+/// deadline for the whole line, then the items are split by the shard
+/// that owns each one's routing key and dispatched as per-shard
+/// sub-batches ([`route_batch`]).
+fn admit_batch(
+    shared: &Arc<Shared>,
+    id: u64,
+    specs: Vec<JobSpec>,
+    deadline_ms: Option<u64>,
+    trace_wire: TraceDecision,
+    reply: &Sender<String>,
+) {
+    let admitted = Instant::now();
+    let trace = resolve_entry_trace(shared, trace_wire);
+    let deadline = deadline_ms
+        .filter(|&budget| budget > 0)
+        .map(|budget| admitted + Duration::from_millis(budget));
+    let total = specs.len();
+    {
+        let mut seen = shared.seen_keys.lock().expect("seen keys");
+        for spec in &specs {
+            let key = route_key(spec, shared.fabric);
+            if seen.len() < SEEN_KEYS_CAP && !seen.contains_key(&key) {
+                seen.insert(key, schedule_key_for(spec, shared.fabric));
+            }
+        }
+    }
+    shared
+        .tally
+        .accepted
+        .fetch_add(total as u64, Ordering::Relaxed);
+    shared
+        .recorder
+        .gauge_add("drift_router_inflight_requests", &[], total as i64);
+    let batch = Arc::new(ClientBatch {
+        orig_id: id,
+        total,
+        slots: Mutex::new(vec![None; total]),
+        remaining: AtomicUsize::new(total),
+        admitted,
+        trace,
+        reply: reply.clone(),
+    });
+    let positions: Vec<usize> = (0..total).collect();
+    route_batch(shared, &batch, positions, specs, deadline, Vec::new(), 0);
 }
 
 /// Executes a `{"control":"reshard","shards":[...],"vnodes":K}`
@@ -1385,5 +1877,24 @@ mod tests {
         // An already-passed deadline saturates to the minimum; the
         // caller's expiry check on exact Instants fires first anyway.
         assert_eq!(remaining_budget_ms(now, now), 1);
+    }
+
+    #[test]
+    fn batch_budget_decrements_once_per_hop_not_per_item() {
+        let now = Instant::now();
+        let deadline = Some(now + Duration::from_millis(40));
+        // Every sub-batch of a split dispatched in the same hop
+        // forwards the same remainder — the item count never divides
+        // or multiplies the budget.
+        let forwarded = batch_remaining_budget_ms(deadline, now);
+        assert_eq!(forwarded, Some(40));
+        for _sub_batch_of_any_size in 0..3 {
+            assert_eq!(batch_remaining_budget_ms(deadline, now), forwarded);
+        }
+        // A later hop is charged the elapsed wall time exactly once.
+        let later = now + Duration::from_millis(15);
+        assert_eq!(batch_remaining_budget_ms(deadline, later), Some(25));
+        // No deadline forwards no budget, matching the singleton path.
+        assert_eq!(batch_remaining_budget_ms(None, now), None);
     }
 }

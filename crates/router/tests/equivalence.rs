@@ -195,3 +195,93 @@ fn sharded_cache_hit_rate_beats_a_single_gateway() {
         "sharding gained too little locality: {sharded_rate:.3} vs {single_rate:.3}"
     );
 }
+
+/// Submits `jobs` in batches of `batch` over one raw TCP connection
+/// and returns the exact response line per batch, keyed by batch id.
+fn drive_raw_batched(addr: SocketAddr, jobs: &[JobSpec], batch: usize) -> HashMap<u64, String> {
+    let stream = TcpStream::connect(addr).expect("connect to server");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut write = stream;
+    let mut lines = HashMap::new();
+    for chunk in jobs.chunks(batch) {
+        let batch_id = chunk[0].id;
+        let line = drift_gateway::protocol::batch_request_line(batch_id, chunk, None);
+        write.write_all(line.as_bytes()).expect("send batch");
+        write.write_all(b"\n").expect("send newline");
+        let mut response = String::new();
+        reader
+            .read_line(&mut response)
+            .expect("read batch response");
+        assert!(
+            lines
+                .insert(batch_id, response.trim_end().to_string())
+                .is_none(),
+            "duplicate batch response for id {batch_id}"
+        );
+    }
+    lines
+}
+
+#[test]
+fn router_batch_responses_splice_the_exact_singleton_bytes() {
+    // A batch through the router shards by per-item schedule key, so a
+    // mixed-shape batch splits into per-shard sub-batches; reassembly
+    // must still produce one line whose items are byte-identical to
+    // what singleton submission of the same stream returns, in
+    // submission order.
+    const JOBS: usize = 96;
+    const BATCH: usize = 16;
+    let jobs = synthetic_jobs(JOBS, 8, 42);
+    let recorder = Recorder::disabled();
+
+    // Reference: an identical fresh cluster driven singleton.
+    let single_gws = start_gateways(4, 4096, &recorder);
+    let single_router = Router::start(
+        "127.0.0.1:0",
+        &addrs(&single_gws),
+        RouterConfig::default(),
+        Recorder::disabled(),
+    )
+    .expect("router starts");
+    let singleton = drive_raw(single_router.local_addr(), &jobs);
+    single_router.shutdown();
+    for gw in single_gws {
+        gw.shutdown();
+    }
+
+    let gateways = start_gateways(4, 4096, &recorder);
+    let router = Router::start(
+        "127.0.0.1:0",
+        &addrs(&gateways),
+        RouterConfig::default(),
+        Recorder::enabled(),
+    )
+    .expect("router starts");
+    let batched = drive_raw_batched(router.local_addr(), &jobs, BATCH);
+
+    for chunk in jobs.chunks(BATCH) {
+        let batch_id = chunk[0].id;
+        let items: Vec<String> = chunk
+            .iter()
+            .map(|spec| singleton.get(&spec.id).expect("singleton answered").clone())
+            .collect();
+        assert_eq!(
+            batched.get(&batch_id),
+            Some(&drift_gateway::protocol::batch_response_line(
+                batch_id, &items
+            )),
+            "batch {batch_id}: router reassembly must splice the exact singleton bytes"
+        );
+    }
+
+    let summary = router.shutdown();
+    assert_eq!(
+        summary.accepted, JOBS as u64,
+        "accepted counts items, not lines"
+    );
+    assert_eq!(summary.unrouted, 0);
+    for gw in gateways {
+        gw.shutdown();
+    }
+}

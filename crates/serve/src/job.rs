@@ -222,6 +222,46 @@ pub fn result_line(result: &JobResult) -> String {
     serde_json::to_string(result).expect("job results contain only finite numbers")
 }
 
+/// The GEMM shape pool the synthetic streams cycle through.
+const SHAPES: [(usize, usize, usize); 8] = [
+    (256, 768, 768),
+    (512, 768, 3072),
+    (128, 1024, 1024),
+    (64, 512, 512),
+    (384, 768, 768),
+    (256, 2048, 2048),
+    (512, 512, 2048),
+    (96, 4096, 1024),
+];
+/// The `(fa, fw)` fraction pairs the synthetic streams cycle through.
+const FRACTIONS: [(f64, f64); 4] = [(0.1, 0.1), (0.2, 0.1), (0.5, 0.25), (0.8, 0.5)];
+
+/// A deterministic all-`Schedule` job stream — the "small job" load:
+/// each distinct (shape, fraction) pair is solved once and every
+/// repeat is a schedule-cache hit executing in microseconds, so a
+/// stream like this measures per-request wire and admission overhead
+/// rather than execution (the batching sweep in `EXPERIMENTS.md`).
+/// Cycles the same shape/fraction tables as [`synthetic_jobs`]; equal
+/// arguments always produce the identical job list.
+pub fn synthetic_schedule_jobs(
+    count: usize,
+    distinct_shapes: usize,
+    master_seed: u64,
+) -> Vec<JobSpec> {
+    let shapes = &SHAPES[..distinct_shapes.clamp(1, SHAPES.len())];
+    (0..count)
+        .map(|i| {
+            let (m, k, n) = shapes[i % shapes.len()];
+            let (fa, fw) = FRACTIONS[(i / shapes.len()) % FRACTIONS.len()];
+            JobSpec {
+                id: i as u64,
+                seed: master_seed.wrapping_add((i % 8) as u64),
+                kind: JobKind::Schedule { m, k, n, fa, fw },
+            }
+        })
+        .collect()
+}
+
 /// A deterministic synthetic job mix for benchmarks and load tests.
 ///
 /// Jobs cycle through `distinct_shapes` GEMM shapes (capped at the
@@ -230,17 +270,6 @@ pub fn result_line(result: &JobResult) -> String {
 /// select, 40% schedule, 40% simulate. Equal arguments always produce
 /// the identical job list.
 pub fn synthetic_jobs(count: usize, distinct_shapes: usize, master_seed: u64) -> Vec<JobSpec> {
-    const SHAPES: [(usize, usize, usize); 8] = [
-        (256, 768, 768),
-        (512, 768, 3072),
-        (128, 1024, 1024),
-        (64, 512, 512),
-        (384, 768, 768),
-        (256, 2048, 2048),
-        (512, 512, 2048),
-        (96, 4096, 1024),
-    ];
-    const FRACTIONS: [(f64, f64); 4] = [(0.1, 0.1), (0.2, 0.1), (0.5, 0.25), (0.8, 0.5)];
     const PROFILES: [&str; 4] = ["cnn", "vit", "bert", "llm"];
     let shapes = &SHAPES[..distinct_shapes.clamp(1, SHAPES.len())];
     (0..count)

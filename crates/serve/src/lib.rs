@@ -66,8 +66,8 @@ pub mod worker;
 
 pub use cache::{CacheStats, ScheduleCache};
 pub use job::{
-    read_jobs, read_jobs_lenient, synthetic_jobs, JobKind, JobOutcome, JobResult, JobSpec,
-    LenientIngest,
+    read_jobs, read_jobs_lenient, synthetic_jobs, synthetic_schedule_jobs, JobKind, JobOutcome,
+    JobResult, JobSpec, LenientIngest,
 };
 pub use persist::{open_and_preload, StoreBinding};
 pub use queue::{Deadlined, QueuePolicy};

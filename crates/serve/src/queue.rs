@@ -3,13 +3,18 @@
 //! Two interchangeable disciplines behind one facade (see
 //! `docs/SCHEDULING.md` for the full contract):
 //!
-//! * [`QueuePolicy::Fifo`] — a thin typed facade over a crossbeam
-//!   bounded MPMC channel; jobs are delivered in submission order.
+//! * [`QueuePolicy::Fifo`] — a `VecDeque` ring; jobs are delivered in
+//!   submission order.
 //! * [`QueuePolicy::Edf`] — earliest-deadline-first: a binary heap
 //!   keyed by each job's absolute deadline (via the [`Deadlined`]
 //!   trait). Jobs without deadlines sort behind every deadlined job
 //!   and drain FIFO among themselves; ties on deadline break by
 //!   submission order.
+//!
+//! Both disciplines share one mutex-and-condvar core, which is what
+//! lets [`JobQueue::try_submit_batch`] admit a whole batch atomically:
+//! one lock acquisition, one capacity check, all-or-shed — no
+//! interleaving singleton submit can steal capacity mid-batch.
 //!
 //! Both disciplines fix the three behaviours the runtime relies on:
 //!
@@ -23,10 +28,9 @@
 //!   queued, then [`WorkerHandle::next_job`] returns `None` and the
 //!   worker exits. No job is lost or cut short.
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::{Condvar, Mutex};
 use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Instant;
@@ -95,26 +99,14 @@ impl Deadlined for (u64, crate::job::JobSpec) {}
 /// The producer side of the queue. Owning it keeps the job stream open.
 #[derive(Debug)]
 pub struct JobQueue<T> {
-    inner: QueueInner<T>,
-}
-
-#[derive(Debug)]
-enum QueueInner<T> {
-    Fifo(Sender<T>),
-    Edf(Arc<EdfShared<T>>),
+    shared: Arc<Shared<T>>,
 }
 
 /// A worker's pull handle on the queue. Cloning shares the same queue;
 /// when every handle is gone, [`JobQueue::submit`] fails.
 #[derive(Debug)]
 pub struct WorkerHandle<T> {
-    inner: HandleInner<T>,
-}
-
-#[derive(Debug)]
-enum HandleInner<T> {
-    Fifo(Receiver<T>),
-    Edf(Arc<EdfShared<T>>),
+    shared: Arc<Shared<T>>,
 }
 
 /// Creates a FIFO queue holding at most `depth` pending jobs
@@ -122,15 +114,7 @@ enum HandleInner<T> {
 /// worker handle. Shorthand for [`job_queue_with_policy`] with
 /// [`QueuePolicy::Fifo`].
 pub fn job_queue<T>(depth: usize) -> (JobQueue<T>, WorkerHandle<T>) {
-    let (tx, rx) = bounded(depth.max(1));
-    (
-        JobQueue {
-            inner: QueueInner::Fifo(tx),
-        },
-        WorkerHandle {
-            inner: HandleInner::Fifo(rx),
-        },
-    )
+    job_queue_with_policy(QueuePolicy::Fifo, depth)
 }
 
 /// [`job_queue`] with a selectable discipline: `Fifo` delivers in
@@ -141,30 +125,27 @@ pub fn job_queue_with_policy<T>(
     policy: QueuePolicy,
     depth: usize,
 ) -> (JobQueue<T>, WorkerHandle<T>) {
-    match policy {
-        QueuePolicy::Fifo => job_queue(depth),
-        QueuePolicy::Edf => {
-            let shared = Arc::new(EdfShared {
-                depth: depth.max(1),
-                state: Mutex::new(EdfState {
-                    heap: BinaryHeap::new(),
-                    seq: 0,
-                    closed: false,
-                    handles: 1,
-                }),
-                not_empty: Condvar::new(),
-                not_full: Condvar::new(),
-            });
-            (
-                JobQueue {
-                    inner: QueueInner::Edf(Arc::clone(&shared)),
-                },
-                WorkerHandle {
-                    inner: HandleInner::Edf(shared),
-                },
-            )
-        }
-    }
+    let buf = match policy {
+        QueuePolicy::Fifo => Buffer::Fifo(VecDeque::new()),
+        QueuePolicy::Edf => Buffer::Edf(BinaryHeap::new()),
+    };
+    let shared = Arc::new(Shared {
+        depth: depth.max(1),
+        state: Mutex::new(State {
+            buf,
+            seq: 0,
+            closed: false,
+            handles: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        JobQueue {
+            shared: Arc::clone(&shared),
+        },
+        WorkerHandle { shared },
+    )
 }
 
 impl<T> JobQueue<T> {
@@ -178,10 +159,7 @@ impl<T> JobQueue<T> {
     where
         T: Deadlined,
     {
-        match &self.inner {
-            QueueInner::Fifo(tx) => tx.send(job).map_err(|e| e.into_inner()),
-            QueueInner::Edf(shared) => shared.submit(job, true),
-        }
+        self.shared.submit(job, true)
     }
 
     /// Enqueues a job without blocking: the producer's way of detecting
@@ -198,20 +176,30 @@ impl<T> JobQueue<T> {
     where
         T: Deadlined,
     {
-        match &self.inner {
-            QueueInner::Fifo(tx) => tx.try_send(job).map_err(|e| match e {
-                TrySendError::Full(job) | TrySendError::Disconnected(job) => job,
-            }),
-            QueueInner::Edf(shared) => shared.submit(job, false),
-        }
+        self.shared.submit(job, false)
+    }
+
+    /// Enqueues a whole batch atomically without blocking: either every
+    /// job is admitted under a single lock acquisition and capacity
+    /// check, or none is (all-or-shed). A batch larger than the queue's
+    /// total depth can therefore never be admitted. An empty batch is
+    /// trivially admitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the batch back untouched when the queue lacks capacity
+    /// for all of it right now, or when every [`WorkerHandle`] has been
+    /// dropped.
+    pub fn try_submit_batch(&self, jobs: Vec<T>) -> Result<(), Vec<T>>
+    where
+        T: Deadlined,
+    {
+        self.shared.submit_batch(jobs)
     }
 
     /// Jobs currently waiting in the queue.
     pub fn backlog(&self) -> usize {
-        match &self.inner {
-            QueueInner::Fifo(tx) => tx.len(),
-            QueueInner::Edf(shared) => shared.state.lock().heap.len(),
-        }
+        self.shared.state.lock().buf.len()
     }
 
     /// Closes the queue. Queued jobs are still delivered; afterwards
@@ -222,10 +210,8 @@ impl<T> JobQueue<T> {
 
 impl<T> Drop for JobQueue<T> {
     fn drop(&mut self) {
-        if let QueueInner::Edf(shared) = &self.inner {
-            shared.state.lock().closed = true;
-            shared.not_empty.notify_all();
-        }
+        self.shared.state.lock().closed = true;
+        self.shared.not_empty.notify_all();
     }
 }
 
@@ -233,58 +219,81 @@ impl<T> WorkerHandle<T> {
     /// Blocks for the next job; `None` once the queue is closed *and*
     /// drained.
     pub fn next_job(&self) -> Option<T> {
-        match &self.inner {
-            HandleInner::Fifo(rx) => rx.recv().ok(),
-            HandleInner::Edf(shared) => shared.next_job(),
-        }
+        self.shared.next_job()
     }
 }
 
 impl<T> Clone for WorkerHandle<T> {
     fn clone(&self) -> Self {
-        let inner = match &self.inner {
-            HandleInner::Fifo(rx) => HandleInner::Fifo(rx.clone()),
-            HandleInner::Edf(shared) => {
-                shared.state.lock().handles += 1;
-                HandleInner::Edf(Arc::clone(shared))
-            }
-        };
-        WorkerHandle { inner }
+        self.shared.state.lock().handles += 1;
+        WorkerHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
 impl<T> Drop for WorkerHandle<T> {
     fn drop(&mut self) {
-        if let HandleInner::Edf(shared) = &self.inner {
-            let mut state = shared.state.lock();
-            state.handles -= 1;
-            if state.handles == 0 {
-                // Blocked submitters must fail now, exactly as a
-                // disconnected channel send would.
-                drop(state);
-                shared.not_full.notify_all();
-            }
+        let mut state = self.shared.state.lock();
+        state.handles -= 1;
+        if state.handles == 0 {
+            // Blocked submitters must fail now, exactly as a
+            // disconnected channel send would.
+            drop(state);
+            self.shared.not_full.notify_all();
         }
     }
 }
 
-/// The EDF discipline: a `depth`-bounded binary min-heap on
-/// `(deadline, submission seq)` behind a mutex, with condvars standing
-/// in for the channel's blocking send/recv.
+/// The shared queue core: a `depth`-bounded buffer (ring or deadline
+/// heap by policy) behind a mutex, with condvars standing in for a
+/// channel's blocking send/recv. Holding both disciplines behind the
+/// same lock is what makes batch admission atomic against concurrent
+/// singleton submits.
 #[derive(Debug)]
-struct EdfShared<T> {
+struct Shared<T> {
     depth: usize,
-    state: Mutex<EdfState<T>>,
+    state: Mutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
 }
 
 #[derive(Debug)]
-struct EdfState<T> {
-    heap: BinaryHeap<Reverse<EdfItem<T>>>,
+struct State<T> {
+    buf: Buffer<T>,
     seq: u64,
     closed: bool,
     handles: usize,
+}
+
+/// The policy-specific pending-job store.
+#[derive(Debug)]
+enum Buffer<T> {
+    Fifo(VecDeque<T>),
+    Edf(BinaryHeap<Reverse<EdfItem<T>>>),
+}
+
+impl<T> Buffer<T> {
+    fn len(&self) -> usize {
+        match self {
+            Buffer::Fifo(q) => q.len(),
+            Buffer::Edf(h) => h.len(),
+        }
+    }
+
+    fn push(&mut self, job: T, deadline: Option<Instant>, seq: u64) {
+        match self {
+            Buffer::Fifo(q) => q.push_back(job),
+            Buffer::Edf(h) => h.push(Reverse(EdfItem { deadline, seq, job })),
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        match self {
+            Buffer::Fifo(q) => q.pop_front(),
+            Buffer::Edf(h) => h.pop().map(|Reverse(item)| item.job),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -325,21 +334,18 @@ impl<T> PartialEq for EdfItem<T> {
 
 impl<T> Eq for EdfItem<T> {}
 
-impl<T: Deadlined> EdfShared<T> {
+impl<T: Deadlined> Shared<T> {
     fn submit(&self, job: T, block: bool) -> Result<(), T> {
         let mut state = self.state.lock();
         loop {
             if state.handles == 0 {
                 return Err(job);
             }
-            if state.heap.len() < self.depth {
+            if state.buf.len() < self.depth {
                 let seq = state.seq;
                 state.seq += 1;
-                state.heap.push(Reverse(EdfItem {
-                    deadline: job.deadline(),
-                    seq,
-                    job,
-                }));
+                let deadline = job.deadline();
+                state.buf.push(job, deadline, seq);
                 drop(state);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -350,16 +356,40 @@ impl<T: Deadlined> EdfShared<T> {
             self.not_full.wait(&mut state);
         }
     }
+
+    fn submit_batch(&self, jobs: Vec<T>) -> Result<(), Vec<T>> {
+        if jobs.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock();
+        if state.handles == 0 || state.buf.len() + jobs.len() > self.depth {
+            return Err(jobs);
+        }
+        let n = jobs.len();
+        for job in jobs {
+            let seq = state.seq;
+            state.seq += 1;
+            let deadline = job.deadline();
+            state.buf.push(job, deadline, seq);
+        }
+        drop(state);
+        if n == 1 {
+            self.not_empty.notify_one();
+        } else {
+            self.not_empty.notify_all();
+        }
+        Ok(())
+    }
 }
 
-impl<T> EdfShared<T> {
+impl<T> Shared<T> {
     fn next_job(&self) -> Option<T> {
         let mut state = self.state.lock();
         loop {
-            if let Some(Reverse(item)) = state.heap.pop() {
+            if let Some(job) = state.buf.pop() {
                 drop(state);
                 self.not_full.notify_one();
-                return Some(item.job);
+                return Some(job);
             }
             if state.closed {
                 return None;

@@ -78,6 +78,98 @@ pub fn execute_job_traced(
     }
 }
 
+/// Executes a batch group of jobs that all share one schedule key,
+/// resolving that key against `cache` exactly once.
+///
+/// This is the serve-side half of batched submission: the gateway
+/// groups a batch's items by [`schedule_key_for`] and hands each group
+/// here, so `len - 1` redundant cache probes (and their shard-lock
+/// acquisitions) per group collapse into a single
+/// [`ScheduleCache::get_or_solve`]. Outcomes are byte-identical to
+/// executing every spec individually through [`execute_job`]: each job
+/// still gets its own accelerator reset and per-job seeded RNG, and
+/// the shared schedule is the same pure function of the key either
+/// path would resolve.
+///
+/// `key` must be the [`schedule_key_for`] value shared by every spec
+/// in the group (`None` for the keyless group: Select jobs and invalid
+/// shapes, which are executed individually). Returns one
+/// `(outcome, cache_hit)` pair per spec, in order; only the first
+/// keyed job reports the real probe outcome — the rest would have hit
+/// by construction.
+pub fn execute_group(
+    key: Option<&ScheduleKey>,
+    specs: &[JobSpec],
+    accel: &mut DriftAccelerator,
+    cache: &ScheduleCache,
+    recorder: &Recorder,
+) -> Vec<(JobOutcome, bool)> {
+    let Some(key) = key else {
+        // Keyless jobs share nothing worth amortising.
+        return specs
+            .iter()
+            .map(|spec| execute_job_recorded(spec, accel, cache, recorder))
+            .collect();
+    };
+    debug_assert!(specs
+        .iter()
+        .all(|s| schedule_key_for(s, accel.fabric()).as_ref() == Some(key)));
+    let resolved = cache.get_or_solve(*key);
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| match &resolved {
+            Ok((schedule, hit)) => {
+                accel.reset();
+                match run_with_schedule(spec, accel, schedule) {
+                    Ok(outcome) => (outcome, if i == 0 { *hit } else { true }),
+                    Err(message) => (JobOutcome::Error { message }, false),
+                }
+            }
+            // A solve failure reads exactly as it would per job.
+            Err(e) => (
+                JobOutcome::Error {
+                    message: e.to_string(),
+                },
+                false,
+            ),
+        })
+        .collect()
+}
+
+/// Runs one keyed job against an already-resolved schedule — the
+/// per-item tail of [`execute_group`], with the cache probe hoisted
+/// out. Must mirror the corresponding [`run_job`] arms byte for byte.
+fn run_with_schedule(
+    spec: &JobSpec,
+    accel: &mut DriftAccelerator,
+    schedule: &drift_core::schedule::Schedule,
+) -> Result<JobOutcome, String> {
+    match &spec.kind {
+        JobKind::Select { .. } => Err("select jobs carry no schedule key".to_string()),
+        JobKind::Schedule { .. } => Ok(JobOutcome::Schedule {
+            makespan: schedule.makespan,
+            latencies: schedule.latencies,
+        }),
+        JobKind::Simulate { m, k, n, fa, fw } => {
+            let shape = GemmShape::new(*m, *k, *n).map_err(|e| e.to_string())?;
+            let (act_high, weight_high) = simulate_precision_maps(spec.seed, *m, *n, *fa, *fw);
+            let workload =
+                GemmWorkload::new(format!("job-{}", spec.id), shape, act_high, weight_high)
+                    .map_err(|e| e.to_string())?;
+            let report = accel
+                .execute_with_schedule(&workload, *schedule)
+                .map_err(|e| e.to_string())?;
+            Ok(JobOutcome::Simulate {
+                cycles: report.cycles,
+                compute_cycles: report.compute_cycles,
+                dram_cycles: report.dram_cycles,
+                energy_pj: report.energy.total_pj(),
+            })
+        }
+    }
+}
+
 /// Records a serve-tier `execute` span covering `start`..now.
 fn record_execute_span(tracer: &Tracer, ctx: (TraceId, u64), start: Instant, kind: &str) {
     tracer.record(&SpanRecord {

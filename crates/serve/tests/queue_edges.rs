@@ -9,7 +9,7 @@ use drift_serve::runtime::{serve, ServeConfig};
 use drift_serve::synthetic_jobs;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, Mutex};
 use std::time::{Duration, Instant};
 
 const POLICIES: [QueuePolicy; 2] = [QueuePolicy::Fifo, QueuePolicy::Edf];
@@ -93,6 +93,168 @@ fn try_submit_racing_shutdown(policy: QueuePolicy) {
 fn try_submit_racing_shutdown_never_panics_and_never_loses_delivered_jobs() {
     for policy in POLICIES {
         try_submit_racing_shutdown(policy);
+    }
+}
+
+fn try_submit_batch_racing_shutdown(policy: QueuePolicy) {
+    // The batch analogue of try_submit_racing_shutdown: producers
+    // hammer try_submit_batch while the consumer quits mid-stream.
+    // Admission stays all-or-shed under the race — every accepted
+    // batch is accounted whole, and after the close try_submit_batch
+    // hands the batch back untouched instead of panicking.
+    const PRODUCERS: usize = 4;
+    const BATCH: usize = 3;
+    const CONSUMED: usize = 60;
+    const DEPTH: usize = 2 * BATCH;
+
+    let (queue, handle) = job_queue_with_policy::<usize>(policy, DEPTH);
+    let queue = Arc::new(queue);
+    let submitted = Arc::new(AtomicUsize::new(0));
+    let delivered = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(PRODUCERS + 2));
+
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let queue = Arc::clone(&queue);
+            let submitted = Arc::clone(&submitted);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            scope.spawn(move || {
+                start.wait();
+                for i in 0.. {
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let batch: Vec<usize> =
+                        (0..BATCH).map(|j| p * 1_000_000 + i * BATCH + j).collect();
+                    match queue.try_submit_batch(batch) {
+                        Ok(()) => {
+                            submitted.fetch_add(BATCH, Ordering::SeqCst);
+                        }
+                        Err(returned) => assert_eq!(
+                            returned.len(),
+                            BATCH,
+                            "[{policy}] a shed batch must come back whole"
+                        ),
+                    }
+                }
+            });
+        }
+        let consumer = {
+            let delivered = Arc::clone(&delivered);
+            let done = Arc::clone(&done);
+            let start = Arc::clone(&start);
+            scope.spawn(move || {
+                start.wait();
+                for _ in 0..CONSUMED {
+                    if handle.next_job().is_none() {
+                        break;
+                    }
+                    delivered.fetch_add(1, Ordering::SeqCst);
+                }
+                drop(handle);
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        start.wait();
+        consumer.join().unwrap();
+    });
+
+    // Atomic admission: accepted-but-undelivered jobs are bounded by
+    // the queue depth, exactly as in the singleton race.
+    let submitted = submitted.load(Ordering::SeqCst);
+    let delivered = delivered.load(Ordering::SeqCst);
+    assert!(delivered <= submitted);
+    assert!(
+        submitted - delivered <= DEPTH,
+        "[{policy}] at most queue_depth accepted jobs may be stranded: \
+         submitted {submitted}, delivered {delivered}"
+    );
+
+    // The queue is closed: the whole batch comes back, in order.
+    assert_eq!(queue.try_submit_batch(vec![7, 8, 9]), Err(vec![7, 8, 9]));
+    assert_eq!(queue.try_submit_batch(vec![7, 8, 9]), Err(vec![7, 8, 9]));
+}
+
+#[test]
+fn try_submit_batch_racing_shutdown_stays_atomic_and_never_panics() {
+    for policy in POLICIES {
+        try_submit_batch_racing_shutdown(policy);
+    }
+}
+
+#[test]
+fn batch_larger_than_capacity_sheds_whole_and_consumes_nothing() {
+    for policy in POLICIES {
+        let (queue, handle) = job_queue_with_policy::<u32>(policy, 4);
+        // Oversized relative to total depth: can never be admitted,
+        // even against an empty queue.
+        assert_eq!(
+            queue.try_submit_batch(vec![1, 2, 3, 4, 5]),
+            Err(vec![1, 2, 3, 4, 5]),
+            "[{policy}]"
+        );
+        assert_eq!(queue.backlog(), 0, "[{policy}] shed must consume no slots");
+        // Exactly-at-depth still fits — the shed above charged nothing.
+        queue
+            .try_submit_batch(vec![10, 11, 12, 13])
+            .unwrap_or_else(|_| panic!("[{policy}] a depth-sized batch must fit an empty queue"));
+        // Now full: even a minimal batch sheds whole.
+        assert_eq!(
+            queue.try_submit_batch(vec![99]),
+            Err(vec![99]),
+            "[{policy}]"
+        );
+        let drained: Vec<u32> = (0..4)
+            .map(|_| handle.next_job().expect("four jobs are buffered"))
+            .collect();
+        let expect: HashSet<u32> = [10, 11, 12, 13].into();
+        assert_eq!(drained.iter().copied().collect::<HashSet<u32>>(), expect);
+    }
+}
+
+#[test]
+fn depth_one_queue_drains_batches_of_one_and_sheds_anything_larger() {
+    // The tightest queue: batch admission degenerates to singleton
+    // behaviour at size 1 and must shed any larger batch whole, under
+    // either discipline — nothing lost, nothing duplicated.
+    const JOBS: usize = 64;
+    for policy in POLICIES {
+        let (queue, handle) = job_queue_with_policy::<usize>(policy, 1);
+        let queue = Arc::new(queue);
+        let delivered: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                while let Some(job) = handle.next_job() {
+                    delivered.lock().unwrap().push(job);
+                }
+            });
+            // A batch of two can never fit depth 1, no matter how
+            // drained the queue is at the instant of the check.
+            assert_eq!(queue.try_submit_batch(vec![900, 901]), Err(vec![900, 901]));
+            for job in 0..JOBS {
+                // Spin until the size-1 batch is admitted; every shed
+                // hands the job back for the retry.
+                let mut batch = vec![job];
+                loop {
+                    match queue.try_submit_batch(batch) {
+                        Ok(()) => break,
+                        Err(returned) => {
+                            assert_eq!(returned, vec![job], "[{policy}]");
+                            batch = returned;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            drop(queue);
+            consumer.join().unwrap();
+        });
+        let drained = delivered.into_inner().unwrap();
+        assert_eq!(drained.len(), JOBS, "[{policy}] lost or duplicated jobs");
+        let unique: HashSet<usize> = drained.iter().copied().collect();
+        assert_eq!(unique.len(), JOBS, "[{policy}] duplicated jobs");
     }
 }
 

@@ -172,6 +172,126 @@ wait "$GW1_PID" "$GW2_PID"
 rm -f "$GW1_PORT_FILE" "$GW2_PORT_FILE" "$RT_PORT_FILE" "$RT_METRICS"
 echo "router smoke: ok"
 
+echo "== batch smoke test =="
+# Batched wire protocol end to end (docs/SERVING.md): the same 200-job
+# stream driven singleton and as 4 clients x 50-job batches — first
+# through a gateway, then through the router over two shards — must
+# produce byte-identical result JSONL. loadgen itself fails the run on
+# any lost, duplicated, or unretried-shed id, so a clean diff proves
+# batch framing, all-or-shed admission, per-batch schedule
+# amortization, and router sub-batch splitting/reassembly all preserve
+# the singleton bytes.
+BATCH_DIR="$(mktemp -d)"
+GW_PORT_FILE="$(mktemp)"; rm -f "$GW_PORT_FILE"
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 4 \
+  --port-file "$GW_PORT_FILE" &
+GW_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$GW_PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$GW_PORT_FILE" ]; then
+  echo "batch smoke: gateway never wrote its port file" >&2
+  kill "$GW_PID" 2>/dev/null || true
+  exit 1
+fi
+GW_ADDR="$(cat "$GW_PORT_FILE")"
+./target/release/drift loadgen --addr "$GW_ADDR" --clients 4 --jobs 200 \
+  > "$BATCH_DIR/gw-singleton.jsonl" 2> /dev/null
+./target/release/drift loadgen --addr "$GW_ADDR" --clients 4 --jobs 200 \
+  --batch 50 > "$BATCH_DIR/gw-batch.jsonl" 2> /dev/null
+if ! diff -q "$BATCH_DIR/gw-singleton.jsonl" "$BATCH_DIR/gw-batch.jsonl" \
+  > /dev/null; then
+  echo "batch smoke: gateway batch results differ from singleton results" >&2
+  kill "$GW_PID" 2>/dev/null || true
+  exit 1
+fi
+./target/release/drift gateway-stop --addr "$GW_ADDR"
+for _ in $(seq 1 100); do
+  kill -0 "$GW_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$GW_PID" 2>/dev/null; then
+  echo "batch smoke: gateway did not exit within 10s of the drain" >&2
+  kill "$GW_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$GW_PID"
+rm -f "$GW_PORT_FILE"
+# The same pass through the sharding tier: mixed-key batches force the
+# router to split into per-shard sub-batches and reassemble.
+GW1_PORT_FILE="$(mktemp)"; rm -f "$GW1_PORT_FILE"
+GW2_PORT_FILE="$(mktemp)"; rm -f "$GW2_PORT_FILE"
+RT_PORT_FILE="$(mktemp)";  rm -f "$RT_PORT_FILE"
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 2 \
+  --port-file "$GW1_PORT_FILE" &
+GW1_PID=$!
+./target/release/drift gateway --addr 127.0.0.1:0 --workers 2 \
+  --port-file "$GW2_PORT_FILE" &
+GW2_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$GW1_PORT_FILE" ] && [ -s "$GW2_PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$GW1_PORT_FILE" ] || ! [ -s "$GW2_PORT_FILE" ]; then
+  echo "batch smoke: a shard gateway never wrote its port file" >&2
+  kill "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+GW1_ADDR="$(cat "$GW1_PORT_FILE")"
+GW2_ADDR="$(cat "$GW2_PORT_FILE")"
+./target/release/drift router --addr 127.0.0.1:0 \
+  --shards "$GW1_ADDR,$GW2_ADDR" --port-file "$RT_PORT_FILE" &
+RT_PID=$!
+for _ in $(seq 1 100); do
+  [ -s "$RT_PORT_FILE" ] && break
+  sleep 0.1
+done
+if ! [ -s "$RT_PORT_FILE" ]; then
+  echo "batch smoke: router never wrote its port file" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+RT_ADDR="$(cat "$RT_PORT_FILE")"
+./target/release/drift loadgen --addr "$RT_ADDR" --clients 4 --jobs 200 \
+  > "$BATCH_DIR/rt-singleton.jsonl" 2> /dev/null
+./target/release/drift loadgen --addr "$RT_ADDR" --clients 4 --jobs 200 \
+  --batch 50 > "$BATCH_DIR/rt-batch.jsonl" 2> /dev/null
+if ! diff -q "$BATCH_DIR/rt-singleton.jsonl" "$BATCH_DIR/rt-batch.jsonl" \
+  > /dev/null; then
+  echo "batch smoke: router batch results differ from singleton results" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+# The gateway and router runs offered the same stream, so all four
+# result files must agree byte for byte.
+if ! diff -q "$BATCH_DIR/gw-singleton.jsonl" "$BATCH_DIR/rt-batch.jsonl" \
+  > /dev/null; then
+  echo "batch smoke: routed batch results differ from direct gateway results" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+./target/release/drift router-stop --addr "$RT_ADDR"
+./target/release/drift gateway-stop --addr "$GW1_ADDR"
+./target/release/drift gateway-stop --addr "$GW2_ADDR"
+for _ in $(seq 1 100); do
+  if ! kill -0 "$RT_PID" 2>/dev/null && ! kill -0 "$GW1_PID" 2>/dev/null \
+    && ! kill -0 "$GW2_PID" 2>/dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+if kill -0 "$RT_PID" 2>/dev/null || kill -0 "$GW1_PID" 2>/dev/null \
+  || kill -0 "$GW2_PID" 2>/dev/null; then
+  echo "batch smoke: a process did not exit within 10s of the drain" >&2
+  kill "$RT_PID" "$GW1_PID" "$GW2_PID" 2>/dev/null || true
+  exit 1
+fi
+wait "$RT_PID" "$GW1_PID" "$GW2_PID"
+rm -f "$GW1_PORT_FILE" "$GW2_PORT_FILE" "$RT_PORT_FILE"
+rm -rf "$BATCH_DIR"
+echo "batch smoke: ok"
+
 echo "== trace smoke test =="
 # End-to-end distributed tracing: loadgen through the router and two
 # gateway shards, every tier writing a JSONL span file, with 1-in-1
